@@ -1,0 +1,97 @@
+//! Graphviz (DOT) export of Mealy machines.
+//!
+//! The original CacheQuery artifact publishes the learned policies as
+//! LearnLib DOT files; this module provides the equivalent export for learned
+//! and reference models of this reproduction.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+use crate::mealy::Mealy;
+
+/// Renders `m` in Graphviz DOT syntax.
+///
+/// Input and output symbols are rendered with their `Display` implementation;
+/// transition labels follow the `input / output` convention used by LearnLib.
+///
+/// # Example
+///
+/// ```
+/// use automata::{MealyBuilder, to_dot};
+///
+/// let mut b = MealyBuilder::new(vec!["a"]);
+/// let s = b.add_state();
+/// b.add_transition(s, "a", s, "x");
+/// let m = b.build(s).unwrap();
+/// let dot = to_dot(&m, "loop");
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("a / x"));
+/// ```
+pub fn to_dot<I, O>(m: &Mealy<I, O>, name: &str) -> String
+where
+    I: Clone + Eq + Hash + fmt::Debug + fmt::Display,
+    O: Clone + Eq + fmt::Debug + fmt::Display,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __start [shape=none, label=\"\"];");
+    let _ = writeln!(out, "  __start -> q{};", m.initial().index());
+    for s in m.states() {
+        let _ = writeln!(out, "  q{} [label=\"q{}\"];", s.index(), s.index());
+    }
+    for s in m.states() {
+        for (ii, input) in m.inputs().iter().enumerate() {
+            let (t, o) = m.step_by_index(s, ii);
+            let _ = writeln!(
+                out,
+                "  q{} -> q{} [label=\"{} / {}\"];",
+                s.index(),
+                t.index(),
+                escape(&input.to_string()),
+                escape(&o.to_string())
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mealy::MealyBuilder;
+
+    #[test]
+    fn dot_output_contains_all_transitions() {
+        let mut b = MealyBuilder::new(vec!["a", "b"]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "a", s1, "x");
+        b.add_transition(s0, "b", s0, "y");
+        b.add_transition(s1, "a", s0, "z");
+        b.add_transition(s1, "b", s1, "w");
+        let m = b.build(s0).unwrap();
+        let dot = to_dot(&m, "test");
+        for label in ["a / x", "b / y", "a / z", "b / w"] {
+            assert!(dot.contains(label), "missing label {label}: {dot}");
+        }
+        assert!(dot.contains("__start -> q0"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = MealyBuilder::new(vec!["\"quoted\""]);
+        let s = b.add_state();
+        b.add_transition(s, "\"quoted\"", s, "o");
+        let m = b.build(s).unwrap();
+        let dot = to_dot(&m, "q\"uote");
+        assert!(dot.contains("\\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,266 @@
+//! Trace-equivalence checking of Mealy machines.
+//!
+//! Two deterministic complete Mealy machines over the same input alphabet are
+//! trace-equivalent iff no input word distinguishes them; because both are
+//! deterministic this can be decided by a breadth-first search of the product
+//! machine (at most `|A| * |B|` pairs).
+//!
+//! For policies learned from hardware the numbering of cache lines is an
+//! artifact of the reset sequence (the i-th line is "the line that holds the
+//! i-th block of the initial content"), so we also provide equivalence *up to
+//! a permutation of the alphabets* ([`equivalent_up_to_relabelling`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+use crate::mealy::{Mealy, StateId};
+
+/// A distinguishing input word together with the two conflicting outputs it
+/// produces on the last symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample<I, O> {
+    /// The distinguishing input word.
+    pub word: Vec<I>,
+    /// Output of the left machine on the last symbol of `word`.
+    pub left_output: O,
+    /// Output of the right machine on the last symbol of `word`.
+    pub right_output: O,
+}
+
+/// A relabelling (bijection described as two maps) of inputs and outputs under
+/// which two machines were found equivalent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relabelling<I, O> {
+    /// Pairs `(left_input, right_input)` identifying which input of the left
+    /// machine corresponds to which input of the right machine.
+    pub input_map: Vec<(I, I)>,
+    /// Pairs `(left_output, right_output)` for outputs.
+    pub output_map: Vec<(O, O)>,
+}
+
+/// Checks trace equivalence and returns a counterexample if the machines
+/// differ.
+///
+/// Both machines must be over the same input alphabet (same set of symbols;
+/// order may differ).  Inputs present in only one machine make the machines
+/// trivially incomparable and are reported as a counterexample with an empty
+/// word is not possible, so this function panics instead.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ as sets.
+pub fn check_equivalence<I, O>(a: &Mealy<I, O>, b: &Mealy<I, O>) -> Option<Counterexample<I, O>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let inputs = a.inputs();
+    assert_eq!(
+        {
+            let mut x: Vec<_> = inputs.iter().map(|i| format!("{i:?}")).collect();
+            x.sort();
+            x
+        },
+        {
+            let mut x: Vec<_> = b.inputs().iter().map(|i| format!("{i:?}")).collect();
+            x.sort();
+            x
+        },
+        "machines must share the same input alphabet"
+    );
+
+    // BFS over the product, remembering the predecessor to reconstruct a
+    // shortest distinguishing word.
+    let mut visited: HashMap<(StateId, StateId), Option<((StateId, StateId), usize)>> =
+        HashMap::new();
+    let start = (a.initial(), b.initial());
+    visited.insert(start, None);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+
+    while let Some((sa, sb)) = queue.pop_front() {
+        for (ia, input) in inputs.iter().enumerate() {
+            let (na, oa) = a.step_by_index(sa, ia);
+            let ib = b
+                .input_position(input)
+                .expect("alphabet mismatch checked above");
+            let (nb, ob) = b.step_by_index(sb, ib);
+            if oa != ob {
+                // Reconstruct the path to (sa, sb), then append `input`.
+                let mut word = vec![input.clone()];
+                let mut cur = (sa, sb);
+                while let Some(Some((prev, pi))) = visited.get(&cur) {
+                    word.push(inputs[*pi].clone());
+                    cur = *prev;
+                }
+                word.reverse();
+                return Some(Counterexample {
+                    word,
+                    left_output: oa.clone(),
+                    right_output: ob.clone(),
+                });
+            }
+            let next = (na, nb);
+            if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(next) {
+                e.insert(Some(((sa, sb), ia)));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Returns `true` iff the two machines are trace-equivalent.
+///
+/// # Panics
+///
+/// Panics if the alphabets differ as sets (see [`check_equivalence`]).
+pub fn equivalent<I, O>(a: &Mealy<I, O>, b: &Mealy<I, O>) -> bool
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    check_equivalence(a, b).is_none()
+}
+
+/// Checks equivalence of `a` and `b` up to a simultaneous relabelling of
+/// inputs and outputs.
+///
+/// `candidates` enumerates the relabellings to try: each candidate is a pair
+/// of functions mapping the left machine's inputs/outputs into the right
+/// machine's alphabets.  The first relabelling under which the machines are
+/// trace-equivalent is returned.
+///
+/// For replacement policies the natural candidate set is "all permutations of
+/// cache-line indices applied consistently to `Ln(i)` inputs and to line
+/// outputs"; that enumeration lives in the `polca` crate, which knows the
+/// policy alphabet.
+pub fn equivalent_up_to_relabelling<I, O, FI, FO>(
+    a: &Mealy<I, O>,
+    b: &Mealy<I, O>,
+    candidates: impl IntoIterator<Item = (FI, FO)>,
+) -> Option<Relabelling<I, O>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+    FI: Fn(&I) -> I,
+    FO: Fn(&O) -> O,
+{
+    for (fi, fo) in candidates {
+        let relabelled = a.map_alphabets(|i| fi(i), |o| fo(o));
+        if equivalent(&relabelled, b) {
+            let input_map = a
+                .inputs()
+                .iter()
+                .map(|i| (i.clone(), fi(i)))
+                .collect::<Vec<_>>();
+            let mut outs: Vec<O> = Vec::new();
+            for s in a.states() {
+                for (_, o) in a.row(s) {
+                    if !outs.contains(o) {
+                        outs.push(o.clone());
+                    }
+                }
+            }
+            let output_map = outs.into_iter().map(|o| (o.clone(), fo(&o))).collect();
+            return Some(Relabelling {
+                input_map,
+                output_map,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mealy::MealyBuilder;
+
+    fn machine(outputs: [&'static str; 2]) -> Mealy<&'static str, &'static str> {
+        // One-state machine mapping input k to outputs[k].
+        let mut b = MealyBuilder::new(vec!["a", "b"]);
+        let s = b.add_state();
+        b.add_transition(s, "a", s, outputs[0]);
+        b.add_transition(s, "b", s, outputs[1]);
+        b.build(s).unwrap()
+    }
+
+    fn lru2() -> Mealy<&'static str, &'static str> {
+        let mut b = MealyBuilder::new(vec!["Ln(0)", "Ln(1)", "Evct"]);
+        let cs0 = b.add_state();
+        let cs1 = b.add_state();
+        b.add_transition(cs0, "Ln(0)", cs1, "⊥");
+        b.add_transition(cs0, "Ln(1)", cs0, "⊥");
+        b.add_transition(cs0, "Evct", cs1, "0");
+        b.add_transition(cs1, "Ln(0)", cs1, "⊥");
+        b.add_transition(cs1, "Ln(1)", cs0, "⊥");
+        b.add_transition(cs1, "Evct", cs0, "1");
+        b.build(cs0).unwrap()
+    }
+
+    /// FIFO with 2 lines has the same alphabet but different traces than LRU:
+    /// a hit does not refresh the line.
+    fn fifo2() -> Mealy<&'static str, &'static str> {
+        let mut b = MealyBuilder::new(vec!["Ln(0)", "Ln(1)", "Evct"]);
+        let cs0 = b.add_state();
+        let cs1 = b.add_state();
+        b.add_transition(cs0, "Ln(0)", cs0, "⊥");
+        b.add_transition(cs0, "Ln(1)", cs0, "⊥");
+        b.add_transition(cs0, "Evct", cs1, "0");
+        b.add_transition(cs1, "Ln(0)", cs1, "⊥");
+        b.add_transition(cs1, "Ln(1)", cs1, "⊥");
+        b.add_transition(cs1, "Evct", cs0, "1");
+        b.build(cs0).unwrap()
+    }
+
+    #[test]
+    fn identical_machines_are_equivalent() {
+        assert!(equivalent(&lru2(), &lru2()));
+        assert!(check_equivalence(&lru2(), &lru2()).is_none());
+    }
+
+    #[test]
+    fn lru_and_fifo_differ_and_counterexample_is_replayable() {
+        let lru = lru2();
+        let fifo = fifo2();
+        let cex = check_equivalence(&lru, &fifo).expect("must differ");
+        let lo = lru.last_output(cex.word.iter()).unwrap();
+        let fo = fifo.last_output(cex.word.iter()).unwrap();
+        assert_ne!(lo, fo);
+        assert_eq!(lo, cex.left_output);
+        assert_eq!(fo, cex.right_output);
+    }
+
+    #[test]
+    fn counterexample_is_shortest() {
+        // LRU vs FIFO at associativity 2 first differ after a hit on line 0
+        // followed by an eviction: LRU evicts line 1, FIFO evicts line 0.
+        let cex = check_equivalence(&lru2(), &fifo2()).unwrap();
+        assert_eq!(cex.word.len(), 2);
+    }
+
+    #[test]
+    fn equivalence_up_to_relabelling_finds_a_swap() {
+        let a = machine(["x", "y"]);
+        let b = machine(["y", "x"]);
+        assert!(!equivalent(&a, &b));
+        // Swap the two inputs (outputs unchanged).
+        let swap_in = |i: &&'static str| if *i == "a" { "b" } else { "a" };
+        let id_out = |o: &&'static str| *o;
+        let found = equivalent_up_to_relabelling(&a, &b, vec![(swap_in, id_out)]);
+        assert!(found.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "same input alphabet")]
+    fn different_alphabets_panic() {
+        let a = machine(["x", "y"]);
+        let mut b = MealyBuilder::new(vec!["a"]);
+        let s = b.add_state();
+        b.add_transition(s, "a", s, "x");
+        let b = b.build(s).unwrap();
+        check_equivalence(&a, &b);
+    }
+}

@@ -1,0 +1,464 @@
+//! Table-based deterministic Mealy machines.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// Identifier of a control state inside a [`Mealy`] machine.
+///
+/// State identifiers are dense indices assigned in insertion order; the
+/// initial state is whatever state was passed to [`MealyBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// Creates a state identifier from a dense index.
+    ///
+    /// This is only useful together with [`Mealy::from_tables`], where states
+    /// are numbered consecutively from zero.
+    pub fn new(index: usize) -> Self {
+        StateId(index)
+    }
+
+    /// Returns the dense index of this state.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Error raised when a [`MealyBuilder`] cannot produce a complete machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MealyBuildError {
+    /// A state is missing the transition for the named input (formatted with
+    /// `Debug`).
+    MissingTransition {
+        /// State missing the transition.
+        state: StateId,
+        /// Debug rendering of the input symbol.
+        input: String,
+    },
+    /// The same (state, input) pair was defined twice with conflicting
+    /// successor or output.
+    ConflictingTransition {
+        /// State with the conflict.
+        state: StateId,
+        /// Debug rendering of the input symbol.
+        input: String,
+    },
+    /// The machine has no states.
+    Empty,
+    /// An input symbol used in a transition is not part of the alphabet.
+    UnknownInput(String),
+}
+
+impl fmt::Display for MealyBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MealyBuildError::MissingTransition { state, input } => {
+                write!(f, "state {state} has no transition for input {input}")
+            }
+            MealyBuildError::ConflictingTransition { state, input } => {
+                write!(f, "state {state} has conflicting transitions for input {input}")
+            }
+            MealyBuildError::Empty => write!(f, "machine has no states"),
+            MealyBuildError::UnknownInput(i) => write!(f, "input {i} is not in the alphabet"),
+        }
+    }
+}
+
+impl std::error::Error for MealyBuildError {}
+
+/// Incremental constructor for [`Mealy`] machines.
+///
+/// The builder is total-checked: [`MealyBuilder::build`] fails unless every
+/// state defines a transition for every input symbol, which matches the
+/// requirement that replacement policies are complete deterministic machines.
+#[derive(Debug, Clone)]
+pub struct MealyBuilder<I, O> {
+    inputs: Vec<I>,
+    input_index: HashMap<I, usize>,
+    /// transitions[state][input] = (successor, output)
+    transitions: Vec<Vec<Option<(StateId, O)>>>,
+}
+
+impl<I, O> MealyBuilder<I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    /// Creates a builder over the given input alphabet.
+    ///
+    /// The order of `inputs` is preserved and becomes the canonical input
+    /// ordering of the built machine.
+    pub fn new(inputs: Vec<I>) -> Self {
+        let input_index = inputs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        MealyBuilder {
+            inputs,
+            input_index,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a fresh control state and returns its identifier.
+    pub fn add_state(&mut self) -> StateId {
+        self.transitions.push(vec![None; self.inputs.len()]);
+        StateId(self.transitions.len() - 1)
+    }
+
+    /// Number of states added so far.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Defines the transition `from --input/output--> to`.
+    ///
+    /// Re-defining the same transition with identical target and output is a
+    /// no-op; conflicting redefinitions are reported by [`MealyBuilder::build`].
+    pub fn add_transition(&mut self, from: StateId, input: I, to: StateId, output: O) {
+        let Some(&ii) = self.input_index.get(&input) else {
+            // Defer the error to `build`, where we have a uniform error type.
+            self.transitions[from.0].push(None);
+            return;
+        };
+        let slot = &mut self.transitions[from.0][ii];
+        match slot {
+            None => *slot = Some((to, output)),
+            Some((t, o)) if *t == to && *o == output => {}
+            Some(_) => {
+                // Mark the conflict by widening the row; detected in `build`.
+                self.transitions[from.0].push(None);
+            }
+        }
+    }
+
+    /// Finalizes the machine with `initial` as initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the machine is empty, if any transition is missing,
+    /// or if conflicting transitions were recorded.
+    pub fn build(self, initial: StateId) -> Result<Mealy<I, O>, MealyBuildError> {
+        if self.transitions.is_empty() {
+            return Err(MealyBuildError::Empty);
+        }
+        let arity = self.inputs.len();
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (si, row) in self.transitions.into_iter().enumerate() {
+            if row.len() != arity {
+                return Err(MealyBuildError::ConflictingTransition {
+                    state: StateId(si),
+                    input: "<redefined>".to_string(),
+                });
+            }
+            let mut complete = Vec::with_capacity(arity);
+            for (ii, cell) in row.into_iter().enumerate() {
+                match cell {
+                    Some(t) => complete.push(t),
+                    None => {
+                        return Err(MealyBuildError::MissingTransition {
+                            state: StateId(si),
+                            input: format!("{:?}", self.inputs[ii]),
+                        })
+                    }
+                }
+            }
+            transitions.push(complete);
+        }
+        Ok(Mealy {
+            inputs: self.inputs,
+            input_index: self.input_index,
+            transitions,
+            initial,
+        })
+    }
+}
+
+/// A complete deterministic Mealy machine over input alphabet `I` and output
+/// alphabet `O`.
+///
+/// This is the representation of Definition 2.1 in the paper: a finite set of
+/// control states, an initial state, and total transition/output functions.
+#[derive(Debug, Clone)]
+pub struct Mealy<I, O> {
+    inputs: Vec<I>,
+    input_index: HashMap<I, usize>,
+    /// `transitions[state][input] = (successor, output)`.
+    transitions: Vec<Vec<(StateId, O)>>,
+    initial: StateId,
+}
+
+impl<I, O> Mealy<I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    /// The input alphabet, in canonical order.
+    pub fn inputs(&self) -> &[I] {
+        &self.inputs
+    }
+
+    /// The initial control state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Number of control states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterates over all state identifiers.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.transitions.len()).map(StateId)
+    }
+
+    /// Index of `input` in the canonical alphabet ordering, if present.
+    pub fn input_position(&self, input: &I) -> Option<usize> {
+        self.input_index.get(input).copied()
+    }
+
+    /// Executes a single step from `state` on `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not part of the alphabet.
+    pub fn step(&self, state: StateId, input: &I) -> (StateId, O) {
+        let ii = self
+            .input_position(input)
+            .unwrap_or_else(|| panic!("input {input:?} is not in the alphabet"));
+        self.transitions[state.0][ii].clone()
+    }
+
+    /// Executes a single step identified by alphabet position.
+    pub fn step_by_index(&self, state: StateId, input_index: usize) -> (StateId, &O) {
+        let (s, o) = &self.transitions[state.0][input_index];
+        (*s, o)
+    }
+
+    /// Runs the machine on `word` from the initial state and returns the final
+    /// state together with the produced output word.
+    pub fn run<'a>(&self, word: impl IntoIterator<Item = &'a I>) -> (StateId, Vec<O>)
+    where
+        I: 'a,
+    {
+        let mut state = self.initial;
+        let mut out = Vec::new();
+        for i in word {
+            let (next, o) = self.step(state, i);
+            out.push(o);
+            state = next;
+        }
+        (state, out)
+    }
+
+    /// Output word produced by running `word` from the initial state.
+    pub fn output_word<'a>(&self, word: impl IntoIterator<Item = &'a I>) -> Vec<O>
+    where
+        I: 'a,
+    {
+        self.run(word).1
+    }
+
+    /// Output of the *last* symbol of `word` when run from the initial state,
+    /// or `None` for the empty word.
+    pub fn last_output<'a>(&self, word: impl IntoIterator<Item = &'a I>) -> Option<O>
+    where
+        I: 'a,
+    {
+        self.output_word(word).pop()
+    }
+
+    /// The state reached by running `word` from `from`.
+    pub fn delta<'a>(&self, from: StateId, word: impl IntoIterator<Item = &'a I>) -> StateId
+    where
+        I: 'a,
+    {
+        let mut state = from;
+        for i in word {
+            state = self.step(state, i).0;
+        }
+        state
+    }
+
+    /// Maps input and output alphabets, preserving the transition structure.
+    ///
+    /// This is used, e.g., to relabel cache-line indices when comparing a
+    /// machine learned from hardware against a reference policy.
+    pub fn map_alphabets<I2, O2>(
+        &self,
+        mut map_in: impl FnMut(&I) -> I2,
+        mut map_out: impl FnMut(&O) -> O2,
+    ) -> Mealy<I2, O2>
+    where
+        I2: Clone + Eq + Hash + fmt::Debug,
+        O2: Clone + Eq + fmt::Debug,
+    {
+        let inputs: Vec<I2> = self.inputs.iter().map(&mut map_in).collect();
+        let input_index = inputs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        let transitions = self
+            .transitions
+            .iter()
+            .map(|row| row.iter().map(|(s, o)| (*s, map_out(o))).collect())
+            .collect();
+        Mealy {
+            inputs,
+            input_index,
+            transitions,
+            initial: self.initial,
+        }
+    }
+
+    /// Constructs a machine directly from dense tables.
+    ///
+    /// `transitions[state][input]` must contain the successor/output pair for
+    /// every state and every input, in the order of `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is empty or ragged.
+    pub fn from_tables(
+        inputs: Vec<I>,
+        transitions: Vec<Vec<(StateId, O)>>,
+        initial: StateId,
+    ) -> Result<Self, MealyBuildError> {
+        if transitions.is_empty() {
+            return Err(MealyBuildError::Empty);
+        }
+        for (si, row) in transitions.iter().enumerate() {
+            if row.len() != inputs.len() {
+                return Err(MealyBuildError::MissingTransition {
+                    state: StateId(si),
+                    input: format!("<arity {} != {}>", row.len(), inputs.len()),
+                });
+            }
+        }
+        let input_index = inputs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        Ok(Mealy {
+            inputs,
+            input_index,
+            transitions,
+            initial,
+        })
+    }
+
+    /// Returns the transition table row of `state` (successor/output per input
+    /// position).
+    pub fn row(&self, state: StateId) -> &[(StateId, O)] {
+        &self.transitions[state.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru2() -> Mealy<&'static str, &'static str> {
+        let mut b = MealyBuilder::new(vec!["Ln(0)", "Ln(1)", "Evct"]);
+        let cs0 = b.add_state();
+        let cs1 = b.add_state();
+        b.add_transition(cs0, "Ln(0)", cs1, "⊥");
+        b.add_transition(cs0, "Ln(1)", cs0, "⊥");
+        b.add_transition(cs0, "Evct", cs1, "0");
+        b.add_transition(cs1, "Ln(0)", cs1, "⊥");
+        b.add_transition(cs1, "Ln(1)", cs0, "⊥");
+        b.add_transition(cs1, "Evct", cs0, "1");
+        b.build(cs0).unwrap()
+    }
+
+    #[test]
+    fn builds_and_runs_lru2() {
+        let m = lru2();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.output_word(["Evct"].iter()), vec!["0"]);
+        assert_eq!(
+            m.output_word(["Ln(0)", "Evct", "Evct"].iter()),
+            vec!["⊥", "1", "0"]
+        );
+    }
+
+    #[test]
+    fn run_returns_final_state() {
+        let m = lru2();
+        let (s, out) = m.run(["Ln(0)", "Ln(1)"].iter());
+        assert_eq!(out, vec!["⊥", "⊥"]);
+        assert_eq!(s, m.initial());
+    }
+
+    #[test]
+    fn missing_transition_is_rejected() {
+        let mut b: MealyBuilder<&str, &str> = MealyBuilder::new(vec!["a", "b"]);
+        let s = b.add_state();
+        b.add_transition(s, "a", s, "x");
+        let err = b.build(s).unwrap_err();
+        assert!(matches!(err, MealyBuildError::MissingTransition { .. }));
+    }
+
+    #[test]
+    fn conflicting_transition_is_rejected() {
+        let mut b: MealyBuilder<&str, &str> = MealyBuilder::new(vec!["a"]);
+        let s = b.add_state();
+        b.add_transition(s, "a", s, "x");
+        b.add_transition(s, "a", s, "y");
+        assert!(b.build(s).is_err());
+    }
+
+    #[test]
+    fn idempotent_redefinition_is_accepted() {
+        let mut b: MealyBuilder<&str, &str> = MealyBuilder::new(vec!["a"]);
+        let s = b.add_state();
+        b.add_transition(s, "a", s, "x");
+        b.add_transition(s, "a", s, "x");
+        assert!(b.build(s).is_ok());
+    }
+
+    #[test]
+    fn empty_machine_is_rejected() {
+        let b: MealyBuilder<&str, &str> = MealyBuilder::new(vec!["a"]);
+        assert_eq!(b.build(StateId(0)).unwrap_err(), MealyBuildError::Empty);
+    }
+
+    #[test]
+    fn map_alphabets_preserves_structure() {
+        let m = lru2();
+        let mapped = m.map_alphabets(|i| i.to_uppercase(), |o| o.to_string());
+        assert_eq!(mapped.num_states(), 2);
+        assert_eq!(
+            mapped.output_word([&"LN(0)".to_string(), &"EVCT".to_string()].into_iter()),
+            vec!["⊥".to_string(), "1".to_string()]
+        );
+    }
+
+    #[test]
+    fn last_output_of_empty_word_is_none() {
+        let m = lru2();
+        assert_eq!(m.last_output(std::iter::empty()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the alphabet")]
+    fn step_panics_on_unknown_input() {
+        let m = lru2();
+        m.step(m.initial(), &"nope");
+    }
+}

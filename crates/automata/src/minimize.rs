@@ -1,0 +1,165 @@
+//! Mealy machine minimization by partition refinement.
+//!
+//! Learned hypotheses produced by L* are minimal by construction, but
+//! ground-truth machines obtained by [`crate::explore`] from executable
+//! policies may contain distinct control states with identical behaviour
+//! (e.g. ages that never influence future evictions).  The state counts in
+//! Table 2 of the paper refer to the minimal machines, so the benchmark
+//! harness minimizes explored automata before reporting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::mealy::{Mealy, StateId};
+
+/// Returns the minimal Mealy machine trace-equivalent to `m`.
+///
+/// Unreachable states are discarded (machines built by [`crate::explore`] or
+/// the learner never contain any) and behaviourally equivalent states are
+/// merged.  The initial state of the result corresponds to the block of `m`'s
+/// initial state.
+pub fn minimize<I, O>(m: &Mealy<I, O>) -> Mealy<I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let n = m.num_states();
+    let arity = m.inputs().len();
+
+    // Restrict to reachable states first.
+    let mut reachable = vec![false; n];
+    let mut stack = vec![m.initial()];
+    reachable[m.initial().index()] = true;
+    while let Some(s) = stack.pop() {
+        for ii in 0..arity {
+            let (t, _) = m.step_by_index(s, ii);
+            if !reachable[t.index()] {
+                reachable[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+
+    // Initial partition: states are grouped by their output row.
+    let mut block_of: Vec<usize> = vec![usize::MAX; n];
+    {
+        let mut signature_to_block: HashMap<Vec<&O>, usize> = HashMap::new();
+        for s in 0..n {
+            if !reachable[s] {
+                continue;
+            }
+            let sig: Vec<&O> = (0..arity)
+                .map(|ii| m.step_by_index(StateId(s), ii).1)
+                .collect();
+            let next = signature_to_block.len();
+            let b = *signature_to_block.entry(sig).or_insert(next);
+            block_of[s] = b;
+        }
+    }
+
+    // Refine until stable: two states stay together iff for every input their
+    // successors are in the same block.
+    loop {
+        let mut signature_to_block: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut new_block_of = vec![usize::MAX; n];
+        for s in 0..n {
+            if !reachable[s] {
+                continue;
+            }
+            let succ_sig: Vec<usize> = (0..arity)
+                .map(|ii| block_of[m.step_by_index(StateId(s), ii).0.index()])
+                .collect();
+            let key = (block_of[s], succ_sig);
+            let next = signature_to_block.len();
+            let b = *signature_to_block.entry(key).or_insert(next);
+            new_block_of[s] = b;
+        }
+        if new_block_of == block_of {
+            break;
+        }
+        block_of = new_block_of;
+    }
+
+    let num_blocks = block_of
+        .iter()
+        .filter(|&&b| b != usize::MAX)
+        .max()
+        .map_or(0, |&b| b + 1);
+
+    // Pick a representative per block and build the quotient machine.
+    let mut representative: Vec<Option<usize>> = vec![None; num_blocks];
+    for s in 0..n {
+        if reachable[s] && representative[block_of[s]].is_none() {
+            representative[block_of[s]] = Some(s);
+        }
+    }
+    let transitions: Vec<Vec<(StateId, O)>> = (0..num_blocks)
+        .map(|b| {
+            let rep = representative[b].expect("every block has a representative");
+            (0..arity)
+                .map(|ii| {
+                    let (t, o) = m.step_by_index(StateId(rep), ii);
+                    (StateId(block_of[t.index()]), o.clone())
+                })
+                .collect()
+        })
+        .collect();
+
+    Mealy::from_tables(
+        m.inputs().to_vec(),
+        transitions,
+        StateId(block_of[m.initial().index()]),
+    )
+    .expect("quotient machine is complete by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::equivalent;
+    use crate::mealy::MealyBuilder;
+
+    #[test]
+    fn merges_equivalent_states() {
+        // Two states with identical behaviour plus one genuinely different.
+        let mut b = MealyBuilder::new(vec!["a", "b"]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        let s2 = b.add_state();
+        for s in [s0, s1] {
+            b.add_transition(s, "a", s2, "go");
+            b.add_transition(s, "b", s, "stay");
+        }
+        b.add_transition(s2, "a", s0, "back");
+        b.add_transition(s2, "b", s2, "stay");
+        let m = b.build(s0).unwrap();
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), 2);
+        assert!(equivalent(&m, &min));
+    }
+
+    #[test]
+    fn drops_unreachable_states() {
+        let mut b = MealyBuilder::new(vec!["a"]);
+        let s0 = b.add_state();
+        let s1 = b.add_state(); // unreachable, different behaviour
+        b.add_transition(s0, "a", s0, "x");
+        b.add_transition(s1, "a", s1, "y");
+        let m = b.build(s0).unwrap();
+        let min = minimize(&m);
+        assert_eq!(min.num_states(), 1);
+        assert!(equivalent(&m, &min));
+    }
+
+    #[test]
+    fn minimal_machine_is_unchanged_in_size() {
+        let mut b = MealyBuilder::new(vec!["a"]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "a", s1, "x");
+        b.add_transition(s1, "a", s0, "y");
+        let m = b.build(s0).unwrap();
+        assert_eq!(minimize(&m).num_states(), 2);
+    }
+}

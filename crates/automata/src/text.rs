@@ -1,0 +1,232 @@
+//! Plain-text serialization of Mealy machines.
+//!
+//! The original artifact stores learned models on disk (and the CacheQuery
+//! frontend caches query responses in LevelDB).  To keep this reproduction
+//! dependency-free we use a small line-based format instead:
+//!
+//! ```text
+//! mealy v1
+//! inputs <i0> <i1> ...
+//! states <n>
+//! initial <k>
+//! trans <state> <input-index> <next-state> <output>
+//! ...
+//! ```
+//!
+//! Symbols are rendered with `Display` and parsed with `FromStr`; symbols must
+//! therefore not contain whitespace (the policy alphabet `Ln(i)` / `Evct` and
+//! line-index outputs satisfy this).
+
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+
+use crate::mealy::{Mealy, StateId};
+
+/// Error raised when parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextFormatError {
+    /// Line number (1-based) where parsing failed.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for TextFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextFormatError {}
+
+fn err(line: usize, message: impl Into<String>) -> TextFormatError {
+    TextFormatError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Renders `m` in the plain-text model format.
+pub fn render_mealy<I, O>(m: &Mealy<I, O>) -> String
+where
+    I: Clone + Eq + Hash + fmt::Debug + fmt::Display,
+    O: Clone + Eq + fmt::Debug + fmt::Display,
+{
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "mealy v1");
+    let _ = write!(out, "inputs");
+    for i in m.inputs() {
+        let _ = write!(out, " {i}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "states {}", m.num_states());
+    let _ = writeln!(out, "initial {}", m.initial().index());
+    for s in m.states() {
+        for (ii, _) in m.inputs().iter().enumerate() {
+            let (t, o) = m.step_by_index(s, ii);
+            let _ = writeln!(out, "trans {} {} {} {}", s.index(), ii, t.index(), o);
+        }
+    }
+    out
+}
+
+/// Parses a machine previously rendered by [`render_mealy`].
+///
+/// # Errors
+///
+/// Returns a [`TextFormatError`] describing the first malformed line, an
+/// incomplete transition table, or symbols that fail to parse.
+pub fn parse_mealy<I, O>(text: &str) -> Result<Mealy<I, O>, TextFormatError>
+where
+    I: Clone + Eq + Hash + fmt::Debug + FromStr,
+    O: Clone + Eq + fmt::Debug + FromStr,
+{
+    let mut inputs: Option<Vec<I>> = None;
+    let mut num_states: Option<usize> = None;
+    let mut initial: Option<usize> = None;
+    let mut cells: Vec<(usize, usize, usize, O)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("mealy") => {
+                if parts.next() != Some("v1") {
+                    return Err(err(lineno, "unsupported format version"));
+                }
+            }
+            Some("inputs") => {
+                let parsed: Result<Vec<I>, _> = parts.map(|p| p.parse::<I>()).collect();
+                inputs = Some(parsed.map_err(|_| err(lineno, "failed to parse input symbol"))?);
+            }
+            Some("states") => {
+                num_states = Some(
+                    parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(lineno, "malformed states line"))?,
+                );
+            }
+            Some("initial") => {
+                initial = Some(
+                    parts
+                        .next()
+                        .and_then(|p| p.parse().ok())
+                        .ok_or_else(|| err(lineno, "malformed initial line"))?,
+                );
+            }
+            Some("trans") => {
+                let s: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| err(lineno, "malformed state in trans"))?;
+                let ii: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| err(lineno, "malformed input index in trans"))?;
+                let t: usize = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| err(lineno, "malformed target in trans"))?;
+                let o: O = parts
+                    .next()
+                    .and_then(|p| p.parse().ok())
+                    .ok_or_else(|| err(lineno, "malformed output in trans"))?;
+                cells.push((s, ii, t, o));
+            }
+            Some(other) => return Err(err(lineno, format!("unknown directive '{other}'"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let inputs = inputs.ok_or_else(|| err(0, "missing 'inputs' line"))?;
+    let num_states = num_states.ok_or_else(|| err(0, "missing 'states' line"))?;
+    let initial = initial.ok_or_else(|| err(0, "missing 'initial' line"))?;
+    if num_states == 0 {
+        return Err(err(0, "machine must have at least one state"));
+    }
+    if initial >= num_states {
+        return Err(err(0, "initial state out of range"));
+    }
+
+    let mut table: Vec<Vec<Option<(StateId, O)>>> = vec![vec![None; inputs.len()]; num_states];
+    for (s, ii, t, o) in cells {
+        if s >= num_states || t >= num_states || ii >= inputs.len() {
+            return Err(err(0, "transition indices out of range"));
+        }
+        table[s][ii] = Some((StateId(t), o));
+    }
+    let mut transitions = Vec::with_capacity(num_states);
+    for (s, row) in table.into_iter().enumerate() {
+        let mut complete = Vec::with_capacity(inputs.len());
+        for (ii, cell) in row.into_iter().enumerate() {
+            complete.push(cell.ok_or_else(|| {
+                err(0, format!("missing transition for state {s}, input index {ii}"))
+            })?);
+        }
+        transitions.push(complete);
+    }
+    Mealy::from_tables(inputs, transitions, StateId(initial))
+        .map_err(|e| err(0, format!("invalid machine: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::equivalent;
+    use crate::mealy::MealyBuilder;
+
+    fn sample() -> Mealy<String, String> {
+        let mut b = MealyBuilder::new(vec!["Ln(0)".to_string(), "Evct".to_string()]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "Ln(0)".into(), s0, "none".into());
+        b.add_transition(s0, "Evct".into(), s1, "0".into());
+        b.add_transition(s1, "Ln(0)".into(), s0, "none".into());
+        b.add_transition(s1, "Evct".into(), s1, "0".into());
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let text = render_mealy(&m);
+        let back: Mealy<String, String> = parse_mealy(&text).unwrap();
+        assert_eq!(back.num_states(), m.num_states());
+        assert!(equivalent(&m, &back));
+    }
+
+    #[test]
+    fn rejects_missing_transitions() {
+        let text = "mealy v1\ninputs a\nstates 1\ninitial 0\n";
+        let e = parse_mealy::<String, String>(text).unwrap_err();
+        assert!(e.message.contains("missing transition"));
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let text = "mealy v1\nbogus\n";
+        assert!(parse_mealy::<String, String>(text).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_initial() {
+        let text = "mealy v1\ninputs a\nstates 1\ninitial 3\ntrans 0 0 0 x\n";
+        assert!(parse_mealy::<String, String>(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let m = sample();
+        let mut text = String::from("# header comment\n\n");
+        text.push_str(&render_mealy(&m));
+        let back: Mealy<String, String> = parse_mealy(&text).unwrap();
+        assert!(equivalent(&m, &back));
+    }
+}

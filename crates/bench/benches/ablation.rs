@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! Wp-method vs W-method conformance suites, conformance depth, and the
+//! membership-query cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use learning::{
+    learn_mealy, CachedOracle, LearnOptions, MealyOracle, WMethodOracle, WpMethodOracle,
+};
+use polca::{PolcaOracle, SimulatedCacheOracle};
+use policies::{policy_alphabet, policy_to_mealy, PolicyKind};
+
+/// Wp vs W method on the same target (MRU at associativity 4, 14 states).
+fn bench_conformance_method(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conformance");
+    group.sample_size(10);
+    let target = policy_to_mealy(PolicyKind::Mru.build(4).unwrap().as_ref(), 1 << 16);
+    group.bench_function("wp_method", |b| {
+        b.iter(|| {
+            let mut teacher = MealyOracle::new(target.clone());
+            let mut eq = WpMethodOracle::new(1);
+            learn_mealy(
+                target.inputs().to_vec(),
+                &mut teacher,
+                &mut eq,
+                LearnOptions::default(),
+            )
+            .expect("learns")
+            .1
+            .membership_queries
+        })
+    });
+    group.bench_function("w_method", |b| {
+        b.iter(|| {
+            let mut teacher = MealyOracle::new(target.clone());
+            let mut eq = WMethodOracle::new(1);
+            learn_mealy(
+                target.inputs().to_vec(),
+                &mut teacher,
+                &mut eq,
+                LearnOptions::default(),
+            )
+            .expect("learns")
+            .1
+            .membership_queries
+        })
+    });
+    group.finish();
+}
+
+/// Learning with and without the membership-query cache in front of Polca.
+fn bench_query_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_query_cache");
+    group.sample_size(10);
+    for cached in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("polca_lru4", if cached { "cached" } else { "uncached" }),
+            &cached,
+            |b, &cached| {
+                b.iter(|| {
+                    let oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 4).unwrap();
+                    let mut eq = WpMethodOracle::new(1);
+                    let alphabet = policy_alphabet(4);
+                    if cached {
+                        let mut membership = CachedOracle::new(PolcaOracle::new(oracle));
+                        learn_mealy(alphabet, &mut membership, &mut eq, LearnOptions::default())
+                            .expect("learns")
+                            .0
+                            .num_states()
+                    } else {
+                        let mut membership = PolcaOracle::new(oracle);
+                        learn_mealy(alphabet, &mut membership, &mut eq, LearnOptions::default())
+                            .expect("learns")
+                            .0
+                            .num_states()
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Conformance depth k: cost of the stronger completeness guarantee.
+fn bench_conformance_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    let target = policy_to_mealy(PolicyKind::Plru.build(4).unwrap().as_ref(), 1 << 16);
+    for depth in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("plru4", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut teacher = MealyOracle::new(target.clone());
+                let mut eq = WpMethodOracle::new(depth);
+                learn_mealy(
+                    target.inputs().to_vec(),
+                    &mut teacher,
+                    &mut eq,
+                    LearnOptions::default(),
+                )
+                .expect("learns")
+                .1
+                .membership_queries
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conformance_method,
+    bench_query_cache,
+    bench_conformance_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench backing Table 2: end-to-end learning time from
+//! software-simulated caches for a representative sample of policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polca::{learn_simulated_policy, LearnSetup};
+use policies::PolicyKind;
+
+fn bench_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_simulated");
+    group.sample_size(10);
+    let cases = [
+        (PolicyKind::Fifo, 8usize),
+        (PolicyKind::Lru, 4),
+        (PolicyKind::Plru, 4),
+        (PolicyKind::Mru, 4),
+        (PolicyKind::Lip, 4),
+        (PolicyKind::SrripHp, 2),
+        (PolicyKind::SrripFp, 2),
+        (PolicyKind::New1, 4),
+        (PolicyKind::New2, 4),
+    ];
+    for (kind, assoc) in cases {
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), assoc),
+            &(kind, assoc),
+            |b, &(kind, assoc)| {
+                b.iter(|| {
+                    learn_simulated_policy(kind, assoc, &LearnSetup::default())
+                        .expect("learning succeeds")
+                        .machine
+                        .num_states()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Table 5: synthesis time for the policies whose
+//! explanations fit the Simple template (the Extended searches at
+//! associativity 4 take minutes and are run by the `table5` binary instead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use policies::{policy_to_mealy, PolicyKind};
+use synth::{synthesize, SynthesisConfig};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    let cases = [
+        (PolicyKind::Fifo, 4usize, 3u8),
+        (PolicyKind::Lru, 4, 3),
+        (PolicyKind::Lip, 4, 3),
+        (PolicyKind::Mru, 2, 1),
+    ];
+    for (kind, assoc, max_age) in cases {
+        let machine = policy_to_mealy(kind.build(assoc).unwrap().as_ref(), 1 << 20);
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), assoc),
+            &machine,
+            |b, machine| {
+                b.iter(|| {
+                    let config = SynthesisConfig {
+                        max_age,
+                        ..SynthesisConfig::default()
+                    };
+                    synthesize(machine, assoc, &config).expect("synthesizable").template
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 3: specifications of the (simulated) processors.
+//!
+//! Prints the cache geometries of the three simulated CPU models, together
+//! with the per-level replacement policy configuration the simulation uses
+//! (the paper's Table 3 lists only the geometry; the policy column is this
+//! reproduction's configured ground truth, i.e. what Table 4 re-discovers).
+
+use bench::TextTable;
+use cache::LevelId;
+use hardware::{CpuModel, LevelPolicy};
+
+fn main() {
+    println!("Table 3: processors' specifications (simulated models)");
+    println!();
+    let mut table = TextTable::new(&[
+        "CPU",
+        "Cache level",
+        "Assoc.",
+        "Slices",
+        "Sets per slice",
+        "Line size",
+        "Inclusive",
+        "Configured policy",
+        "CAT",
+    ]);
+    for model in CpuModel::ALL {
+        let spec = model.spec();
+        for level in LevelId::ALL {
+            let Some(level_spec) = spec.level(level) else {
+                continue;
+            };
+            let geometry = level_spec.geometry;
+            let policy = match &level_spec.policy {
+                LevelPolicy::Fixed(kind) => kind.name().to_string(),
+                LevelPolicy::Adaptive { roles } => {
+                    let leaders = roles
+                        .iter()
+                        .filter(|r| **r != cache::DuelingRole::Follower)
+                        .count();
+                    format!("adaptive (set dueling, {leaders} leader sets)")
+                }
+            };
+            table.add_row(&[
+                spec.name.to_string(),
+                level.to_string(),
+                geometry.associativity.to_string(),
+                geometry.slices.to_string(),
+                geometry.sets_per_slice.to_string(),
+                format!("{} B", geometry.line_size),
+                if level_spec.inclusive { "yes" } else { "no" }.to_string(),
+                policy,
+                if level == LevelId::L3 {
+                    if spec.supports_cat { "yes" } else { "no" }.to_string()
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Capacities: L1 32 KiB, Haswell L2 256 KiB / Skylake & Kaby Lake L2 256 KiB,");
+    println!("L3 8 MiB (Haswell, 4 slices x 2048 sets x 16 ways) / 6-8 MiB (Skylake, Kaby Lake).");
+}

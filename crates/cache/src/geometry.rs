@@ -1,0 +1,141 @@
+//! Geometric description of one cache level.
+
+use crate::address::{slice_hash, PhysAddr, SetIndex, SliceIndex};
+
+/// Geometry of one cache level: associativity, number of sets per slice,
+/// number of slices and line size (Table 3 of the paper lists the values for
+/// the three evaluated processors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Ways per set.
+    pub associativity: usize,
+    /// Sets per slice (must be a power of two so that set selection is a bit
+    /// field of the address).
+    pub sets_per_slice: usize,
+    /// Number of slices (1 for L1/L2, 4 or 8 for the modelled L3 caches).
+    pub slices: usize,
+    /// Line size in bytes.
+    pub line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets_per_slice` or `line_size` is not a power of two, if
+    /// `slices` is not 1, 2, 4 or 8, or if any field is zero.
+    pub fn new(associativity: usize, sets_per_slice: usize, slices: usize, line_size: u64) -> Self {
+        assert!(associativity >= 1, "associativity must be positive");
+        assert!(
+            sets_per_slice.is_power_of_two(),
+            "sets per slice must be a power of two"
+        );
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            matches!(slices, 1 | 2 | 4 | 8),
+            "slice count must be 1, 2, 4 or 8"
+        );
+        CacheGeometry {
+            associativity,
+            sets_per_slice,
+            slices,
+            line_size,
+        }
+    }
+
+    /// Total number of sets across all slices.
+    pub fn total_sets(&self) -> usize {
+        self.sets_per_slice * self.slices
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.associativity as u64 * self.total_sets() as u64 * self.line_size
+    }
+
+    /// Number of address bits used for the line offset.
+    pub fn offset_bits(&self) -> u32 {
+        self.line_size.trailing_zeros()
+    }
+
+    /// Number of address bits used for the set index within a slice.
+    pub fn set_bits(&self) -> u32 {
+        self.sets_per_slice.trailing_zeros()
+    }
+
+    /// The set index (within a slice) that `addr` maps to.
+    pub fn set_index(&self, addr: PhysAddr) -> SetIndex {
+        let idx = (addr.0 >> self.offset_bits()) & (self.sets_per_slice as u64 - 1);
+        SetIndex(idx as usize)
+    }
+
+    /// The slice that `addr` maps to.
+    pub fn slice_index(&self, addr: PhysAddr) -> SliceIndex {
+        slice_hash(addr, self.slices)
+    }
+
+    /// Flat index of the set `addr` maps to, across all slices
+    /// (`slice * sets_per_slice + set`).
+    pub fn flat_index(&self, addr: PhysAddr) -> usize {
+        self.slice_index(addr).0 * self.sets_per_slice + self.set_index(addr).0
+    }
+
+    /// Whether two addresses are congruent in this cache level (same slice
+    /// and same set), i.e. they compete for the same lines.
+    pub fn congruent(&self, a: PhysAddr, b: PhysAddr) -> bool {
+        self.flat_index(a) == self.flat_index(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Skylake i5-6500 L2 from Table 3: 4 ways, 1024 sets, 1 slice.
+    fn skylake_l2() -> CacheGeometry {
+        CacheGeometry::new(4, 1024, 1, 64)
+    }
+
+    #[test]
+    fn capacity_matches_expectation() {
+        // 4 * 1024 * 64 B = 256 KiB, the documented Skylake L2 size.
+        assert_eq!(skylake_l2().capacity_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    fn set_index_uses_bits_above_the_offset() {
+        let g = skylake_l2();
+        assert_eq!(g.set_index(PhysAddr(0)), SetIndex(0));
+        assert_eq!(g.set_index(PhysAddr(64)), SetIndex(1));
+        assert_eq!(g.set_index(PhysAddr(63)), SetIndex(0));
+        assert_eq!(g.set_index(PhysAddr(1024 * 64)), SetIndex(0));
+    }
+
+    #[test]
+    fn congruence_requires_same_set_and_slice() {
+        let g = skylake_l2();
+        assert!(g.congruent(PhysAddr(0), PhysAddr(1024 * 64)));
+        assert!(!g.congruent(PhysAddr(0), PhysAddr(64)));
+    }
+
+    #[test]
+    fn flat_index_is_dense() {
+        let g = CacheGeometry::new(16, 1024, 8, 64);
+        for a in (0..1u64 << 22).step_by(64) {
+            assert!(g.flat_index(PhysAddr(a)) < g.total_sets());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        CacheGeometry::new(4, 1000, 1, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice count")]
+    fn rejects_unsupported_slices() {
+        CacheGeometry::new(4, 1024, 6, 64);
+    }
+}

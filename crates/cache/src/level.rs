@@ -1,0 +1,210 @@
+//! A complete cache level: all slices and sets of one level of the hierarchy.
+
+use policies::ReplacementPolicy;
+
+use crate::address::PhysAddr;
+use crate::geometry::CacheGeometry;
+use crate::set::{AccessResult, Block, CacheSet};
+
+/// Static configuration of one cache level.
+#[derive(Debug, Clone)]
+pub struct LevelConfig {
+    /// Human-readable name ("L1", "L2", "L3").
+    pub name: String,
+    /// Geometry of the level.
+    pub geometry: CacheGeometry,
+    /// Whether the level is inclusive of the levels above it (evictions
+    /// back-invalidate the smaller caches).  The modelled Intel L3 caches are
+    /// inclusive; L1 and L2 are not.
+    pub inclusive: bool,
+}
+
+/// One cache level: a [`CacheSet`] per (slice, set) pair.
+///
+/// Blocks are stored by their line-aligned physical address, so the same
+/// address always maps to the same set and compares equal across levels.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    config: LevelConfig,
+    sets: Vec<CacheSet>,
+}
+
+impl CacheLevel {
+    /// Creates a level whose sets are governed by the policies produced by
+    /// `make_policy`, which is called once per flat set index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced policy's associativity differs from the
+    /// geometry's.
+    pub fn new(
+        config: LevelConfig,
+        mut make_policy: impl FnMut(usize) -> Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        let total = config.geometry.total_sets();
+        let sets = (0..total)
+            .map(|flat| {
+                let policy = make_policy(flat);
+                assert_eq!(
+                    policy.associativity(),
+                    config.geometry.associativity,
+                    "policy associativity must match the geometry"
+                );
+                CacheSet::new(policy)
+            })
+            .collect();
+        CacheLevel { config, sets }
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> &LevelConfig {
+        &self.config
+    }
+
+    /// The level's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.config.geometry
+    }
+
+    /// Converts an address to the block identifier stored in this level.
+    fn block_of(&self, addr: PhysAddr) -> Block {
+        Block::new(addr.line_base(self.config.geometry.line_size).0)
+    }
+
+    /// Accesses `addr`, returning the detailed per-set result together with
+    /// the physical address of the evicted line, if any.
+    pub fn access(&mut self, addr: PhysAddr) -> (AccessResult, Option<PhysAddr>) {
+        let block = self.block_of(addr);
+        let flat = self.config.geometry.flat_index(addr);
+        let result = self.sets[flat].access(block);
+        let evicted = match result {
+            AccessResult::Miss {
+                evicted: Some(b), ..
+            } => Some(PhysAddr(b.id())),
+            _ => None,
+        };
+        (result, evicted)
+    }
+
+    /// Whether `addr` currently resides in this level (non-mutating).
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let block = self.block_of(addr);
+        let flat = self.config.geometry.flat_index(addr);
+        self.sets[flat].contains(block)
+    }
+
+    /// Invalidates the line containing `addr`, returning whether it was
+    /// present.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> bool {
+        let block = self.block_of(addr);
+        let flat = self.config.geometry.flat_index(addr);
+        self.sets[flat].invalidate(block)
+    }
+
+    /// Invalidates the whole level.
+    pub fn invalidate_all(&mut self) {
+        self.sets.iter_mut().for_each(CacheSet::invalidate_all);
+    }
+
+    /// Invalidates the whole level and resets every set's policy state.
+    pub fn reset(&mut self) {
+        self.sets.iter_mut().for_each(CacheSet::reset);
+    }
+
+    /// Read-only access to the set with the given flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range.
+    pub fn set(&self, flat: usize) -> &CacheSet {
+        &self.sets[flat]
+    }
+
+    /// Mutable access to the set with the given flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range.
+    pub fn set_mut(&mut self, flat: usize) -> &mut CacheSet {
+        &mut self.sets[flat]
+    }
+
+    /// Total number of sets (across slices).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policies::PolicyKind;
+
+    fn small_level() -> CacheLevel {
+        let geometry = CacheGeometry::new(2, 4, 1, 64);
+        CacheLevel::new(
+            LevelConfig {
+                name: "L1".to_string(),
+                geometry,
+                inclusive: false,
+            },
+            |_| PolicyKind::Lru.build(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn addresses_in_different_sets_do_not_conflict() {
+        let mut level = small_level();
+        // 4 sets * 64 B lines: addresses 0 and 64 go to different sets.
+        level.access(PhysAddr(0));
+        level.access(PhysAddr(64));
+        assert!(level.contains(PhysAddr(0)));
+        assert!(level.contains(PhysAddr(64)));
+    }
+
+    #[test]
+    fn congruent_addresses_evict_each_other() {
+        let mut level = small_level();
+        // Set stride is 4 * 64 = 256 bytes; three congruent lines overflow the
+        // 2-way set.
+        level.access(PhysAddr(0));
+        level.access(PhysAddr(256));
+        let (result, evicted) = level.access(PhysAddr(512));
+        assert_eq!(result.outcome(), crate::HitMiss::Miss);
+        assert_eq!(evicted, Some(PhysAddr(0)));
+        assert!(!level.contains(PhysAddr(0)));
+    }
+
+    #[test]
+    fn sub_line_offsets_share_a_line() {
+        let mut level = small_level();
+        level.access(PhysAddr(128));
+        assert!(level.contains(PhysAddr(129)));
+        let (result, _) = level.access(PhysAddr(190));
+        assert_eq!(result.outcome(), crate::HitMiss::Hit);
+    }
+
+    #[test]
+    fn invalidate_all_empties_the_level() {
+        let mut level = small_level();
+        level.access(PhysAddr(0));
+        level.access(PhysAddr(64));
+        level.invalidate_all();
+        assert!(!level.contains(PhysAddr(0)));
+        assert!(!level.contains(PhysAddr(64)));
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must match")]
+    fn rejects_mismatched_policy() {
+        let geometry = CacheGeometry::new(2, 4, 1, 64);
+        CacheLevel::new(
+            LevelConfig {
+                name: "L1".to_string(),
+                geometry,
+                inclusive: false,
+            },
+            |_| PolicyKind::Lru.build(4).unwrap(),
+        );
+    }
+}

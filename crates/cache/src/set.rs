@@ -1,0 +1,365 @@
+//! A single set of an n-way set-associative cache (Definition 2.3, Figure 2).
+
+use std::fmt;
+
+use policies::ReplacementPolicy;
+
+/// A memory block identifier.
+///
+/// For the software-simulated caches of the §6 case study blocks are abstract
+/// identifiers; for the simulated hardware they are line-aligned physical
+/// addresses.  Either way the replacement policy never inspects the value —
+/// the data-independence symmetry Polca exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block(u64);
+
+impl Block {
+    /// Creates a block from a raw identifier.
+    pub fn new(id: u64) -> Self {
+        Block(id)
+    }
+
+    /// The raw identifier.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:x}", self.0)
+    }
+}
+
+/// Whether an access hit or missed the cache (the cache output alphabet of
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitMiss {
+    /// The block was present.
+    Hit,
+    /// The block was absent and has been inserted.
+    Miss,
+}
+
+impl fmt::Display for HitMiss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HitMiss::Hit => write!(f, "Hit"),
+            HitMiss::Miss => write!(f, "Miss"),
+        }
+    }
+}
+
+/// Detailed result of a [`CacheSet::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was found in the given line.
+    Hit {
+        /// Line that holds the block.
+        line: usize,
+    },
+    /// The block was inserted into the given line.
+    Miss {
+        /// Line that received the block.
+        line: usize,
+        /// Block that was evicted to make room, if the line was valid.
+        evicted: Option<Block>,
+    },
+}
+
+impl AccessResult {
+    /// Collapses the detailed result into the hit/miss output of the cache
+    /// LTS.
+    pub fn outcome(self) -> HitMiss {
+        match self {
+            AccessResult::Hit { .. } => HitMiss::Hit,
+            AccessResult::Miss { .. } => HitMiss::Miss,
+        }
+    }
+
+    /// The line involved in the access.
+    pub fn line(self) -> usize {
+        match self {
+            AccessResult::Hit { line } | AccessResult::Miss { line, .. } => line,
+        }
+    }
+}
+
+/// A single cache set: an array of lines plus the control state of its
+/// replacement policy.
+///
+/// This is the LTS of Definition 2.3.  The transition rules of Figure 2 are
+/// implemented by [`CacheSet::access`]; in addition the set supports
+/// invalidation (`clflush`-style), which the paper's model does not need but
+/// the simulated hardware does.
+#[derive(Debug, Clone)]
+pub struct CacheSet {
+    lines: Vec<Option<Block>>,
+    policy: Box<dyn ReplacementPolicy>,
+}
+
+impl CacheSet {
+    /// Creates an empty cache set governed by `policy`.
+    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        let assoc = policy.associativity();
+        CacheSet {
+            lines: vec![None; assoc],
+            policy,
+        }
+    }
+
+    /// Creates a cache set pre-filled with the given initial content `cc0`,
+    /// with block `i` stored in line `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of blocks differs from the policy's associativity
+    /// or if the blocks are not pairwise distinct.
+    pub fn filled(policy: Box<dyn ReplacementPolicy>, blocks: impl IntoIterator<Item = Block>) -> Self {
+        let assoc = policy.associativity();
+        let lines: Vec<Option<Block>> = blocks.into_iter().map(Some).collect();
+        assert_eq!(
+            lines.len(),
+            assoc,
+            "initial content must have exactly associativity-many blocks"
+        );
+        for i in 0..lines.len() {
+            for j in i + 1..lines.len() {
+                assert_ne!(lines[i], lines[j], "initial content must not repeat blocks");
+            }
+        }
+        CacheSet { lines, policy }
+    }
+
+    /// Associativity (number of lines) of this set.
+    pub fn associativity(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current content: `content()[i]` is the block stored in line `i`.
+    pub fn content(&self) -> &[Option<Block>] {
+        &self.lines
+    }
+
+    /// Returns the line holding `block`, if present.
+    pub fn find(&self, block: Block) -> Option<usize> {
+        self.lines.iter().position(|&l| l == Some(block))
+    }
+
+    /// Whether `block` is currently stored.
+    pub fn contains(&self, block: Block) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Number of valid (filled) lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Accesses `block`, applying the Hit/Miss rules of Figure 2.
+    ///
+    /// On a miss, an invalid line is filled first if one exists (the paper's
+    /// model always starts from a full cache, but after a flush the simulated
+    /// hardware has invalid lines); otherwise the replacement policy selects
+    /// the victim.
+    pub fn access(&mut self, block: Block) -> AccessResult {
+        if let Some(line) = self.find(block) {
+            self.policy.on_hit(line);
+            return AccessResult::Hit { line };
+        }
+        // Prefer filling an invalid line, mirroring real hardware behaviour.
+        if let Some(line) = self.lines.iter().position(|l| l.is_none()) {
+            self.lines[line] = Some(block);
+            self.policy.on_insert(line);
+            return AccessResult::Miss {
+                line,
+                evicted: None,
+            };
+        }
+        let line = self.policy.on_miss();
+        let evicted = self.lines[line];
+        self.lines[line] = Some(block);
+        AccessResult::Miss { line, evicted }
+    }
+
+    /// Invalidates `block` if present (models `clflush`), returning whether it
+    /// was present.
+    ///
+    /// The replacement policy is notified through
+    /// [`policies::ReplacementPolicy::on_invalidate`]; whether that clears any
+    /// per-line metadata is the policy's decision (most keep it, cf. the
+    /// reset-sequence column of Table 4).
+    pub fn invalidate(&mut self, block: Block) -> bool {
+        match self.find(block) {
+            Some(line) => {
+                self.lines[line] = None;
+                self.policy.on_invalidate(line);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every line (models `wbinvd` restricted to this set).
+    pub fn invalidate_all(&mut self) {
+        for line in 0..self.lines.len() {
+            if self.lines[line].is_some() {
+                self.lines[line] = None;
+                self.policy.on_invalidate(line);
+            }
+        }
+    }
+
+    /// Resets the policy control state *and* clears the content.
+    pub fn reset(&mut self) {
+        self.policy.reset();
+        self.invalidate_all();
+    }
+
+    /// The policy control state key (for tests and diagnostics).
+    pub fn policy_state_key(&self) -> Vec<u32> {
+        self.policy.state_key()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policies::PolicyKind;
+
+    fn lru_set(assoc: usize) -> CacheSet {
+        CacheSet::filled(
+            PolicyKind::Lru.build(assoc).unwrap(),
+            (0..assoc as u64).map(Block::new),
+        )
+    }
+
+    #[test]
+    fn figure_1_traces() {
+        // A B C A -> Hit Hit Miss Miss and A B C B -> Hit Hit Miss Hit on a
+        // 2-way set containing A, B (Figure 1b of the paper, LRU policy).
+        let run = |blocks: &[u64]| -> Vec<HitMiss> {
+            let mut set = lru_set(2);
+            blocks
+                .iter()
+                .map(|&b| set.access(Block::new(b)).outcome())
+                .collect()
+        };
+        assert_eq!(
+            run(&[0, 1, 2, 0]),
+            vec![HitMiss::Hit, HitMiss::Hit, HitMiss::Miss, HitMiss::Miss]
+        );
+        assert_eq!(
+            run(&[0, 1, 2, 1]),
+            vec![HitMiss::Hit, HitMiss::Hit, HitMiss::Miss, HitMiss::Hit]
+        );
+    }
+
+    #[test]
+    fn example_2_4_transitions() {
+        // From state <A, B> with LRU (Example 2.4): B hits, A hits — making B
+        // the least recently used — and C then misses, evicting B from line 1.
+        let mut set = lru_set(2);
+        assert_eq!(set.access(Block::new(1)).outcome(), HitMiss::Hit);
+        assert_eq!(set.access(Block::new(0)).outcome(), HitMiss::Hit);
+        let result = set.access(Block::new(2));
+        assert_eq!(
+            result,
+            AccessResult::Miss {
+                line: 1,
+                evicted: Some(Block::new(1))
+            }
+        );
+    }
+
+    #[test]
+    fn content_never_repeats_blocks() {
+        let mut set = lru_set(4);
+        for b in 0..100u64 {
+            set.access(Block::new(b % 7));
+            let mut present: Vec<_> = set.content().iter().filter_map(|l| *l).collect();
+            let before = present.len();
+            present.dedup();
+            assert_eq!(before, 4);
+            present.sort();
+            present.dedup();
+            assert_eq!(present.len(), 4);
+        }
+    }
+
+    #[test]
+    fn invalid_lines_are_filled_first() {
+        let policy = PolicyKind::Lru.build(4).unwrap();
+        let mut set = CacheSet::new(policy);
+        for b in 0..4u64 {
+            let result = set.access(Block::new(b));
+            assert_eq!(
+                result,
+                AccessResult::Miss {
+                    line: b as usize,
+                    evicted: None
+                }
+            );
+        }
+        assert_eq!(set.valid_lines(), 4);
+        // The next miss evicts the least recently used block, which is block 0.
+        let result = set.access(Block::new(99));
+        assert_eq!(
+            result,
+            AccessResult::Miss {
+                line: 0,
+                evicted: Some(Block::new(0))
+            }
+        );
+    }
+
+    #[test]
+    fn invalidate_removes_a_single_block() {
+        let mut set = lru_set(4);
+        assert!(set.invalidate(Block::new(2)));
+        assert!(!set.contains(Block::new(2)));
+        assert!(!set.invalidate(Block::new(2)));
+        assert_eq!(set.valid_lines(), 3);
+        // The invalidated line is refilled before any eviction happens.
+        let result = set.access(Block::new(42));
+        assert_eq!(
+            result,
+            AccessResult::Miss {
+                line: 2,
+                evicted: None
+            }
+        );
+    }
+
+    #[test]
+    fn reset_clears_content_and_policy() {
+        let mut set = lru_set(4);
+        set.access(Block::new(9));
+        set.reset();
+        assert_eq!(set.valid_lines(), 0);
+        assert_eq!(
+            set.policy_state_key(),
+            PolicyKind::Lru.build(4).unwrap().state_key()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not repeat")]
+    fn filled_rejects_duplicate_blocks() {
+        CacheSet::filled(
+            PolicyKind::Lru.build(2).unwrap(),
+            [Block::new(1), Block::new(1)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity-many")]
+    fn filled_rejects_wrong_arity() {
+        CacheSet::filled(PolicyKind::Lru.build(2).unwrap(), [Block::new(1)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the cache model (§2.3 invariants).
+
+use cache::{AccessResult, Block, CacheGeometry, CacheSet, HitMiss, PhysAddr};
+use policies::PolicyKind;
+use proptest::prelude::*;
+
+fn set_strategy() -> impl Strategy<Value = (PolicyKind, usize, Vec<u64>)> {
+    (2usize..=8)
+        .prop_flat_map(|assoc| {
+            let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
+                .into_iter()
+                .filter(|k| k.supports_associativity(assoc))
+                .collect();
+            (
+                proptest::sample::select(kinds),
+                Just(assoc),
+                proptest::collection::vec(0u64..16, 1..80),
+            )
+        })
+}
+
+proptest! {
+    /// Figure 2 invariants: the content never stores the same block twice,
+    /// a hit is reported iff the block was present, and the evicted block
+    /// (if any) really was present before the miss.
+    #[test]
+    fn cache_set_content_is_consistent((kind, assoc, accesses) in set_strategy()) {
+        let mut set = CacheSet::filled(
+            kind.build(assoc).unwrap(),
+            (100..100 + assoc as u64).map(Block::new),
+        );
+        for &raw in &accesses {
+            let block = Block::new(raw);
+            let was_present = set.contains(block);
+            let result = set.access(block);
+            match result {
+                AccessResult::Hit { .. } => prop_assert!(was_present),
+                AccessResult::Miss { evicted, .. } => {
+                    prop_assert!(!was_present);
+                    if let Some(victim) = evicted {
+                        prop_assert_ne!(victim, block);
+                    }
+                }
+            }
+            // The accessed block is now present, and the content holds no
+            // duplicates.
+            prop_assert!(set.contains(block));
+            let mut blocks: Vec<_> = set.content().iter().filter_map(|b| *b).collect();
+            let before = blocks.len();
+            blocks.sort();
+            blocks.dedup();
+            prop_assert_eq!(blocks.len(), before, "duplicate block in the set");
+        }
+    }
+
+    /// Accessing the same block twice in a row always hits the second time.
+    #[test]
+    fn immediate_reaccess_hits((kind, assoc, accesses) in set_strategy()) {
+        let mut set = CacheSet::filled(
+            kind.build(assoc).unwrap(),
+            (100..100 + assoc as u64).map(Block::new),
+        );
+        for &raw in &accesses {
+            set.access(Block::new(raw));
+            prop_assert_eq!(set.access(Block::new(raw)).outcome(), HitMiss::Hit);
+        }
+    }
+
+    /// Geometry: congruence is an equivalence relation decided by the flat
+    /// index, and line offsets never change the mapping.
+    #[test]
+    fn congruence_ignores_line_offsets(
+        addr in 0u64..(1 << 30),
+        offset in 0u64..64,
+        sets in prop_oneof![Just(64usize), Just(512), Just(1024), Just(2048)],
+        slices in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        let geometry = CacheGeometry::new(8, sets, slices, 64);
+        let base = PhysAddr(addr & !63);
+        prop_assert!(geometry.congruent(base, PhysAddr(base.0 + offset)));
+        prop_assert!(geometry.flat_index(base) < geometry.total_sets());
+    }
+
+    /// An address is congruent with itself shifted by a whole number of
+    /// "set strides" only if the slice hash also agrees — i.e. congruence
+    /// implies equal set index bits.
+    #[test]
+    fn congruent_addresses_share_set_index_bits(
+        addr in 0u64..(1 << 28),
+        stride_count in 1u64..64,
+    ) {
+        let geometry = CacheGeometry::new(16, 1024, 8, 64);
+        let base = PhysAddr(addr & !63);
+        let other = PhysAddr(base.0 + stride_count * 1024 * 64);
+        if geometry.congruent(base, other) {
+            prop_assert_eq!(geometry.set_index(base), geometry.set_index(other));
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The CacheQuery frontend: MBL expansion, batching, and the query-response
+//! cache.
+
+use std::collections::HashMap;
+
+use cache::{HitMiss, LevelId};
+use hardware::SimulatedCpu;
+use mbl::{expand_query, render_query, Query};
+
+use crate::backend::{Backend, BackendError, Target};
+use crate::reset::ResetSequence;
+
+/// Result of running one concrete query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The query that was executed (after MBL expansion).
+    pub rendered: String,
+    /// Hit/miss classification of each profiled access, in order.
+    pub outcomes: Vec<HitMiss>,
+    /// Whether all repetitions of the query agreed on every profiled access.
+    pub consistent: bool,
+    /// Whether the result was served from the response cache.
+    pub from_cache: bool,
+}
+
+/// Counters describing the work done by a [`CacheQuery`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Queries answered (including cached ones).
+    pub queries: u64,
+    /// Queries answered from the response cache.
+    pub cache_hits: u64,
+    /// Memory loads issued by the backend on behalf of queries.
+    pub backend_loads: u64,
+    /// Queries the backend actually executed.
+    pub backend_queries: u64,
+}
+
+/// The user-facing CacheQuery tool: target selection, MBL queries, response
+/// caching and statistics.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct CacheQuery {
+    backend: Backend,
+    cache: HashMap<(LevelId, usize, usize, String), (Vec<HitMiss>, bool)>,
+    caching_enabled: bool,
+    stats: QueryStats,
+}
+
+impl CacheQuery {
+    /// Creates the tool on top of a simulated CPU.
+    pub fn new(cpu: SimulatedCpu) -> Self {
+        CacheQuery {
+            backend: Backend::new(cpu),
+            cache: HashMap::new(),
+            caching_enabled: true,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Read-only access to the backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Mutable access to the backend (for advanced configuration).
+    pub fn backend_mut(&mut self) -> &mut Backend {
+        &mut self.backend
+    }
+
+    /// Selects the target cache set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend validation and address-selection errors.
+    pub fn set_target(&mut self, target: Target) -> Result<(), BackendError> {
+        self.backend.select_target(target)
+    }
+
+    /// The currently selected target.
+    pub fn target(&self) -> Option<Target> {
+        self.backend.target()
+    }
+
+    /// Associativity of the target level (after CAT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::NoTarget`] if no target is selected.
+    pub fn associativity(&self) -> Result<usize, BackendError> {
+        self.backend.associativity()
+    }
+
+    /// Sets the reset sequence used before every query.
+    pub fn set_reset_sequence(&mut self, reset: ResetSequence) {
+        self.backend.set_reset_sequence(reset);
+    }
+
+    /// Sets the number of repetitions per query.
+    pub fn set_repetitions(&mut self, repetitions: usize) {
+        self.backend.set_repetitions(repetitions);
+    }
+
+    /// Applies Intel CAT to the last-level cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BackendError::Cat`] and re-selection failures.
+    pub fn apply_cat(&mut self, ways: usize) -> Result<(), BackendError> {
+        self.cache.clear();
+        self.backend.apply_cat(ways)
+    }
+
+    /// Enables or disables the query-response cache (the LevelDB replacement
+    /// of §4.2).  Disabling it also clears it.
+    pub fn enable_cache(&mut self, enabled: bool) {
+        self.caching_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        stats.backend_loads = self.backend.query_loads();
+        stats.backend_queries = self.backend.queries_run();
+        stats
+    }
+
+    /// Expands an MBL expression for the target's associativity and runs every
+    /// resulting query.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/expansion errors and backend errors.
+    pub fn query(&mut self, mbl: &str) -> Result<Vec<QueryOutcome>, BackendError> {
+        let assoc = self.associativity()?;
+        let queries = expand_query(mbl, assoc)?;
+        queries.iter().map(|q| self.run_query(q)).collect()
+    }
+
+    /// Runs a single already-expanded query, consulting the response cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run_query(&mut self, query: &Query) -> Result<QueryOutcome, BackendError> {
+        let target = self.backend.target().ok_or(BackendError::NoTarget)?;
+        let rendered = render_query(query);
+        let key = (target.level, target.set, target.slice, rendered.clone());
+        self.stats.queries += 1;
+
+        if self.caching_enabled {
+            if let Some((outcomes, consistent)) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                return Ok(QueryOutcome {
+                    rendered,
+                    outcomes: outcomes.clone(),
+                    consistent: *consistent,
+                    from_cache: true,
+                });
+            }
+        }
+
+        let (outcomes, consistent) = self.backend.run(query)?;
+        if self.caching_enabled {
+            self.cache.insert(key, (outcomes.clone(), consistent));
+        }
+        Ok(QueryOutcome {
+            rendered,
+            outcomes,
+            consistent,
+            from_cache: false,
+        })
+    }
+
+    /// Runs a batch of MBL expressions (the batch mode of §4.2) and returns
+    /// the outcomes grouped per expression.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing expression and returns its error.
+    pub fn run_batch(&mut self, expressions: &[&str]) -> Result<Vec<Vec<QueryOutcome>>, BackendError> {
+        expressions.iter().map(|e| self.query(e)).collect()
+    }
+
+    /// Serializes the response cache to a plain-text format (one line per
+    /// entry).
+    pub fn export_cache(&self) -> String {
+        let mut lines: Vec<String> = self
+            .cache
+            .iter()
+            .map(|((level, set, slice, query), (outcomes, consistent))| {
+                let pattern: String = outcomes
+                    .iter()
+                    .map(|o| if *o == HitMiss::Hit { 'H' } else { 'M' })
+                    .collect();
+                format!("{level}|{set}|{slice}|{consistent}|{pattern}|{query}")
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Restores a response cache exported by [`CacheQuery::export_cache`].
+    /// Malformed lines are ignored.
+    pub fn import_cache(&mut self, text: &str) {
+        for line in text.lines() {
+            let parts: Vec<&str> = line.splitn(6, '|').collect();
+            if parts.len() != 6 {
+                continue;
+            }
+            let Some(level) = LevelId::parse(parts[0]) else {
+                continue;
+            };
+            let (Ok(set), Ok(slice)) = (parts[1].parse(), parts[2].parse()) else {
+                continue;
+            };
+            let Ok(consistent) = parts[3].parse::<bool>() else {
+                continue;
+            };
+            let outcomes: Vec<HitMiss> = parts[4]
+                .chars()
+                .map(|c| if c == 'H' { HitMiss::Hit } else { HitMiss::Miss })
+                .collect();
+            self.cache.insert(
+                (level, set, slice, parts[5].to_string()),
+                (outcomes, consistent),
+            );
+        }
+    }
+
+    /// Number of cached query responses.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::CpuModel;
+
+    fn tool() -> CacheQuery {
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5);
+        let mut cq = CacheQuery::new(cpu);
+        cq.set_target(Target::new(LevelId::L1, 4, 0)).unwrap();
+        cq
+    }
+
+    #[test]
+    fn figure_1c_style_query() {
+        let mut cq = tool();
+        // Figure 1c: the frontend maps abstract blocks to concrete loads and
+        // classifies latencies; A B C fill, then re-accessing A hits.
+        let results = cq.query("A B C A?").unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].outcomes, vec![HitMiss::Hit]);
+    }
+
+    #[test]
+    fn wildcard_queries_fan_out() {
+        let mut cq = tool();
+        let results = cq.query("@ X _?").unwrap();
+        assert_eq!(results.len(), 8);
+        let misses = results
+            .iter()
+            .filter(|r| r.outcomes[0] == HitMiss::Miss)
+            .count();
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn responses_are_cached() {
+        let mut cq = tool();
+        let first = cq.query("@ X A?").unwrap();
+        assert!(!first[0].from_cache);
+        let second = cq.query("@ X A?").unwrap();
+        assert!(second[0].from_cache);
+        assert_eq!(first[0].outcomes, second[0].outcomes);
+        let stats = cq.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_keys_include_the_target() {
+        let mut cq = tool();
+        cq.query("@ X A?").unwrap();
+        assert_eq!(cq.cache_len(), 1);
+        cq.set_target(Target::new(LevelId::L1, 5, 0)).unwrap();
+        let second = cq.query("@ X A?").unwrap();
+        assert!(!second[0].from_cache);
+        assert_eq!(cq.cache_len(), 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let mut cq = tool();
+        cq.enable_cache(false);
+        cq.query("A?").unwrap();
+        cq.query("A?").unwrap();
+        assert_eq!(cq.stats().cache_hits, 0);
+        assert_eq!(cq.cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_export_import_round_trips() {
+        let mut cq = tool();
+        cq.query("@ X A?").unwrap();
+        cq.query("@ X B?").unwrap();
+        let exported = cq.export_cache();
+
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5);
+        let mut fresh = CacheQuery::new(cpu);
+        fresh.set_target(Target::new(LevelId::L1, 4, 0)).unwrap();
+        fresh.import_cache(&exported);
+        assert_eq!(fresh.cache_len(), 2);
+        let res = fresh.query("@ X A?").unwrap();
+        assert!(res[0].from_cache);
+    }
+
+    #[test]
+    fn batch_mode_groups_results_per_expression() {
+        let mut cq = tool();
+        let batches = cq.run_batch(&["A?", "@ X _?"]).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 1);
+        assert_eq!(batches[1].len(), 8);
+    }
+
+    #[test]
+    fn queries_without_a_target_fail() {
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5);
+        let mut cq = CacheQuery::new(cpu);
+        assert!(matches!(cq.query("A?"), Err(BackendError::NoTarget)));
+    }
+}

@@ -1,0 +1,55 @@
+//! CacheQuery: an abstract interface to individual hardware cache sets.
+//!
+//! This crate reproduces the tool of §4 of the paper on top of the simulated
+//! silicon CPUs of the [`hardware`] crate.  Users pick a cache level and a
+//! cache set, write queries in [MemBlockLang](mbl) over *abstract* blocks
+//! (`A`, `B`, `C`, …), and receive the hit/miss outcome of every profiled
+//! access — without ever dealing with virtual-to-physical translation, slice
+//! hashing, congruent-address selection, interference from other cache
+//! levels, or measurement noise.
+//!
+//! The split mirrors the original tool:
+//!
+//! * [`Backend`] plays the role of the Linux kernel module: it owns the
+//!   (simulated) machine, quiesces it, allocates memory pools, selects
+//!   congruent addresses for the target set, generates the access plan
+//!   (including the higher-level eviction loads used for *cache filtering*),
+//!   executes it, measures latencies and classifies them against calibrated
+//!   thresholds.
+//! * [`CacheQuery`] is the frontend: it expands MBL expressions, batches
+//!   queries, caches responses (the LevelDB role in the original), and offers
+//!   the interactive/batch entry points used by the learning pipeline and the
+//!   examples.
+//! * [`leader`](detect_leader_sets) implements the thrashing-based leader-set
+//!   detection of Appendix B.
+//!
+//! # Example
+//!
+//! ```
+//! use cachequery::{CacheQuery, Target};
+//! use cache::LevelId;
+//! use hardware::{CpuModel, SimulatedCpu};
+//!
+//! let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 7);
+//! let mut cq = CacheQuery::new(cpu);
+//! cq.set_target(Target::new(LevelId::L1, 13, 0)).unwrap();
+//! // Fill the set, access one more block, and probe whether A survived.
+//! let results = cq.query("@ X A?").unwrap();
+//! assert_eq!(results.len(), 1);        // one expanded query
+//! assert_eq!(results[0].outcomes.len(), 1); // one profiled access
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod frontend;
+mod leader;
+mod repl;
+mod reset;
+
+pub use backend::{Backend, BackendError, Target};
+pub use frontend::{CacheQuery, QueryOutcome, QueryStats};
+pub use leader::{detect_leader_sets, LeaderClass, LeaderReport, LeaderSetInfo};
+pub use repl::{process_command, ReplSession};
+pub use reset::ResetSequence;

@@ -1,0 +1,232 @@
+//! A tiny command interpreter for interactive use of CacheQuery.
+//!
+//! The original frontend offers a REPL shell for executing queries and
+//! changing the target cache set on the fly (§4.2).  This module provides the
+//! same commands as a pure function from command lines to response strings,
+//! which the `mbl_repl` example wires to stdin/stdout and which is easy to
+//! test.
+
+use cache::{HitMiss, LevelId};
+
+use crate::backend::Target;
+use crate::frontend::CacheQuery;
+use crate::reset::ResetSequence;
+
+/// State of an interactive session: the tool plus the staged target
+/// selection.
+#[derive(Debug)]
+pub struct ReplSession {
+    /// The underlying CacheQuery instance.
+    pub tool: CacheQuery,
+    level: LevelId,
+    set: usize,
+    slice: usize,
+    target_dirty: bool,
+}
+
+impl ReplSession {
+    /// Creates a session targeting L1 set 0 by default.
+    pub fn new(tool: CacheQuery) -> Self {
+        ReplSession {
+            tool,
+            level: LevelId::L1,
+            set: 0,
+            slice: 0,
+            target_dirty: true,
+        }
+    }
+
+    fn ensure_target(&mut self) -> Result<(), String> {
+        if self.target_dirty {
+            self.tool
+                .set_target(Target::new(self.level, self.set, self.slice))
+                .map_err(|e| e.to_string())?;
+            self.target_dirty = false;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a hit/miss vector the way the paper prints traces
+/// (`Hit Hit Miss …`).
+fn render_outcomes(outcomes: &[HitMiss]) -> String {
+    if outcomes.is_empty() {
+        return "(no profiled accesses)".to_string();
+    }
+    outcomes
+        .iter()
+        .map(|o| o.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Processes one command line and returns the textual response.
+///
+/// Supported commands: `help`, `level <L1|L2|L3>`, `set <n>`, `slice <n>`,
+/// `assoc`, `reps <n>`, `reset <F+R | mbl sequence>`, `cat <ways>`, `stats`,
+/// `target`; anything else is treated as an MBL query.
+pub fn process_command(session: &mut ReplSession, line: &str) -> String {
+    let line = line.trim();
+    if line.is_empty() {
+        return String::new();
+    }
+    let mut parts = line.split_whitespace();
+    let command = parts.next().expect("non-empty line");
+    let rest: Vec<&str> = parts.collect();
+
+    match command {
+        "help" => "commands: level <L1|L2|L3>, set <n>, slice <n>, assoc, reps <n>, \
+                   reset <F+R|sequence>, cat <ways>, target, stats, or an MBL query"
+            .to_string(),
+        "level" => match rest.first().and_then(|s| LevelId::parse(s)) {
+            Some(level) => {
+                session.level = level;
+                session.target_dirty = true;
+                format!("target level set to {level}")
+            }
+            None => "usage: level <L1|L2|L3>".to_string(),
+        },
+        "set" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(set) => {
+                session.set = set;
+                session.target_dirty = true;
+                format!("target set index set to {set}")
+            }
+            None => "usage: set <index>".to_string(),
+        },
+        "slice" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(slice) => {
+                session.slice = slice;
+                session.target_dirty = true;
+                format!("target slice set to {slice}")
+            }
+            None => "usage: slice <index>".to_string(),
+        },
+        "assoc" => match session.ensure_target() {
+            Ok(()) => format!(
+                "associativity: {}",
+                session.tool.associativity().expect("target just selected")
+            ),
+            Err(e) => format!("error: {e}"),
+        },
+        "reps" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(reps) => {
+                session.tool.set_repetitions(reps);
+                format!("repetitions set to {}", session.tool.backend().repetitions())
+            }
+            None => "usage: reps <count>".to_string(),
+        },
+        "reset" => {
+            if rest.is_empty() {
+                return "usage: reset <F+R | MBL sequence>".to_string();
+            }
+            let spec = rest.join(" ");
+            let reset = if spec.eq_ignore_ascii_case("f+r") {
+                ResetSequence::FlushRefill
+            } else {
+                ResetSequence::Custom(spec.clone())
+            };
+            session.tool.set_reset_sequence(reset);
+            format!("reset sequence set to {spec}")
+        }
+        "cat" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(ways) => match session.tool.apply_cat(ways) {
+                Ok(()) => {
+                    session.target_dirty = true;
+                    format!("last-level cache restricted to {ways} ways")
+                }
+                Err(e) => format!("error: {e}"),
+            },
+            None => "usage: cat <ways>".to_string(),
+        },
+        "target" => format!(
+            "target: {} set {} slice {}",
+            session.level, session.set, session.slice
+        ),
+        "stats" => {
+            let stats = session.tool.stats();
+            format!(
+                "queries: {} (cache hits: {}), backend queries: {}, loads: {}",
+                stats.queries, stats.cache_hits, stats.backend_queries, stats.backend_loads
+            )
+        }
+        _ => {
+            // Everything else is an MBL query.
+            if let Err(e) = session.ensure_target() {
+                return format!("error: {e}");
+            }
+            match session.tool.query(line) {
+                Ok(results) => results
+                    .iter()
+                    .map(|r| format!("{} -> {}", r.rendered, render_outcomes(&r.outcomes)))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                Err(e) => format!("error: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hardware::{CpuModel, SimulatedCpu};
+
+    fn session() -> ReplSession {
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 3);
+        ReplSession::new(CacheQuery::new(cpu))
+    }
+
+    #[test]
+    fn configures_target_and_runs_queries() {
+        let mut s = session();
+        assert!(process_command(&mut s, "level L1").contains("L1"));
+        assert!(process_command(&mut s, "set 12").contains("12"));
+        assert!(process_command(&mut s, "assoc").contains('8'));
+        let out = process_command(&mut s, "A B C A?");
+        assert!(out.contains("Hit"), "unexpected output: {out}");
+    }
+
+    #[test]
+    fn figure_1_trace_via_the_repl() {
+        let mut s = session();
+        process_command(&mut s, "level L2");
+        process_command(&mut s, "set 63");
+        // A B C A on an empty 4-way set: the first three accesses are not
+        // profiled, the re-access of A hits.
+        let out = process_command(&mut s, "A B C A?");
+        assert!(out.ends_with("Hit"), "unexpected output: {out}");
+    }
+
+    #[test]
+    fn unknown_levels_and_malformed_numbers_are_reported() {
+        let mut s = session();
+        assert!(process_command(&mut s, "level L9").contains("usage"));
+        assert!(process_command(&mut s, "set x").contains("usage"));
+        assert!(process_command(&mut s, "reps").contains("usage"));
+    }
+
+    #[test]
+    fn stats_and_help_are_available() {
+        let mut s = session();
+        assert!(process_command(&mut s, "help").contains("MBL"));
+        process_command(&mut s, "A?");
+        assert!(process_command(&mut s, "stats").contains("queries: 1"));
+    }
+
+    #[test]
+    fn reset_and_cat_commands() {
+        let mut s = session();
+        assert!(process_command(&mut s, "reset D C B A @").contains("D C B A @"));
+        assert!(process_command(&mut s, "cat 4").contains("4 ways"));
+        process_command(&mut s, "level L3");
+        assert!(process_command(&mut s, "assoc").contains('4'));
+    }
+
+    #[test]
+    fn bad_mbl_queries_report_errors() {
+        let mut s = session();
+        let out = process_command(&mut s, "A (");
+        assert!(out.contains("error"), "unexpected output: {out}");
+    }
+}

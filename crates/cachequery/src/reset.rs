@@ -1,0 +1,95 @@
+//! Reset sequences: bringing a cache set into a fixed initial state before
+//! every query.
+//!
+//! Polca's membership oracle assumes that every trace starts from the same
+//! cache state (§7.1).  On most of the modelled caches *Flush+Refill* — flush
+//! the set's content and access associativity-many fresh blocks — does the
+//! job; the paper had to identify a custom access sequence for the Skylake /
+//! Kaby Lake L2 (`D C B A @` in Table 4), which is also supported here.
+
+use std::fmt;
+
+use mbl::{expand_query, ExpandError, Query};
+
+/// How the target cache set is brought into its fixed initial state before a
+/// query is executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResetSequence {
+    /// Flush the set's known content (`clflush`) and refill it with the `@`
+    /// macro (associativity-many blocks in order).  Written "F+R" in Table 4.
+    FlushRefill,
+    /// A custom MBL expression executed after the flush instead of the plain
+    /// `@` refill, e.g. `"D C B A @"` for the Skylake L2.
+    Custom(String),
+}
+
+impl ResetSequence {
+    /// The access pattern (an expanded MBL query) that performs the refill
+    /// part of the reset for the given associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a custom sequence fails to parse or expands to
+    /// anything other than exactly one query.
+    pub fn refill_query(&self, associativity: usize) -> Result<Query, ExpandError> {
+        let text = match self {
+            ResetSequence::FlushRefill => "@",
+            ResetSequence::Custom(s) => s.as_str(),
+        };
+        let mut queries = expand_query(text, associativity)?;
+        if queries.len() != 1 {
+            return Err(ExpandError::TooManyQueries { limit: 1 });
+        }
+        Ok(queries.pop().expect("length checked above"))
+    }
+}
+
+impl fmt::Display for ResetSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResetSequence::FlushRefill => write!(f, "F+R"),
+            ResetSequence::Custom(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Default for ResetSequence {
+    fn default() -> Self {
+        ResetSequence::FlushRefill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbl::render_query;
+
+    #[test]
+    fn flush_refill_uses_the_expansion_macro() {
+        let q = ResetSequence::FlushRefill.refill_query(4).unwrap();
+        assert_eq!(render_query(&q), "A B C D");
+    }
+
+    #[test]
+    fn skylake_l2_reset_matches_table_4() {
+        let q = ResetSequence::Custom("D C B A @".to_string())
+            .refill_query(4)
+            .unwrap();
+        assert_eq!(render_query(&q), "D C B A A B C D");
+    }
+
+    #[test]
+    fn ambiguous_custom_sequences_are_rejected() {
+        let r = ResetSequence::Custom("_".to_string());
+        assert!(r.refill_query(4).is_err());
+    }
+
+    #[test]
+    fn display_matches_table_4_notation() {
+        assert_eq!(ResetSequence::FlushRefill.to_string(), "F+R");
+        assert_eq!(
+            ResetSequence::Custom("D C B A @".into()).to_string(),
+            "D C B A @"
+        );
+    }
+}

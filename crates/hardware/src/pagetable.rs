@@ -1,0 +1,143 @@
+//! Virtual-to-physical address translation of the simulated machine.
+//!
+//! One of the problems CacheQuery solves on real hardware is that cache-set
+//! congruence is determined by *physical* addresses, while software deals in
+//! virtual addresses (§4.3 "Set Mapping").  To make that problem exist — and
+//! therefore make the address-selection logic of the backend meaningful — the
+//! simulated CPU maps virtual pages to pseudo-randomly chosen physical page
+//! frames, exactly like a buddy allocator handing out scattered frames would.
+
+use std::collections::HashMap;
+
+use cache::PhysAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of a page in bytes (4 KiB, as on the modelled machines).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Number of physical page frames the simulated machine exposes (1 GiB of
+/// physical memory).
+const PHYSICAL_FRAMES: u64 = (1 << 30) / PAGE_SIZE;
+
+/// A demand-populated page table with a pseudo-random frame allocator.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    mapping: HashMap<u64, u64>,
+    used_frames: HashMap<u64, u64>,
+    rng: StdRng,
+}
+
+impl PageTable {
+    /// Creates a page table whose frame allocator is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        PageTable {
+            mapping: HashMap::new(),
+            used_frames: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Translates a virtual address, allocating a physical frame for its page
+    /// on first touch.
+    pub fn translate(&mut self, virt: u64) -> PhysAddr {
+        let vpn = virt / PAGE_SIZE;
+        let offset = virt % PAGE_SIZE;
+        let frame = match self.mapping.get(&vpn) {
+            Some(&f) => f,
+            None => {
+                let f = self.allocate_frame(vpn);
+                self.mapping.insert(vpn, f);
+                f
+            }
+        };
+        PhysAddr(frame * PAGE_SIZE + offset)
+    }
+
+    /// Translates without allocating; returns `None` for unmapped pages.
+    pub fn translate_existing(&self, virt: u64) -> Option<PhysAddr> {
+        let vpn = virt / PAGE_SIZE;
+        let offset = virt % PAGE_SIZE;
+        self.mapping
+            .get(&vpn)
+            .map(|&frame| PhysAddr(frame * PAGE_SIZE + offset))
+    }
+
+    /// Number of pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.mapping.len()
+    }
+
+    fn allocate_frame(&mut self, vpn: u64) -> u64 {
+        // Pick a random unused frame; physical memory is much larger than any
+        // pool the backend allocates, so a few retries always succeed.
+        loop {
+            let frame = self.rng.gen_range(0..PHYSICAL_FRAMES);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.used_frames.entry(frame) {
+                e.insert(vpn);
+                return frame;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_stable() {
+        let mut pt = PageTable::new(1);
+        let a = pt.translate(0x1234_5678);
+        let b = pt.translate(0x1234_5678);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offsets_within_a_page_are_preserved() {
+        let mut pt = PageTable::new(1);
+        let base = pt.translate(0x4000);
+        let off = pt.translate(0x4000 + 123);
+        assert_eq!(off.0 - base.0, 123);
+    }
+
+    #[test]
+    fn distinct_pages_get_distinct_frames() {
+        let mut pt = PageTable::new(7);
+        let mut frames = std::collections::HashSet::new();
+        for page in 0..512u64 {
+            let pa = pt.translate(page * PAGE_SIZE);
+            assert!(frames.insert(pa.0 / PAGE_SIZE), "frame reused");
+        }
+    }
+
+    #[test]
+    fn mapping_is_not_identity() {
+        // The whole point of the page table is that virtual contiguity does
+        // not imply physical contiguity.
+        let mut pt = PageTable::new(3);
+        let contiguous = (0..64u64)
+            .map(|p| pt.translate(p * PAGE_SIZE).0)
+            .collect::<Vec<_>>();
+        let sorted_and_contiguous = contiguous
+            .windows(2)
+            .all(|w| w[1] == w[0] + PAGE_SIZE);
+        assert!(!sorted_and_contiguous);
+    }
+
+    #[test]
+    fn same_seed_same_mapping() {
+        let mut a = PageTable::new(9);
+        let mut b = PageTable::new(9);
+        for page in 0..32u64 {
+            assert_eq!(a.translate(page * PAGE_SIZE), b.translate(page * PAGE_SIZE));
+        }
+    }
+
+    #[test]
+    fn translate_existing_does_not_allocate() {
+        let pt = PageTable::new(1);
+        assert_eq!(pt.translate_existing(0x9999), None);
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Latency model of the simulated CPUs.
+
+use cache::LevelId;
+use rand::Rng;
+
+/// Configuration of the measurement noise added on top of the base latencies.
+///
+/// CacheQuery mitigates noise by disabling hardware features and repeating
+/// measurements (§4.3); the simulated CPU reproduces the sources so that the
+/// same mitigations are exercised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Standard deviation (in cycles) of the per-measurement jitter.
+    pub jitter_stddev: f64,
+    /// Probability of a large outlier (e.g. an interrupt firing during the
+    /// measurement).
+    pub outlier_probability: f64,
+    /// Magnitude (in cycles) added by an outlier.
+    pub outlier_cycles: u64,
+}
+
+impl NoiseConfig {
+    /// Noise profile of a quiesced machine (interrupts are rare but cannot be
+    /// ruled out entirely, matching the repeated-measurement design of the
+    /// CacheQuery backend).
+    pub fn quiet() -> Self {
+        NoiseConfig {
+            jitter_stddev: 1.5,
+            outlier_probability: 0.0005,
+            outlier_cycles: 400,
+        }
+    }
+
+    /// Noise profile of an unquiesced machine (frequency scaling and
+    /// background activity add substantial jitter).
+    pub fn noisy() -> Self {
+        NoiseConfig {
+            jitter_stddev: 8.0,
+            outlier_probability: 0.01,
+            outlier_cycles: 600,
+        }
+    }
+
+    /// A completely noiseless profile, useful for unit tests.
+    pub fn none() -> Self {
+        NoiseConfig {
+            jitter_stddev: 0.0,
+            outlier_probability: 0.0,
+            outlier_cycles: 0,
+        }
+    }
+}
+
+/// Per-level base latencies of the simulated CPUs, in core cycles.
+///
+/// The values are representative of the modelled microarchitectures (L1 ≈ 4
+/// cycles, L2 ≈ 12, L3 ≈ 40, DRAM ≈ 200) — the absolute numbers are not
+/// important, only that the hit and miss distributions of the *profiled*
+/// level are well separated, which is what CacheQuery's threshold calibration
+/// relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingModel {
+    /// L1 hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// L3 hit latency.
+    pub l3_hit: u64,
+    /// Main-memory access latency.
+    pub memory: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            l1_hit: 4,
+            l2_hit: 12,
+            l3_hit: 40,
+            memory: 200,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Base latency of an access served by `level` (`None` = main memory).
+    pub fn base_latency(&self, level: Option<LevelId>) -> u64 {
+        match level {
+            Some(LevelId::L1) => self.l1_hit,
+            Some(LevelId::L2) => self.l2_hit,
+            Some(LevelId::L3) => self.l3_hit,
+            None => self.memory,
+        }
+    }
+
+    /// Samples a measured latency for an access served by `level`, adding the
+    /// configured noise.
+    pub fn sample(&self, level: Option<LevelId>, noise: &NoiseConfig, rng: &mut impl Rng) -> u64 {
+        let base = self.base_latency(level) as f64;
+        let jitter = if noise.jitter_stddev > 0.0 {
+            // Sum of uniforms approximates a Gaussian well enough here and
+            // avoids pulling in a distributions crate.
+            let u: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum();
+            u * noise.jitter_stddev
+        } else {
+            0.0
+        };
+        let outlier = if noise.outlier_probability > 0.0 && rng.gen::<f64>() < noise.outlier_probability
+        {
+            noise.outlier_cycles
+        } else {
+            0
+        };
+        (base + jitter).max(1.0).round() as u64 + outlier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn base_latencies_are_ordered() {
+        let t = TimingModel::default();
+        assert!(t.l1_hit < t.l2_hit);
+        assert!(t.l2_hit < t.l3_hit);
+        assert!(t.l3_hit < t.memory);
+    }
+
+    #[test]
+    fn noiseless_sampling_returns_the_base() {
+        let t = TimingModel::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(t.sample(Some(LevelId::L1), &NoiseConfig::none(), &mut rng), 4);
+        assert_eq!(t.sample(None, &NoiseConfig::none(), &mut rng), 200);
+    }
+
+    #[test]
+    fn quiet_noise_keeps_hit_and_miss_separable_at_l1() {
+        let t = TimingModel::default();
+        let noise = NoiseConfig::quiet();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut max_hit = 0;
+        let mut min_miss = u64::MAX;
+        for _ in 0..1000 {
+            let hit = t.sample(Some(LevelId::L1), &noise, &mut rng);
+            let miss = t.sample(Some(LevelId::L2), &noise, &mut rng);
+            // Ignore outliers: the backend's repetition logic removes them.
+            if hit < 100 {
+                max_hit = max_hit.max(hit);
+            }
+            if miss < 100 {
+                min_miss = min_miss.min(miss);
+            }
+        }
+        assert!(max_hit < min_miss, "hit {max_hit} overlaps miss {min_miss}");
+    }
+
+    #[test]
+    fn outliers_occur_with_noisy_profile() {
+        let t = TimingModel::default();
+        let noise = NoiseConfig::noisy();
+        let mut rng = StdRng::seed_from_u64(2);
+        let outliers = (0..10_000)
+            .filter(|_| t.sample(Some(LevelId::L1), &noise, &mut rng) > 300)
+            .count();
+        assert!(outliers > 10, "expected some outliers, got {outliers}");
+    }
+}

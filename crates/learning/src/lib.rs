@@ -1,0 +1,65 @@
+//! Active learning of Mealy machines: the LearnLib replacement.
+//!
+//! The paper (§3) plugs its Polca membership oracle into LearnLib's
+//! implementation of Angluin-style active learning for Mealy machines and
+//! uses the Wp-method for conformance-testing-based equivalence queries.
+//! This crate provides the same ingredients:
+//!
+//! * [`MembershipOracle`] / [`EquivalenceOracle`] — the teacher interface of
+//!   the student–teacher paradigm (§3.1);
+//! * [`learn_mealy`] — L* for Mealy machines with an observation table and
+//!   Rivest–Schapire counterexample processing;
+//! * [`WpMethodOracle`] / [`WMethodOracle`] — `(|H| + k)`-complete conformance
+//!   test suites (§3.3, Theorem 3.3) used as the equivalence oracle;
+//! * [`RandomWalkOracle`] — the cheaper randomized alternative mentioned in
+//!   §6 as a possible optimization;
+//! * [`CachedOracle`] — a membership-query cache (prefix-closed), mirroring
+//!   LearnLib's query cache;
+//! * [`MealyOracle`] — a simulated teacher backed by a known machine, used in
+//!   tests and for the ablation benchmarks.
+//!
+//! # Example: learning a toy machine
+//!
+//! ```
+//! use automata::MealyBuilder;
+//! use learning::{learn_mealy, LearnOptions, MealyOracle, WpMethodOracle};
+//!
+//! // Build the 2-way LRU policy machine of Example 2.2 and learn it back.
+//! let mut b = MealyBuilder::new(vec!["Ln(0)", "Ln(1)", "Evct"]);
+//! let cs0 = b.add_state();
+//! let cs1 = b.add_state();
+//! b.add_transition(cs0, "Ln(0)", cs1, "⊥");
+//! b.add_transition(cs0, "Ln(1)", cs0, "⊥");
+//! b.add_transition(cs0, "Evct", cs1, "0");
+//! b.add_transition(cs1, "Ln(0)", cs1, "⊥");
+//! b.add_transition(cs1, "Ln(1)", cs0, "⊥");
+//! b.add_transition(cs1, "Evct", cs0, "1");
+//! let target = b.build(cs0).unwrap();
+//!
+//! let mut teacher = MealyOracle::new(target.clone());
+//! let mut equivalence = WpMethodOracle::new(1);
+//! let (learned, stats) = learn_mealy(
+//!     target.inputs().to_vec(),
+//!     &mut teacher,
+//!     &mut equivalence,
+//!     LearnOptions::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(learned.num_states(), 2);
+//! assert!(automata::equivalent(&learned, &target));
+//! assert!(stats.membership_queries > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod equivalence;
+mod lstar;
+mod oracle;
+mod table;
+mod wmethod;
+
+pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
+pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnStats};
+pub use oracle::{CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, OracleError};
+pub use wmethod::{characterization_set, state_cover, transition_cover, w_method_suite, wp_method_suite};

@@ -1,0 +1,344 @@
+//! The main L* learning loop for Mealy machines.
+
+use std::fmt;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+use automata::Mealy;
+
+use crate::oracle::{EquivalenceOracle, MembershipOracle, OracleError};
+use crate::table::ObservationTable;
+
+/// Options controlling the learning loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnOptions {
+    /// Abort if the hypothesis grows beyond this many states.
+    pub max_states: usize,
+    /// Abort if learning exceeds this wall-clock budget (`None` = unlimited).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for LearnOptions {
+    fn default() -> Self {
+        LearnOptions {
+            max_states: 1 << 20,
+            time_budget: None,
+        }
+    }
+}
+
+/// Statistics of one learning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LearnStats {
+    /// Membership queries issued (as counted by the membership oracle, i.e.
+    /// after any caching the caller wrapped around it).
+    pub membership_queries: u64,
+    /// Equivalence queries issued.
+    pub equivalence_queries: u64,
+    /// Counterexamples processed.
+    pub counterexamples: u64,
+    /// Number of states of the final hypothesis.
+    pub states: usize,
+    /// Number of distinguishing suffixes in the final observation table.
+    pub suffixes: usize,
+    /// Wall-clock learning time.
+    pub duration: Duration,
+}
+
+/// Errors raised by [`learn_mealy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// The membership or equivalence oracle failed (hardware error, detected
+    /// nondeterminism, …).
+    Oracle(OracleError),
+    /// The hypothesis exceeded [`LearnOptions::max_states`].
+    StateLimitExceeded(usize),
+    /// The time budget was exhausted before learning converged.
+    TimeBudgetExceeded,
+    /// A counterexample returned by the equivalence oracle was not actually a
+    /// counterexample (this indicates a non-deterministic system under
+    /// learning, cf. the reset-sequence discussion in §7.1).
+    SpuriousCounterexample,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::Oracle(e) => write!(f, "{e}"),
+            LearnError::StateLimitExceeded(n) => {
+                write!(f, "hypothesis exceeded the state limit of {n}")
+            }
+            LearnError::TimeBudgetExceeded => write!(f, "learning time budget exhausted"),
+            LearnError::SpuriousCounterexample => write!(
+                f,
+                "equivalence oracle returned a spurious counterexample; \
+                 the system under learning is probably non-deterministic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+impl From<OracleError> for LearnError {
+    fn from(e: OracleError) -> Self {
+        LearnError::Oracle(e)
+    }
+}
+
+/// Learns a deterministic Mealy machine over `inputs` from a membership and an
+/// equivalence oracle (Angluin's L* adapted to Mealy machines, with
+/// Rivest–Schapire counterexample processing).
+///
+/// # Errors
+///
+/// See [`LearnError`].
+pub fn learn_mealy<I, O>(
+    inputs: Vec<I>,
+    membership: &mut dyn MembershipOracle<I, O>,
+    equivalence: &mut dyn EquivalenceOracle<I, O>,
+    options: LearnOptions,
+) -> Result<(Mealy<I, O>, LearnStats), LearnError>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let start = Instant::now();
+    let mut stats = LearnStats::default();
+    let mut table = ObservationTable::new(inputs);
+    table.fill(membership)?;
+
+    loop {
+        if let Some(budget) = options.time_budget {
+            if start.elapsed() > budget {
+                return Err(LearnError::TimeBudgetExceeded);
+            }
+        }
+
+        // Close the table.
+        while let Some(witness) = table.find_unclosed() {
+            table.promote(witness);
+            if table.short_prefixes().len() > options.max_states {
+                return Err(LearnError::StateLimitExceeded(options.max_states));
+            }
+            table.fill(membership)?;
+        }
+
+        let (hypothesis, access) = table.hypothesis();
+
+        // Ask for a counterexample.
+        stats.equivalence_queries += 1;
+        let Some(counterexample) =
+            equivalence.find_counterexample(membership, &hypothesis)?
+        else {
+            stats.membership_queries = membership.queries_answered();
+            stats.states = hypothesis.num_states();
+            stats.suffixes = table.suffixes().len();
+            stats.duration = start.elapsed();
+            return Ok((hypothesis, stats));
+        };
+        stats.counterexamples += 1;
+
+        // Process the counterexample (Rivest–Schapire): find a distinguishing
+        // suffix by binary search and add it to the table.  The same
+        // counterexample may need to be processed several times before it
+        // stops being one.
+        let mut current_hypothesis = hypothesis;
+        let mut current_access = access;
+        loop {
+            let actual = membership.query(&counterexample)?;
+            let predicted = current_hypothesis.output_word(counterexample.iter());
+            if actual == predicted {
+                break;
+            }
+            let suffix = find_distinguishing_suffix(
+                membership,
+                &current_hypothesis,
+                &current_access,
+                &counterexample,
+            )?;
+            if !table.add_suffix(suffix) {
+                // The suffix was already present: adding it cannot refine the
+                // table, so the system is answering inconsistently.
+                return Err(LearnError::SpuriousCounterexample);
+            }
+            table.fill(membership)?;
+            while let Some(witness) = table.find_unclosed() {
+                table.promote(witness);
+                if table.short_prefixes().len() > options.max_states {
+                    return Err(LearnError::StateLimitExceeded(options.max_states));
+                }
+                table.fill(membership)?;
+            }
+            let (h, a) = table.hypothesis();
+            current_hypothesis = h;
+            current_access = a;
+        }
+    }
+}
+
+/// Rivest–Schapire analysis: finds a suffix of the counterexample that
+/// distinguishes two rows the current hypothesis merges.
+///
+/// For position `i`, the check word is `access(state after w[..i]) · w[i..]`;
+/// its final output matches the hypothesis for `i = |w|−1` and mismatches for
+/// `i = 0`, so a binary search locates an index where the answer flips, and
+/// `w[i+1..]` is the distinguishing suffix.
+fn find_distinguishing_suffix<I, O>(
+    membership: &mut dyn MembershipOracle<I, O>,
+    hypothesis: &Mealy<I, O>,
+    access: &[Vec<I>],
+    counterexample: &[I],
+) -> Result<Vec<I>, OracleError>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let expected = hypothesis
+        .output_word(counterexample.iter())
+        .last()
+        .cloned()
+        .expect("counterexamples are non-empty");
+
+    let check = |membership: &mut dyn MembershipOracle<I, O>, i: usize| -> Result<bool, OracleError> {
+        // Word: access string of the state reached after w[..i], followed by
+        // the rest of the counterexample.
+        let state = hypothesis.delta(hypothesis.initial(), counterexample[..i].iter());
+        let mut word = access[state.index()].clone();
+        word.extend(counterexample[i..].iter().cloned());
+        if word.is_empty() {
+            return Ok(true);
+        }
+        let out = membership.last_output(&word)?;
+        Ok(out == expected)
+    };
+
+    // Invariant: check(lo) = false, check(hi) = true.
+    let mut lo = 0usize;
+    let mut hi = counterexample.len() - 1;
+    if check(membership, hi)? {
+        // Binary search between lo and hi.
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if check(membership, mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    } else {
+        // The flip happens at the very last position: the distinguishing
+        // suffix is the last symbol alone.
+        lo = counterexample.len() - 1;
+    }
+    let suffix = counterexample[lo + 1..].to_vec();
+    if suffix.is_empty() {
+        // Fall back to the full last symbol (can only happen for length-1
+        // counterexamples, where the single symbol must already distinguish).
+        Ok(vec![counterexample[counterexample.len() - 1].clone()])
+    } else {
+        Ok(suffix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
+    use crate::oracle::{CachedOracle, MealyOracle};
+    use automata::{equivalent, MealyBuilder};
+
+    fn counter(n: usize) -> Mealy<&'static str, bool> {
+        let mut b = MealyBuilder::new(vec!["t", "r"]);
+        let states: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+        for i in 0..n {
+            b.add_transition(states[i], "t", states[(i + 1) % n], i + 1 == n);
+            b.add_transition(states[i], "r", states[0], false);
+        }
+        b.build(states[0]).unwrap()
+    }
+
+    fn learn(target: &Mealy<&'static str, bool>, depth: usize) -> (Mealy<&'static str, bool>, LearnStats) {
+        let mut teacher = CachedOracle::new(MealyOracle::new(target.clone()));
+        let mut eq = WpMethodOracle::new(depth);
+        learn_mealy(
+            target.inputs().to_vec(),
+            &mut teacher,
+            &mut eq,
+            LearnOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_small_counters_exactly() {
+        // The wrap-only counter needs a conformance depth of n - 1 to be
+        // distinguishable from smaller hypotheses (Theorem 3.3), so the test
+        // passes the counter size as the suite depth.
+        for n in [1, 2, 3, 5, 6] {
+            let target = counter(n);
+            let (learned, stats) = learn(&target, n);
+            assert!(equivalent(&learned, &target), "counter({n}) mislearned");
+            assert_eq!(learned.num_states(), n);
+            assert_eq!(stats.states, n);
+            assert!(stats.membership_queries > 0);
+        }
+    }
+
+    #[test]
+    fn learns_with_the_w_method_too() {
+        let target = counter(4);
+        let mut teacher = MealyOracle::new(target.clone());
+        let mut eq = WMethodOracle::new(4);
+        let (learned, _) = learn_mealy(
+            target.inputs().to_vec(),
+            &mut teacher,
+            &mut eq,
+            LearnOptions::default(),
+        )
+        .unwrap();
+        assert!(equivalent(&learned, &target));
+    }
+
+    #[test]
+    fn random_walk_oracle_learns_with_high_probability() {
+        let target = counter(5);
+        let mut teacher = MealyOracle::new(target.clone());
+        let mut eq = RandomWalkOracle::new(2000, 20, 7);
+        let (learned, _) = learn_mealy(
+            target.inputs().to_vec(),
+            &mut teacher,
+            &mut eq,
+            LearnOptions::default(),
+        )
+        .unwrap();
+        assert!(equivalent(&learned, &target));
+    }
+
+    #[test]
+    fn state_limit_is_enforced() {
+        let target = counter(10);
+        let mut teacher = MealyOracle::new(target.clone());
+        let mut eq = WpMethodOracle::new(10);
+        let result = learn_mealy(
+            target.inputs().to_vec(),
+            &mut teacher,
+            &mut eq,
+            LearnOptions {
+                max_states: 4,
+                time_budget: None,
+            },
+        );
+        assert!(matches!(result, Err(LearnError::StateLimitExceeded(4))));
+    }
+
+    #[test]
+    fn stats_reflect_the_run() {
+        let target = counter(6);
+        let (_, stats) = learn(&target, 6);
+        assert!(stats.counterexamples >= 1);
+        assert!(stats.equivalence_queries >= stats.counterexamples);
+        assert!(stats.suffixes >= 2);
+        assert!(stats.duration > Duration::ZERO);
+    }
+}

@@ -1,0 +1,253 @@
+//! Teacher-side oracle interfaces and generic oracle adapters.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use automata::Mealy;
+
+/// Error raised by an oracle (e.g. a hardware backend failure or detected
+/// nondeterminism in the system under learning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl OracleError {
+    /// Creates an error from any displayable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        OracleError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oracle error: {}", self.message)
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A membership oracle: answers output words for input words (§3.1, query
+/// type 1).
+pub trait MembershipOracle<I, O> {
+    /// The output word produced by the system under learning on `word` (one
+    /// output per input symbol).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an [`OracleError`] when the underlying system
+    /// fails or behaves non-deterministically.
+    fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError>;
+
+    /// Convenience: the output of the last symbol of `word`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MembershipOracle::query`] errors; also fails on the empty
+    /// word.
+    fn last_output(&mut self, word: &[I]) -> Result<O, OracleError> {
+        self.query(word)?
+            .pop()
+            .ok_or_else(|| OracleError::new("last_output called on the empty word"))
+    }
+
+    /// Number of queries answered so far (for statistics; default 0 if the
+    /// oracle does not count).
+    fn queries_answered(&self) -> u64 {
+        0
+    }
+}
+
+/// An equivalence oracle: searches for a counterexample distinguishing the
+/// hypothesis from the system under learning (§3.1, query type 2).
+pub trait EquivalenceOracle<I, O> {
+    /// Returns a counterexample input word on which the system and the
+    /// hypothesis disagree, or `None` if none was found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates membership-oracle errors.
+    fn find_counterexample(
+        &mut self,
+        membership: &mut dyn MembershipOracle<I, O>,
+        hypothesis: &Mealy<I, O>,
+    ) -> Result<Option<Vec<I>>, OracleError>;
+}
+
+/// A membership oracle backed by a known Mealy machine; the "software
+/// simulator" teacher used in tests and ablations.
+#[derive(Debug, Clone)]
+pub struct MealyOracle<I, O> {
+    machine: Mealy<I, O>,
+    queries: u64,
+    symbols: u64,
+}
+
+impl<I, O> MealyOracle<I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    /// Wraps a machine as a teacher.
+    pub fn new(machine: Mealy<I, O>) -> Self {
+        MealyOracle {
+            machine,
+            queries: 0,
+            symbols: 0,
+        }
+    }
+
+    /// Total number of input symbols processed.
+    pub fn symbols_processed(&self) -> u64 {
+        self.symbols
+    }
+}
+
+impl<I, O> MembershipOracle<I, O> for MealyOracle<I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
+        self.queries += 1;
+        self.symbols += word.len() as u64;
+        Ok(self.machine.output_word(word.iter()))
+    }
+
+    fn queries_answered(&self) -> u64 {
+        self.queries
+    }
+}
+
+/// A prefix-closed cache in front of another membership oracle, mirroring
+/// LearnLib's query cache (and, at the other end of the pipeline, the role of
+/// the LevelDB cache in CacheQuery's frontend).
+#[derive(Debug)]
+pub struct CachedOracle<I, O, M> {
+    inner: M,
+    cache: HashMap<Vec<I>, Vec<O>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<I, O, M> CachedOracle<I, O, M>
+where
+    I: Clone + Eq + Hash,
+    O: Clone,
+    M: MembershipOracle<I, O>,
+{
+    /// Wraps `inner` with a cache.
+    pub fn new(inner: M) -> Self {
+        CachedOracle {
+            inner,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. queries forwarded to the inner oracle).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Consumes the adapter and returns the wrapped oracle.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<I, O, M> MembershipOracle<I, O> for CachedOracle<I, O, M>
+where
+    I: Clone + Eq + Hash,
+    O: Clone,
+    M: MembershipOracle<I, O>,
+{
+    fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
+        if let Some(outputs) = self.cache.get(word) {
+            self.hits += 1;
+            return Ok(outputs.clone());
+        }
+        self.misses += 1;
+        let outputs = self.inner.query(word)?;
+        // Store the word and all its prefixes: output words are
+        // prefix-consistent for deterministic systems.
+        for len in 1..=word.len() {
+            self.cache
+                .entry(word[..len].to_vec())
+                .or_insert_with(|| outputs[..len].to_vec());
+        }
+        Ok(outputs)
+    }
+
+    fn queries_answered(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::MealyBuilder;
+
+    fn toggle_machine() -> Mealy<&'static str, bool> {
+        let mut b = MealyBuilder::new(vec!["a", "b"]);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.add_transition(s0, "a", s1, true);
+        b.add_transition(s0, "b", s0, false);
+        b.add_transition(s1, "a", s0, false);
+        b.add_transition(s1, "b", s1, true);
+        b.build(s0).unwrap()
+    }
+
+    #[test]
+    fn mealy_oracle_answers_output_words() {
+        let mut oracle = MealyOracle::new(toggle_machine());
+        assert_eq!(oracle.query(&["a", "a", "b"]).unwrap(), vec![true, false, false]);
+        assert_eq!(oracle.last_output(&["a", "b"]).unwrap(), true);
+        assert_eq!(oracle.queries_answered(), 2);
+        assert_eq!(oracle.symbols_processed(), 5);
+    }
+
+    #[test]
+    fn last_output_of_empty_word_fails() {
+        let mut oracle = MealyOracle::new(toggle_machine());
+        assert!(oracle.last_output(&[]).is_err());
+    }
+
+    #[test]
+    fn cached_oracle_reuses_prefixes() {
+        let mut oracle = CachedOracle::new(MealyOracle::new(toggle_machine()));
+        oracle.query(&["a", "b", "a"]).unwrap();
+        assert_eq!(oracle.cache_misses(), 1);
+        // An exact repeat and a prefix are both served from the cache.
+        oracle.query(&["a", "b", "a"]).unwrap();
+        oracle.query(&["a", "b"]).unwrap();
+        assert_eq!(oracle.cache_hits(), 2);
+        assert_eq!(oracle.inner().queries_answered(), 1);
+    }
+
+    #[test]
+    fn cached_oracle_answers_match_the_inner_oracle() {
+        let mut cached = CachedOracle::new(MealyOracle::new(toggle_machine()));
+        let mut plain = MealyOracle::new(toggle_machine());
+        for word in [vec!["a"], vec!["b", "b"], vec!["a", "b", "a", "a"]] {
+            assert_eq!(cached.query(&word).unwrap(), plain.query(&word).unwrap());
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Test-suite generation for conformance testing: state cover,
+//! characterization sets, and the W- and Wp-methods.
+//!
+//! The equivalence queries of the learning loop are approximated by
+//! conformance testing (§3.3): an `(|H| + k)`-complete test suite guarantees
+//! that if the system under learning agrees with the hypothesis on every test
+//! word, then either the two machines are equivalent or the system has more
+//! than `|H| + k` states (Theorem 3.3).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use automata::{Mealy, StateId};
+
+/// Breadth-first state cover: for every state, a shortest input word reaching
+/// it from the initial state.  The cover is returned indexed by state.
+pub fn state_cover<I, O>(machine: &Mealy<I, O>) -> Vec<Vec<I>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let mut cover: Vec<Option<Vec<I>>> = vec![None; machine.num_states()];
+    let mut queue = std::collections::VecDeque::new();
+    cover[machine.initial().index()] = Some(Vec::new());
+    queue.push_back(machine.initial());
+    while let Some(state) = queue.pop_front() {
+        let prefix = cover[state.index()].clone().expect("visited states have a prefix");
+        for (ii, input) in machine.inputs().iter().enumerate() {
+            let (next, _) = machine.step_by_index(state, ii);
+            if cover[next.index()].is_none() {
+                let mut word = prefix.clone();
+                word.push(input.clone());
+                cover[next.index()] = Some(word);
+                queue.push_back(next);
+            }
+        }
+    }
+    cover
+        .into_iter()
+        .map(|c| c.expect("every state of a learned hypothesis is reachable"))
+        .collect()
+}
+
+/// Transition cover: the state cover plus every state-cover word extended by
+/// every input symbol.
+pub fn transition_cover<I, O>(machine: &Mealy<I, O>) -> Vec<Vec<I>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let cover = state_cover(machine);
+    let mut result = cover.clone();
+    for word in &cover {
+        for input in machine.inputs() {
+            let mut extended = word.clone();
+            extended.push(input.clone());
+            result.push(extended);
+        }
+    }
+    result
+}
+
+/// A characterization set `W`: a set of input words such that any two distinct
+/// states of `machine` produce different output words on at least one element
+/// of `W`.
+///
+/// Also returns, for every state, the indices into `W` that suffice to
+/// distinguish that state from every other state (the per-state
+/// identification sets `Wi` used by the Wp-method).
+pub fn characterization_set<I, O>(machine: &Mealy<I, O>) -> (Vec<Vec<I>>, Vec<Vec<usize>>)
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let n = machine.num_states();
+    let mut w: Vec<Vec<I>> = Vec::new();
+
+    // Partition refinement, remembering a distinguishing word for every pair
+    // of states that ends up separated.
+    // distinguishing[a][b] = index into `w` of a word separating a and b.
+    let mut distinguishing: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+
+    // Initial partition by the output row (single-symbol words).
+    for (ii, input) in machine.inputs().iter().enumerate() {
+        let mut word_index: Option<usize> = None;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if distinguishing[a][b].is_some() {
+                    continue;
+                }
+                let oa = machine.step_by_index(StateId::new(a), ii).1;
+                let ob = machine.step_by_index(StateId::new(b), ii).1;
+                if oa != ob {
+                    let wi = *word_index.get_or_insert_with(|| {
+                        w.push(vec![input.clone()]);
+                        w.len() - 1
+                    });
+                    distinguishing[a][b] = Some(wi);
+                    distinguishing[b][a] = Some(wi);
+                }
+            }
+        }
+    }
+
+    // Iteratively: if two states are undistinguished but some input leads them
+    // to distinguished successors, prepend that input to the successors'
+    // distinguishing word.
+    loop {
+        let mut progress = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if distinguishing[a][b].is_some() {
+                    continue;
+                }
+                'inputs: for (ii, input) in machine.inputs().iter().enumerate() {
+                    let (na, _) = machine.step_by_index(StateId::new(a), ii);
+                    let (nb, _) = machine.step_by_index(StateId::new(b), ii);
+                    if na == nb {
+                        continue;
+                    }
+                    if let Some(wi) = distinguishing[na.index()][nb.index()] {
+                        let mut word = vec![input.clone()];
+                        word.extend(w[wi].iter().cloned());
+                        w.push(word);
+                        let new_index = w.len() - 1;
+                        distinguishing[a][b] = Some(new_index);
+                        distinguishing[b][a] = Some(new_index);
+                        progress = true;
+                        break 'inputs;
+                    }
+                }
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    // Deduplicate words while remapping indices.
+    let mut dedup: HashMap<Vec<I>, usize> = HashMap::new();
+    let mut compact: Vec<Vec<I>> = Vec::new();
+    let mut remap = vec![0usize; w.len()];
+    for (i, word) in w.iter().enumerate() {
+        let idx = *dedup.entry(word.clone()).or_insert_with(|| {
+            compact.push(word.clone());
+            compact.len() - 1
+        });
+        remap[i] = idx;
+    }
+
+    let mut identification: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            if let Some(wi) = distinguishing[a][b] {
+                let idx = remap[wi];
+                if !identification[a].contains(&idx) {
+                    identification[a].push(idx);
+                }
+            }
+        }
+        identification[a].sort_unstable();
+    }
+
+    if compact.is_empty() {
+        // A one-state machine (or one whose states are indistinguishable —
+        // impossible for minimal hypotheses): use a single arbitrary word so
+        // that the test suite still exercises outputs.
+        if let Some(first) = machine.inputs().first() {
+            compact.push(vec![first.clone()]);
+        }
+        for ident in &mut identification {
+            ident.push(0);
+        }
+    }
+
+    (compact, identification)
+}
+
+/// All input words of length at most `k` (including the empty word), in
+/// length-lexicographic order.
+fn words_up_to<I: Clone>(inputs: &[I], k: usize) -> Vec<Vec<I>> {
+    let mut result = vec![Vec::new()];
+    let mut frontier = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for word in &frontier {
+            for input in inputs {
+                let mut extended: Vec<I> = word.clone();
+                extended.push(input.clone());
+                next.push(extended);
+            }
+        }
+        result.extend(next.iter().cloned());
+        frontier = next;
+    }
+    result
+}
+
+/// The W-method test suite for extra depth `k`: `P · I^{≤k} · W` with `P` the
+/// transition cover and `W` the characterization set.
+pub fn w_method_suite<I, O>(machine: &Mealy<I, O>, k: usize) -> Vec<Vec<I>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let p = transition_cover(machine);
+    let (w, _) = characterization_set(machine);
+    let middles = words_up_to(machine.inputs(), k);
+    let mut suite = Vec::new();
+    for prefix in &p {
+        for middle in &middles {
+            for suffix in &w {
+                let mut word = prefix.clone();
+                word.extend(middle.iter().cloned());
+                word.extend(suffix.iter().cloned());
+                if !word.is_empty() {
+                    suite.push(word);
+                }
+            }
+        }
+    }
+    dedup_preserving_order(suite)
+}
+
+/// The Wp-method test suite for extra depth `k`.
+///
+/// Phase 1 checks the state cover against the full characterization set
+/// (`S · I^{≤k} · W`); phase 2 checks the remaining transitions against the
+/// identification sets of the states they reach (`R · I^{≤k} ⊗ Wp`).
+pub fn wp_method_suite<I, O>(machine: &Mealy<I, O>, k: usize) -> Vec<Vec<I>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let cover = state_cover(machine);
+    let (w, identification) = characterization_set(machine);
+    let middles = words_up_to(machine.inputs(), k);
+    let mut suite = Vec::new();
+
+    // Phase 1: state cover × I^{≤k} × W.
+    for prefix in &cover {
+        for middle in &middles {
+            for suffix in &w {
+                let mut word = prefix.clone();
+                word.extend(middle.iter().cloned());
+                word.extend(suffix.iter().cloned());
+                if !word.is_empty() {
+                    suite.push(word);
+                }
+            }
+        }
+    }
+
+    // Phase 2: transitions not in the state cover × I^{≤k} × the
+    // identification set of the state the word reaches in the hypothesis.
+    for prefix in &cover {
+        for input in machine.inputs() {
+            let mut transition_word = prefix.clone();
+            transition_word.push(input.clone());
+            if cover.contains(&transition_word) {
+                continue;
+            }
+            for middle in &middles {
+                let mut base = transition_word.clone();
+                base.extend(middle.iter().cloned());
+                let reached = machine.delta(machine.initial(), base.iter());
+                for &wi in &identification[reached.index()] {
+                    let mut word = base.clone();
+                    word.extend(w[wi].iter().cloned());
+                    suite.push(word);
+                }
+            }
+        }
+    }
+    dedup_preserving_order(suite)
+}
+
+fn dedup_preserving_order<I: Clone + Eq + Hash>(words: Vec<Vec<I>>) -> Vec<Vec<I>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut result = Vec::with_capacity(words.len());
+    for word in words {
+        if seen.insert(word.clone()) {
+            result.push(word);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::MealyBuilder;
+
+    fn three_state() -> Mealy<&'static str, u8> {
+        let mut b = MealyBuilder::new(vec!["a", "b"]);
+        let s: Vec<_> = (0..3).map(|_| b.add_state()).collect();
+        for i in 0..3 {
+            b.add_transition(s[i], "a", s[(i + 1) % 3], 0);
+            b.add_transition(s[i], "b", s[i], i as u8);
+        }
+        b.build(s[0]).unwrap()
+    }
+
+    #[test]
+    fn state_cover_reaches_every_state_shortest_first() {
+        let m = three_state();
+        let cover = state_cover(&m);
+        assert_eq!(cover.len(), 3);
+        assert_eq!(cover[0], Vec::<&str>::new());
+        assert_eq!(cover[1], vec!["a"]);
+        assert_eq!(cover[2], vec!["a", "a"]);
+        for (i, word) in cover.iter().enumerate() {
+            assert_eq!(m.delta(m.initial(), word.iter()).index(), i);
+        }
+    }
+
+    #[test]
+    fn transition_cover_contains_all_one_step_extensions() {
+        let m = three_state();
+        let tc = transition_cover(&m);
+        assert_eq!(tc.len(), 3 + 3 * 2);
+    }
+
+    #[test]
+    fn characterization_set_separates_all_state_pairs() {
+        let m = three_state();
+        let (w, ident) = characterization_set(&m);
+        assert!(!w.is_empty());
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let separated = w.iter().any(|word| {
+                    let run = |s: usize| {
+                        let mut state = StateId::new(s);
+                        let mut outputs = Vec::new();
+                        for i in word {
+                            let (next, o) = m.step(state, i);
+                            outputs.push(o);
+                            state = next;
+                        }
+                        outputs
+                    };
+                    run(a) != run(b)
+                });
+                assert!(separated, "states {a} and {b} not separated by W");
+            }
+        }
+        assert_eq!(ident.len(), 3);
+        assert!(ident.iter().all(|ws| !ws.is_empty()));
+    }
+
+    #[test]
+    fn single_state_machines_get_a_nonempty_suite() {
+        let mut b = MealyBuilder::new(vec!["x"]);
+        let s = b.add_state();
+        b.add_transition(s, "x", s, 1u8);
+        let m = b.build(s).unwrap();
+        let (w, _) = characterization_set(&m);
+        assert_eq!(w.len(), 1);
+        assert!(!w_method_suite(&m, 1).is_empty());
+    }
+
+    #[test]
+    fn wp_suite_is_no_larger_than_w_suite() {
+        let m = three_state();
+        let w_suite = w_method_suite(&m, 1);
+        let wp_suite = wp_method_suite(&m, 1);
+        assert!(!wp_suite.is_empty());
+        assert!(wp_suite.len() <= w_suite.len());
+    }
+
+    #[test]
+    fn suites_contain_no_duplicates_or_empty_words() {
+        let m = three_state();
+        for suite in [w_method_suite(&m, 1), wp_method_suite(&m, 2)] {
+            let mut seen = std::collections::HashSet::new();
+            for word in &suite {
+                assert!(!word.is_empty());
+                assert!(seen.insert(word.clone()), "duplicate word {word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn words_up_to_counts() {
+        let words = words_up_to(&["a", "b"], 2);
+        // ε, 2 words of length 1, 4 of length 2.
+        assert_eq!(words.len(), 7);
+    }
+}

@@ -1,0 +1,291 @@
+//! Expansion of MBL expressions into sets of concrete queries (the semantics
+//! of Appendix A).
+
+use std::fmt;
+
+use crate::ast::{block_name, BlockId, Expr, MemOp, Query};
+use crate::parse::{parse, ParseError};
+
+/// Error raised while expanding an MBL expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// The expression could not be parsed in the first place (only returned
+    /// by [`expand_query`]).
+    Parse(ParseError),
+    /// A tag was applied to an expression that already contains tags, which
+    /// Appendix A leaves undefined.
+    DoubleTag {
+        /// The block that already carried a tag.
+        block: String,
+    },
+    /// The expansion would produce more queries than the given limit
+    /// (misuse guard for deeply nested sets/powers).
+    TooManyQueries {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::Parse(e) => write!(f, "{e}"),
+            ExpandError::DoubleTag { block } => {
+                write!(f, "block {block} is tagged twice")
+            }
+            ExpandError::TooManyQueries { limit } => {
+                write!(f, "expansion exceeds {limit} queries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+impl From<ParseError> for ExpandError {
+    fn from(e: ParseError) -> Self {
+        ExpandError::Parse(e)
+    }
+}
+
+/// Upper bound on the number of queries a single expansion may produce.
+const MAX_QUERIES: usize = 1 << 16;
+
+/// Expands an already-parsed expression for a cache of the given
+/// associativity.
+///
+/// # Errors
+///
+/// See [`ExpandError`].
+pub fn expand(expr: &Expr, associativity: usize) -> Result<Vec<Query>, ExpandError> {
+    let queries = expand_inner(expr, associativity)?;
+    Ok(queries)
+}
+
+/// Parses and expands an MBL expression in one step.
+///
+/// # Errors
+///
+/// See [`ExpandError`].
+pub fn expand_query(input: &str, associativity: usize) -> Result<Vec<Query>, ExpandError> {
+    let expr = parse(input)?;
+    expand(&expr, associativity)
+}
+
+fn guard(len: usize) -> Result<(), ExpandError> {
+    if len > MAX_QUERIES {
+        Err(ExpandError::TooManyQueries { limit: MAX_QUERIES })
+    } else {
+        Ok(())
+    }
+}
+
+fn expand_inner(expr: &Expr, assoc: usize) -> Result<Vec<Query>, ExpandError> {
+    match expr {
+        Expr::Block(b, tag) => Ok(vec![vec![MemOp {
+            block: *b,
+            tag: *tag,
+        }]]),
+        Expr::Expand => Ok(vec![(0..assoc as u32)
+            .map(|i| MemOp::access(BlockId(i)))
+            .collect()]),
+        Expr::Wildcard => Ok((0..assoc as u32)
+            .map(|i| vec![MemOp::access(BlockId(i))])
+            .collect()),
+        Expr::Concat(parts) => {
+            let mut result: Vec<Query> = vec![Vec::new()];
+            for part in parts {
+                let expanded = expand_inner(part, assoc)?;
+                let mut next = Vec::with_capacity(result.len() * expanded.len());
+                for prefix in &result {
+                    for suffix in &expanded {
+                        let mut q = prefix.clone();
+                        q.extend_from_slice(suffix);
+                        next.push(q);
+                    }
+                }
+                guard(next.len())?;
+                result = next;
+            }
+            Ok(result)
+        }
+        Expr::Set(alternatives) => {
+            let mut result = Vec::new();
+            for alt in alternatives {
+                result.extend(expand_inner(alt, assoc)?);
+            }
+            guard(result.len())?;
+            Ok(result)
+        }
+        Expr::Extension(base, ext) => {
+            let bases = expand_inner(base, assoc)?;
+            let exts = expand_inner(ext, assoc)?;
+            // Collect the distinct blocks occurring anywhere in the extension
+            // expansion, in order of first occurrence (Appendix A: s1[s2]
+            // extends each query of s1 with each element of s2).
+            let mut blocks: Vec<MemOp> = Vec::new();
+            for q in &exts {
+                for op in q {
+                    if !blocks.iter().any(|b| b.block == op.block) {
+                        blocks.push(*op);
+                    }
+                }
+            }
+            let mut result = Vec::with_capacity(bases.len() * blocks.len());
+            for base_query in &bases {
+                for op in &blocks {
+                    let mut q = base_query.clone();
+                    q.push(*op);
+                    result.push(q);
+                }
+            }
+            guard(result.len())?;
+            Ok(result)
+        }
+        Expr::Power(base, k) => {
+            let bases = expand_inner(base, assoc)?;
+            let mut result: Vec<Query> = vec![Vec::new()];
+            for _ in 0..*k {
+                let mut next = Vec::with_capacity(result.len() * bases.len());
+                for prefix in &result {
+                    for rep in &bases {
+                        let mut q = prefix.clone();
+                        q.extend_from_slice(rep);
+                        next.push(q);
+                    }
+                }
+                guard(next.len())?;
+                result = next;
+            }
+            Ok(result)
+        }
+        Expr::Tagged(inner, tag) => {
+            let queries = expand_inner(inner, assoc)?;
+            queries
+                .into_iter()
+                .map(|q| {
+                    q.into_iter()
+                        .map(|op| {
+                            if op.tag.is_some() {
+                                Err(ExpandError::DoubleTag {
+                                    block: block_name(op.block),
+                                })
+                            } else {
+                                Ok(MemOp {
+                                    block: op.block,
+                                    tag: Some(*tag),
+                                })
+                            }
+                        })
+                        .collect::<Result<Query, _>>()
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render_query;
+
+    fn rendered(input: &str, assoc: usize) -> Vec<String> {
+        expand_query(input, assoc)
+            .unwrap()
+            .iter()
+            .map(|q| render_query(q))
+            .collect()
+    }
+
+    #[test]
+    fn at_macro_expands_to_associativity_blocks() {
+        assert_eq!(rendered("@", 8), vec!["A B C D E F G H"]);
+        assert_eq!(rendered("@", 2), vec!["A B"]);
+    }
+
+    #[test]
+    fn wildcard_expands_to_one_query_per_block() {
+        assert_eq!(rendered("_", 4), vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn concatenation_is_a_cross_product() {
+        // (A B C D) ∘ (E F) from §4.1.
+        assert_eq!(rendered("(A B C D) (E F)", 8), vec!["A B C D E F"]);
+        // Cross product when both sides are sets.
+        assert_eq!(
+            rendered("{A, B} {C, D}", 8),
+            vec!["A C", "A D", "B C", "B D"]
+        );
+    }
+
+    #[test]
+    fn extension_macro_matches_the_paper_example() {
+        // (A B C D)[E F] = {A B C D E, A B C D F}.
+        assert_eq!(
+            rendered("(A B C D)[E F]", 8),
+            vec!["A B C D E", "A B C D F"]
+        );
+    }
+
+    #[test]
+    fn power_repeats_queries() {
+        // (A B C)^3 from §4.1.
+        assert_eq!(rendered("(A B C)3", 8), vec!["A B C A B C A B C"]);
+    }
+
+    #[test]
+    fn tag_distribution_applies_to_every_block() {
+        assert_eq!(rendered("(A B)?", 8), vec!["A? B?"]);
+        assert_eq!(rendered("(A B)!", 8), vec!["A! B!"]);
+    }
+
+    #[test]
+    fn example_4_1_full_expansion() {
+        // '@ X _?' at associativity 4.
+        assert_eq!(
+            rendered("@ X _?", 4),
+            vec![
+                "A B C D X A?",
+                "A B C D X B?",
+                "A B C D X C?",
+                "A B C D X D?"
+            ]
+        );
+    }
+
+    #[test]
+    fn thrashing_query_from_appendix_b() {
+        // '@ M a M?'-style queries: the paper uses `@ M A M?` shapes to test
+        // thrash behaviour; check a related form expands as expected.
+        assert_eq!(rendered("@ M A M?", 4), vec!["A B C D M A M?"]);
+    }
+
+    #[test]
+    fn double_tagging_is_rejected() {
+        assert!(matches!(
+            expand_query("(A? B)?", 4),
+            Err(ExpandError::DoubleTag { .. })
+        ));
+    }
+
+    #[test]
+    fn expansion_size_is_bounded() {
+        // 16 alternatives raised to the 8th power would be 4 billion queries.
+        assert!(matches!(
+            expand_query("(_)8", 16),
+            Err(ExpandError::TooManyQueries { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_propagated() {
+        assert!(matches!(expand_query("(", 4), Err(ExpandError::Parse(_))));
+    }
+
+    #[test]
+    fn power_of_a_set_enumerates_combinations() {
+        // ({A, B})2 = {AA, AB, BA, BB}.
+        assert_eq!(rendered("({A, B})2", 4), vec!["A A", "A B", "B A", "B B"]);
+    }
+}

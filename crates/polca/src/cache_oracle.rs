@@ -1,0 +1,272 @@
+//! The abstract cache interface Polca builds on, and its two implementations.
+
+use cache::{Block, CacheSet, HitMiss};
+use cachequery::{CacheQuery, Target};
+use learning::OracleError;
+use mbl::{BlockId, MemOp, Query};
+use policies::PolicyKind;
+
+/// A cache set that can be probed with block traces from a fixed initial
+/// state (the `probeCache` primitive of Algorithm 1).
+///
+/// Implementations must guarantee that every probe starts from the same
+/// initial cache state `cc0`, in which block `i` (for `i` in
+/// `0..associativity`) occupies line `i`.
+pub trait CacheOracle {
+    /// Associativity of the cache set.
+    fn associativity(&self) -> usize;
+
+    /// Accesses all blocks of `trace` in order, starting from the fixed
+    /// initial state, and returns whether the **last** access hit or missed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] if the underlying cache misbehaves (e.g.
+    /// inconsistent timing measurements on the hardware path).
+    fn probe(&mut self, trace: &[BlockId]) -> Result<HitMiss, OracleError>;
+
+    /// Number of probes executed so far.
+    fn probes(&self) -> u64;
+
+    /// Total number of block accesses executed so far (each probe accesses
+    /// `trace.len()` blocks).
+    fn block_accesses(&self) -> u64;
+}
+
+/// The software-simulated cache of the §6 case study: a [`CacheSet`] driven
+/// by an executable replacement policy, probed without any noise.
+#[derive(Debug, Clone)]
+pub struct SimulatedCacheOracle {
+    template: CacheSet,
+    probes: u64,
+    accesses: u64,
+}
+
+impl SimulatedCacheOracle {
+    /// Creates the oracle for the given policy and associativity, with the
+    /// canonical initial content (block `i` in line `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy does not support the associativity.
+    pub fn new(kind: PolicyKind, associativity: usize) -> Result<Self, policies::PolicyError> {
+        let policy = kind.build(associativity)?;
+        let template = CacheSet::filled(
+            policy,
+            (0..associativity as u64).map(Block::new),
+        );
+        Ok(SimulatedCacheOracle {
+            template,
+            probes: 0,
+            accesses: 0,
+        })
+    }
+
+    /// Creates the oracle from an arbitrary pre-filled cache set (useful for
+    /// testing custom policies).
+    pub fn from_set(template: CacheSet) -> Self {
+        SimulatedCacheOracle {
+            template,
+            probes: 0,
+            accesses: 0,
+        }
+    }
+}
+
+impl CacheOracle for SimulatedCacheOracle {
+    fn associativity(&self) -> usize {
+        self.template.associativity()
+    }
+
+    fn probe(&mut self, trace: &[BlockId]) -> Result<HitMiss, OracleError> {
+        if trace.is_empty() {
+            return Err(OracleError::new("cannot probe with an empty trace"));
+        }
+        self.probes += 1;
+        self.accesses += trace.len() as u64;
+        let mut set = self.template.clone();
+        let mut last = HitMiss::Miss;
+        for block in trace {
+            last = set.access(Block::new(block.0 as u64)).outcome();
+        }
+        Ok(last)
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+/// The hardware-backed cache oracle of §7: probes are turned into CacheQuery
+/// queries whose last access is profiled.
+///
+/// The CacheQuery reset sequence plays the role of establishing the fixed
+/// initial state; the oracle additionally verifies that repeated executions
+/// agree and reports an error otherwise (the nondeterminism signal discussed
+/// in §7.1).
+#[derive(Debug)]
+pub struct CacheQueryOracle {
+    tool: CacheQuery,
+    associativity: usize,
+    probes: u64,
+    accesses: u64,
+}
+
+impl CacheQueryOracle {
+    /// Wraps a CacheQuery instance that already has its target selected.
+    ///
+    /// The number of repetitions per query is raised to 5 so that stray
+    /// measurement outliers are outvoted instead of being mistaken for
+    /// nondeterministic cache behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no target is selected.
+    pub fn new(mut tool: CacheQuery) -> Result<Self, OracleError> {
+        let associativity = tool
+            .associativity()
+            .map_err(|e| OracleError::new(e.to_string()))?;
+        tool.set_repetitions(5);
+        Ok(CacheQueryOracle {
+            tool,
+            associativity,
+            probes: 0,
+            accesses: 0,
+        })
+    }
+
+    /// Selects a target and wraps the tool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target-selection failures.
+    pub fn with_target(mut tool: CacheQuery, target: Target) -> Result<Self, OracleError> {
+        tool.set_target(target)
+            .map_err(|e| OracleError::new(e.to_string()))?;
+        Self::new(tool)
+    }
+
+    /// Read access to the wrapped tool (e.g. for statistics).
+    pub fn tool(&self) -> &CacheQuery {
+        &self.tool
+    }
+
+    /// Consumes the oracle and returns the wrapped tool.
+    pub fn into_tool(self) -> CacheQuery {
+        self.tool
+    }
+
+    /// Builds the MBL query corresponding to a probe: access every block,
+    /// profile the last one.
+    fn probe_query(trace: &[BlockId]) -> Query {
+        let mut query: Query = trace[..trace.len() - 1]
+            .iter()
+            .map(|&b| MemOp::access(b))
+            .collect();
+        query.push(MemOp::profiled(trace[trace.len() - 1]));
+        query
+    }
+}
+
+impl CacheOracle for CacheQueryOracle {
+    fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    fn probe(&mut self, trace: &[BlockId]) -> Result<HitMiss, OracleError> {
+        if trace.is_empty() {
+            return Err(OracleError::new("cannot probe with an empty trace"));
+        }
+        self.probes += 1;
+        self.accesses += trace.len() as u64;
+        let query = Self::probe_query(trace);
+        let outcome = self
+            .tool
+            .run_query(&query)
+            .map_err(|e| OracleError::new(e.to_string()))?;
+        if !outcome.consistent {
+            return Err(OracleError::new(format!(
+                "inconsistent measurements for query '{}': the cache set behaves \
+                 non-deterministically (wrong reset sequence or adaptive policy)",
+                outcome.rendered
+            )));
+        }
+        outcome
+            .outcomes
+            .first()
+            .copied()
+            .ok_or_else(|| OracleError::new("backend returned no profiled outcome"))
+    }
+
+    fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    fn block_accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache::LevelId;
+    use hardware::{CpuModel, SimulatedCpu};
+
+    fn blocks(ids: &[u32]) -> Vec<BlockId> {
+        ids.iter().map(|&i| BlockId(i)).collect()
+    }
+
+    #[test]
+    fn simulated_oracle_replays_figure_1_traces() {
+        let mut oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 2).unwrap();
+        // A B C A -> last access misses; A B C B -> last access hits.
+        assert_eq!(oracle.probe(&blocks(&[0, 1, 2, 0])).unwrap(), HitMiss::Miss);
+        assert_eq!(oracle.probe(&blocks(&[0, 1, 2, 1])).unwrap(), HitMiss::Hit);
+        assert_eq!(oracle.probes(), 2);
+        assert_eq!(oracle.block_accesses(), 8);
+    }
+
+    #[test]
+    fn simulated_oracle_always_starts_from_cc0() {
+        let mut oracle = SimulatedCacheOracle::new(PolicyKind::Fifo, 4).unwrap();
+        // The same probe gives the same answer regardless of history.
+        let t = blocks(&[9, 0]);
+        let first = oracle.probe(&t).unwrap();
+        oracle.probe(&blocks(&[5, 6, 7, 8])).unwrap();
+        assert_eq!(oracle.probe(&t).unwrap(), first);
+    }
+
+    #[test]
+    fn empty_probes_are_rejected() {
+        let mut oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 2).unwrap();
+        assert!(oracle.probe(&[]).is_err());
+    }
+
+    #[test]
+    fn cachequery_oracle_probes_the_simulated_hardware() {
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 21);
+        let mut tool = CacheQuery::new(cpu);
+        tool.set_target(Target::new(LevelId::L1, 17, 0)).unwrap();
+        let mut oracle = CacheQueryOracle::new(tool).unwrap();
+        assert_eq!(oracle.associativity(), 8);
+        // Within-set probe: the initial content 0..7 is established by the
+        // reset sequence, so probing block 3 hits.
+        assert_eq!(oracle.probe(&blocks(&[3])).unwrap(), HitMiss::Hit);
+        // A fresh block misses.
+        assert_eq!(oracle.probe(&blocks(&[11])).unwrap(), HitMiss::Miss);
+    }
+
+    #[test]
+    fn probe_query_profiles_only_the_last_access() {
+        let q = CacheQueryOracle::probe_query(&blocks(&[0, 1, 2]));
+        assert_eq!(q.len(), 3);
+        assert!(q[0].tag.is_none());
+        assert!(q[1].tag.is_none());
+        assert_eq!(q[2].tag, Some(mbl::Tag::Profile));
+    }
+}

@@ -1,0 +1,256 @@
+//! Matching learned automata against the library of known policies.
+//!
+//! Machines learned from hardware name cache lines after the order in which
+//! the reset sequence filled them, and their initial control state is the
+//! state the reset sequence leaves the policy in — neither necessarily
+//! matches the reference implementation's conventions.  Identification
+//! therefore searches for a permutation of line indices and a starting state
+//! of the reference policy under which the two machines are trace-equivalent.
+//! (This is how the paper checks that the learned L1/L2 machines "are" PLRU,
+//! §7.2.)
+
+use automata::{check_equivalence, Mealy, StateId};
+use policies::{policy_to_mealy, PolicyInput, PolicyKind, PolicyMealy, PolicyOutput};
+
+/// A permutation of cache-line indices under which a learned machine matches
+/// a reference policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinePermutation(pub Vec<usize>);
+
+impl LinePermutation {
+    /// Applies the permutation to a policy input.
+    pub fn apply_input(&self, input: PolicyInput) -> PolicyInput {
+        match input {
+            PolicyInput::Line(i) => PolicyInput::Line(self.0[i]),
+            PolicyInput::Evct => PolicyInput::Evct,
+        }
+    }
+
+    /// Applies the permutation to a policy output.
+    pub fn apply_output(&self, output: PolicyOutput) -> PolicyOutput {
+        match output {
+            PolicyOutput::Evicted(i) => PolicyOutput::Evicted(self.0[i]),
+            PolicyOutput::None => PolicyOutput::None,
+        }
+    }
+}
+
+/// Generates all permutations of `0..n` (Heap's algorithm).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k % 2 == 0 {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut items, &mut result);
+    result
+}
+
+/// Short probe words used to prune (permutation, start-state) candidates
+/// before running a full equivalence check.
+fn probe_words(assoc: usize) -> Vec<Vec<PolicyInput>> {
+    let singles: Vec<PolicyInput> = (0..assoc)
+        .map(PolicyInput::Line)
+        .chain(std::iter::once(PolicyInput::Evct))
+        .collect();
+    let mut words: Vec<Vec<PolicyInput>> = Vec::new();
+    for &a in &singles {
+        words.push(vec![a]);
+        for &b in &singles {
+            words.push(vec![a, b]);
+        }
+    }
+    // A longer eviction-heavy word: evictions are where policies differ most.
+    words.push(vec![PolicyInput::Evct; assoc + 2]);
+    words
+}
+
+/// Output signature of `machine` started in `state` on the probe words.
+fn signature(
+    machine: &PolicyMealy,
+    state: StateId,
+    words: &[Vec<PolicyInput>],
+) -> Vec<Vec<PolicyOutput>> {
+    words
+        .iter()
+        .map(|word| {
+            let mut current = state;
+            let mut outputs = Vec::with_capacity(word.len());
+            for input in word {
+                let (next, output) = machine.step(current, input);
+                outputs.push(output);
+                current = next;
+            }
+            outputs
+        })
+        .collect()
+}
+
+/// Builds a copy of `reference` whose initial state is `state`.
+fn with_initial(reference: &PolicyMealy, state: StateId) -> PolicyMealy {
+    let inputs = reference.inputs().to_vec();
+    let transitions = reference
+        .states()
+        .map(|s| {
+            (0..inputs.len())
+                .map(|ii| {
+                    let (t, o) = reference.step_by_index(s, ii);
+                    (t, *o)
+                })
+                .collect()
+        })
+        .collect();
+    Mealy::from_tables(inputs, transitions, state).expect("same shape as the reference")
+}
+
+/// Tries to identify `learned` as one of `candidates`.
+///
+/// Returns the first matching policy kind together with the line permutation
+/// that witnesses the match.  The search considers every starting state of
+/// the reference machine, because the learned machine starts in whatever
+/// control state the reset sequence establishes.
+///
+/// # Panics
+///
+/// Panics if `learned`'s alphabet is not the policy alphabet for `assoc`.
+pub fn identify_policy(
+    learned: &PolicyMealy,
+    assoc: usize,
+    candidates: &[PolicyKind],
+) -> Option<(PolicyKind, LinePermutation)> {
+    let words = probe_words(assoc);
+    let perms = permutations(assoc);
+
+    for &kind in candidates {
+        if !kind.supports_associativity(assoc) || !kind.is_deterministic() {
+            continue;
+        }
+        let Ok(policy) = kind.build(assoc) else {
+            continue;
+        };
+        let reference = policy_to_mealy(policy.as_ref(), 1 << 20);
+        if reference.num_states() < learned.num_states() {
+            // The learned machine explores at most the reference's reachable
+            // component, so it can never have more states.
+            continue;
+        }
+        // Signatures of every reference state, for pruning.
+        let reference_signatures: Vec<_> = reference
+            .states()
+            .map(|s| signature(&reference, s, &words))
+            .collect();
+
+        for perm in &perms {
+            let permutation = LinePermutation(perm.clone());
+            let relabelled = learned.map_alphabets(
+                |i| permutation.apply_input(*i),
+                |o| permutation.apply_output(*o),
+            );
+            let learned_signature = signature(&relabelled, relabelled.initial(), &words);
+            for (state_index, reference_signature) in reference_signatures.iter().enumerate() {
+                if *reference_signature != learned_signature {
+                    continue;
+                }
+                let candidate = with_initial(&reference, StateId::new(state_index));
+                if check_equivalence(&relabelled, &candidate).is_none() {
+                    return Some((kind, permutation));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use policies::PolicyKind;
+
+    const CANDIDATES: [PolicyKind; 9] = PolicyKind::ALL_DETERMINISTIC;
+
+    #[test]
+    fn identifies_each_policy_at_assoc_4_with_identity_permutation() {
+        for kind in [
+            PolicyKind::Fifo,
+            PolicyKind::Lru,
+            PolicyKind::Plru,
+            PolicyKind::Mru,
+            PolicyKind::New1,
+            PolicyKind::New2,
+        ] {
+            let machine = policy_to_mealy(kind.build(4).unwrap().as_ref(), 1 << 16);
+            let (found, perm) = identify_policy(&machine, 4, &CANDIDATES)
+                .unwrap_or_else(|| panic!("failed to identify {kind}"));
+            assert_eq!(found, kind);
+            assert_eq!(perm.0, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn identifies_a_line_permuted_machine() {
+        // Relabel LRU's lines with a non-trivial permutation and check that
+        // identification still recognizes it as LRU.
+        let reference = policy_to_mealy(PolicyKind::Lru.build(3).unwrap().as_ref(), 1 << 16);
+        let shuffle = LinePermutation(vec![2, 0, 1]);
+        let permuted = reference.map_alphabets(
+            |i| shuffle.apply_input(*i),
+            |o| shuffle.apply_output(*o),
+        );
+        let (found, _) = identify_policy(&permuted, 3, &CANDIDATES).unwrap();
+        assert_eq!(found, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn identifies_a_machine_started_in_a_non_initial_state() {
+        // Advance MRU by a few inputs before exporting its machine: the
+        // identification must still succeed by searching start states.
+        let mut policy = PolicyKind::Mru.build(4).unwrap();
+        policy.on_hit(2);
+        policy.on_miss();
+        let machine = policy_to_mealy(policy.as_ref(), 1 << 16);
+        let (found, _) = identify_policy(&machine, 4, &CANDIDATES).unwrap();
+        assert_eq!(found, PolicyKind::Mru);
+    }
+
+    #[test]
+    fn lru_and_lip_are_distinguished() {
+        // LIP differs from LRU only in the insertion position; make sure the
+        // identification does not confuse them.
+        let lip = policy_to_mealy(PolicyKind::Lip.build(4).unwrap().as_ref(), 1 << 16);
+        let (found, _) = identify_policy(&lip, 4, &CANDIDATES).unwrap();
+        assert_eq!(found, PolicyKind::Lip);
+    }
+
+    #[test]
+    fn unknown_machines_are_not_identified() {
+        // A FIFO machine at associativity 3 is not PLRU/MRU/...; restricting
+        // the candidate set must yield no match.
+        let fifo = policy_to_mealy(PolicyKind::Fifo.build(3).unwrap().as_ref(), 1 << 16);
+        assert!(identify_policy(&fifo, 3, &[PolicyKind::Lru, PolicyKind::Mru]).is_none());
+    }
+
+    #[test]
+    fn permutation_helpers_apply_to_inputs_and_outputs() {
+        let perm = LinePermutation(vec![1, 0]);
+        assert_eq!(
+            perm.apply_input(PolicyInput::Line(0)),
+            PolicyInput::Line(1)
+        );
+        assert_eq!(perm.apply_input(PolicyInput::Evct), PolicyInput::Evct);
+        assert_eq!(
+            perm.apply_output(PolicyOutput::Evicted(1)),
+            PolicyOutput::Evicted(0)
+        );
+    }
+}

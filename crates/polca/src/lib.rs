@@ -1,0 +1,52 @@
+//! Polca: the membership oracle for replacement policies, and the end-to-end
+//! learning pipeline.
+//!
+//! Polca (§3 of the paper) sits between the automata-learning algorithm and a
+//! cache: learning asks questions about the *replacement policy* (over the
+//! alphabet `Ln(i)` / `Evct` of Table 1), while a cache only answers *block
+//! accesses* with hits and misses.  Polca translates between the two by
+//! keeping track of which block currently occupies which cache line
+//! (Algorithm 1), issuing additional probes to discover which line a miss
+//! evicted (`findEvicted`), and picking fresh blocks for eviction requests —
+//! exploiting the data-independence of replacement policies that makes
+//! learning tractable.
+//!
+//! The crate provides:
+//!
+//! * [`CacheOracle`] — the abstract cache interface Polca needs, implemented
+//!   by [`SimulatedCacheOracle`] (the noiseless software-simulated caches of
+//!   the §6 case study) and [`CacheQueryOracle`] (real — here: simulated —
+//!   hardware through CacheQuery, §7);
+//! * [`PolcaOracle`] — Algorithm 1 as a [`learning::MembershipOracle`];
+//! * [`learn_policy`], [`learn_simulated_policy`] and
+//!   [`learn_hardware_policy`] — the complete learning loop (L* + Wp-method)
+//!   over either kind of cache;
+//! * [`identify_policy`] — matching a learned automaton against the library
+//!   of reference policies, up to the renaming of cache lines induced by the
+//!   reset sequence.
+//!
+//! # Example: the §6 case study in one call
+//!
+//! ```
+//! use polca::{learn_simulated_policy, LearnSetup};
+//! use policies::PolicyKind;
+//!
+//! let outcome = learn_simulated_policy(PolicyKind::Lru, 2, &LearnSetup::default()).unwrap();
+//! assert_eq!(outcome.machine.num_states(), 2); // Example 2.2: 2-state LRU
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache_oracle;
+mod identify;
+mod membership;
+mod pipeline;
+
+pub use cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
+pub use identify::{identify_policy, LinePermutation};
+pub use membership::PolcaOracle;
+pub use pipeline::{
+    learn_hardware_policy, learn_policy, learn_simulated_policy, HardwareTarget, LearnOutcome,
+    LearnSetup,
+};

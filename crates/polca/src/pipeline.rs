@@ -1,0 +1,227 @@
+//! The end-to-end learning pipeline: Polca + L* + Wp-method over either a
+//! software-simulated cache (§6) or simulated hardware through CacheQuery
+//! (§7).
+
+use std::time::Duration;
+
+use automata::minimize;
+use cache::LevelId;
+use cachequery::{CacheQuery, ResetSequence, Target};
+use hardware::{CpuModel, SimulatedCpu};
+use learning::{
+    learn_mealy, CachedOracle, LearnError, LearnOptions, LearnStats, WpMethodOracle,
+};
+use policies::{policy_alphabet, PolicyKind, PolicyMealy};
+
+use crate::cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
+use crate::membership::PolcaOracle;
+
+/// Configuration of a learning run.
+#[derive(Debug, Clone)]
+pub struct LearnSetup {
+    /// Extra depth `k` of the conformance test suite (§3.4; the paper uses 1).
+    pub conformance_depth: usize,
+    /// Upper bound on the hypothesis size.
+    pub max_states: usize,
+    /// Wall-clock budget (the paper's §6 experiments use 36 hours; harness
+    /// defaults are much smaller).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for LearnSetup {
+    fn default() -> Self {
+        LearnSetup {
+            conformance_depth: 1,
+            max_states: 1 << 16,
+            time_budget: None,
+        }
+    }
+}
+
+/// Result of a learning run.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// The learned (and minimized) policy automaton.
+    pub machine: PolicyMealy,
+    /// Learner statistics (membership/equivalence queries, counterexamples,
+    /// wall-clock time).
+    pub stats: LearnStats,
+    /// Cache probes issued by Polca (each probe is one trace replay).
+    pub cache_probes: u64,
+    /// Individual block accesses issued by Polca.
+    pub block_accesses: u64,
+}
+
+/// Learns the replacement policy of an arbitrary [`CacheOracle`].
+///
+/// This is the generic pipeline: Polca provides membership queries, a
+/// Wp-method conformance oracle provides equivalence queries, and the learned
+/// machine is minimized before being returned.
+///
+/// # Errors
+///
+/// Propagates learner errors ([`LearnError`]), including oracle failures and
+/// detected nondeterminism.
+pub fn learn_policy<C: CacheOracle>(
+    cache: C,
+    setup: &LearnSetup,
+) -> Result<LearnOutcome, LearnError> {
+    let associativity = cache.associativity();
+    let alphabet = policy_alphabet(associativity);
+    let mut membership = CachedOracle::new(PolcaOracle::new(cache));
+    let mut equivalence = WpMethodOracle::new(setup.conformance_depth);
+    let options = LearnOptions {
+        max_states: setup.max_states,
+        time_budget: setup.time_budget,
+    };
+    let (machine, stats) = learn_mealy(alphabet, &mut membership, &mut equivalence, options)?;
+    let polca = membership.into_inner();
+    let cache = polca.into_cache();
+    Ok(LearnOutcome {
+        machine: minimize(&machine),
+        stats,
+        cache_probes: cache.probes(),
+        block_accesses: cache.block_accesses(),
+    })
+}
+
+/// Learns a named policy from a noiseless software-simulated cache (the §6
+/// case study).
+///
+/// # Errors
+///
+/// Returns an error if the policy does not support the associativity or if
+/// learning fails.
+pub fn learn_simulated_policy(
+    kind: PolicyKind,
+    associativity: usize,
+    setup: &LearnSetup,
+) -> Result<LearnOutcome, LearnError> {
+    let cache = SimulatedCacheOracle::new(kind, associativity)
+        .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
+    learn_policy(cache, setup)
+}
+
+/// Configuration of a hardware learning run (§7).
+#[derive(Debug, Clone)]
+pub struct HardwareTarget {
+    /// The CPU model to simulate.
+    pub model: CpuModel,
+    /// The cache set to learn.
+    pub target: Target,
+    /// Reset sequence (Table 4).
+    pub reset: ResetSequence,
+    /// If set, restrict the last-level cache to this many ways with CAT
+    /// before learning (Table 4 reduces the Skylake/Kaby Lake L3 to 4 ways).
+    pub cat_ways: Option<usize>,
+    /// Seed of the simulated machine.
+    pub seed: u64,
+}
+
+/// Learns the replacement policy of one cache set of a simulated CPU through
+/// the full CacheQuery pipeline.
+///
+/// # Errors
+///
+/// Propagates CacheQuery errors (e.g. CAT being unsupported on the Haswell
+/// model) and learner errors, including the nondeterminism failures expected
+/// on adaptive follower sets.
+pub fn learn_hardware_policy(
+    hardware: &HardwareTarget,
+    setup: &LearnSetup,
+) -> Result<LearnOutcome, LearnError> {
+    let cpu = SimulatedCpu::new(hardware.model, hardware.seed);
+    let mut tool = CacheQuery::new(cpu);
+    tool.set_reset_sequence(hardware.reset.clone());
+    if let Some(ways) = hardware.cat_ways {
+        tool.apply_cat(ways)
+            .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
+    }
+    tool.set_target(hardware.target)
+        .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
+    let oracle = CacheQueryOracle::new(tool)
+        .map_err(LearnError::Oracle)?;
+    learn_policy(oracle, setup)
+}
+
+impl HardwareTarget {
+    /// Convenience constructor for an L1 target (always learnable with
+    /// Flush+Refill on the modelled CPUs).
+    pub fn l1(model: CpuModel, set: usize, seed: u64) -> Self {
+        HardwareTarget {
+            model,
+            target: Target::new(LevelId::L1, set, 0),
+            reset: ResetSequence::FlushRefill,
+            cat_ways: None,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::check_equivalence;
+    use policies::policy_to_mealy;
+
+    #[test]
+    fn learns_lru_2_exactly() {
+        let outcome = learn_simulated_policy(PolicyKind::Lru, 2, &LearnSetup::default()).unwrap();
+        assert_eq!(outcome.machine.num_states(), 2);
+        let reference = policy_to_mealy(PolicyKind::Lru.build(2).unwrap().as_ref(), 100);
+        assert!(check_equivalence(&outcome.machine, &reference).is_none());
+        assert!(outcome.cache_probes > 0);
+        assert!(outcome.block_accesses >= outcome.cache_probes);
+    }
+
+    #[test]
+    fn learns_the_table_2_small_policies() {
+        // A sample of Table 2 at small associativities; the learned state
+        // counts must match the table exactly.
+        let cases = [
+            (PolicyKind::Fifo, 4, 4),
+            (PolicyKind::Lru, 4, 24),
+            (PolicyKind::Plru, 4, 8),
+            (PolicyKind::Mru, 4, 14),
+            (PolicyKind::SrripHp, 2, 12),
+            (PolicyKind::SrripFp, 2, 16),
+        ];
+        for (kind, assoc, expected_states) in cases {
+            let outcome = learn_simulated_policy(kind, assoc, &LearnSetup::default()).unwrap();
+            assert_eq!(
+                outcome.machine.num_states(),
+                expected_states,
+                "wrong state count for {kind} at associativity {assoc}"
+            );
+            let reference = policy_to_mealy(kind.build(assoc).unwrap().as_ref(), 1 << 16);
+            assert!(
+                check_equivalence(&outcome.machine, &reference).is_none(),
+                "{kind} mislearned"
+            );
+        }
+    }
+
+    #[test]
+    fn state_limit_aborts_learning() {
+        let setup = LearnSetup {
+            max_states: 4,
+            ..LearnSetup::default()
+        };
+        let result = learn_simulated_policy(PolicyKind::Lru, 4, &setup);
+        assert!(matches!(result, Err(LearnError::StateLimitExceeded(_))));
+    }
+
+    #[test]
+    fn hardware_target_constructor_defaults() {
+        // Full hardware-path learning runs live in the workspace integration
+        // tests (they take seconds to minutes); here we only check the
+        // convenience constructor.
+        let hw = HardwareTarget::l1(CpuModel::SkylakeI5_6500, 33, 7);
+        assert_eq!(hw.target.level, LevelId::L1);
+        assert_eq!(hw.target.set, 33);
+        assert_eq!(hw.reset, ResetSequence::FlushRefill);
+        assert_eq!(hw.cat_ways, None);
+        assert!(LearnSetup::default().time_budget.is_none());
+        assert!(Duration::from_secs(1) > Duration::ZERO);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for Polca: Theorem 3.1 on random words — the
+//! membership oracle's answers coincide with the policy semantics.
+
+use learning::MembershipOracle;
+use polca::{PolcaOracle, SimulatedCacheOracle};
+use policies::{policy_to_mealy, PolicyInput, PolicyKind};
+use proptest::prelude::*;
+
+fn word_strategy(assoc: usize) -> impl Strategy<Value = Vec<PolicyInput>> {
+    proptest::collection::vec(0usize..=assoc, 1..40).prop_map(move |raw| {
+        raw.into_iter()
+            .map(|i| {
+                if i == assoc {
+                    PolicyInput::Evct
+                } else {
+                    PolicyInput::Line(i)
+                }
+            })
+            .collect()
+    })
+}
+
+fn case_strategy() -> impl Strategy<Value = (PolicyKind, usize, Vec<PolicyInput>)> {
+    (2usize..=6)
+        .prop_flat_map(|assoc| {
+            let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
+                .into_iter()
+                .filter(|k| k.supports_associativity(assoc))
+                .collect();
+            (
+                proptest::sample::select(kinds),
+                Just(assoc),
+                word_strategy(assoc),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1: for every policy and every input word, Polca applied to
+    /// the induced cache produces exactly the policy's output word.
+    #[test]
+    fn polca_answers_equal_the_policy_semantics((kind, assoc, word) in case_strategy()) {
+        let reference = policy_to_mealy(kind.build(assoc).unwrap().as_ref(), 1 << 18);
+        let cache = SimulatedCacheOracle::new(kind, assoc).unwrap();
+        let mut polca = PolcaOracle::new(cache);
+        let answered = polca.query(&word).expect("the simulated cache never fails");
+        prop_assert_eq!(answered, reference.output_word(word.iter()));
+    }
+
+    /// Polca is stateless across queries: asking the same word twice gives
+    /// the same answer even after unrelated queries in between.
+    #[test]
+    fn polca_queries_are_independent((kind, assoc, word) in case_strategy(),
+                                     other in proptest::collection::vec(0usize..4, 0..10)) {
+        let cache = SimulatedCacheOracle::new(kind, assoc).unwrap();
+        let mut polca = PolcaOracle::new(cache);
+        let first = polca.query(&word).unwrap();
+        let interleaved: Vec<PolicyInput> = other
+            .into_iter()
+            .map(|i| if i == 0 { PolicyInput::Evct } else { PolicyInput::Line(i % assoc) })
+            .collect();
+        if !interleaved.is_empty() {
+            polca.query(&interleaved).unwrap();
+        }
+        prop_assert_eq!(polca.query(&word).unwrap(), first);
+    }
+}

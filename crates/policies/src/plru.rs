@@ -1,0 +1,210 @@
+//! Tree-based Pseudo-LRU replacement.
+
+use crate::{assert_line_in_range, ReplacementPolicy};
+
+/// Tree-based Pseudo-LRU (PLRU).
+///
+/// The control state is a complete binary tree with `associativity − 1`
+/// internal nodes, each holding one bit that points towards the subtree that
+/// should be visited next on an eviction (the "colder" half).  On an access
+/// to a line, all bits on the path from the root to that line are flipped to
+/// point *away* from it.  The induced Mealy machine has
+/// `2^(associativity − 1)` states (Table 2: 8 at associativity 4, 128 at 8,
+/// 32768 at 16).
+///
+/// The paper identifies this policy in all three processors' L1 caches and in
+/// Haswell's L2 (Table 4).
+///
+/// # Example
+///
+/// ```
+/// use policies::{Plru, ReplacementPolicy};
+///
+/// let mut p = Plru::new(4).unwrap();
+/// p.on_hit(0);
+/// p.on_hit(1);
+/// // Both accesses steered the tree towards the right half.
+/// assert!(p.on_miss() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plru {
+    assoc: usize,
+    /// Heap-ordered tree bits: node 0 is the root, node `i` has children
+    /// `2i + 1` and `2i + 2`.  A bit value of 0 points to the left subtree
+    /// (next victim candidate), 1 points to the right subtree.
+    bits: Vec<bool>,
+}
+
+/// Error returned by [`Plru::new`] when the associativity is not a power of
+/// two (tree-based PLRU is only defined for powers of two, cf. footnote 5 of
+/// the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlruAssocError(pub usize);
+
+impl std::fmt::Display for PlruAssocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tree-based PLRU requires a power-of-two associativity, got {}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for PlruAssocError {}
+
+impl Plru {
+    /// Creates a PLRU policy for a set with `assoc` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlruAssocError`] unless `assoc` is a power of two and at
+    /// least 2.
+    pub fn new(assoc: usize) -> Result<Self, PlruAssocError> {
+        if assoc < 2 || !assoc.is_power_of_two() {
+            return Err(PlruAssocError(assoc));
+        }
+        Ok(Plru {
+            assoc,
+            bits: vec![false; assoc - 1],
+        })
+    }
+
+    /// Flips the path bits so that they point away from `line`.
+    fn touch(&mut self, line: usize) {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if line < mid {
+                // The accessed line is in the left half; point to the right.
+                self.bits[node] = true;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                // The accessed line is in the right half; point to the left.
+                self.bits[node] = false;
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Plru {
+    fn associativity(&self) -> usize {
+        self.assoc
+    }
+
+    fn on_hit(&mut self, line: usize) {
+        assert_line_in_range(line, self.assoc);
+        self.touch(line);
+    }
+
+    fn victim(&mut self) -> usize {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn on_insert(&mut self, line: usize) {
+        assert_line_in_range(line, self.assoc);
+        self.touch(line);
+    }
+
+    fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    fn state_key(&self) -> Vec<u32> {
+        self.bits.iter().map(|&b| b as u32).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "PLRU"
+    }
+
+    fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(Plru::new(3).is_err());
+        assert!(Plru::new(0).is_err());
+        assert!(Plru::new(1).is_err());
+        assert!(Plru::new(6).is_err());
+        assert!(Plru::new(8).is_ok());
+    }
+
+    #[test]
+    fn assoc_two_behaves_like_lru() {
+        // With 2 ways, PLRU and LRU coincide.
+        let mut p = Plru::new(2).unwrap();
+        p.on_hit(0);
+        assert_eq!(p.on_miss(), 1);
+        p.on_hit(1);
+        assert_eq!(p.on_miss(), 0);
+    }
+
+    #[test]
+    fn victim_avoids_recently_touched_half() {
+        let mut p = Plru::new(4).unwrap();
+        p.on_hit(0);
+        p.on_hit(1);
+        assert!(p.victim() >= 2);
+        p.on_hit(2);
+        p.on_hit(3);
+        assert!(p.victim() < 2);
+    }
+
+    #[test]
+    fn accessed_line_is_never_the_immediate_victim() {
+        let mut p = Plru::new(8).unwrap();
+        for line in 0..8 {
+            p.on_hit(line);
+            assert_ne!(p.victim(), line);
+        }
+    }
+
+    #[test]
+    fn state_space_is_two_to_the_ways_minus_one() {
+        // Exhaustively drive the policy and collect distinct state keys.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        let mut stack = vec![Plru::new(4).unwrap()];
+        seen.insert(stack[0].state_key());
+        while let Some(p) = stack.pop() {
+            for line in 0..4 {
+                let mut q = p.clone();
+                q.on_hit(line);
+                if seen.insert(q.state_key()) {
+                    stack.push(q);
+                }
+            }
+            let mut q = p.clone();
+            q.on_miss();
+            if seen.insert(q.state_key()) {
+                stack.push(q);
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,216 @@
+//! Construction of policies by name, used by the benchmark harness and the
+//! simulated hardware configuration.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Brrip, Fifo, Lip, Lru, Mru, New1, New2, Plru, ReplacementPolicy, Srrip, SrripVariant};
+
+/// Identifier of a concrete replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PolicyKind {
+    /// First-In First-Out.
+    Fifo,
+    /// Least Recently Used.
+    Lru,
+    /// Tree-based Pseudo-LRU.
+    Plru,
+    /// MRU-bit replacement (bit-PLRU / NRU).
+    Mru,
+    /// LRU Insertion Policy.
+    Lip,
+    /// Static RRIP, hit-priority variant.
+    SrripHp,
+    /// Static RRIP, frequency-priority variant.
+    SrripFp,
+    /// Bimodal RRIP (probabilistic; follower sets of the simulated LLC).
+    Brrip,
+    /// Undocumented Skylake / Kaby Lake L2 policy.
+    New1,
+    /// Undocumented Skylake / Kaby Lake L3 leader-set policy.
+    New2,
+}
+
+/// Error returned when a policy cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The associativity is not supported by the policy (e.g. PLRU requires a
+    /// power of two).
+    UnsupportedAssociativity {
+        /// Policy that rejected the associativity.
+        kind: PolicyKind,
+        /// The offending associativity.
+        assoc: usize,
+    },
+    /// The policy name is unknown (returned by [`PolicyKind::from_str`]).
+    UnknownPolicy(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnsupportedAssociativity { kind, assoc } => {
+                write!(f, "{} does not support associativity {assoc}", kind.name())
+            }
+            PolicyError::UnknownPolicy(name) => write!(f, "unknown policy name '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl PolicyKind {
+    /// All deterministic policies evaluated in the paper's §6 case study, in
+    /// the order of Table 2, followed by the two policies learned from
+    /// hardware in §7.
+    pub const ALL_DETERMINISTIC: [PolicyKind; 9] = [
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Plru,
+        PolicyKind::Mru,
+        PolicyKind::Lip,
+        PolicyKind::SrripHp,
+        PolicyKind::SrripFp,
+        PolicyKind::New1,
+        PolicyKind::New2,
+    ];
+
+    /// Canonical display name, matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Plru => "PLRU",
+            PolicyKind::Mru => "MRU",
+            PolicyKind::Lip => "LIP",
+            PolicyKind::SrripHp => "SRRIP-HP",
+            PolicyKind::SrripFp => "SRRIP-FP",
+            PolicyKind::Brrip => "BRRIP",
+            PolicyKind::New1 => "New1",
+            PolicyKind::New2 => "New2",
+        }
+    }
+
+    /// Whether the policy is a deterministic finite-state machine (BRRIP is
+    /// the only exception).
+    pub fn is_deterministic(self) -> bool {
+        self != PolicyKind::Brrip
+    }
+
+    /// Whether `assoc` is a supported associativity for this policy.
+    pub fn supports_associativity(self, assoc: usize) -> bool {
+        match self {
+            PolicyKind::Plru => assoc >= 2 && assoc.is_power_of_two(),
+            PolicyKind::Mru => assoc >= 2,
+            _ => assoc >= 1,
+        }
+    }
+
+    /// Builds a boxed policy instance of this kind.
+    ///
+    /// Probabilistic policies are seeded with a fixed default seed; use
+    /// [`PolicyKind::build_seeded`] to control it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnsupportedAssociativity`] if `assoc` is not
+    /// supported (see [`PolicyKind::supports_associativity`]).
+    pub fn build(self, assoc: usize) -> Result<Box<dyn ReplacementPolicy>, PolicyError> {
+        self.build_seeded(assoc, 0)
+    }
+
+    /// Builds a boxed policy instance, seeding probabilistic policies with
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnsupportedAssociativity`] if `assoc` is not
+    /// supported.
+    pub fn build_seeded(
+        self,
+        assoc: usize,
+        seed: u64,
+    ) -> Result<Box<dyn ReplacementPolicy>, PolicyError> {
+        if !self.supports_associativity(assoc) {
+            return Err(PolicyError::UnsupportedAssociativity { kind: self, assoc });
+        }
+        Ok(match self {
+            PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
+            PolicyKind::Lru => Box::new(Lru::new(assoc)),
+            PolicyKind::Plru => Box::new(
+                Plru::new(assoc).expect("associativity support was checked above"),
+            ),
+            PolicyKind::Mru => Box::new(Mru::new(assoc)),
+            PolicyKind::Lip => Box::new(Lip::new(assoc)),
+            PolicyKind::SrripHp => Box::new(Srrip::new(assoc, SrripVariant::HitPriority)),
+            PolicyKind::SrripFp => Box::new(Srrip::new(assoc, SrripVariant::FrequencyPriority)),
+            PolicyKind::Brrip => Box::new(Brrip::new(assoc, seed)),
+            PolicyKind::New1 => Box::new(New1::new(assoc)),
+            PolicyKind::New2 => Box::new(New2::new(assoc)),
+        })
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = PolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.to_ascii_uppercase().replace('_', "-");
+        Ok(match normalized.as_str() {
+            "FIFO" => PolicyKind::Fifo,
+            "LRU" => PolicyKind::Lru,
+            "PLRU" => PolicyKind::Plru,
+            "MRU" => PolicyKind::Mru,
+            "LIP" => PolicyKind::Lip,
+            "SRRIP-HP" | "SRRIPHP" => PolicyKind::SrripHp,
+            "SRRIP-FP" | "SRRIPFP" => PolicyKind::SrripFp,
+            "BRRIP" => PolicyKind::Brrip,
+            "NEW1" => PolicyKind::New1,
+            "NEW2" => PolicyKind::New2,
+            _ => return Err(PolicyError::UnknownPolicy(s.to_string())),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_deterministic_policy_at_assoc_4() {
+        for kind in PolicyKind::ALL_DETERMINISTIC {
+            let p = kind.build(4).unwrap();
+            assert_eq!(p.associativity(), 4);
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn plru_rejects_non_power_of_two() {
+        assert!(matches!(
+            PolicyKind::Plru.build(6),
+            Err(PolicyError::UnsupportedAssociativity { .. })
+        ));
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for kind in PolicyKind::ALL_DETERMINISTIC {
+            assert_eq!(kind.name().parse::<PolicyKind>().unwrap(), kind);
+        }
+        assert_eq!("brrip".parse::<PolicyKind>().unwrap(), PolicyKind::Brrip);
+        assert!("clairvoyant".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn brrip_is_flagged_nondeterministic() {
+        assert!(!PolicyKind::Brrip.is_deterministic());
+        assert!(PolicyKind::SrripHp.is_deterministic());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the replacement-policy implementations.
+
+use policies::{PolicyInput, PolicyKind, ReplacementPolicy};
+use proptest::prelude::*;
+
+/// All deterministic policies that support the given associativity.
+fn kinds_for(assoc: usize) -> Vec<PolicyKind> {
+    PolicyKind::ALL_DETERMINISTIC
+        .into_iter()
+        .filter(|k| k.supports_associativity(assoc))
+        .collect()
+}
+
+/// Strategy producing a policy kind, an associativity, and a random input
+/// word over the policy alphabet.
+fn policy_and_word() -> impl Strategy<Value = (PolicyKind, usize, Vec<PolicyInput>)> {
+    (2usize..=8)
+        .prop_flat_map(|assoc| {
+            let kinds = kinds_for(assoc);
+            (
+                proptest::sample::select(kinds),
+                Just(assoc),
+                proptest::collection::vec(0usize..=assoc, 0..60),
+            )
+        })
+        .prop_map(|(kind, assoc, raw)| {
+            let word = raw
+                .into_iter()
+                .map(|i| {
+                    if i == assoc {
+                        PolicyInput::Evct
+                    } else {
+                        PolicyInput::Line(i)
+                    }
+                })
+                .collect();
+            (kind, assoc, word)
+        })
+}
+
+proptest! {
+    /// Victims are always legal line indices.
+    #[test]
+    fn victims_are_in_range((kind, assoc, word) in policy_and_word()) {
+        let mut policy = kind.build(assoc).unwrap();
+        for input in &word {
+            match input {
+                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Evct => {
+                    let victim = policy.on_miss();
+                    prop_assert!(victim < assoc, "victim {victim} out of range");
+                }
+            }
+        }
+    }
+
+    /// Policies are deterministic: replaying the same word from a fresh
+    /// instance gives the same state key and the same outputs.
+    #[test]
+    fn policies_are_deterministic((kind, assoc, word) in policy_and_word()) {
+        let run = || {
+            let mut policy = kind.build(assoc).unwrap();
+            let mut victims = Vec::new();
+            for input in &word {
+                match input {
+                    PolicyInput::Line(i) => policy.on_hit(*i),
+                    PolicyInput::Evct => victims.push(policy.on_miss()),
+                }
+            }
+            (victims, policy.state_key())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// `reset` really restores the initial control state.
+    #[test]
+    fn reset_restores_the_initial_state((kind, assoc, word) in policy_and_word()) {
+        let mut policy = kind.build(assoc).unwrap();
+        let initial = policy.state_key();
+        for input in &word {
+            match input {
+                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Evct => {
+                    policy.on_miss();
+                }
+            }
+        }
+        policy.reset();
+        prop_assert_eq!(policy.state_key(), initial);
+    }
+
+    /// `clone_box` snapshots the control state: driving the clone does not
+    /// affect the original.
+    #[test]
+    fn clones_are_independent((kind, assoc, word) in policy_and_word()) {
+        let mut policy = kind.build(assoc).unwrap();
+        for input in word.iter().take(10) {
+            match input {
+                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Evct => {
+                    policy.on_miss();
+                }
+            }
+        }
+        let snapshot = policy.state_key();
+        let mut clone = policy.clone_box();
+        clone.on_miss();
+        clone.on_hit(0);
+        prop_assert_eq!(policy.state_key(), snapshot);
+    }
+
+    /// The LRU stack property: under LRU, the blocks of the last
+    /// `associativity` *distinct* accessed lines are never the victim of the
+    /// next eviction if fewer than associativity-many distinct lines were
+    /// touched since.
+    #[test]
+    fn lru_never_evicts_the_most_recently_used_line(
+        assoc in 2usize..=8,
+        touches in proptest::collection::vec(0usize..8, 1..20),
+    ) {
+        let mut policy = PolicyKind::Lru.build(assoc).unwrap();
+        let mut last = None;
+        for &line in touches.iter().filter(|&&l| l < assoc) {
+            policy.on_hit(line);
+            last = Some(line);
+        }
+        if let Some(last) = last {
+            prop_assert_ne!(policy.victim(), last);
+        }
+    }
+}

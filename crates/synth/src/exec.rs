@@ -1,0 +1,270 @@
+//! Executing synthesized programs as replacement policies.
+//!
+//! Making [`PolicyProgram`] implement [`ReplacementPolicy`] gives the
+//! verification path of the synthesizer for free: a candidate program is
+//! converted into its induced Mealy machine with [`policies::policy_to_mealy`]
+//! and compared against the learned automaton, which is exactly the
+//! correctness condition of §5 ("the solver's soundness, the template's
+//! determinism, and the constraint φP ensure that the program behaves exactly
+//! as the learned policy").
+
+use policies::ReplacementPolicy;
+
+use crate::ast::{NormalizeOp, PolicyProgram, PromoteRule, RuleCase};
+
+/// A running instance of a synthesized program: the program plus its current
+/// per-line ages.
+#[derive(Debug, Clone)]
+pub struct ProgramPolicy {
+    program: PolicyProgram,
+    ages: Vec<u8>,
+}
+
+impl ProgramPolicy {
+    /// Instantiates the program in its initial control state.
+    pub fn new(program: PolicyProgram) -> Self {
+        let ages = program.initial_ages.clone();
+        ProgramPolicy { program, ages }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &PolicyProgram {
+        &self.program
+    }
+
+    fn apply_cases(cases: &[RuleCase], age: u8, max_age: u8) -> u8 {
+        for case in cases {
+            if case.guard.eval(age, age) {
+                return case.expr.eval(age, max_age);
+            }
+        }
+        age
+    }
+
+    fn apply_others(ages: &mut [u8], rule: &Option<RuleCase>, touched: usize, touched_old: u8, max_age: u8) {
+        if let Some(case) = rule {
+            for (i, age) in ages.iter_mut().enumerate() {
+                if i != touched && case.guard.eval(*age, touched_old) {
+                    *age = case.expr.eval(*age, max_age);
+                }
+            }
+        }
+    }
+
+    fn normalize(&mut self, touched: Option<usize>) {
+        let Some(op) = self.program.normalize.op else {
+            return;
+        };
+        let max_age = self.program.max_age;
+        match op {
+            NormalizeOp::AgeUpWhileNoMax { except_touched } => loop {
+                if self.ages.iter().any(|&a| a == max_age) {
+                    break;
+                }
+                let mut changed = false;
+                for (i, age) in self.ages.iter_mut().enumerate() {
+                    let exempt = except_touched && Some(i) == touched;
+                    if !exempt && *age < max_age {
+                        *age += 1;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            },
+            NormalizeOp::ResetOthersWhenAllEqual { value, reset_to } => {
+                if self.ages.iter().all(|&a| a == value) {
+                    for (i, age) in self.ages.iter_mut().enumerate() {
+                        if Some(i) != touched {
+                            *age = reset_to.min(max_age);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn promote(&mut self, line: usize) {
+        let PromoteRule { self_cases, others } = self.program.promote.clone();
+        let old = self.ages[line];
+        let new_age = Self::apply_cases(&self_cases, old, self.program.max_age);
+        Self::apply_others(&mut self.ages, &others, line, old, self.program.max_age);
+        self.ages[line] = new_age;
+    }
+}
+
+impl ReplacementPolicy for ProgramPolicy {
+    fn associativity(&self) -> usize {
+        self.program.associativity
+    }
+
+    fn on_hit(&mut self, line: usize) {
+        assert!(line < self.ages.len(), "line index out of range");
+        self.promote(line);
+        if self.program.normalize.after_hit {
+            self.normalize(Some(line));
+        }
+    }
+
+    fn victim(&mut self) -> usize {
+        if self.program.normalize.before_miss {
+            self.normalize(None);
+        }
+        use crate::ast::EvictRule;
+        match self.program.evict {
+            EvictRule::FirstWithAge(k) => self
+                .ages
+                .iter()
+                .position(|&a| a == k)
+                .unwrap_or_else(|| first_extreme(&self.ages, true)),
+            EvictRule::FirstWithMaxAge => first_extreme(&self.ages, true),
+            EvictRule::FirstWithMinAge => first_extreme(&self.ages, false),
+        }
+    }
+
+    fn on_insert(&mut self, line: usize) {
+        assert!(line < self.ages.len(), "line index out of range");
+        let old = self.ages[line];
+        let insert = self.program.insert.clone();
+        Self::apply_others(&mut self.ages, &insert.others, line, old, self.program.max_age);
+        self.ages[line] = insert.self_age.min(self.program.max_age);
+        if self.program.normalize.after_miss {
+            self.normalize(Some(line));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ages = self.program.initial_ages.clone();
+    }
+
+    fn state_key(&self) -> Vec<u32> {
+        self.ages.iter().map(|&a| a as u32).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "synthesized"
+    }
+
+    fn clone_box(&self) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+fn first_extreme(ages: &[u8], max: bool) -> usize {
+    let target = if max {
+        *ages.iter().max().expect("at least one line")
+    } else {
+        *ages.iter().min().expect("at least one line")
+    };
+    ages.iter()
+        .position(|&a| a == target)
+        .expect("the extreme value is present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AgeExpr, EvictRule, Guard, InsertRule, NormalizeRule, PromoteRule, RuleCase};
+    use automata::check_equivalence;
+    use policies::{policy_to_mealy, PolicyKind};
+
+    /// The LRU explanation written by hand; executing it must match the LRU
+    /// implementation exactly.
+    fn lru_program(assoc: usize) -> PolicyProgram {
+        PolicyProgram {
+            associativity: assoc,
+            max_age: (assoc - 1) as u8,
+            initial_ages: (0..assoc).rev().map(|a| a as u8).collect(),
+            promote: PromoteRule {
+                self_cases: vec![RuleCase {
+                    guard: Guard::Always,
+                    expr: AgeExpr::Const(0),
+                }],
+                others: Some(RuleCase {
+                    guard: Guard::LtTouched,
+                    expr: AgeExpr::Inc,
+                }),
+            },
+            evict: EvictRule::FirstWithMaxAge,
+            insert: InsertRule {
+                self_age: 0,
+                others: Some(RuleCase {
+                    guard: Guard::LtTouched,
+                    expr: AgeExpr::Inc,
+                }),
+            },
+            normalize: NormalizeRule::identity(),
+        }
+    }
+
+    /// The New2 explanation from Figure 5b.
+    fn new2_program() -> PolicyProgram {
+        PolicyProgram {
+            associativity: 4,
+            max_age: 3,
+            initial_ages: vec![3, 3, 3, 3],
+            promote: PromoteRule {
+                self_cases: vec![
+                    RuleCase {
+                        guard: Guard::AgeEq(1),
+                        expr: AgeExpr::Const(0),
+                    },
+                    RuleCase {
+                        guard: Guard::AgeGt(1),
+                        expr: AgeExpr::Const(1),
+                    },
+                ],
+                others: None,
+            },
+            evict: EvictRule::FirstWithAge(3),
+            insert: InsertRule {
+                self_age: 1,
+                others: None,
+            },
+            normalize: NormalizeRule {
+                op: Some(NormalizeOp::AgeUpWhileNoMax {
+                    except_touched: false,
+                }),
+                after_hit: true,
+                before_miss: false,
+                after_miss: true,
+            },
+        }
+    }
+
+    #[test]
+    fn hand_written_lru_program_matches_lru() {
+        let program = ProgramPolicy::new(lru_program(4));
+        let machine = policy_to_mealy(&program, 1 << 16);
+        let reference = policy_to_mealy(PolicyKind::Lru.build(4).unwrap().as_ref(), 1 << 16);
+        assert!(check_equivalence(&machine, &reference).is_none());
+    }
+
+    #[test]
+    fn figure_5b_new2_program_matches_new2() {
+        let program = ProgramPolicy::new(new2_program());
+        let machine = policy_to_mealy(&program, 1 << 16);
+        let reference = policy_to_mealy(PolicyKind::New2.build(4).unwrap().as_ref(), 1 << 16);
+        assert!(check_equivalence(&machine, &reference).is_none());
+    }
+
+    #[test]
+    fn reset_restores_the_initial_ages() {
+        let mut program = ProgramPolicy::new(new2_program());
+        program.on_miss();
+        program.on_hit(0);
+        program.reset();
+        assert_eq!(program.state_key(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn evict_rule_falls_back_to_the_maximum() {
+        // FirstWithAge(3) on a state without any 3 must still pick a victim.
+        let mut program = lru_program(4);
+        program.evict = EvictRule::FirstWithAge(3);
+        program.initial_ages = vec![0, 2, 1, 0];
+        let mut policy = ProgramPolicy::new(program);
+        assert_eq!(policy.victim(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate of the CacheQuery/Polca reproduction.
+//!
+//! Re-exports the individual crates so examples, integration tests, and
+//! downstream users can depend on a single package.
+
+#![forbid(unsafe_code)]
+
+pub use automata;
+pub use cache;
+pub use cachequery;
+pub use hardware;
+pub use learning;
+pub use mbl;
+pub use polca;
+pub use policies;
+pub use synth;
