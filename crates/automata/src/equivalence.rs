@@ -71,9 +71,11 @@ where
     );
 
     // BFS over the product, remembering the predecessor to reconstruct a
-    // shortest distinguishing word.
-    let mut visited: HashMap<(StateId, StateId), Option<((StateId, StateId), usize)>> =
-        HashMap::new();
+    // shortest distinguishing word: product state -> (predecessor, input index)
+    // or None for the start state.
+    type ProductState = (StateId, StateId);
+    type Predecessor = Option<(ProductState, usize)>;
+    let mut visited: HashMap<ProductState, Predecessor> = HashMap::new();
     let start = (a.initial(), b.initial());
     visited.insert(start, None);
     let mut queue = VecDeque::new();

@@ -24,7 +24,9 @@ impl Default for ExploreLimit {
     fn default() -> Self {
         // PLRU at associativity 16 has 32768 states (Table 2); default to a
         // bound comfortably above that.
-        ExploreLimit { max_states: 1 << 20 }
+        ExploreLimit {
+            max_states: 1 << 20,
+        }
     }
 }
 
@@ -165,7 +167,13 @@ mod tests {
 
     #[test]
     fn single_state_machine() {
-        let m = explore(0u8, vec!["a", "b"], |_, i| (0, i.len()), ExploreLimit::default()).unwrap();
+        let m = explore(
+            0u8,
+            vec!["a", "b"],
+            |_, i| (0, i.len()),
+            ExploreLimit::default(),
+        )
+        .unwrap();
         assert_eq!(m.num_states(), 1);
         assert_eq!(m.output_word(["a", "b"].iter()), vec![1, 1]);
     }

@@ -64,7 +64,10 @@ impl fmt::Display for MealyBuildError {
                 write!(f, "state {state} has no transition for input {input}")
             }
             MealyBuildError::ConflictingTransition { state, input } => {
-                write!(f, "state {state} has conflicting transitions for input {input}")
+                write!(
+                    f,
+                    "state {state} has conflicting transitions for input {input}"
+                )
             }
             MealyBuildError::Empty => write!(f, "machine has no states"),
             MealyBuildError::UnknownInput(i) => write!(f, "input {i} is not in the alphabet"),

@@ -167,7 +167,10 @@ where
         let mut complete = Vec::with_capacity(inputs.len());
         for (ii, cell) in row.into_iter().enumerate() {
             complete.push(cell.ok_or_else(|| {
-                err(0, format!("missing transition for state {s}, input index {ii}"))
+                err(
+                    0,
+                    format!("missing transition for state {s}, input index {ii}"),
+                )
             })?);
         }
         transitions.push(complete);

@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 /// Builds a random complete Mealy machine over a small alphabet by exploring
 /// a random transition table.
-fn random_machine(
-    states: usize,
-    seed_rows: Vec<Vec<(usize, u8)>>,
-) -> Mealy<&'static str, u8> {
+fn random_machine(states: usize, seed_rows: Vec<Vec<(usize, u8)>>) -> Mealy<&'static str, u8> {
     const INPUTS: [&str; 3] = ["a", "b", "c"];
     explore(
         0usize,

@@ -13,15 +13,12 @@ fn bench_mbl_query(c: &mut Criterion) {
         let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 1);
         let mut tool = CacheQuery::new(cpu);
         tool.enable_cache(false);
-        tool.set_target(Target::new(level, 5, 0)).expect("valid target");
+        tool.set_target(Target::new(level, 5, 0))
+            .expect("valid target");
         group.bench_with_input(
             BenchmarkId::new("at_m_wildcard", level.to_string()),
             &level,
-            |b, _| {
-                b.iter(|| {
-                    tool.query("@ M _?").expect("query runs").len()
-                })
-            },
+            |b, _| b.iter(|| tool.query("@ M _?").expect("query runs").len()),
         );
     }
     group.finish();

@@ -26,7 +26,9 @@ fn bench_synthesis(c: &mut Criterion) {
                         max_age,
                         ..SynthesisConfig::default()
                     };
-                    synthesize(machine, assoc, &config).expect("synthesizable").template
+                    synthesize(machine, assoc, &config)
+                        .expect("synthesizable")
+                        .template
                 })
             },
         );

@@ -48,7 +48,12 @@ fn main() {
     let report =
         detect_leader_sets(&mut tool, LevelId::L3, &candidates, 2).expect("detection runs");
 
-    let sets_per_slice = model.spec().level(LevelId::L3).unwrap().geometry.sets_per_slice;
+    let sets_per_slice = model
+        .spec()
+        .level(LevelId::L3)
+        .unwrap()
+        .geometry
+        .sets_per_slice;
     let slices = model.spec().level(LevelId::L3).unwrap().geometry.slices;
     let expected_roles = skylake_like_roles(sets_per_slice, slices);
 

@@ -94,7 +94,8 @@ fn main() {
         let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, seed);
         let mut tool = CacheQuery::new(cpu);
         tool.enable_cache(false);
-        tool.set_target(Target::new(level, 5, 0)).expect("valid target");
+        tool.set_target(Target::new(level, 5, 0))
+            .expect("valid target");
         let loads_before = tool.stats().backend_loads;
         let cycles_before = tool.backend().cpu().rdtsc();
         let start = Instant::now();

@@ -27,9 +27,7 @@ struct Row {
 
 fn default_rows(max_assoc: usize, full: bool) -> Vec<Row> {
     let clamp = |v: Vec<usize>| -> Vec<usize> {
-        v.into_iter()
-            .filter(|&a| full || a <= max_assoc)
-            .collect()
+        v.into_iter().filter(|&a| full || a <= max_assoc).collect()
     };
     vec![
         Row {
@@ -42,7 +40,11 @@ fn default_rows(max_assoc: usize, full: bool) -> Vec<Row> {
         },
         Row {
             policy: PolicyKind::Plru,
-            associativities: clamp(if full { vec![2, 4, 8, 16] } else { vec![2, 4, 8] }),
+            associativities: clamp(if full {
+                vec![2, 4, 8, 16]
+            } else {
+                vec![2, 4, 8]
+            }),
         },
         Row {
             policy: PolicyKind::Mru,

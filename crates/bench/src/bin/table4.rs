@@ -180,20 +180,21 @@ fn main() {
         );
         match learn_hardware_policy(&hardware, &setup) {
             Ok(outcome) => {
-                let identified = identify_policy(
-                    &outcome.machine,
-                    assoc,
-                    &PolicyKind::ALL_DETERMINISTIC,
-                )
-                .map(|(kind, _)| kind.name().to_string())
-                .unwrap_or_else(|| "unknown".to_string());
+                let identified =
+                    identify_policy(&outcome.machine, assoc, &PolicyKind::ALL_DETERMINISTIC)
+                        .map(|(kind, _)| kind.name().to_string())
+                        .unwrap_or_else(|| "unknown".to_string());
                 table.add_row(&[
                     spec.name.to_string(),
                     experiment.level.to_string(),
                     format!(
                         "{}{}",
                         assoc,
-                        if experiment.cat_ways.is_some() { "*" } else { "" }
+                        if experiment.cat_ways.is_some() {
+                            "*"
+                        } else {
+                            ""
+                        }
                     ),
                     experiment.set.to_string(),
                     outcome.machine.num_states().to_string(),

@@ -115,7 +115,9 @@ fn main() {
 
     println!("{}", table.render());
     println!("Paper reference (Table 5): FIFO/LRU/LIP Simple; MRU, SRRIP-HP, SRRIP-FP, New1, New2");
-    println!("Extended; PLRU not expressible.  Absolute times differ (enumerative search vs Sketch).");
+    println!(
+        "Extended; PLRU not expressible.  Absolute times differ (enumerative search vs Sketch)."
+    );
 
     if print_programs {
         println!();

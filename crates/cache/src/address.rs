@@ -15,7 +15,10 @@ impl PhysAddr {
     ///
     /// Panics if `line_size` is not a power of two.
     pub fn line_base(self, line_size: u64) -> PhysAddr {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         PhysAddr(self.0 & !(line_size - 1))
     }
 }

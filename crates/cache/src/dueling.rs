@@ -164,14 +164,11 @@ pub fn skylake_like_roles(sets_per_slice: usize, slices: usize) -> Vec<DuelingRo
 /// alternate leaders; every other set follows.
 pub fn haswell_like_roles(sets_per_slice: usize, slices: usize) -> Vec<DuelingRole> {
     let mut roles = vec![DuelingRole::Follower; sets_per_slice * slices];
-    for set in 512..=575usize {
-        if set < sets_per_slice {
-            roles[set] = DuelingRole::LeaderPrimary;
-        }
-    }
-    for set in 768..=831usize {
-        if set < sets_per_slice {
-            roles[set] = DuelingRole::LeaderAlternate;
+    for (set, role) in roles.iter_mut().enumerate().take(sets_per_slice) {
+        if (512..=575).contains(&set) {
+            *role = DuelingRole::LeaderPrimary;
+        } else if (768..=831).contains(&set) {
+            *role = DuelingRole::LeaderAlternate;
         }
     }
     roles

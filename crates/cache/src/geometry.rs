@@ -31,7 +31,10 @@ impl CacheGeometry {
             sets_per_slice.is_power_of_two(),
             "sets per slice must be a power of two"
         );
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             matches!(slices, 1 | 2 | 4 | 8),
             "slice count must be 1, 2, 4 or 8"

@@ -115,7 +115,10 @@ impl CacheSet {
     ///
     /// Panics if the number of blocks differs from the policy's associativity
     /// or if the blocks are not pairwise distinct.
-    pub fn filled(policy: Box<dyn ReplacementPolicy>, blocks: impl IntoIterator<Item = Block>) -> Self {
+    pub fn filled(
+        policy: Box<dyn ReplacementPolicy>,
+        blocks: impl IntoIterator<Item = Block>,
+    ) -> Self {
         let assoc = policy.associativity();
         let lines: Vec<Option<Block>> = blocks.into_iter().map(Some).collect();
         assert_eq!(

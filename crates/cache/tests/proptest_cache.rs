@@ -5,18 +5,17 @@ use policies::PolicyKind;
 use proptest::prelude::*;
 
 fn set_strategy() -> impl Strategy<Value = (PolicyKind, usize, Vec<u64>)> {
-    (2usize..=8)
-        .prop_flat_map(|assoc| {
-            let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
-                .into_iter()
-                .filter(|k| k.supports_associativity(assoc))
-                .collect();
-            (
-                proptest::sample::select(kinds),
-                Just(assoc),
-                proptest::collection::vec(0u64..16, 1..80),
-            )
-        })
+    (2usize..=8).prop_flat_map(|assoc| {
+        let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
+            .into_iter()
+            .filter(|k| k.supports_associativity(assoc))
+            .collect();
+        (
+            proptest::sample::select(kinds),
+            Just(assoc),
+            proptest::collection::vec(0u64..16, 1..80),
+        )
+    })
 }
 
 proptest! {

@@ -93,7 +93,10 @@ impl fmt::Display for BackendError {
             BackendError::SetOutOfRange {
                 set,
                 sets_per_slice,
-            } => write!(f, "set {set} out of range (level has {sets_per_slice} sets per slice)"),
+            } => write!(
+                f,
+                "set {set} out of range (level has {sets_per_slice} sets per slice)"
+            ),
             BackendError::SliceOutOfRange { slice, slices } => {
                 write!(f, "slice {slice} out of range (level has {slices} slices)")
             }
@@ -206,7 +209,7 @@ impl Backend {
     /// number; 0 is treated as 1).
     pub fn set_repetitions(&mut self, repetitions: usize) {
         let r = repetitions.max(1);
-        self.repetitions = if r % 2 == 0 { r + 1 } else { r };
+        self.repetitions = if r.is_multiple_of(2) { r + 1 } else { r };
     }
 
     /// The reset sequence applied before every query execution.

@@ -36,6 +36,13 @@ pub struct QueryStats {
     pub backend_queries: u64,
 }
 
+/// Key of one cached response: the target (level, set, cpu-visible slice)
+/// plus the rendered concrete query.
+type ResponseKey = (LevelId, usize, usize, String);
+
+/// Cached value: the profiled outcomes and whether the run was degraded.
+type CachedResponse = (Vec<HitMiss>, bool);
+
 /// The user-facing CacheQuery tool: target selection, MBL queries, response
 /// caching and statistics.
 ///
@@ -43,7 +50,7 @@ pub struct QueryStats {
 #[derive(Debug)]
 pub struct CacheQuery {
     backend: Backend,
-    cache: HashMap<(LevelId, usize, usize, String), (Vec<HitMiss>, bool)>,
+    cache: HashMap<ResponseKey, CachedResponse>,
     caching_enabled: bool,
     stats: QueryStats,
 }
@@ -182,7 +189,10 @@ impl CacheQuery {
     /// # Errors
     ///
     /// Stops at the first failing expression and returns its error.
-    pub fn run_batch(&mut self, expressions: &[&str]) -> Result<Vec<Vec<QueryOutcome>>, BackendError> {
+    pub fn run_batch(
+        &mut self,
+        expressions: &[&str],
+    ) -> Result<Vec<Vec<QueryOutcome>>, BackendError> {
         expressions.iter().map(|e| self.query(e)).collect()
     }
 
@@ -223,7 +233,13 @@ impl CacheQuery {
             };
             let outcomes: Vec<HitMiss> = parts[4]
                 .chars()
-                .map(|c| if c == 'H' { HitMiss::Hit } else { HitMiss::Miss })
+                .map(|c| {
+                    if c == 'H' {
+                        HitMiss::Hit
+                    } else {
+                        HitMiss::Miss
+                    }
+                })
                 .collect();
             self.cache.insert(
                 (level, set, slice, parts[5].to_string()),

@@ -202,8 +202,14 @@ mod tests {
         let candidates = [(0, 0), (33, 0), (1, 0), (7, 0)];
         let report = detect_leader_sets(&mut cq, LevelId::L3, &candidates, 2).unwrap();
         let vulnerable = report.thrash_vulnerable();
-        assert!(vulnerable.contains(&(0, 0)), "set 0 should be a leader: {report:?}");
-        assert!(vulnerable.contains(&(33, 0)), "set 33 should be a leader: {report:?}");
+        assert!(
+            vulnerable.contains(&(0, 0)),
+            "set 0 should be a leader: {report:?}"
+        );
+        assert!(
+            vulnerable.contains(&(33, 0)),
+            "set 33 should be a leader: {report:?}"
+        );
         assert!(
             !vulnerable.contains(&(1, 0)) && !vulnerable.contains(&(7, 0)),
             "follower sets misclassified as leaders: {report:?}"

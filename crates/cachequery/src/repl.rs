@@ -112,7 +112,10 @@ pub fn process_command(session: &mut ReplSession, line: &str) -> String {
         "reps" => match rest.first().and_then(|s| s.parse().ok()) {
             Some(reps) => {
                 session.tool.set_repetitions(reps);
-                format!("repetitions set to {}", session.tool.backend().repetitions())
+                format!(
+                    "repetitions set to {}",
+                    session.tool.backend().repetitions()
+                )
             }
             None => "usage: reps <count>".to_string(),
         },

@@ -13,10 +13,11 @@ use mbl::{expand_query, ExpandError, Query};
 
 /// How the target cache set is brought into its fixed initial state before a
 /// query is executed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum ResetSequence {
     /// Flush the set's known content (`clflush`) and refill it with the `@`
     /// macro (associativity-many blocks in order).  Written "F+R" in Table 4.
+    #[default]
     FlushRefill,
     /// A custom MBL expression executed after the flush instead of the plain
     /// `@` refill, e.g. `"D C B A @"` for the Skylake L2.
@@ -50,12 +51,6 @@ impl fmt::Display for ResetSequence {
             ResetSequence::FlushRefill => write!(f, "F+R"),
             ResetSequence::Custom(s) => write!(f, "{s}"),
         }
-    }
-}
-
-impl Default for ResetSequence {
-    fn default() -> Self {
-        ResetSequence::FlushRefill
     }
 }
 

@@ -67,7 +67,7 @@ impl AdaptiveRrip {
     }
 
     fn normalize(&mut self) {
-        while !self.ages.iter().any(|&a| a == MAX_AGE) {
+        while !self.ages.contains(&MAX_AGE) {
             self.ages.iter_mut().for_each(|a| *a += 1);
         }
     }

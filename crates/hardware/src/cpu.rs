@@ -57,7 +57,10 @@ impl fmt::Display for CatError {
             CatError::InvalidWays {
                 requested,
                 available,
-            } => write!(f, "cannot restrict to {requested} ways (level has {available})"),
+            } => write!(
+                f,
+                "cannot restrict to {requested} ways (level has {available})"
+            ),
         }
     }
 }
@@ -326,7 +329,12 @@ fn build_level(
     let mut geometry = spec.geometry;
     if spec.level == LevelId::L3 {
         if let Some(ways) = cat_ways {
-            geometry = CacheGeometry::new(ways, geometry.sets_per_slice, geometry.slices, geometry.line_size);
+            geometry = CacheGeometry::new(
+                ways,
+                geometry.sets_per_slice,
+                geometry.slices,
+                geometry.line_size,
+            );
         }
     }
     let config = LevelConfig {
@@ -382,7 +390,11 @@ mod tests {
         for _ in 0..50 {
             total += cpu.load(pool).min(100);
         }
-        assert!(total / 50 < 10, "average {} too high for L1 hits", total / 50);
+        assert!(
+            total / 50 < 10,
+            "average {} too high for L1 hits",
+            total / 50
+        );
     }
 
     #[test]
@@ -392,7 +404,10 @@ mod tests {
         cpu.load(pool);
         cpu.clflush(pool);
         let latency = cpu.load(pool);
-        assert!(latency > 100, "latency {latency} too small for a DRAM access");
+        assert!(
+            latency > 100,
+            "latency {latency} too small for a DRAM access"
+        );
     }
 
     #[test]

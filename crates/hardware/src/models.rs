@@ -180,7 +180,10 @@ mod tests {
 
         let kbl = CpuModel::KabyLakeI7_8550U.spec();
         assert_eq!(kbl.level(LevelId::L3).unwrap().geometry.associativity, 16);
-        assert_eq!(kbl.level(LevelId::L2).unwrap().geometry.sets_per_slice, 1024);
+        assert_eq!(
+            kbl.level(LevelId::L2).unwrap().geometry.sets_per_slice,
+            1024
+        );
     }
 
     #[test]
@@ -193,15 +196,27 @@ mod tests {
             );
         }
         assert_eq!(
-            CpuModel::HaswellI7_4790.spec().level(LevelId::L2).unwrap().policy,
+            CpuModel::HaswellI7_4790
+                .spec()
+                .level(LevelId::L2)
+                .unwrap()
+                .policy,
             LevelPolicy::Fixed(PolicyKind::Plru)
         );
         assert_eq!(
-            CpuModel::SkylakeI5_6500.spec().level(LevelId::L2).unwrap().policy,
+            CpuModel::SkylakeI5_6500
+                .spec()
+                .level(LevelId::L2)
+                .unwrap()
+                .policy,
             LevelPolicy::Fixed(PolicyKind::New1)
         );
         assert_eq!(
-            CpuModel::KabyLakeI7_8550U.spec().level(LevelId::L2).unwrap().policy,
+            CpuModel::KabyLakeI7_8550U
+                .spec()
+                .level(LevelId::L2)
+                .unwrap()
+                .policy,
             LevelPolicy::Fixed(PolicyKind::New1)
         );
     }

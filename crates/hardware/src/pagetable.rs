@@ -119,9 +119,7 @@ mod tests {
         let contiguous = (0..64u64)
             .map(|p| pt.translate(p * PAGE_SIZE).0)
             .collect::<Vec<_>>();
-        let sorted_and_contiguous = contiguous
-            .windows(2)
-            .all(|w| w[1] == w[0] + PAGE_SIZE);
+        let sorted_and_contiguous = contiguous.windows(2).all(|w| w[1] == w[0] + PAGE_SIZE);
         assert!(!sorted_and_contiguous);
     }
 

@@ -104,12 +104,12 @@ impl TimingModel {
         } else {
             0.0
         };
-        let outlier = if noise.outlier_probability > 0.0 && rng.gen::<f64>() < noise.outlier_probability
-        {
-            noise.outlier_cycles
-        } else {
-            0
-        };
+        let outlier =
+            if noise.outlier_probability > 0.0 && rng.gen::<f64>() < noise.outlier_probability {
+                noise.outlier_cycles
+            } else {
+                0
+            };
         (base + jitter).max(1.0).round() as u64 + outlier
     }
 }
@@ -132,7 +132,10 @@ mod tests {
     fn noiseless_sampling_returns_the_base() {
         let t = TimingModel::default();
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(t.sample(Some(LevelId::L1), &NoiseConfig::none(), &mut rng), 4);
+        assert_eq!(
+            t.sample(Some(LevelId::L1), &NoiseConfig::none(), &mut rng),
+            4
+        );
         assert_eq!(t.sample(None, &NoiseConfig::none(), &mut rng), 200);
     }
 

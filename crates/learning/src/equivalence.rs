@@ -193,10 +193,7 @@ mod tests {
         let target = counter(3);
         let mut oracle = MealyOracle::new(target.clone());
         let mut wp = WpMethodOracle::new(1);
-        assert_eq!(
-            wp.find_counterexample(&mut oracle, &target).unwrap(),
-            None
-        );
+        assert_eq!(wp.find_counterexample(&mut oracle, &target).unwrap(), None);
         assert!(wp.tests_run() > 0);
     }
 

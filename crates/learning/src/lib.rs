@@ -62,4 +62,6 @@ mod wmethod;
 pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
 pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnStats};
 pub use oracle::{CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, OracleError};
-pub use wmethod::{characterization_set, state_cover, transition_cover, w_method_suite, wp_method_suite};
+pub use wmethod::{
+    characterization_set, state_cover, transition_cover, w_method_suite, wp_method_suite,
+};

@@ -128,9 +128,7 @@ where
 
         // Ask for a counterexample.
         stats.equivalence_queries += 1;
-        let Some(counterexample) =
-            equivalence.find_counterexample(membership, &hypothesis)?
-        else {
+        let Some(counterexample) = equivalence.find_counterexample(membership, &hypothesis)? else {
             stats.membership_queries = membership.queries_answered();
             stats.states = hypothesis.num_states();
             stats.suffixes = table.suffixes().len();
@@ -200,18 +198,19 @@ where
         .cloned()
         .expect("counterexamples are non-empty");
 
-    let check = |membership: &mut dyn MembershipOracle<I, O>, i: usize| -> Result<bool, OracleError> {
-        // Word: access string of the state reached after w[..i], followed by
-        // the rest of the counterexample.
-        let state = hypothesis.delta(hypothesis.initial(), counterexample[..i].iter());
-        let mut word = access[state.index()].clone();
-        word.extend(counterexample[i..].iter().cloned());
-        if word.is_empty() {
-            return Ok(true);
-        }
-        let out = membership.last_output(&word)?;
-        Ok(out == expected)
-    };
+    let check =
+        |membership: &mut dyn MembershipOracle<I, O>, i: usize| -> Result<bool, OracleError> {
+            // Word: access string of the state reached after w[..i], followed by
+            // the rest of the counterexample.
+            let state = hypothesis.delta(hypothesis.initial(), counterexample[..i].iter());
+            let mut word = access[state.index()].clone();
+            word.extend(counterexample[i..].iter().cloned());
+            if word.is_empty() {
+                return Ok(true);
+            }
+            let out = membership.last_output(&word)?;
+            Ok(out == expected)
+        };
 
     // Invariant: check(lo) = false, check(hi) = true.
     let mut lo = 0usize;
@@ -258,7 +257,10 @@ mod tests {
         b.build(states[0]).unwrap()
     }
 
-    fn learn(target: &Mealy<&'static str, bool>, depth: usize) -> (Mealy<&'static str, bool>, LearnStats) {
+    fn learn(
+        target: &Mealy<&'static str, bool>,
+        depth: usize,
+    ) -> (Mealy<&'static str, bool>, LearnStats) {
         let mut teacher = CachedOracle::new(MealyOracle::new(target.clone()));
         let mut eq = WpMethodOracle::new(depth);
         learn_mealy(

@@ -118,7 +118,7 @@ where
                 let mut extended = s.clone();
                 extended.push(a.clone());
                 let row = self.row(&extended);
-                if !short_rows.iter().any(|r| *r == row) {
+                if !short_rows.contains(&row) {
                     return Some(extended);
                 }
             }
@@ -156,9 +156,9 @@ where
         let mut access: Vec<Vec<I>> = Vec::new();
         for s in &self.short {
             let row = self.row(s).to_vec();
-            if !state_of_row.contains_key(&row) {
+            if let std::collections::hash_map::Entry::Vacant(e) = state_of_row.entry(row) {
                 let id = StateId::new(access.len());
-                state_of_row.insert(row, id);
+                e.insert(id);
                 access.push(s.clone());
             }
         }
@@ -180,12 +180,7 @@ where
                 // input by construction of `new`; later suffixes do not change
                 // this because suffix 0..|inputs| are the single symbols).
                 let output = self.row(s)[input_index][0].clone();
-                builder.add_transition(
-                    StateId::new(state_index),
-                    a.clone(),
-                    successor,
-                    output,
-                );
+                builder.add_transition(StateId::new(state_index), a.clone(), successor, output);
             }
         }
         let machine = builder
@@ -257,7 +252,7 @@ mod tests {
         let mut table = ObservationTable::new(vec!["a", "b"]);
         table.fill(&mut oracle).unwrap();
         // Row of prefix "a" for suffix "a": output of the second "a" only.
-        let row = table.row(&vec!["a"]);
+        let row = table.row(&["a"]);
         assert_eq!(row[0], vec![2]);
         assert_eq!(row[1], vec![9]);
     }

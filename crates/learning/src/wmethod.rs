@@ -25,7 +25,9 @@ where
     cover[machine.initial().index()] = Some(Vec::new());
     queue.push_back(machine.initial());
     while let Some(state) = queue.pop_front() {
-        let prefix = cover[state.index()].clone().expect("visited states have a prefix");
+        let prefix = cover[state.index()]
+            .clone()
+            .expect("visited states have a prefix");
         for (ii, input) in machine.inputs().iter().enumerate() {
             let (next, _) = machine.step_by_index(state, ii);
             if cover[next.index()].is_none() {
@@ -68,6 +70,9 @@ where
 /// Also returns, for every state, the indices into `W` that suffice to
 /// distinguish that state from every other state (the per-state
 /// identification sets `Wi` used by the Wp-method).
+// Index loops over symmetric state pairs (writing both [a][b] and [b][a])
+// read better than the iterator forms clippy suggests.
+#[allow(clippy::needless_range_loop)]
 pub fn characterization_set<I, O>(machine: &Mealy<I, O>) -> (Vec<Vec<I>>, Vec<Vec<usize>>)
 where
     I: Clone + Eq + Hash + fmt::Debug,

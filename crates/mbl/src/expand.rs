@@ -193,7 +193,7 @@ mod tests {
         expand_query(input, assoc)
             .unwrap()
             .iter()
-            .map(|q| render_query(q))
+            .map(render_query)
             .collect()
     }
 

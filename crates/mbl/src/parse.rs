@@ -188,11 +188,7 @@ impl Parser {
                     parts.push(self.parse_term()?);
                 }
                 Some(
-                    Token::Block(_)
-                    | Token::At
-                    | Token::Underscore
-                    | Token::LParen
-                    | Token::LBrace,
+                    Token::Block(_) | Token::At | Token::Underscore | Token::LParen | Token::LBrace,
                 ) => {
                     parts.push(self.parse_term()?);
                 }
@@ -354,7 +350,10 @@ mod tests {
     #[test]
     fn explicit_composition_operator_is_accepted() {
         assert_eq!(parse("A ∘ B").unwrap(), parse("A B").unwrap());
-        assert_eq!(parse("(A B C D) ∘ (E F)").unwrap(), parse("(A B C D) (E F)").unwrap());
+        assert_eq!(
+            parse("(A B C D) ∘ (E F)").unwrap(),
+            parse("(A B C D) (E F)").unwrap()
+        );
     }
 
     #[test]

@@ -51,10 +51,7 @@ impl SimulatedCacheOracle {
     /// Returns an error if the policy does not support the associativity.
     pub fn new(kind: PolicyKind, associativity: usize) -> Result<Self, policies::PolicyError> {
         let policy = kind.build(associativity)?;
-        let template = CacheSet::filled(
-            policy,
-            (0..associativity as u64).map(Block::new),
-        );
+        let template = CacheSet::filled(policy, (0..associativity as u64).map(Block::new));
         Ok(SimulatedCacheOracle {
             template,
             probes: 0,

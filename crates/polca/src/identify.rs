@@ -46,7 +46,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(k - 1, items, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -203,10 +203,8 @@ mod tests {
         // identification still recognizes it as LRU.
         let reference = policy_to_mealy(PolicyKind::Lru.build(3).unwrap().as_ref(), 1 << 16);
         let shuffle = LinePermutation(vec![2, 0, 1]);
-        let permuted = reference.map_alphabets(
-            |i| shuffle.apply_input(*i),
-            |o| shuffle.apply_output(*o),
-        );
+        let permuted =
+            reference.map_alphabets(|i| shuffle.apply_input(*i), |o| shuffle.apply_output(*o));
         let (found, _) = identify_policy(&permuted, 3, &CANDIDATES).unwrap();
         assert_eq!(found, PolicyKind::Lru);
     }
@@ -243,10 +241,7 @@ mod tests {
     #[test]
     fn permutation_helpers_apply_to_inputs_and_outputs() {
         let perm = LinePermutation(vec![1, 0]);
-        assert_eq!(
-            perm.apply_input(PolicyInput::Line(0)),
-            PolicyInput::Line(1)
-        );
+        assert_eq!(perm.apply_input(PolicyInput::Line(0)), PolicyInput::Line(1));
         assert_eq!(perm.apply_input(PolicyInput::Evct), PolicyInput::Evct);
         assert_eq!(
             perm.apply_output(PolicyOutput::Evicted(1)),

@@ -137,7 +137,11 @@ mod tests {
         // touching line 1 last... here: touching 0 then 1 makes line 0 LRU).
         let mut polca = oracle(PolicyKind::Lru, 2);
         let out = polca
-            .query(&[PolicyInput::Line(0), PolicyInput::Line(1), PolicyInput::Evct])
+            .query(&[
+                PolicyInput::Line(0),
+                PolicyInput::Line(1),
+                PolicyInput::Evct,
+            ])
             .unwrap();
         assert_eq!(
             out,
@@ -218,7 +222,9 @@ mod tests {
     #[test]
     fn probe_counts_grow_quadratically_with_word_length() {
         let mut polca = oracle(PolicyKind::Lru, 4);
-        polca.query(&[PolicyInput::Line(0), PolicyInput::Line(1)]).unwrap();
+        polca
+            .query(&[PolicyInput::Line(0), PolicyInput::Line(1)])
+            .unwrap();
         // Two probes for two hits, no findEvicted probes.
         assert_eq!(polca.cache().probes(), 2);
         let mut polca = oracle(PolicyKind::Lru, 4);

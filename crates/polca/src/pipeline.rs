@@ -8,9 +8,7 @@ use automata::minimize;
 use cache::LevelId;
 use cachequery::{CacheQuery, ResetSequence, Target};
 use hardware::{CpuModel, SimulatedCpu};
-use learning::{
-    learn_mealy, CachedOracle, LearnError, LearnOptions, LearnStats, WpMethodOracle,
-};
+use learning::{learn_mealy, CachedOracle, LearnError, LearnOptions, LearnStats, WpMethodOracle};
 use policies::{policy_alphabet, PolicyKind, PolicyMealy};
 
 use crate::cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
@@ -139,8 +137,7 @@ pub fn learn_hardware_policy(
     }
     tool.set_target(hardware.target)
         .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
-    let oracle = CacheQueryOracle::new(tool)
-        .map_err(LearnError::Oracle)?;
+    let oracle = CacheQueryOracle::new(tool).map_err(LearnError::Oracle)?;
     learn_policy(oracle, setup)
 }
 

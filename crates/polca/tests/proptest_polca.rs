@@ -21,18 +21,17 @@ fn word_strategy(assoc: usize) -> impl Strategy<Value = Vec<PolicyInput>> {
 }
 
 fn case_strategy() -> impl Strategy<Value = (PolicyKind, usize, Vec<PolicyInput>)> {
-    (2usize..=6)
-        .prop_flat_map(|assoc| {
-            let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
-                .into_iter()
-                .filter(|k| k.supports_associativity(assoc))
-                .collect();
-            (
-                proptest::sample::select(kinds),
-                Just(assoc),
-                word_strategy(assoc),
-            )
-        })
+    (2usize..=6).prop_flat_map(|assoc| {
+        let kinds: Vec<PolicyKind> = PolicyKind::ALL_DETERMINISTIC
+            .into_iter()
+            .filter(|k| k.supports_associativity(assoc))
+            .collect();
+        (
+            proptest::sample::select(kinds),
+            Just(assoc),
+            word_strategy(assoc),
+        )
+    })
 }
 
 proptest! {

@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        for input in [PolicyInput::Line(0), PolicyInput::Line(15), PolicyInput::Evct] {
+        for input in [
+            PolicyInput::Line(0),
+            PolicyInput::Line(15),
+            PolicyInput::Evct,
+        ] {
             assert_eq!(input.to_string().parse::<PolicyInput>().unwrap(), input);
         }
         for output in [PolicyOutput::None, PolicyOutput::Evicted(7)] {

@@ -130,8 +130,14 @@ mod tests {
 
     #[test]
     fn srrip_state_counts_match_table_2() {
-        assert_eq!(minimal_states(&Srrip::new(2, SrripVariant::HitPriority)), 12);
-        assert_eq!(minimal_states(&Srrip::new(4, SrripVariant::HitPriority)), 178);
+        assert_eq!(
+            minimal_states(&Srrip::new(2, SrripVariant::HitPriority)),
+            12
+        );
+        assert_eq!(
+            minimal_states(&Srrip::new(4, SrripVariant::HitPriority)),
+            178
+        );
         assert_eq!(
             minimal_states(&Srrip::new(2, SrripVariant::FrequencyPriority)),
             16
@@ -155,9 +161,8 @@ mod tests {
         // keeps the state, accessing line 0 swaps the victim.
         assert_eq!(minimize(&machine).num_states(), 2);
         assert_eq!(
-            machine.output_word(
-                [PolicyInput::Line(0), PolicyInput::Evct, PolicyInput::Evct].iter()
-            ),
+            machine
+                .output_word([PolicyInput::Line(0), PolicyInput::Evct, PolicyInput::Evct].iter()),
             vec![
                 PolicyOutput::None,
                 PolicyOutput::Evicted(1),

@@ -38,7 +38,7 @@ fn normalize(ages: &mut [u8], touched: Option<usize>, style: NormalizeStyle) {
     // Restore the invariant "some line has the maximum age".  The exempted
     // line bounds the number of iterations: every other line strictly
     // increases, so at most MAX_AGE rounds are needed.
-    while !ages.iter().any(|&a| a == MAX_AGE) {
+    while !ages.contains(&MAX_AGE) {
         let mut changed = false;
         for (i, a) in ages.iter_mut().enumerate() {
             let exempt = style == NormalizeStyle::AllExceptTouched && Some(i) == touched;

@@ -137,9 +137,9 @@ impl PolicyKind {
         Ok(match self {
             PolicyKind::Fifo => Box::new(Fifo::new(assoc)),
             PolicyKind::Lru => Box::new(Lru::new(assoc)),
-            PolicyKind::Plru => Box::new(
-                Plru::new(assoc).expect("associativity support was checked above"),
-            ),
+            PolicyKind::Plru => {
+                Box::new(Plru::new(assoc).expect("associativity support was checked above"))
+            }
             PolicyKind::Mru => Box::new(Mru::new(assoc)),
             PolicyKind::Lip => Box::new(Lip::new(assoc)),
             PolicyKind::SrripHp => Box::new(Srrip::new(assoc, SrripVariant::HitPriority)),

@@ -1,6 +1,6 @@
 //! Property-based tests for the replacement-policy implementations.
 
-use policies::{PolicyInput, PolicyKind, ReplacementPolicy};
+use policies::{PolicyInput, PolicyKind};
 use proptest::prelude::*;
 
 /// All deterministic policies that support the given associativity.

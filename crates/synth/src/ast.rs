@@ -208,7 +208,10 @@ impl fmt::Display for NormalizeOp {
                         "while no line has the maximum age, increment every other line's age"
                     )
                 } else {
-                    write!(f, "while no line has the maximum age, increment every line's age")
+                    write!(
+                        f,
+                        "while no line has the maximum age, increment every line's age"
+                    )
                 }
             }
             NormalizeOp::ResetOthersWhenAllEqual { value, reset_to } => write!(
@@ -294,7 +297,11 @@ impl fmt::Display for PolicyProgram {
             writeln!(f, "    for every other line: {case}")?;
         }
         writeln!(f, "  evict: {}", self.evict)?;
-        writeln!(f, "  insert: set the filled line's age to {}", self.insert.self_age)?;
+        writeln!(
+            f,
+            "  insert: set the filled line's age to {}",
+            self.insert.self_age
+        )?;
         if let Some(case) = &self.insert.others {
             writeln!(f, "    for every other line: {case}")?;
         }

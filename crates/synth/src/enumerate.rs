@@ -1,6 +1,8 @@
 //! Enumeration of the template's rule space (the "generators" of §5).
 
-use crate::ast::{AgeExpr, EvictRule, Guard, InsertRule, NormalizeOp, NormalizeRule, PromoteRule, RuleCase};
+use crate::ast::{
+    AgeExpr, EvictRule, Guard, InsertRule, NormalizeOp, NormalizeRule, PromoteRule, RuleCase,
+};
 
 /// Guards available for the accessed line's own update.
 pub fn self_guards(max_age: u8) -> Vec<Guard> {
@@ -51,7 +53,11 @@ fn cases(guards: &[Guard], exprs: &[AgeExpr]) -> Vec<RuleCase> {
 /// Optional "update all other lines" components: `None` plus every case.
 pub fn other_updates(max_age: u8) -> Vec<Option<RuleCase>> {
     let mut result = vec![None];
-    result.extend(cases(&other_guards(max_age), &age_exprs(max_age)).into_iter().map(Some));
+    result.extend(
+        cases(&other_guards(max_age), &age_exprs(max_age))
+            .into_iter()
+            .map(Some),
+    );
     result
 }
 

@@ -41,7 +41,13 @@ impl ProgramPolicy {
         age
     }
 
-    fn apply_others(ages: &mut [u8], rule: &Option<RuleCase>, touched: usize, touched_old: u8, max_age: u8) {
+    fn apply_others(
+        ages: &mut [u8],
+        rule: &Option<RuleCase>,
+        touched: usize,
+        touched_old: u8,
+        max_age: u8,
+    ) {
         if let Some(case) = rule {
             for (i, age) in ages.iter_mut().enumerate() {
                 if i != touched && case.guard.eval(*age, touched_old) {
@@ -58,7 +64,7 @@ impl ProgramPolicy {
         let max_age = self.program.max_age;
         match op {
             NormalizeOp::AgeUpWhileNoMax { except_touched } => loop {
-                if self.ages.iter().any(|&a| a == max_age) {
+                if self.ages.contains(&max_age) {
                     break;
                 }
                 let mut changed = false;
@@ -127,7 +133,13 @@ impl ReplacementPolicy for ProgramPolicy {
         assert!(line < self.ages.len(), "line index out of range");
         let old = self.ages[line];
         let insert = self.program.insert.clone();
-        Self::apply_others(&mut self.ages, &insert.others, line, old, self.program.max_age);
+        Self::apply_others(
+            &mut self.ages,
+            &insert.others,
+            line,
+            old,
+            self.program.max_age,
+        );
         self.ages[line] = insert.self_age.min(self.program.max_age);
         if self.program.normalize.after_miss {
             self.normalize(Some(line));

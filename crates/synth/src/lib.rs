@@ -42,4 +42,6 @@ pub use ast::{
     RuleCase, Template,
 };
 pub use exec::ProgramPolicy;
-pub use synthesize::{reference_program, synthesize, SynthesisConfig, SynthesisResult, SynthesisStats};
+pub use synthesize::{
+    reference_program, synthesize, SynthesisConfig, SynthesisResult, SynthesisStats,
+};

@@ -3,7 +3,9 @@
 use std::time::{Duration, Instant};
 
 use automata::check_equivalence;
-use policies::{policy_to_mealy, PolicyInput, PolicyKind, PolicyMealy, PolicyOutput, ReplacementPolicy};
+use policies::{
+    policy_to_mealy, PolicyInput, PolicyKind, PolicyMealy, PolicyOutput, ReplacementPolicy,
+};
 
 use crate::ast::{
     AgeExpr, EvictRule, Guard, InsertRule, NormalizeOp, NormalizeRule, PolicyProgram, PromoteRule,
@@ -109,16 +111,20 @@ fn mixed_words(assoc: usize) -> Vec<Vec<PolicyInput>> {
 }
 
 /// Expected outputs of `machine` for each word.
-fn expected_outputs(
-    machine: &PolicyMealy,
-    words: &[Vec<PolicyInput>],
-) -> Vec<Vec<PolicyOutput>> {
-    words.iter().map(|w| machine.output_word(w.iter())).collect()
+fn expected_outputs(machine: &PolicyMealy, words: &[Vec<PolicyInput>]) -> Vec<Vec<PolicyOutput>> {
+    words
+        .iter()
+        .map(|w| machine.output_word(w.iter()))
+        .collect()
 }
 
 /// Runs `program` on `word`, comparing against `expected`, aborting at the
 /// first difference.
-fn program_matches(program: &PolicyProgram, word: &[PolicyInput], expected: &[PolicyOutput]) -> bool {
+fn program_matches(
+    program: &PolicyProgram,
+    word: &[PolicyInput],
+    expected: &[PolicyOutput],
+) -> bool {
     let mut policy = ProgramPolicy::new(program.clone());
     for (input, exp) in word.iter().zip(expected) {
         let out = policy.apply(*input);

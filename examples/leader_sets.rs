@@ -15,11 +15,13 @@ fn main() {
 
     let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5);
     let mut tool = CacheQuery::new(cpu);
-    tool.apply_cat(4).expect("the simulated Skylake supports CAT");
+    tool.apply_cat(4)
+        .expect("the simulated Skylake supports CAT");
 
     println!("Thrashing the first {sample} sets of the simulated Skylake L3 (slice 0)");
     let candidates: Vec<(usize, usize)> = (0..sample).map(|set| (set, 0)).collect();
-    let report = detect_leader_sets(&mut tool, LevelId::L3, &candidates, 2).expect("detection runs");
+    let report =
+        detect_leader_sets(&mut tool, LevelId::L3, &candidates, 2).expect("detection runs");
 
     for info in &report.sets {
         let label = match info.class {
@@ -35,7 +37,11 @@ fn main() {
     println!();
     println!(
         "thrash-vulnerable leader sets found: {:?}",
-        report.thrash_vulnerable().iter().map(|(s, _)| s).collect::<Vec<_>>()
+        report
+            .thrash_vulnerable()
+            .iter()
+            .map(|(s, _)| s)
+            .collect::<Vec<_>>()
     );
     println!("paper (Appendix B): leaders at sets 0, 33, 132, 165, ... (16 per slice)");
 }

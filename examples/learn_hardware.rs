@@ -59,17 +59,22 @@ fn main() {
     };
     match learn_hardware_policy(&hardware, &LearnSetup::default()) {
         Ok(outcome) => {
-            let assoc = cat_ways.unwrap_or_else(|| {
-                cpu.spec().level(level).unwrap().geometry.associativity
-            });
+            let assoc =
+                cat_ways.unwrap_or_else(|| cpu.spec().level(level).unwrap().geometry.associativity);
             println!("  states              : {}", outcome.machine.num_states());
-            println!("  membership queries  : {}", outcome.stats.membership_queries);
+            println!(
+                "  membership queries  : {}",
+                outcome.stats.membership_queries
+            );
             println!("  cache probes        : {}", outcome.cache_probes);
             println!("  wall-clock time     : {:?}", outcome.stats.duration);
-            let identified = identify_policy(&outcome.machine, assoc, &PolicyKind::ALL_DETERMINISTIC);
+            let identified =
+                identify_policy(&outcome.machine, assoc, &PolicyKind::ALL_DETERMINISTIC);
             println!(
                 "  identified policy   : {}",
-                identified.map(|(k, _)| k.name()).unwrap_or("unknown (possibly a new policy)")
+                identified
+                    .map(|(k, _)| k.name())
+                    .unwrap_or("unknown (possibly a new policy)")
             );
         }
         Err(e) => {

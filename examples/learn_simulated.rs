@@ -30,9 +30,18 @@ fn main() {
     };
     let outcome = learn_simulated_policy(policy, assoc, &setup).expect("learning succeeds");
     println!("  states                : {}", outcome.machine.num_states());
-    println!("  membership queries    : {}", outcome.stats.membership_queries);
-    println!("  equivalence queries   : {}", outcome.stats.equivalence_queries);
-    println!("  counterexamples       : {}", outcome.stats.counterexamples);
+    println!(
+        "  membership queries    : {}",
+        outcome.stats.membership_queries
+    );
+    println!(
+        "  equivalence queries   : {}",
+        outcome.stats.equivalence_queries
+    );
+    println!(
+        "  counterexamples       : {}",
+        outcome.stats.counterexamples
+    );
     println!("  cache probes (Polca)  : {}", outcome.cache_probes);
     println!("  block accesses        : {}", outcome.block_accesses);
     println!("  wall-clock time       : {:?}", outcome.stats.duration);

@@ -9,13 +9,18 @@ use cachequery::{process_command, CacheQuery, ReplSession};
 use hardware::{CpuModel, SimulatedCpu};
 
 fn main() {
-    let cpu_name = std::env::args().nth(1).unwrap_or_else(|| "skylake".to_string());
+    let cpu_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "skylake".to_string());
     let model = match cpu_name.to_ascii_lowercase().as_str() {
         "haswell" => CpuModel::HaswellI7_4790,
         "kabylake" | "kaby-lake" => CpuModel::KabyLakeI7_8550U,
         _ => CpuModel::SkylakeI5_6500,
     };
-    println!("CacheQuery interactive shell on the simulated {}", model.spec().name);
+    println!(
+        "CacheQuery interactive shell on the simulated {}",
+        model.spec().name
+    );
     println!("type 'help' for commands, 'quit' to exit");
 
     let mut session = ReplSession::new(CacheQuery::new(SimulatedCpu::new(model, 7)));

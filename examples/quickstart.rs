@@ -37,10 +37,20 @@ fn main() {
     println!("== Polca (Figure 1b) ==");
     let oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 2).expect("LRU supports 2 ways");
     let mut polca = PolcaOracle::new(oracle);
-    let word = vec![PolicyInput::Line(0), PolicyInput::Line(1), PolicyInput::Evct];
+    let word = vec![
+        PolicyInput::Line(0),
+        PolicyInput::Line(1),
+        PolicyInput::Evct,
+    ];
     let outputs = polca.query(&word).expect("the simulated cache answers");
-    println!("  {:?}", word.iter().map(ToString::to_string).collect::<Vec<_>>());
-    println!("  -> {:?}", outputs.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "  {:?}",
+        word.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    println!(
+        "  -> {:?}",
+        outputs.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
 
     // ---- Figure 1a: the learner reconstructs the policy automaton. --------
     println!();

@@ -23,7 +23,10 @@ fn main() {
     println!("Step 1: learning {policy} at associativity {assoc} from a simulated cache");
     let outcome =
         learn_simulated_policy(policy, assoc, &LearnSetup::default()).expect("learning succeeds");
-    println!("  learned a {}-state automaton", outcome.machine.num_states());
+    println!(
+        "  learned a {}-state automaton",
+        outcome.machine.num_states()
+    );
 
     println!("Step 2: synthesizing an explanation");
     let config = SynthesisConfig::default();

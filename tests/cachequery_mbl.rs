@@ -43,8 +43,16 @@ fn l2_behaviour_differs_between_haswell_and_skylake() {
     skylake.set_target(Target::new(LevelId::L2, 50, 0)).unwrap();
     let sky = &skylake.query(query).unwrap()[0].outcomes;
 
-    assert_eq!(hw, &vec![HitMiss::Hit], "five blocks fit in the 8-way Haswell L2");
-    assert_eq!(sky, &vec![HitMiss::Miss], "the 4-way Skylake L2 evicts block A");
+    assert_eq!(
+        hw,
+        &vec![HitMiss::Hit],
+        "five blocks fit in the 8-way Haswell L2"
+    );
+    assert_eq!(
+        sky,
+        &vec![HitMiss::Miss],
+        "the 4-way Skylake L2 evicts block A"
+    );
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Smoke test: every example in `examples/` must build and run to completion.
+//!
+//! Each test shells out to `cargo run --example` (reusing the already-warm
+//! target directory) with the smallest sensible arguments, so examples cannot
+//! silently rot.  Long-running configurations (high associativity, many cache
+//! sets) are avoided via the examples' positional arguments; the interactive
+//! REPL is driven through a scripted stdin session.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs one example with the given arguments (and optional stdin script),
+/// asserting it exits successfully.  Returns captured stdout for content
+/// checks.
+fn run_example(name: &str, args: &[&str], stdin: Option<&str>) -> String {
+    let cargo = env!("CARGO");
+    let mut command = Command::new(cargo);
+    command
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "--quiet", "--example", name, "--"])
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .stdin(if stdin.is_some() {
+            Stdio::piped()
+        } else {
+            Stdio::null()
+        });
+
+    let mut child = command
+        .spawn()
+        .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+    if let Some(script) = stdin {
+        child
+            .stdin
+            .take()
+            .expect("stdin was piped")
+            .write_all(script.as_bytes())
+            .expect("example accepts stdin");
+    }
+    let output = child
+        .wait_with_output()
+        .unwrap_or_else(|e| panic!("failed to wait for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} {args:?} failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let stdout = run_example("quickstart", &[], None);
+    assert!(stdout.contains("identified as: LRU"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn learn_simulated_runs() {
+    let stdout = run_example("learn_simulated", &["LRU", "2"], None);
+    assert!(
+        stdout.contains("learned machine is exactly LRU"),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn learn_hardware_runs() {
+    // The L3 leader set with CAT reduced to 2 ways is the fast configuration
+    // the example's own documentation recommends.
+    let stdout = run_example("learn_hardware", &["skylake", "L3", "33", "2"], None);
+    assert!(stdout.contains("identified policy"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn synthesize_policy_runs() {
+    let stdout = run_example("synthesize_policy", &["FIFO", "2"], None);
+    assert!(stdout.contains("template program"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn leader_sets_runs() {
+    let stdout = run_example("leader_sets", &["8"], None);
+    assert!(stdout.contains("Thrashing"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn mbl_repl_runs_a_scripted_session() {
+    let stdout = run_example(
+        "mbl_repl",
+        &[],
+        Some("help\nlevel L1\nset 3\n@ X A?\nquit\n"),
+    );
+    assert!(stdout.contains("cachequery>"), "stdout:\n{stdout}");
+}

@@ -67,7 +67,10 @@ fn haswell_l3_cannot_be_learned_because_cat_is_unsupported() {
         seed: 11,
     };
     let result = learn_hardware_policy(&hardware, &setup());
-    assert!(result.is_err(), "CAT should not be available on the Haswell model");
+    assert!(
+        result.is_err(),
+        "CAT should not be available on the Haswell model"
+    );
 }
 
 #[test]
@@ -92,8 +95,18 @@ fn skylake_l2_with_the_table_4_reset_sequence_starts_learning_cleanly() {
     // twice must give identical answers (the determinism the learner needs).
     let words = [
         vec![PolicyInput::Evct, PolicyInput::Evct, PolicyInput::Evct],
-        vec![PolicyInput::Line(0), PolicyInput::Evct, PolicyInput::Line(2), PolicyInput::Evct],
-        vec![PolicyInput::Line(3), PolicyInput::Line(3), PolicyInput::Evct, PolicyInput::Evct],
+        vec![
+            PolicyInput::Line(0),
+            PolicyInput::Evct,
+            PolicyInput::Line(2),
+            PolicyInput::Evct,
+        ],
+        vec![
+            PolicyInput::Line(3),
+            PolicyInput::Line(3),
+            PolicyInput::Evct,
+            PolicyInput::Evct,
+        ],
     ];
     for word in &words {
         let first = polca.query(word).expect("oracle answers");

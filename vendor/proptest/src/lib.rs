@@ -1,0 +1,162 @@
+//! Offline, vendored subset of the `proptest` API.
+//!
+//! The build container has no crates.io access, so this crate reimplements
+//! the slice of `proptest` that the workspace's five property suites use:
+//! the [`proptest!`] macro (including `#![proptest_config(..)]`), the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`strategy::Just`], [`collection::vec`], [`sample::select`],
+//! [`prop_oneof!`] and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.**  A failing case is reported with its full inputs and
+//!   the deterministic seed that produced it, but it is not minimized.
+//! * **Deterministic by default.**  Cases derive from a fixed base seed so CI
+//!   runs are reproducible; set `PROPTEST_SEED` to explore a different
+//!   stream and `PROPTEST_CASES` (or `proptest.toml`'s `cases = N`) to
+//!   change the number of cases per property.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with the case's inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            format!($($fmt)*),
+            l
+        );
+    }};
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property-based tests, mirroring `proptest::proptest!`.
+///
+/// Supports the subset of the real grammar used in this workspace: an
+/// optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose arguments have the form `pattern in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg_pat:pat in $arg_strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_property(
+                    stringify!($name),
+                    &config,
+                    |__proptest_rng| {
+                        let mut __proptest_inputs: ::std::vec::Vec<::std::string::String> =
+                            ::std::vec::Vec::new();
+                        $(
+                            let __proptest_value = $crate::strategy::Strategy::new_value(
+                                &($arg_strategy),
+                                __proptest_rng,
+                            );
+                            __proptest_inputs.push(format!(
+                                "{} = {:?}",
+                                stringify!($arg_pat),
+                                &__proptest_value
+                            ));
+                            let $arg_pat = __proptest_value;
+                        )+
+                        let __proptest_body = ||
+                            -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        __proptest_body().map_err(|e| e.with_inputs(&__proptest_inputs))
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

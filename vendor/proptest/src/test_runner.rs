@@ -1,0 +1,143 @@
+//! The case-generation loop behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+    inputs: Vec<String>,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message (what `prop_assert!` emits).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Attaches the generated inputs of the failing case for reporting.
+    pub fn with_inputs(mut self, inputs: &[String]) -> Self {
+        self.inputs = inputs.to_vec();
+        self
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Base seed from which per-case seeds derive.
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases (other fields default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: default_cases(),
+            seed: default_seed(),
+        }
+    }
+}
+
+/// Resolves the default case count: `PROPTEST_CASES` env var, then a
+/// `cases = N` line in a `proptest.toml` found in the manifest directory or
+/// one of its ancestors, then 64.
+fn default_cases() -> u32 {
+    if let Ok(value) = std::env::var("PROPTEST_CASES") {
+        if let Ok(parsed) = value.trim().parse() {
+            return parsed;
+        }
+    }
+    if let Some(cases) = cases_from_proptest_toml() {
+        return cases;
+    }
+    64
+}
+
+/// Looks for `proptest.toml` beside the running test's manifest and in its
+/// ancestor directories (so a single workspace-root file governs every
+/// crate), reading only the `cases = N` key.
+fn cases_from_proptest_toml() -> Option<u32> {
+    let start = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let mut dir = Some(std::path::PathBuf::from(start));
+    while let Some(d) = dir {
+        let candidate = d.join("proptest.toml");
+        if let Ok(text) = std::fs::read_to_string(&candidate) {
+            for line in text.lines() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if let Some(rest) = line.strip_prefix("cases") {
+                    let rest = rest.trim_start();
+                    if let Some(value) = rest.strip_prefix('=') {
+                        if let Ok(parsed) = value.trim().parse() {
+                            return Some(parsed);
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+fn default_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(value) => value
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {value:?}")),
+        Err(_) => 0xCAC4E_u64,
+    }
+}
+
+/// Runs one property `config.cases` times with deterministic per-case seeds,
+/// panicking (to fail the `#[test]`) on the first failing case.
+///
+/// Unlike real proptest there is no shrinking: the failing case is reported
+/// verbatim together with the seed that reproduces it.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    for index in 0..config.cases {
+        let case_seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(index));
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        if let Err(error) = case(&mut rng) {
+            let mut report = format!(
+                "property `{name}` failed at case {index}/{} (base seed {}, case seed {case_seed}):\n  {}",
+                config.cases, config.seed, error.message
+            );
+            if !error.inputs.is_empty() {
+                report.push_str("\ninputs:");
+                for input in &error.inputs {
+                    report.push_str("\n  ");
+                    report.push_str(input);
+                }
+            }
+            report.push_str(
+                "\n(no shrinking in the vendored proptest; rerun with \
+                 PROPTEST_SEED to explore nearby cases)",
+            );
+            panic!("{report}");
+        }
+    }
+}

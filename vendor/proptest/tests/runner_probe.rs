@@ -1,0 +1,84 @@
+//! Self-tests of the vendored proptest: the macro really runs cases, honors
+//! config, reports failures, and strategies cover their domains.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    #[test]
+    fn config_case_count_is_honored(_x in 0u32..10) {
+        CASES_RUN.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn z_config_case_count_was_honored() {
+    // Test ordering is not guaranteed; re-invoke the property so the counter
+    // holds a whole number of 37-case batches regardless.
+    config_case_count_is_honored();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst) % 37, 0);
+    assert!(CASES_RUN.load(Ordering::SeqCst) > 0);
+}
+
+proptest! {
+    #[test]
+    fn ranges_cover_their_domain(x in 5usize..8) {
+        prop_assert!((5..8).contains(&x));
+    }
+
+    #[test]
+    fn vec_lengths_are_in_range(v in proptest::collection::vec(0u8..4, 2..5)) {
+        prop_assert!((2..5).contains(&v.len()));
+        prop_assert!(v.iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn select_draws_from_the_list(x in proptest::sample::select(vec![2usize, 4, 6])) {
+        prop_assert!(x == 2 || x == 4 || x == 6);
+    }
+
+    #[test]
+    fn oneof_and_flat_map_compose(
+        (len, v) in (1usize..4).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec(prop_oneof![Just(0u8), Just(9)], n..=n))
+        })
+    ) {
+        prop_assert_eq!(v.len(), len);
+        prop_assert!(v.iter().all(|&b| b == 0 || b == 9));
+    }
+}
+
+#[test]
+// The nested `#[test]` is deliberate: this checks what the macro expands to.
+#[allow(unnameable_test_items)]
+fn failing_properties_panic_with_inputs() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    });
+    let message = *result
+        .expect_err("property must fail")
+        .downcast::<String>()
+        .unwrap();
+    assert!(message.contains("always_fails"), "message: {message}");
+    assert!(message.contains("x ="), "message: {message}");
+}
+
+#[test]
+fn workspace_proptest_toml_is_discovered() {
+    // The workspace root checks in a proptest.toml with `cases = 64`; the
+    // default config must pick it up by walking up from the manifest dir
+    // (unless the environment explicitly overrides it).
+    if std::env::var("PROPTEST_CASES").is_err() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}
