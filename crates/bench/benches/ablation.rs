@@ -1,11 +1,9 @@
 //! Ablation benches for the design choices called out in DESIGN.md §7:
-//! Wp-method vs W-method conformance suites, conformance depth, and the
-//! membership-query cache.
+//! Wp-method vs W-method conformance suites, conformance depth, the
+//! membership-query cache, and the conformance worker count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use learning::{
-    learn_mealy, CachedOracle, LearnOptions, MealyOracle, WMethodOracle, WpMethodOracle,
-};
+use learning::{learn_mealy, LearnOptions, MealyOracle, WMethodOracle, WpMethodOracle};
 use polca::{PolcaOracle, SimulatedCacheOracle};
 use policies::{policy_alphabet, policy_to_mealy, PolicyKind};
 
@@ -14,13 +12,14 @@ fn bench_conformance_method(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_conformance");
     group.sample_size(10);
     let target = policy_to_mealy(PolicyKind::Mru.build(4).unwrap().as_ref(), 1 << 16);
+    let teacher = target.clone();
+    let factory = move || MealyOracle::new(teacher.clone());
     group.bench_function("wp_method", |b| {
         b.iter(|| {
-            let mut teacher = MealyOracle::new(target.clone());
             let mut eq = WpMethodOracle::new(1);
             learn_mealy(
                 target.inputs().to_vec(),
-                &mut teacher,
+                &factory,
                 &mut eq,
                 LearnOptions::default(),
             )
@@ -31,11 +30,10 @@ fn bench_conformance_method(c: &mut Criterion) {
     });
     group.bench_function("w_method", |b| {
         b.iter(|| {
-            let mut teacher = MealyOracle::new(target.clone());
             let mut eq = WMethodOracle::new(1);
             learn_mealy(
                 target.inputs().to_vec(),
-                &mut teacher,
+                &factory,
                 &mut eq,
                 LearnOptions::default(),
             )
@@ -47,32 +45,28 @@ fn bench_conformance_method(c: &mut Criterion) {
     group.finish();
 }
 
-/// Learning with and without the membership-query cache in front of Polca.
+/// Learning with and without the prefix-trie membership-query cache in front
+/// of Polca.
 fn bench_query_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_query_cache");
     group.sample_size(10);
-    for cached in [true, false] {
+    for memoize in [true, false] {
         group.bench_with_input(
-            BenchmarkId::new("polca_lru4", if cached { "cached" } else { "uncached" }),
-            &cached,
-            |b, &cached| {
+            BenchmarkId::new("polca_lru4", if memoize { "cached" } else { "uncached" }),
+            &memoize,
+            |b, &memoize| {
                 b.iter(|| {
                     let oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 4).unwrap();
+                    let factory = move || PolcaOracle::new(oracle.clone());
                     let mut eq = WpMethodOracle::new(1);
-                    let alphabet = policy_alphabet(4);
-                    if cached {
-                        let mut membership = CachedOracle::new(PolcaOracle::new(oracle));
-                        learn_mealy(alphabet, &mut membership, &mut eq, LearnOptions::default())
-                            .expect("learns")
-                            .0
-                            .num_states()
-                    } else {
-                        let mut membership = PolcaOracle::new(oracle);
-                        learn_mealy(alphabet, &mut membership, &mut eq, LearnOptions::default())
-                            .expect("learns")
-                            .0
-                            .num_states()
-                    }
+                    let options = LearnOptions {
+                        memoize,
+                        ..LearnOptions::default()
+                    };
+                    learn_mealy(policy_alphabet(4), &factory, &mut eq, options)
+                        .expect("learns")
+                        .0
+                        .num_states()
                 })
             },
         );
@@ -85,14 +79,15 @@ fn bench_conformance_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_depth");
     group.sample_size(10);
     let target = policy_to_mealy(PolicyKind::Plru.build(4).unwrap().as_ref(), 1 << 16);
+    let teacher = target.clone();
+    let factory = move || MealyOracle::new(teacher.clone());
     for depth in [1usize, 2, 3] {
         group.bench_with_input(BenchmarkId::new("plru4", depth), &depth, |b, &depth| {
             b.iter(|| {
-                let mut teacher = MealyOracle::new(target.clone());
                 let mut eq = WpMethodOracle::new(depth);
                 learn_mealy(
                     target.inputs().to_vec(),
-                    &mut teacher,
+                    &factory,
                     &mut eq,
                     LearnOptions::default(),
                 )
@@ -105,10 +100,41 @@ fn bench_conformance_depth(c: &mut Criterion) {
     group.finish();
 }
 
+/// Worker-pool sharding of the conformance suite (1 = sequential).  On a
+/// single-core host the counts coincide; on multicore the suite of the final
+/// equivalence query dominates and shards near-linearly.
+fn bench_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("polca_mru4", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let oracle = SimulatedCacheOracle::new(PolicyKind::Mru, 4).unwrap();
+                    let factory = move || PolcaOracle::new(oracle.clone());
+                    let mut eq = WpMethodOracle::new(1);
+                    let options = LearnOptions {
+                        workers,
+                        ..LearnOptions::default()
+                    };
+                    learn_mealy(policy_alphabet(4), &factory, &mut eq, options)
+                        .expect("learns")
+                        .0
+                        .num_states()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_conformance_method,
     bench_query_cache,
-    bench_conformance_depth
+    bench_conformance_depth,
+    bench_workers
 );
 criterion_main!(benches);

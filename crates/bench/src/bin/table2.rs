@@ -7,6 +7,7 @@
 //!
 //! Usage:
 //!   table2 [--full] [--max-assoc N] [--depth K] [--policy NAME] [--time-budget SECS]
+//!          [--workers N]
 //!
 //! The default configuration covers the associativities where every policy
 //! learns within seconds to a few minutes; `--full` selects the paper's full
@@ -81,6 +82,8 @@ fn main() {
         conformance_depth: depth,
         max_states: 1 << 17,
         time_budget: (time_budget > 0).then(|| Duration::from_secs(time_budget)),
+        workers: args.value_or("workers", 0usize),
+        ..LearnSetup::default()
     };
 
     println!("Table 2: learning policies from software-simulated caches");
@@ -96,6 +99,7 @@ fn main() {
         "# States",
         "Time",
         "Memb. queries",
+        "Hit-rate",
         "Cache probes",
         "Matches ground truth",
     ]);
@@ -121,6 +125,7 @@ fn main() {
                         outcome.machine.num_states().to_string(),
                         format_duration(outcome.stats.duration),
                         outcome.stats.membership_queries.to_string(),
+                        format!("{:.1}%", outcome.stats.cache_hit_rate() * 100.0),
                         outcome.cache_probes.to_string(),
                         if matches { "yes" } else { "NO" }.to_string(),
                     ]);
@@ -135,6 +140,7 @@ fn main() {
                     table.add_row(&[
                         row.policy.name().to_string(),
                         assoc.to_string(),
+                        "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),
                         "-".to_string(),

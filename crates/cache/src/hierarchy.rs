@@ -93,7 +93,10 @@ pub struct HierarchyConfig {
 /// fill-on-miss behaviour).  Evictions from levels marked inclusive
 /// back-invalidate all closer levels, which is how the modelled Intel L3
 /// behaves and is one of the interference sources CacheQuery must deal with.
-#[derive(Debug)]
+///
+/// Hierarchies are `Clone` so that a simulated CPU can be duplicated into
+/// independent per-worker instances for parallel learning.
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     levels: Vec<CacheLevel>,
 }

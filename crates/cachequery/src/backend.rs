@@ -127,7 +127,7 @@ impl From<CatError> for BackendError {
 
 /// Per-target state: the bound block addresses, the filter (eviction) sets and
 /// the calibrated classification threshold.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TargetState {
     target: Target,
     /// Flat set index in the target level.
@@ -159,7 +159,11 @@ const POOL_BYTES: u64 = 8 << 20;
 
 /// The backend: owns the simulated CPU and executes concrete queries against
 /// a selected target cache set.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the whole simulated machine (CPU, bound addresses,
+/// calibration), yielding an independent backend that answers identically —
+/// the basis for per-worker oracle instances in parallel learning.
+#[derive(Debug, Clone)]
 pub struct Backend {
     cpu: SimulatedCpu,
     /// Line-aligned virtual addresses available for address selection.

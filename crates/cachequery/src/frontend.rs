@@ -47,7 +47,10 @@ type CachedResponse = (Vec<HitMiss>, bool);
 /// caching and statistics.
 ///
 /// See the [crate-level documentation](crate) for an example.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the tool together with its simulated machine and
+/// response cache; clones answer identically but do not share state.
+#[derive(Debug, Clone)]
 pub struct CacheQuery {
     backend: Backend,
     cache: HashMap<ResponseKey, CachedResponse>,

@@ -74,7 +74,11 @@ impl std::error::Error for CatError {}
 /// scattered virtual-to-physical mapping, a [`TimingModel`] with configurable
 /// noise, and the interference sources (adjacent-line prefetcher, other-core
 /// pollution) that CacheQuery has to disable on real hardware.
-#[derive(Debug)]
+///
+/// The CPU is `Clone`: a clone is an independent, bit-identical machine,
+/// which is what lets the parallel learner hand every worker its own copy of
+/// the (deterministic) simulated hardware.
+#[derive(Debug, Clone)]
 pub struct SimulatedCpu {
     model: CpuModel,
     spec: CpuSpec,

@@ -1,0 +1,356 @@
+//! A thread-safe prefix-trie memoization layer for membership queries.
+//!
+//! Active learning is query-bound (§3.1): the dominant cost of a run is the
+//! number of words the teacher has to execute, and both the observation table
+//! and the conformance test suites of the W/Wp-method re-ask heavily
+//! overlapping words.  Because the systems under learning are deterministic,
+//! output words are *prefix-consistent*: the answer to `w` determines the
+//! answer to every prefix of `w`.  A prefix trie therefore memoizes an entire
+//! query family in space proportional to the number of distinct symbols seen,
+//! where a per-word map would store every prefix as a separate key.
+//!
+//! [`QueryCache`] is the shared trie: nodes live in one contiguous arena (an
+//! index-linked `Vec`, which keeps lookups cache-friendly), lookups take a
+//! read lock, insertions a write lock, and the hit/miss counters are atomics,
+//! so one cache instance can sit behind every worker of a
+//! [`QueryPool`](crate::QueryPool) at once.  It is also the *central* query
+//! counter of a learning run — membership statistics are derived from the
+//! cache layer instead of trusting every oracle implementation to count for
+//! itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use crate::oracle::OracleError;
+
+/// One arena slot: the output of the symbol labelling the edge that leads
+/// here, plus the children as `(symbol, arena index)` pairs.
+///
+/// Children are kept in a plain vector with linear scanning: learning
+/// alphabets are tiny (`associativity + 1` symbols for replacement policies),
+/// so a vector beats a hash map on both memory and lookup time.
+#[derive(Debug)]
+struct Node<I, O> {
+    output: O,
+    children: Vec<(I, u32)>,
+}
+
+/// The arena: all nodes plus the root's child list.
+#[derive(Debug, Default)]
+struct Trie<I, O> {
+    nodes: Vec<Node<I, O>>,
+    roots: Vec<(I, u32)>,
+}
+
+impl<I: Eq, O> Trie<I, O> {
+    fn child(&self, children: &[(I, u32)], symbol: &I) -> Option<u32> {
+        children
+            .iter()
+            .find(|(i, _)| i == symbol)
+            .map(|&(_, index)| index)
+    }
+}
+
+/// Verdict of [`QueryCache::check_against`]: what the cache knows about a
+/// word compared to a predicted output word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// Every cached position agrees with the prediction, and the whole word
+    /// is cached: the prediction is correct.
+    Match,
+    /// The cached outputs contradict the prediction first at this position
+    /// (a conformance-test failure, answered without touching the oracle).
+    Mismatch(usize),
+    /// The word is not fully cached and the cached part agrees with the
+    /// prediction: the oracle must be consulted.
+    Unknown,
+}
+
+/// A concurrent prefix-trie cache for membership-query outputs.
+///
+/// The cache exploits prefix-closedness: recording the answer to a word also
+/// records the answer to every prefix of that word, and a lookup succeeds for
+/// any word that is a prefix of (or equal to) a previously recorded word.
+///
+/// Recording an output that contradicts an already-stored one fails with an
+/// [`OracleError`] — for deterministic systems this can only happen when the
+/// system under learning misbehaves (the nondeterminism signal of §7.1), and
+/// silently keeping either answer would corrupt the observation table.
+///
+/// # Example
+///
+/// ```
+/// use learning::QueryCache;
+///
+/// let cache: QueryCache<char, bool> = QueryCache::new();
+/// assert_eq!(cache.lookup(&['a', 'b']), None);
+/// cache.record(&['a', 'b'], &[true, false]).unwrap();
+/// // The word itself and all its prefixes are now cached.
+/// assert_eq!(cache.lookup(&['a', 'b']), Some(vec![true, false]));
+/// assert_eq!(cache.lookup(&['a']), Some(vec![true]));
+/// assert_eq!((cache.hits(), cache.misses()), (2, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryCache<I, O> {
+    trie: RwLock<Trie<I, O>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<I, O> QueryCache<I, O>
+where
+    I: Clone + Eq,
+    O: Clone + PartialEq,
+{
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        QueryCache {
+            trie: RwLock::new(Trie {
+                nodes: Vec::new(),
+                roots: Vec::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized output word for `word` if every symbol of it is
+    /// cached, updating the hit/miss counters.
+    ///
+    /// The empty word always hits (its output word is empty).
+    pub fn lookup(&self, word: &[I]) -> Option<Vec<O>> {
+        let trie = self.trie.read().expect("query cache lock poisoned");
+        let mut children = &trie.roots;
+        let mut outputs = Vec::with_capacity(word.len());
+        for symbol in word {
+            let Some(index) = trie.child(children, symbol) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            let node = &trie.nodes[index as usize];
+            outputs.push(node.output.clone());
+            children = &node.children;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(outputs)
+    }
+
+    /// Compares `word` against a `predicted` output word without cloning any
+    /// outputs — the allocation-free fast path of conformance testing.
+    ///
+    /// A [`CacheVerdict::Mismatch`] can be produced from a cached *prefix*
+    /// alone (the first divergence already proves the test fails), so this
+    /// can refute a hypothesis even for words the oracle never ran.
+    /// `Match`/`Mismatch` count as cache hits, `Unknown` as a miss.
+    pub fn check_against(&self, word: &[I], predicted: &[O]) -> CacheVerdict {
+        debug_assert_eq!(word.len(), predicted.len());
+        let trie = self.trie.read().expect("query cache lock poisoned");
+        let mut children = &trie.roots;
+        for (position, (symbol, predicted_output)) in word.iter().zip(predicted).enumerate() {
+            let Some(index) = trie.child(children, symbol) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheVerdict::Unknown;
+            };
+            let node = &trie.nodes[index as usize];
+            if node.output != *predicted_output {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return CacheVerdict::Mismatch(position);
+            }
+            children = &node.children;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        CacheVerdict::Match
+    }
+
+    /// Records the output word of `word` (and, implicitly, of all its
+    /// prefixes).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `outputs` has the wrong length or contradicts a previously
+    /// recorded answer — the deterministic-system invariant every learner in
+    /// this crate relies on.
+    pub fn record(&self, word: &[I], outputs: &[O]) -> Result<(), OracleError> {
+        if word.len() != outputs.len() {
+            return Err(OracleError::new(format!(
+                "cannot cache {} outputs for a word of length {}",
+                outputs.len(),
+                word.len()
+            )));
+        }
+        let mut trie = self.trie.write().expect("query cache lock poisoned");
+        // Walk with explicit "root or node index" positions: arena nodes are
+        // appended while walking, so child lists are re-borrowed per step.
+        let mut position: Option<u32> = None;
+        for (offset, (symbol, output)) in word.iter().zip(outputs).enumerate() {
+            let children = match position {
+                None => &trie.roots,
+                Some(index) => &trie.nodes[index as usize].children,
+            };
+            if let Some(existing) = trie.child(children, symbol) {
+                if trie.nodes[existing as usize].output != *output {
+                    return Err(OracleError::new(format!(
+                        "inconsistent oracle answers: position {offset} of a \
+                         repeated prefix produced a different output (the system \
+                         under learning is behaving non-deterministically)"
+                    )));
+                }
+                position = Some(existing);
+                continue;
+            }
+            let fresh = trie.nodes.len() as u32;
+            trie.nodes.push(Node {
+                output: output.clone(),
+                children: Vec::new(),
+            });
+            match position {
+                None => trie.roots.push((symbol.clone(), fresh)),
+                Some(index) => trie.nodes[index as usize]
+                    .children
+                    .push((symbol.clone(), fresh)),
+            }
+            position = Some(fresh);
+        }
+        Ok(())
+    }
+
+    /// Number of lookups answered from the trie.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that could not be answered.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total number of lookups (hits + misses): the central membership-query
+    /// count of everything routed through this cache.
+    pub fn total_lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Number of trie nodes, i.e. distinct cached prefixes.
+    pub fn entries(&self) -> u64 {
+        self.trie
+            .read()
+            .expect("query cache lock poisoned")
+            .nodes
+            .len() as u64
+    }
+
+    /// Fraction of lookups served from the trie (`0.0` when nothing was
+    /// looked up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_misses_until_recorded() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        assert_eq!(cache.lookup(&[1, 2]), None);
+        cache.record(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        assert_eq!(cache.lookup(&[1, 2]), Some(vec![10, 20]));
+        assert_eq!(cache.lookup(&[1, 2, 3]), Some(vec![10, 20, 30]));
+        assert_eq!(cache.lookup(&[1, 3]), None);
+        assert_eq!(cache.entries(), 3);
+    }
+
+    #[test]
+    fn empty_word_always_hits() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        assert_eq!(cache.lookup(&[]), Some(vec![]));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn overlapping_words_share_nodes() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2], &[10, 20]).unwrap();
+        cache.record(&[1, 3], &[10, 30]).unwrap();
+        // Four symbols recorded, but the shared prefix `1` is stored once.
+        assert_eq!(cache.entries(), 3);
+    }
+
+    #[test]
+    fn contradictory_answers_are_rejected() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2], &[10, 20]).unwrap();
+        assert!(cache.record(&[1, 2], &[10, 99]).is_err());
+        assert!(cache.record(&[1], &[11]).is_err());
+        // Consistent re-recording is fine.
+        cache.record(&[1, 2], &[10, 20]).unwrap();
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        assert!(cache.record(&[1, 2], &[10]).is_err());
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.lookup(&[5]);
+        cache.record(&[5], &[50]).unwrap();
+        cache.lookup(&[5]);
+        cache.lookup(&[5]);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.total_lookups(), 3);
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_against_classifies_predictions() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        // Fully cached, agreeing prediction.
+        assert_eq!(
+            cache.check_against(&[1, 2, 3], &[10, 20, 30]),
+            CacheVerdict::Match
+        );
+        // Cached prefix already contradicts the prediction — even though the
+        // tail [9] was never cached.
+        assert_eq!(
+            cache.check_against(&[1, 2, 9], &[10, 99, 0]),
+            CacheVerdict::Mismatch(1)
+        );
+        // Agreeing prefix, uncached tail: undecidable from the cache.
+        assert_eq!(
+            cache.check_against(&[1, 2, 9], &[10, 20, 0]),
+            CacheVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let cache: Arc<QueryCache<u8, u8>> = Arc::new(QueryCache::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..16u8 {
+                        cache.record(&[t, i], &[t, i.wrapping_mul(2)]).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4u8 {
+            for i in 0..16u8 {
+                assert_eq!(cache.lookup(&[t, i]), Some(vec![t, i.wrapping_mul(2)]));
+            }
+        }
+    }
+}

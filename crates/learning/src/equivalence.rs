@@ -1,4 +1,11 @@
 //! Equivalence oracles: conformance testing (W/Wp-method) and random walks.
+//!
+//! The conformance oracles no longer execute their suites one word at a time:
+//! they hand the whole generated suite to [`QueryPool::run_tests`], which
+//! memoizes every word in the shared prefix trie and shards execution across
+//! the pool's worker threads with counterexample short-circuiting (§3.3 —
+//! the test suite is *exponentially* large in the suite depth, which makes
+//! it the natural parallelization target of the whole pipeline).
 
 use std::fmt;
 use std::hash::Hash;
@@ -7,29 +14,9 @@ use automata::Mealy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::oracle::{EquivalenceOracle, MembershipOracle, OracleError};
-use crate::wmethod::{w_method_suite, wp_method_suite};
-
-/// Runs a test word against both the hypothesis and the system and returns
-/// the shortest failing prefix (so counterexamples stay short), if any.
-fn run_test<I, O>(
-    membership: &mut dyn MembershipOracle<I, O>,
-    hypothesis: &Mealy<I, O>,
-    word: &[I],
-) -> Result<Option<Vec<I>>, OracleError>
-where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + fmt::Debug,
-{
-    let actual = membership.query(word)?;
-    let predicted = hypothesis.output_word(word.iter());
-    for (i, (a, p)) in actual.iter().zip(&predicted).enumerate() {
-        if a != p {
-            return Ok(Some(word[..=i].to_vec()));
-        }
-    }
-    Ok(None)
-}
+use crate::oracle::{EquivalenceOracle, OracleError};
+use crate::pool::{shortest_failing_prefix, QueryPool};
+use crate::wmethod::{w_method_suite_iter, wp_method_suite_iter};
 
 /// Conformance-testing equivalence oracle using the Wp-method with a
 /// configurable extra depth `k` (the "depth of the suite" of §3.4; the paper's
@@ -62,21 +49,17 @@ impl WpMethodOracle {
 
 impl<I, O> EquivalenceOracle<I, O> for WpMethodOracle
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + Hash + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + Hash + fmt::Debug + Send + Sync,
 {
     fn find_counterexample(
         &mut self,
-        membership: &mut dyn MembershipOracle<I, O>,
+        pool: &mut QueryPool<'_, I, O>,
         hypothesis: &Mealy<I, O>,
     ) -> Result<Option<Vec<I>>, OracleError> {
-        for word in wp_method_suite(hypothesis, self.depth) {
-            self.tests_run += 1;
-            if let Some(cex) = run_test(membership, hypothesis, &word)? {
-                return Ok(Some(cex));
-            }
-        }
-        Ok(None)
+        let outcome = pool.run_tests(hypothesis, wp_method_suite_iter(hypothesis, self.depth))?;
+        self.tests_run += outcome.tests_executed;
+        Ok(outcome.counterexample)
     }
 }
 
@@ -105,21 +88,17 @@ impl WMethodOracle {
 
 impl<I, O> EquivalenceOracle<I, O> for WMethodOracle
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + Hash + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + Hash + fmt::Debug + Send + Sync,
 {
     fn find_counterexample(
         &mut self,
-        membership: &mut dyn MembershipOracle<I, O>,
+        pool: &mut QueryPool<'_, I, O>,
         hypothesis: &Mealy<I, O>,
     ) -> Result<Option<Vec<I>>, OracleError> {
-        for word in w_method_suite(hypothesis, self.depth) {
-            self.tests_run += 1;
-            if let Some(cex) = run_test(membership, hypothesis, &word)? {
-                return Ok(Some(cex));
-            }
-        }
-        Ok(None)
+        let outcome = pool.run_tests(hypothesis, w_method_suite_iter(hypothesis, self.depth))?;
+        self.tests_run += outcome.tests_executed;
+        Ok(outcome.counterexample)
     }
 }
 
@@ -127,7 +106,8 @@ where
 ///
 /// This is the "random walk" alternative the paper mentions in §6 as enabling
 /// faster hypothesis refinement at the cost of the completeness guarantee of
-/// Theorem 3.3.
+/// Theorem 3.3.  Walks are generated and executed sequentially so that a
+/// given seed explores the same words regardless of the worker count.
 #[derive(Debug, Clone)]
 pub struct RandomWalkOracle {
     walks: usize,
@@ -149,12 +129,12 @@ impl RandomWalkOracle {
 
 impl<I, O> EquivalenceOracle<I, O> for RandomWalkOracle
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + fmt::Debug + Send + Sync,
 {
     fn find_counterexample(
         &mut self,
-        membership: &mut dyn MembershipOracle<I, O>,
+        pool: &mut QueryPool<'_, I, O>,
         hypothesis: &Mealy<I, O>,
     ) -> Result<Option<Vec<I>>, OracleError> {
         let inputs = hypothesis.inputs();
@@ -163,7 +143,9 @@ where
             let word: Vec<I> = (0..length)
                 .map(|_| inputs[self.rng.gen_range(0..inputs.len())].clone())
                 .collect();
-            if let Some(cex) = run_test(membership, hypothesis, &word)? {
+            let actual = pool.query_word(&word)?;
+            let predicted = hypothesis.output_word(word.iter());
+            if let Some(cex) = shortest_failing_prefix(&word, &actual, &predicted) {
                 return Ok(Some(cex));
             }
         }
@@ -174,7 +156,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::MealyOracle;
+    use crate::oracle::{MealyOracle, MembershipOracle};
     use automata::MealyBuilder;
 
     /// A counter modulo `n` over a single input, outputting whether it
@@ -188,12 +170,21 @@ mod tests {
         b.build(states[0]).unwrap()
     }
 
+    /// A factory cloning `system` into fresh simulated teachers.
+    fn factory_for(
+        system: &Mealy<&'static str, bool>,
+    ) -> impl Fn() -> MealyOracle<&'static str, bool> {
+        let system = system.clone();
+        move || MealyOracle::new(system.clone())
+    }
+
     #[test]
     fn equivalent_machines_yield_no_counterexample() {
         let target = counter(3);
-        let mut oracle = MealyOracle::new(target.clone());
+        let factory = factory_for(&target);
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut wp = WpMethodOracle::new(1);
-        assert_eq!(wp.find_counterexample(&mut oracle, &target).unwrap(), None);
+        assert_eq!(wp.find_counterexample(&mut pool, &target).unwrap(), None);
         assert!(wp.tests_run() > 0);
     }
 
@@ -201,12 +192,12 @@ mod tests {
     fn wp_method_finds_missing_states_within_depth() {
         // Hypothesis: counter modulo 2; system: counter modulo 3.  The
         // difference needs 1 extra state, so depth 1 must find it.
-        let system = counter(3);
+        let factory = factory_for(&counter(3));
         let hypothesis = counter(2);
-        let mut oracle = MealyOracle::new(system);
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut wp = WpMethodOracle::new(1);
         let cex = wp
-            .find_counterexample(&mut oracle, &hypothesis)
+            .find_counterexample(&mut pool, &hypothesis)
             .unwrap()
             .expect("a counterexample must exist");
         // Replay: outputs must differ on the last symbol.
@@ -219,12 +210,12 @@ mod tests {
 
     #[test]
     fn w_method_also_finds_the_counterexample() {
-        let system = counter(4);
+        let factory = factory_for(&counter(4));
         let hypothesis = counter(2);
-        let mut oracle = MealyOracle::new(system);
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut w = WMethodOracle::new(2);
         assert!(w
-            .find_counterexample(&mut oracle, &hypothesis)
+            .find_counterexample(&mut pool, &hypothesis)
             .unwrap()
             .is_some());
     }
@@ -232,11 +223,12 @@ mod tests {
     #[test]
     fn counterexamples_are_shortest_failing_prefixes() {
         let system = counter(3);
+        let factory = factory_for(&system);
         let hypothesis = counter(2);
-        let mut oracle = MealyOracle::new(system.clone());
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut wp = WpMethodOracle::new(1);
         let cex = wp
-            .find_counterexample(&mut oracle, &hypothesis)
+            .find_counterexample(&mut pool, &hypothesis)
             .unwrap()
             .unwrap();
         // Every proper prefix of the counterexample agrees.
@@ -249,13 +241,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_and_sequential_conformance_agree() {
+        let factory = factory_for(&counter(5));
+        let hypothesis = counter(3);
+        let mut found = Vec::new();
+        for workers in [1usize, 4] {
+            let mut pool = QueryPool::new(&factory, workers, true);
+            let mut wp = WpMethodOracle::new(2);
+            found.push(
+                wp.find_counterexample(&mut pool, &hypothesis)
+                    .unwrap()
+                    .expect("counterexample exists"),
+            );
+        }
+        assert_eq!(found[0], found[1]);
+    }
+
+    #[test]
     fn random_walks_eventually_find_large_differences() {
-        let system = counter(3);
+        let factory = factory_for(&counter(3));
         let hypothesis = counter(2);
-        let mut oracle = MealyOracle::new(system);
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut rw = RandomWalkOracle::new(200, 10, 42);
         assert!(rw
-            .find_counterexample(&mut oracle, &hypothesis)
+            .find_counterexample(&mut pool, &hypothesis)
             .unwrap()
             .is_some());
     }

@@ -3,18 +3,25 @@
 //! The paper (§3) plugs its Polca membership oracle into LearnLib's
 //! implementation of Angluin-style active learning for Mealy machines and
 //! uses the Wp-method for conformance-testing-based equivalence queries.
-//! This crate provides the same ingredients:
+//! This crate provides the same ingredients, plus the query-efficiency
+//! subsystem that makes large policies tractable:
 //!
 //! * [`MembershipOracle`] / [`EquivalenceOracle`] — the teacher interface of
 //!   the student–teacher paradigm (§3.1);
-//! * [`learn_mealy`] — L* for Mealy machines with an observation table and
-//!   Rivest–Schapire counterexample processing;
+//! * [`OracleFactory`] / [`QueryPool`] — the factory abstraction minting
+//!   independent per-worker oracles, and the shared query engine that
+//!   memoizes every membership query in a prefix trie and shards conformance
+//!   suites across a `std::thread` worker pool;
+//! * [`QueryCache`] — the thread-safe prefix-trie memoization layer itself
+//!   (exploiting the prefix-closedness of deterministic output words);
+//! * [`learn_mealy`] — L* for Mealy machines with an observation table,
+//!   batched row filling, and Rivest–Schapire counterexample processing;
 //! * [`WpMethodOracle`] / [`WMethodOracle`] — `(|H| + k)`-complete conformance
 //!   test suites (§3.3, Theorem 3.3) used as the equivalence oracle;
 //! * [`RandomWalkOracle`] — the cheaper randomized alternative mentioned in
 //!   §6 as a possible optimization;
-//! * [`CachedOracle`] — a membership-query cache (prefix-closed), mirroring
-//!   LearnLib's query cache;
+//! * [`CachedOracle`] — a single-oracle adapter over the query cache,
+//!   mirroring LearnLib's query cache;
 //! * [`MealyOracle`] — a simulated teacher backed by a known machine, used in
 //!   tests and for the ablation benchmarks.
 //!
@@ -36,11 +43,13 @@
 //! b.add_transition(cs1, "Evct", cs0, "1");
 //! let target = b.build(cs0).unwrap();
 //!
-//! let mut teacher = MealyOracle::new(target.clone());
+//! // Any closure producing independent teachers is an `OracleFactory`.
+//! let teacher = target.clone();
+//! let factory = move || MealyOracle::new(teacher.clone());
 //! let mut equivalence = WpMethodOracle::new(1);
 //! let (learned, stats) = learn_mealy(
 //!     target.inputs().to_vec(),
-//!     &mut teacher,
+//!     &factory,
 //!     &mut equivalence,
 //!     LearnOptions::default(),
 //! )
@@ -48,20 +57,29 @@
 //! assert_eq!(learned.num_states(), 2);
 //! assert!(automata::equivalent(&learned, &target));
 //! assert!(stats.membership_queries > 0);
+//! assert_eq!(
+//!     stats.membership_queries,
+//!     stats.cache_hits + stats.cache_misses,
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+mod cache;
 mod equivalence;
 mod lstar;
 mod oracle;
+mod pool;
 mod table;
 mod wmethod;
 
+pub use cache::{CacheVerdict, QueryCache};
 pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
 pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnStats};
 pub use oracle::{CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, OracleError};
+pub use pool::{OracleFactory, QueryPool, SuiteOutcome, WORKERS_ENV};
 pub use wmethod::{
-    characterization_set, state_cover, transition_cover, w_method_suite, wp_method_suite,
+    characterization_set, state_cover, transition_cover, w_method_suite, w_method_suite_iter,
+    wp_method_suite, wp_method_suite_iter, WMethodSuite, WpMethodSuite,
 };

@@ -6,7 +6,8 @@ use std::time::{Duration, Instant};
 
 use automata::Mealy;
 
-use crate::oracle::{EquivalenceOracle, MembershipOracle, OracleError};
+use crate::oracle::{EquivalenceOracle, OracleError};
+use crate::pool::{OracleFactory, QueryPool};
 use crate::table::ObservationTable;
 
 /// Options controlling the learning loop.
@@ -16,6 +17,15 @@ pub struct LearnOptions {
     pub max_states: usize,
     /// Abort if learning exceeds this wall-clock budget (`None` = unlimited).
     pub time_budget: Option<Duration>,
+    /// Worker threads for parallel conformance testing and batched table
+    /// filling.  `0` (the default) resolves the count from the
+    /// `CACHEQUERY_WORKERS` environment variable, falling back to the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Whether to memoize membership queries in the shared prefix-trie
+    /// [`QueryCache`](crate::QueryCache) (default `true`; the ablation
+    /// benchmarks turn it off).
+    pub memoize: bool,
 }
 
 impl Default for LearnOptions {
@@ -23,6 +33,8 @@ impl Default for LearnOptions {
         LearnOptions {
             max_states: 1 << 20,
             time_budget: None,
+            workers: 0,
+            memoize: true,
         }
     }
 }
@@ -30,11 +42,19 @@ impl Default for LearnOptions {
 /// Statistics of one learning run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LearnStats {
-    /// Membership queries issued (as counted by the membership oracle, i.e.
-    /// after any caching the caller wrapped around it).
+    /// Membership queries issued (counted centrally by the learner's query
+    /// pool; cache hits included).
     pub membership_queries: u64,
+    /// Membership queries answered from the prefix-trie cache.
+    pub cache_hits: u64,
+    /// Membership queries that had to be answered by the underlying oracle.
+    pub cache_misses: u64,
     /// Equivalence queries issued.
     pub equivalence_queries: u64,
+    /// Conformance tests executed across all equivalence queries.
+    pub conformance_tests: u64,
+    /// Worker shards used across all equivalence queries.
+    pub equivalence_shards: u64,
     /// Counterexamples processed.
     pub counterexamples: u64,
     /// Number of states of the final hypothesis.
@@ -43,6 +63,19 @@ pub struct LearnStats {
     pub suffixes: usize,
     /// Wall-clock learning time.
     pub duration: Duration,
+}
+
+impl LearnStats {
+    /// Fraction of membership queries served from the query cache (`0.0`
+    /// when no queries were asked or memoization was disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Errors raised by [`learn_mealy`].
@@ -86,29 +119,36 @@ impl From<OracleError> for LearnError {
     }
 }
 
-/// Learns a deterministic Mealy machine over `inputs` from a membership and an
-/// equivalence oracle (Angluin's L* adapted to Mealy machines, with
+/// Learns a deterministic Mealy machine over `inputs` from an oracle factory
+/// and an equivalence oracle (Angluin's L* adapted to Mealy machines, with
 /// Rivest–Schapire counterexample processing).
+///
+/// The factory is used to build the learner's [`QueryPool`]: one local oracle
+/// answers sequential queries, per-worker oracles answer sharded conformance
+/// suites and batched table fills, and every answer is memoized in a shared
+/// prefix-trie cache (see [`LearnOptions::workers`] and
+/// [`LearnOptions::memoize`]).
 ///
 /// # Errors
 ///
 /// See [`LearnError`].
 pub fn learn_mealy<I, O>(
     inputs: Vec<I>,
-    membership: &mut dyn MembershipOracle<I, O>,
+    factory: &dyn OracleFactory<I, O>,
     equivalence: &mut dyn EquivalenceOracle<I, O>,
     options: LearnOptions,
 ) -> Result<(Mealy<I, O>, LearnStats), LearnError>
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + Hash + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + Hash + fmt::Debug + Send + Sync,
 {
     let start = Instant::now();
     let mut stats = LearnStats::default();
+    let mut pool = QueryPool::new(factory, options.workers, options.memoize);
     let mut table = ObservationTable::new(inputs);
-    table.fill(membership)?;
+    table.fill(&mut pool)?;
 
-    loop {
+    let result = loop {
         if let Some(budget) = options.time_budget {
             if start.elapsed() > budget {
                 return Err(LearnError::TimeBudgetExceeded);
@@ -121,19 +161,15 @@ where
             if table.short_prefixes().len() > options.max_states {
                 return Err(LearnError::StateLimitExceeded(options.max_states));
             }
-            table.fill(membership)?;
+            table.fill(&mut pool)?;
         }
 
         let (hypothesis, access) = table.hypothesis();
 
         // Ask for a counterexample.
         stats.equivalence_queries += 1;
-        let Some(counterexample) = equivalence.find_counterexample(membership, &hypothesis)? else {
-            stats.membership_queries = membership.queries_answered();
-            stats.states = hypothesis.num_states();
-            stats.suffixes = table.suffixes().len();
-            stats.duration = start.elapsed();
-            return Ok((hypothesis, stats));
+        let Some(counterexample) = equivalence.find_counterexample(&mut pool, &hypothesis)? else {
+            break hypothesis;
         };
         stats.counterexamples += 1;
 
@@ -144,13 +180,13 @@ where
         let mut current_hypothesis = hypothesis;
         let mut current_access = access;
         loop {
-            let actual = membership.query(&counterexample)?;
+            let actual = pool.query_word(&counterexample)?;
             let predicted = current_hypothesis.output_word(counterexample.iter());
             if actual == predicted {
                 break;
             }
             let suffix = find_distinguishing_suffix(
-                membership,
+                &mut pool,
                 &current_hypothesis,
                 &current_access,
                 &counterexample,
@@ -160,19 +196,29 @@ where
                 // table, so the system is answering inconsistently.
                 return Err(LearnError::SpuriousCounterexample);
             }
-            table.fill(membership)?;
+            table.fill(&mut pool)?;
             while let Some(witness) = table.find_unclosed() {
                 table.promote(witness);
                 if table.short_prefixes().len() > options.max_states {
                     return Err(LearnError::StateLimitExceeded(options.max_states));
                 }
-                table.fill(membership)?;
+                table.fill(&mut pool)?;
             }
             let (h, a) = table.hypothesis();
             current_hypothesis = h;
             current_access = a;
         }
-    }
+    };
+
+    stats.membership_queries = pool.queries_answered();
+    stats.cache_hits = pool.cache_hits();
+    stats.cache_misses = pool.cache_misses();
+    stats.conformance_tests = pool.tests_run();
+    stats.equivalence_shards = pool.shards_run();
+    stats.states = result.num_states();
+    stats.suffixes = table.suffixes().len();
+    stats.duration = start.elapsed();
+    Ok((result, stats))
 }
 
 /// Rivest–Schapire analysis: finds a suffix of the counterexample that
@@ -183,14 +229,14 @@ where
 /// `i = 0`, so a binary search locates an index where the answer flips, and
 /// `w[i+1..]` is the distinguishing suffix.
 fn find_distinguishing_suffix<I, O>(
-    membership: &mut dyn MembershipOracle<I, O>,
+    pool: &mut QueryPool<'_, I, O>,
     hypothesis: &Mealy<I, O>,
     access: &[Vec<I>],
     counterexample: &[I],
 ) -> Result<Vec<I>, OracleError>
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + fmt::Debug + Send + Sync,
 {
     let expected = hypothesis
         .output_word(counterexample.iter())
@@ -198,28 +244,30 @@ where
         .cloned()
         .expect("counterexamples are non-empty");
 
-    let check =
-        |membership: &mut dyn MembershipOracle<I, O>, i: usize| -> Result<bool, OracleError> {
-            // Word: access string of the state reached after w[..i], followed by
-            // the rest of the counterexample.
-            let state = hypothesis.delta(hypothesis.initial(), counterexample[..i].iter());
-            let mut word = access[state.index()].clone();
-            word.extend(counterexample[i..].iter().cloned());
-            if word.is_empty() {
-                return Ok(true);
-            }
-            let out = membership.last_output(&word)?;
-            Ok(out == expected)
-        };
+    let check = |pool: &mut QueryPool<'_, I, O>, i: usize| -> Result<bool, OracleError> {
+        // Word: access string of the state reached after w[..i], followed by
+        // the rest of the counterexample.
+        let state = hypothesis.delta(hypothesis.initial(), counterexample[..i].iter());
+        let mut word = access[state.index()].clone();
+        word.extend(counterexample[i..].iter().cloned());
+        if word.is_empty() {
+            return Ok(true);
+        }
+        let out = pool
+            .query_word(&word)?
+            .pop()
+            .expect("non-empty words have outputs");
+        Ok(out == expected)
+    };
 
     // Invariant: check(lo) = false, check(hi) = true.
     let mut lo = 0usize;
     let mut hi = counterexample.len() - 1;
-    if check(membership, hi)? {
+    if check(pool, hi)? {
         // Binary search between lo and hi.
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            if check(membership, mid)? {
+            if check(pool, mid)? {
                 hi = mid;
             } else {
                 lo = mid;
@@ -244,7 +292,7 @@ where
 mod tests {
     use super::*;
     use crate::equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
-    use crate::oracle::{CachedOracle, MealyOracle};
+    use crate::oracle::MealyOracle;
     use automata::{equivalent, MealyBuilder};
 
     fn counter(n: usize) -> Mealy<&'static str, bool> {
@@ -261,11 +309,12 @@ mod tests {
         target: &Mealy<&'static str, bool>,
         depth: usize,
     ) -> (Mealy<&'static str, bool>, LearnStats) {
-        let mut teacher = CachedOracle::new(MealyOracle::new(target.clone()));
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
         let mut eq = WpMethodOracle::new(depth);
         learn_mealy(
             target.inputs().to_vec(),
-            &mut teacher,
+            &factory,
             &mut eq,
             LearnOptions::default(),
         )
@@ -290,11 +339,12 @@ mod tests {
     #[test]
     fn learns_with_the_w_method_too() {
         let target = counter(4);
-        let mut teacher = MealyOracle::new(target.clone());
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
         let mut eq = WMethodOracle::new(4);
         let (learned, _) = learn_mealy(
             target.inputs().to_vec(),
-            &mut teacher,
+            &factory,
             &mut eq,
             LearnOptions::default(),
         )
@@ -305,11 +355,12 @@ mod tests {
     #[test]
     fn random_walk_oracle_learns_with_high_probability() {
         let target = counter(5);
-        let mut teacher = MealyOracle::new(target.clone());
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
         let mut eq = RandomWalkOracle::new(2000, 20, 7);
         let (learned, _) = learn_mealy(
             target.inputs().to_vec(),
-            &mut teacher,
+            &factory,
             &mut eq,
             LearnOptions::default(),
         )
@@ -320,15 +371,16 @@ mod tests {
     #[test]
     fn state_limit_is_enforced() {
         let target = counter(10);
-        let mut teacher = MealyOracle::new(target.clone());
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
         let mut eq = WpMethodOracle::new(10);
         let result = learn_mealy(
             target.inputs().to_vec(),
-            &mut teacher,
+            &factory,
             &mut eq,
             LearnOptions {
                 max_states: 4,
-                time_budget: None,
+                ..LearnOptions::default()
             },
         );
         assert!(matches!(result, Err(LearnError::StateLimitExceeded(4))));
@@ -342,5 +394,42 @@ mod tests {
         assert!(stats.equivalence_queries >= stats.counterexamples);
         assert!(stats.suffixes >= 2);
         assert!(stats.duration > Duration::ZERO);
+        // The observation table refills overlapping words constantly: the
+        // memoization layer must be seeing real traffic.
+        assert!(stats.cache_hits > 0);
+        assert!(stats.cache_misses > 0);
+        assert_eq!(
+            stats.membership_queries,
+            stats.cache_hits + stats.cache_misses
+        );
+        assert!(stats.cache_hit_rate() > 0.0 && stats.cache_hit_rate() < 1.0);
+        assert!(stats.conformance_tests > 0);
+        assert!(stats.equivalence_shards >= stats.equivalence_queries);
+    }
+
+    #[test]
+    fn multi_worker_learning_matches_single_worker() {
+        let target = counter(6);
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
+        let mut machines = Vec::new();
+        for workers in [1usize, 4] {
+            let mut eq = WpMethodOracle::new(6);
+            let (learned, stats) = learn_mealy(
+                target.inputs().to_vec(),
+                &factory,
+                &mut eq,
+                LearnOptions {
+                    workers,
+                    ..LearnOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(equivalent(&learned, &target));
+            assert_eq!(stats.states, 6);
+            machines.push(learned);
+        }
+        // Deterministic short-circuiting: both runs learn the same machine.
+        assert!(equivalent(&machines[0], &machines[1]));
     }
 }

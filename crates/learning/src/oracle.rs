@@ -1,10 +1,13 @@
 //! Teacher-side oracle interfaces and generic oracle adapters.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::Arc;
 
 use automata::Mealy;
+
+use crate::cache::QueryCache;
+use crate::pool::QueryPool;
 
 /// Error raised by an oracle (e.g. a hardware backend failure or detected
 /// nondeterminism in the system under learning).
@@ -55,15 +58,38 @@ pub trait MembershipOracle<I, O> {
             .ok_or_else(|| OracleError::new("last_output called on the empty word"))
     }
 
-    /// Number of queries answered so far (for statistics; default 0 if the
-    /// oracle does not count).
+    /// Number of queries answered so far.
+    ///
+    /// This method is deliberately *required*: a default of `0` would let an
+    /// implementation silently under-report and corrupt the statistics of a
+    /// learning run.  Oracles that genuinely do not count should return the
+    /// count of a wrapper such as [`CachedOracle`] or
+    /// [`QueryPool`](crate::QueryPool), which track queries centrally.
+    fn queries_answered(&self) -> u64;
+}
+
+/// Boxed oracles answer queries by delegation, so worker pools can own
+/// `Box<dyn MembershipOracle + Send>` trade objects.
+impl<I, O, M> MembershipOracle<I, O> for Box<M>
+where
+    M: MembershipOracle<I, O> + ?Sized,
+{
+    fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
+        (**self).query(word)
+    }
+
     fn queries_answered(&self) -> u64 {
-        0
+        (**self).queries_answered()
     }
 }
 
 /// An equivalence oracle: searches for a counterexample distinguishing the
 /// hypothesis from the system under learning (§3.1, query type 2).
+///
+/// Equivalence oracles receive the learner's [`QueryPool`] rather than a bare
+/// membership oracle: the pool answers individual queries through the shared
+/// prefix-trie cache and can execute whole conformance suites sharded across
+/// its worker threads (see [`QueryPool::run_tests`]).
 pub trait EquivalenceOracle<I, O> {
     /// Returns a counterexample input word on which the system and the
     /// hypothesis disagree, or `None` if none was found.
@@ -73,7 +99,7 @@ pub trait EquivalenceOracle<I, O> {
     /// Propagates membership-oracle errors.
     fn find_counterexample(
         &mut self,
-        membership: &mut dyn MembershipOracle<I, O>,
+        pool: &mut QueryPool<'_, I, O>,
         hypothesis: &Mealy<I, O>,
     ) -> Result<Option<Vec<I>>, OracleError>;
 }
@@ -123,41 +149,51 @@ where
     }
 }
 
-/// A prefix-closed cache in front of another membership oracle, mirroring
+/// A prefix-trie cache in front of another membership oracle, mirroring
 /// LearnLib's query cache (and, at the other end of the pipeline, the role of
 /// the LevelDB cache in CacheQuery's frontend).
+///
+/// The cache itself is a shared, thread-safe [`QueryCache`]: several
+/// `CachedOracle`s (e.g. the per-worker oracles of a
+/// [`QueryPool`](crate::QueryPool)) can be constructed over one cache with
+/// [`CachedOracle::with_cache`], in which case hits produced by one worker
+/// are visible to all others and the hit/miss statistics are global.
 #[derive(Debug)]
 pub struct CachedOracle<I, O, M> {
     inner: M,
-    cache: HashMap<Vec<I>, Vec<O>>,
-    hits: u64,
-    misses: u64,
+    cache: Arc<QueryCache<I, O>>,
 }
 
 impl<I, O, M> CachedOracle<I, O, M>
 where
     I: Clone + Eq + Hash,
-    O: Clone,
+    O: Clone + PartialEq,
     M: MembershipOracle<I, O>,
 {
-    /// Wraps `inner` with a cache.
+    /// Wraps `inner` with a fresh private cache.
     pub fn new(inner: M) -> Self {
-        CachedOracle {
-            inner,
-            cache: HashMap::new(),
-            hits: 0,
-            misses: 0,
-        }
+        Self::with_cache(inner, Arc::new(QueryCache::new()))
     }
 
-    /// Cache hits so far.
+    /// Wraps `inner` with a shared cache (e.g. one trie serving a whole
+    /// worker pool).
+    pub fn with_cache(inner: M, cache: Arc<QueryCache<I, O>>) -> Self {
+        CachedOracle { inner, cache }
+    }
+
+    /// Cache hits so far (global across every oracle sharing the cache).
     pub fn cache_hits(&self) -> u64 {
-        self.hits
+        self.cache.hits()
     }
 
-    /// Cache misses (i.e. queries forwarded to the inner oracle).
+    /// Cache misses (i.e. queries forwarded to an inner oracle).
     pub fn cache_misses(&self) -> u64 {
-        self.misses
+        self.cache.misses()
+    }
+
+    /// The shared cache behind this oracle.
+    pub fn cache(&self) -> &Arc<QueryCache<I, O>> {
+        &self.cache
     }
 
     /// The wrapped oracle.
@@ -174,28 +210,20 @@ where
 impl<I, O, M> MembershipOracle<I, O> for CachedOracle<I, O, M>
 where
     I: Clone + Eq + Hash,
-    O: Clone,
+    O: Clone + PartialEq,
     M: MembershipOracle<I, O>,
 {
     fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
-        if let Some(outputs) = self.cache.get(word) {
-            self.hits += 1;
-            return Ok(outputs.clone());
+        if let Some(outputs) = self.cache.lookup(word) {
+            return Ok(outputs);
         }
-        self.misses += 1;
         let outputs = self.inner.query(word)?;
-        // Store the word and all its prefixes: output words are
-        // prefix-consistent for deterministic systems.
-        for len in 1..=word.len() {
-            self.cache
-                .entry(word[..len].to_vec())
-                .or_insert_with(|| outputs[..len].to_vec());
-        }
+        self.cache.record(word, &outputs)?;
         Ok(outputs)
     }
 
     fn queries_answered(&self) -> u64 {
-        self.hits + self.misses
+        self.cache.total_lookups()
     }
 }
 
@@ -252,5 +280,20 @@ mod tests {
         for word in [vec!["a"], vec!["b", "b"], vec!["a", "b", "a", "a"]] {
             assert_eq!(cached.query(&word).unwrap(), plain.query(&word).unwrap());
         }
+    }
+
+    #[test]
+    fn cached_oracles_share_one_trie() {
+        let cache = Arc::new(QueryCache::new());
+        let mut first =
+            CachedOracle::with_cache(MealyOracle::new(toggle_machine()), Arc::clone(&cache));
+        let mut second =
+            CachedOracle::with_cache(MealyOracle::new(toggle_machine()), Arc::clone(&cache));
+        first.query(&["a", "b"]).unwrap();
+        // The second oracle sees the first one's work: no inner query needed.
+        second.query(&["a", "b"]).unwrap();
+        assert_eq!(second.inner().queries_answered(), 0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
     }
 }

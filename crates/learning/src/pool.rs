@@ -1,0 +1,802 @@
+//! Oracle factories and the shared query pool: memoized, parallel membership
+//! queries for the learner.
+//!
+//! The paper's learning runs are query-bound (§3.1, §6): every improvement to
+//! how membership queries are answered translates directly into wall-clock
+//! time.  This module attacks the dominant term twice:
+//!
+//! * **Memoization** — every query is routed through one shared
+//!   [`QueryCache`] prefix trie, so repeated words (and prefixes of longer
+//!   words) never reach the underlying system again;
+//! * **Parallelism** — the [`OracleFactory`] abstraction mints independent
+//!   per-worker oracles, which lets [`QueryPool::run_tests`] shard a
+//!   W/Wp-method conformance suite across a `std::thread` worker pool with
+//!   counterexample short-circuiting.
+//!
+//! The worker count defaults to the machine's available parallelism and can
+//! be pinned with the [`WORKERS_ENV`] (`CACHEQUERY_WORKERS`) environment
+//! variable or the `workers` field of
+//! [`LearnOptions`](crate::LearnOptions).
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use automata::Mealy;
+
+use crate::cache::{CacheVerdict, QueryCache};
+use crate::oracle::{MembershipOracle, OracleError};
+
+/// Environment variable overriding the default worker count of a
+/// [`QueryPool`] (`0` or unset means "use the available parallelism").
+pub const WORKERS_ENV: &str = "CACHEQUERY_WORKERS";
+
+/// Below this many outstanding words a parallel stage falls back to the
+/// sequential path: thread hand-off costs more than the queries themselves.
+const MIN_PARALLEL_ITEMS: usize = 32;
+
+/// First chunk pulled from a lazy conformance suite.  Small, because most
+/// equivalence queries during learning fail within the first few tests.
+const FIRST_CHUNK: usize = 64;
+
+/// Chunk growth factor: amortizes chunking overhead for the final, fully
+/// passing equivalence query without giving up early short-circuiting.
+const CHUNK_GROWTH: usize = 4;
+
+/// Upper bound on the chunk size.
+const MAX_CHUNK: usize = 16_384;
+
+/// A factory of independent membership oracles over the same system under
+/// learning.
+///
+/// This is the cloneable abstraction the parallel conformance tester is built
+/// on: each worker thread drives its *own* oracle instance (`Send`, created
+/// by the factory), so oracles never need internal locking.  Every closure
+/// `Fn() -> M` producing an oracle is a factory, which keeps call sites
+/// short.
+///
+/// For replacement-policy learning the factory contract is exactly the
+/// `probeCache` contract of Algorithm 1: every instance must answer from the
+/// same fixed initial cache state, so instances are interchangeable and their
+/// answers can be memoized in one shared [`QueryCache`].
+///
+/// # Example
+///
+/// ```
+/// use automata::MealyBuilder;
+/// use learning::{MembershipOracle, MealyOracle, OracleFactory};
+///
+/// let mut b = MealyBuilder::new(vec!['t']);
+/// let s = b.add_state();
+/// b.add_transition(s, 't', s, 7u8);
+/// let machine = b.build(s).unwrap();
+///
+/// // A closure cloning the target is already an `OracleFactory`.
+/// let factory = move || MealyOracle::new(machine.clone());
+/// let mut first = factory.make_oracle();
+/// let mut second = factory.make_oracle();
+/// assert_eq!(
+///     first.query(&['t']).unwrap(),
+///     second.query(&['t']).unwrap(),
+/// );
+/// ```
+pub trait OracleFactory<I, O> {
+    /// Creates a fresh, independent oracle for the system under learning.
+    fn make_oracle(&self) -> Box<dyn MembershipOracle<I, O> + Send>;
+}
+
+impl<I, O, M, F> OracleFactory<I, O> for F
+where
+    F: Fn() -> M,
+    M: MembershipOracle<I, O> + Send + 'static,
+{
+    fn make_oracle(&self) -> Box<dyn MembershipOracle<I, O> + Send> {
+        Box::new(self())
+    }
+}
+
+/// Result of running one conformance test suite through
+/// [`QueryPool::run_tests`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteOutcome<I> {
+    /// The counterexample with the smallest suite index, truncated to its
+    /// shortest failing prefix — or `None` if the whole suite passed.
+    pub counterexample: Option<Vec<I>>,
+    /// Number of test words actually executed (short-circuiting makes this
+    /// smaller than the suite for failing hypotheses).
+    pub tests_executed: u64,
+    /// Number of worker shards the suite was split into (1 for the
+    /// sequential path).
+    pub shards: u64,
+}
+
+/// The shared query engine of a learning run: one prefix-trie cache, one
+/// local oracle for sequential queries, and a set of per-worker oracles for
+/// parallel stages.
+///
+/// The pool is the single entry point for every membership query of the
+/// learner — observation-table filling, Rivest–Schapire analysis, and
+/// conformance testing all go through it — which makes the cache's counters
+/// the authoritative query statistics of the run.
+///
+/// `QueryPool` itself implements [`MembershipOracle`], so code written
+/// against the plain oracle interface composes with it directly.
+///
+/// # Example
+///
+/// ```
+/// use automata::MealyBuilder;
+/// use learning::{MealyOracle, QueryPool};
+///
+/// let mut b = MealyBuilder::new(vec!['t']);
+/// let s = b.add_state();
+/// b.add_transition(s, 't', s, 1u8);
+/// let machine = b.build(s).unwrap();
+///
+/// let factory = move || MealyOracle::new(machine.clone());
+/// let mut pool = QueryPool::new(&factory, 1, true);
+/// assert_eq!(pool.query_word(&['t', 't']).unwrap(), vec![1, 1]);
+/// // The repeat is served from the shared prefix trie.
+/// assert_eq!(pool.query_word(&['t', 't']).unwrap(), vec![1, 1]);
+/// assert_eq!((pool.cache_hits(), pool.cache_misses()), (1, 1));
+/// ```
+pub struct QueryPool<'f, I, O> {
+    factory: &'f dyn OracleFactory<I, O>,
+    cache: Option<Arc<QueryCache<I, O>>>,
+    local: Box<dyn MembershipOracle<I, O> + Send>,
+    workers: Vec<Box<dyn MembershipOracle<I, O> + Send>>,
+    worker_target: usize,
+    uncached_queries: u64,
+    tests_run: u64,
+    shards_run: u64,
+}
+
+impl<I, O> fmt::Debug for QueryPool<'_, I, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryPool")
+            .field("memoized", &self.cache.is_some())
+            .field("workers", &self.worker_target)
+            .field("tests_run", &self.tests_run)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Resolves a requested worker count: explicit values win, then
+/// [`WORKERS_ENV`], then the machine's available parallelism.
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var(WORKERS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Queries `oracle` for `word` and enforces the one-output-per-symbol
+/// contract — every oracle-facing path validates, so a truncated answer from
+/// a misbehaving backend errors instead of silently passing comparisons.
+fn query_validated<I, O>(
+    oracle: &mut dyn MembershipOracle<I, O>,
+    word: &[I],
+) -> Result<Vec<O>, OracleError> {
+    let outputs = oracle.query(word)?;
+    if outputs.len() != word.len() {
+        return Err(OracleError::new(format!(
+            "oracle returned {} outputs for a word of length {}",
+            outputs.len(),
+            word.len()
+        )));
+    }
+    Ok(outputs)
+}
+
+/// Answers one word through the cache (when present) or the given oracle,
+/// recording fresh answers.  Shared by the sequential and worker paths.
+fn query_via<I, O>(
+    cache: Option<&QueryCache<I, O>>,
+    oracle: &mut dyn MembershipOracle<I, O>,
+    word: &[I],
+) -> Result<Vec<O>, OracleError>
+where
+    I: Clone + Eq,
+    O: Clone + PartialEq,
+{
+    if let Some(cache) = cache {
+        if let Some(outputs) = cache.lookup(word) {
+            return Ok(outputs);
+        }
+    }
+    let outputs = query_validated(oracle, word)?;
+    if let Some(cache) = cache {
+        cache.record(word, &outputs)?;
+    }
+    Ok(outputs)
+}
+
+/// Compares an output word against the hypothesis prediction and returns the
+/// shortest failing prefix of `word`, if any.
+pub(crate) fn shortest_failing_prefix<I, O>(
+    word: &[I],
+    actual: &[O],
+    predicted: &[O],
+) -> Option<Vec<I>>
+where
+    I: Clone,
+    O: PartialEq,
+{
+    for (i, (a, p)) in actual.iter().zip(predicted).enumerate() {
+        if a != p {
+            return Some(word[..=i].to_vec());
+        }
+    }
+    None
+}
+
+/// Executes one conformance test: decides it from the cache where possible
+/// (without cloning outputs), otherwise queries the oracle and records the
+/// answer.  Returns the shortest failing prefix, if any.
+fn run_one_test<I, O>(
+    cache: Option<&QueryCache<I, O>>,
+    oracle: &mut dyn MembershipOracle<I, O>,
+    hypothesis: &Mealy<I, O>,
+    word: &[I],
+) -> Result<Option<Vec<I>>, OracleError>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let predicted = hypothesis.output_word(word.iter());
+    if let Some(cache) = cache {
+        match cache.check_against(word, &predicted) {
+            CacheVerdict::Match => return Ok(None),
+            CacheVerdict::Mismatch(i) => return Ok(Some(word[..=i].to_vec())),
+            CacheVerdict::Unknown => {}
+        }
+        let actual = query_validated(oracle, word)?;
+        cache.record(word, &actual)?;
+        return Ok(shortest_failing_prefix(word, &actual, &predicted));
+    }
+    let actual = query_validated(oracle, word)?;
+    Ok(shortest_failing_prefix(word, &actual, &predicted))
+}
+
+impl<'f, I, O> QueryPool<'f, I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    /// Creates a pool over `factory`.
+    ///
+    /// `workers == 0` resolves the worker count from [`WORKERS_ENV`] or the
+    /// available parallelism; `memoize == false` disables the shared cache
+    /// (used by the ablation benchmarks).
+    pub fn new(factory: &'f dyn OracleFactory<I, O>, workers: usize, memoize: bool) -> Self {
+        QueryPool {
+            factory,
+            cache: memoize.then(|| Arc::new(QueryCache::new())),
+            local: factory.make_oracle(),
+            workers: Vec::new(),
+            worker_target: resolve_workers(workers).max(1),
+            uncached_queries: 0,
+            tests_run: 0,
+            shards_run: 0,
+        }
+    }
+
+    /// The resolved number of worker threads parallel stages may use.
+    pub fn workers(&self) -> usize {
+        self.worker_target
+    }
+
+    /// The shared prefix-trie cache, if memoization is enabled.
+    pub fn cache(&self) -> Option<&Arc<QueryCache<I, O>>> {
+        self.cache.as_ref()
+    }
+
+    /// Membership queries answered so far (cache hits included).
+    pub fn queries_answered(&self) -> u64 {
+        match &self.cache {
+            Some(cache) => cache.total_lookups(),
+            None => self.uncached_queries,
+        }
+    }
+
+    /// Cache hits so far (0 when memoization is disabled).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.hits())
+    }
+
+    /// Cache misses so far; equals [`Self::queries_answered`] when
+    /// memoization is disabled.
+    pub fn cache_misses(&self) -> u64 {
+        match &self.cache {
+            Some(cache) => cache.misses(),
+            None => self.uncached_queries,
+        }
+    }
+
+    /// Conformance tests executed so far across all [`Self::run_tests`]
+    /// calls.
+    pub fn tests_run(&self) -> u64 {
+        self.tests_run
+    }
+
+    /// Total number of worker shards used across all [`Self::run_tests`]
+    /// calls.
+    pub fn shards_run(&self) -> u64 {
+        self.shards_run
+    }
+
+    /// Answers a single membership query through the cache and the local
+    /// oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle failures and cache-consistency violations.
+    pub fn query_word(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
+        if self.cache.is_none() {
+            self.uncached_queries += 1;
+        }
+        query_via(self.cache.as_deref(), &mut self.local, word)
+    }
+
+    /// Lazily creates the per-worker oracles.
+    fn ensure_workers(&mut self) {
+        while self.workers.len() < self.worker_target {
+            self.workers.push(self.factory.make_oracle());
+        }
+    }
+}
+
+impl<I, O> QueryPool<'_, I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + fmt::Debug + Send + Sync,
+{
+    /// Answers a batch of membership queries, sharding cache misses across
+    /// the worker pool.  Results are returned in input order.
+    ///
+    /// This is the batched table-filling primitive of L*: the observation
+    /// table collects every missing cell of a refinement step and issues them
+    /// as one batch instead of one oracle round-trip per cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first oracle failure of any worker.
+    pub fn query_batch(&mut self, words: &[Vec<I>]) -> Result<Vec<Vec<O>>, OracleError> {
+        let mut results: Vec<Option<Vec<O>>> = match &self.cache {
+            Some(cache) => words.iter().map(|w| cache.lookup(w)).collect(),
+            None => {
+                self.uncached_queries += words.len() as u64;
+                vec![None; words.len()]
+            }
+        };
+        // Deduplicate outstanding words before touching any oracle: the same
+        // word can appear under several batch indices (e.g. two observation
+        // table cells with `p1·e1 == p2·e2`), and each oracle execution can
+        // be an expensive hardware probe.  `missing` keeps one representative
+        // index per distinct word; `duplicates` maps the rest back to it.
+        let mut representative: std::collections::HashMap<&[I], usize> =
+            std::collections::HashMap::new();
+        let mut missing: Vec<usize> = Vec::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (index, representative)
+        for index in 0..words.len() {
+            if results[index].is_some() {
+                continue;
+            }
+            match representative.entry(words[index].as_slice()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(index);
+                    missing.push(index);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    duplicates.push((index, *slot.get()));
+                }
+            }
+        }
+
+        if self.worker_target <= 1 || missing.len() < MIN_PARALLEL_ITEMS {
+            for index in missing {
+                // Cache lookups already counted this batch; query the oracle
+                // directly and record, skipping the double-counting lookup.
+                let outputs = query_validated(&mut self.local, &words[index])?;
+                if let Some(cache) = &self.cache {
+                    cache.record(&words[index], &outputs)?;
+                }
+                results[index] = Some(outputs);
+            }
+        } else {
+            self.ensure_workers();
+            let shards = self.worker_target.min(missing.len());
+            let cache = self.cache.clone();
+            // Per-worker result: the (input index, outputs) pairs it answered.
+            type ShardAnswers<O> = Result<Vec<(usize, Vec<O>)>, OracleError>;
+            let mut answered: Vec<ShardAnswers<O>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .take(shards)
+                    .enumerate()
+                    .map(|(worker, oracle)| {
+                        let shard: Vec<usize> = missing
+                            .iter()
+                            .copied()
+                            .skip(worker)
+                            .step_by(shards)
+                            .collect();
+                        let cache = cache.clone();
+                        let words = &words;
+                        scope.spawn(move || {
+                            let mut out = Vec::with_capacity(shard.len());
+                            for index in shard {
+                                let outputs = query_validated(oracle, &words[index])?;
+                                if let Some(cache) = &cache {
+                                    cache.record(&words[index], &outputs)?;
+                                }
+                                out.push((index, outputs));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query worker panicked"))
+                    .collect()
+            });
+            for shard_result in answered.drain(..) {
+                for (index, outputs) in shard_result? {
+                    results[index] = Some(outputs);
+                }
+            }
+        }
+        for (index, source) in duplicates {
+            results[index] = results[source].clone();
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all batch entries answered"))
+            .collect())
+    }
+
+    /// Runs a conformance test suite against `hypothesis`, sharding it across
+    /// the worker pool, and returns the outcome.
+    ///
+    /// The suite is consumed lazily in geometrically growing chunks, so a
+    /// hypothesis refuted by an early test never materializes the
+    /// (exponentially large) tail of the suite — pair this with
+    /// [`wp_method_suite_iter`](crate::wp_method_suite_iter).  Fully cached
+    /// tests are decided by walking the prefix trie against the hypothesis
+    /// prediction without cloning outputs or touching the oracle (and a
+    /// cached *prefix* that already diverges refutes a test all by itself).
+    ///
+    /// Workers short-circuit through a shared atomic best-index: as soon as a
+    /// failing test is found, every worker abandons test words with a larger
+    /// suite index.  All indices *smaller* than the best failure are still
+    /// executed, so the returned counterexample is exactly the one the
+    /// sequential path would find — parallelism changes how many tests are
+    /// *executed*, never which counterexample is *returned*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first oracle failure of any worker.
+    pub fn run_tests(
+        &mut self,
+        hypothesis: &Mealy<I, O>,
+        suite: impl IntoIterator<Item = Vec<I>>,
+    ) -> Result<SuiteOutcome<I>, OracleError> {
+        let mut suite = suite.into_iter();
+        let mut chunk_size = FIRST_CHUNK;
+        let mut executed = 0u64;
+        let mut shards = 0u64;
+        let mut counterexample = None;
+        loop {
+            let chunk: Vec<Vec<I>> = suite.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let outcome = if self.worker_target <= 1 || chunk.len() < MIN_PARALLEL_ITEMS {
+                self.run_chunk_sequential(hypothesis, &chunk)?
+            } else {
+                self.run_chunk_parallel(hypothesis, &chunk)?
+            };
+            executed += outcome.tests_executed;
+            shards += outcome.shards;
+            if outcome.counterexample.is_some() {
+                counterexample = outcome.counterexample;
+                break;
+            }
+            chunk_size = (chunk_size * CHUNK_GROWTH).min(MAX_CHUNK);
+        }
+        if self.cache.is_none() {
+            self.uncached_queries += executed;
+        }
+        self.tests_run += executed;
+        self.shards_run += shards;
+        Ok(SuiteOutcome {
+            counterexample,
+            tests_executed: executed,
+            shards,
+        })
+    }
+
+    fn run_chunk_sequential(
+        &mut self,
+        hypothesis: &Mealy<I, O>,
+        chunk: &[Vec<I>],
+    ) -> Result<SuiteOutcome<I>, OracleError> {
+        let mut executed = 0;
+        for word in chunk {
+            executed += 1;
+            // Query counting happens in `run_tests` from `tests_executed`.
+            if let Some(cex) =
+                run_one_test(self.cache.as_deref(), &mut self.local, hypothesis, word)?
+            {
+                return Ok(SuiteOutcome {
+                    counterexample: Some(cex),
+                    tests_executed: executed,
+                    shards: 1,
+                });
+            }
+        }
+        Ok(SuiteOutcome {
+            counterexample: None,
+            tests_executed: executed,
+            shards: 1,
+        })
+    }
+
+    fn run_chunk_parallel(
+        &mut self,
+        hypothesis: &Mealy<I, O>,
+        chunk: &[Vec<I>],
+    ) -> Result<SuiteOutcome<I>, OracleError> {
+        self.ensure_workers();
+        let shards = self.worker_target.min(chunk.len());
+        let cache = self.cache.clone();
+        // Index of the best (smallest) failing test found so far; workers
+        // stop once their next index cannot beat it.
+        let best = AtomicUsize::new(usize::MAX);
+        let abort = AtomicBool::new(false);
+        let found: Mutex<Option<(usize, Vec<I>)>> = Mutex::new(None);
+
+        let worker_results: Vec<Result<u64, OracleError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .workers
+                .iter_mut()
+                .take(shards)
+                .enumerate()
+                .map(|(worker, oracle)| {
+                    let cache = cache.clone();
+                    let (best, abort, found) = (&best, &abort, &found);
+                    scope.spawn(move || {
+                        let mut executed = 0u64;
+                        for index in (worker..chunk.len()).step_by(shards) {
+                            if abort.load(Ordering::Relaxed)
+                                || index >= best.load(Ordering::Relaxed)
+                            {
+                                break;
+                            }
+                            let word = &chunk[index];
+                            executed += 1;
+                            match run_one_test(cache.as_deref(), oracle, hypothesis, word) {
+                                Ok(None) => {}
+                                Ok(Some(cex)) => {
+                                    best.fetch_min(index, Ordering::Relaxed);
+                                    let mut slot = found.lock().expect("result lock poisoned");
+                                    if slot.as_ref().is_none_or(|(i, _)| *i > index) {
+                                        *slot = Some((index, cex));
+                                    }
+                                }
+                                Err(e) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        Ok(executed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("conformance worker panicked"))
+                .collect()
+        });
+
+        let mut executed = 0;
+        for result in worker_results {
+            executed += result?;
+        }
+        let counterexample = found
+            .into_inner()
+            .expect("result lock poisoned")
+            .map(|(_, cex)| cex);
+        Ok(SuiteOutcome {
+            counterexample,
+            tests_executed: executed,
+            shards: shards as u64,
+        })
+    }
+}
+
+impl<I, O> MembershipOracle<I, O> for QueryPool<'_, I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    fn query(&mut self, word: &[I]) -> Result<Vec<O>, OracleError> {
+        self.query_word(word)
+    }
+
+    fn queries_answered(&self) -> u64 {
+        QueryPool::queries_answered(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::MealyOracle;
+    use automata::MealyBuilder;
+
+    /// A counter modulo `n` over inputs `t` (tick) and `r` (reset).
+    fn counter(n: usize) -> Mealy<&'static str, bool> {
+        let mut b = MealyBuilder::new(vec!["t", "r"]);
+        let states: Vec<_> = (0..n).map(|_| b.add_state()).collect();
+        for i in 0..n {
+            b.add_transition(states[i], "t", states[(i + 1) % n], i + 1 == n);
+            b.add_transition(states[i], "r", states[0], false);
+        }
+        b.build(states[0]).unwrap()
+    }
+
+    #[test]
+    fn pool_memoizes_repeated_queries() {
+        let target = counter(3);
+        let factory = move || MealyOracle::new(target.clone());
+        let mut pool = QueryPool::new(&factory, 1, true);
+        let first = pool.query_word(&["t", "t", "t"]).unwrap();
+        let second = pool.query_word(&["t", "t", "t"]).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(pool.cache_hits(), 1);
+        assert_eq!(pool.queries_answered(), 2);
+    }
+
+    #[test]
+    fn disabled_memoization_still_counts_queries() {
+        let target = counter(3);
+        let factory = move || MealyOracle::new(target.clone());
+        let mut pool = QueryPool::new(&factory, 1, false);
+        pool.query_word(&["t"]).unwrap();
+        pool.query_word(&["t"]).unwrap();
+        assert_eq!(pool.cache_hits(), 0);
+        assert_eq!(pool.queries_answered(), 2);
+    }
+
+    #[test]
+    fn batches_answer_in_input_order() {
+        let target = counter(4);
+        let reference = target.clone();
+        let factory = move || MealyOracle::new(target.clone());
+        for workers in [1, 4] {
+            let mut pool = QueryPool::new(&factory, workers, true);
+            let words: Vec<Vec<&str>> = (1..=40)
+                .map(|len| {
+                    (0..len)
+                        .map(|i| if i % 5 == 0 { "r" } else { "t" })
+                        .collect()
+                })
+                .collect();
+            let answers = pool.query_batch(&words).unwrap();
+            for (word, answer) in words.iter().zip(&answers) {
+                assert_eq!(*answer, reference.output_word(word.iter()));
+            }
+        }
+    }
+
+    #[test]
+    fn batches_answer_duplicate_words_with_one_oracle_query() {
+        let target = counter(3);
+        let factory = move || MealyOracle::new(target.clone());
+        // Memoization off, so any duplicate suppression must come from the
+        // batch itself, not the trie.
+        let mut pool = QueryPool::new(&factory, 1, false);
+        let words: Vec<Vec<&str>> = vec![
+            vec!["t", "t"],
+            vec!["t", "r"],
+            vec!["t", "t"],
+            vec!["t", "t"],
+        ];
+        let answers = pool.query_batch(&words).unwrap();
+        assert_eq!(answers[0], answers[2]);
+        assert_eq!(answers[0], answers[3]);
+        // Two distinct words → exactly two queries reached the oracle.
+        assert_eq!(pool.local.queries_answered(), 2);
+    }
+
+    #[test]
+    fn run_tests_returns_the_first_counterexample_of_the_suite() {
+        let system = counter(3);
+        let hypothesis = counter(2);
+        let factory = move || MealyOracle::new(system.clone());
+        // The suite contains two failing words; the smaller index must win on
+        // both the sequential and the parallel path.
+        let mut suite: Vec<Vec<&str>> = (0..40).map(|_| vec!["t", "r"]).collect();
+        suite[7] = vec!["t", "t", "t"];
+        suite[23] = vec!["r", "t", "t", "t"];
+        let mut expected = None;
+        for workers in [1, 4] {
+            let mut pool = QueryPool::new(&factory, workers, true);
+            let outcome = pool.run_tests(&hypothesis, suite.iter().cloned()).unwrap();
+            let cex = outcome.counterexample.expect("a counterexample exists");
+            // The index-7 word diverges at its second symbol (the 2-counter
+            // wraps, the 3-counter does not), so the shortest failing prefix
+            // of the smallest failing suite index is returned.
+            assert_eq!(cex, vec!["t", "t"]);
+            match &expected {
+                None => expected = Some(cex),
+                Some(prev) => assert_eq!(prev, &cex),
+            }
+        }
+    }
+
+    #[test]
+    fn run_tests_passes_equivalent_machines() {
+        let system = counter(3);
+        let hypothesis = system.clone();
+        let factory = move || MealyOracle::new(system.clone());
+        let mut pool = QueryPool::new(&factory, 4, true);
+        let suite: Vec<Vec<&str>> = (1..=64)
+            .map(|len| {
+                (0..len)
+                    .map(|i| if i % 3 == 0 { "r" } else { "t" })
+                    .collect()
+            })
+            .collect();
+        let outcome = pool.run_tests(&hypothesis, suite.iter().cloned()).unwrap();
+        assert_eq!(outcome.counterexample, None);
+        assert_eq!(outcome.tests_executed, 64);
+        assert!(outcome.shards >= 1);
+        assert_eq!(pool.tests_run(), 64);
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        /// An oracle that fails on words longer than 2 symbols.
+        struct Flaky;
+        impl MembershipOracle<&'static str, bool> for Flaky {
+            fn query(&mut self, word: &[&'static str]) -> Result<Vec<bool>, OracleError> {
+                if word.len() > 2 {
+                    Err(OracleError::new("hardware glitch"))
+                } else {
+                    Ok(vec![false; word.len()])
+                }
+            }
+            fn queries_answered(&self) -> u64 {
+                0
+            }
+        }
+        let factory = || Flaky;
+        let hypothesis = counter(2);
+        let suite: Vec<Vec<&str>> = (0..64).map(|_| vec!["t", "t", "t"]).collect();
+        let mut pool = QueryPool::new(&factory, 4, false);
+        assert!(pool.run_tests(&hypothesis, suite.iter().cloned()).is_err());
+    }
+
+    #[test]
+    fn explicit_worker_counts_override_the_default() {
+        let target = counter(2);
+        let factory = move || MealyOracle::new(target.clone());
+        let pool = QueryPool::new(&factory, 3, true);
+        assert_eq!(pool.workers(), 3);
+    }
+}

@@ -6,7 +6,8 @@ use std::hash::Hash;
 
 use automata::{Mealy, MealyBuilder, StateId};
 
-use crate::oracle::{MembershipOracle, OracleError};
+use crate::oracle::OracleError;
+use crate::pool::QueryPool;
 
 /// The observation table: prefixes (short rows `S` and their one-letter
 /// extensions) × distinguishing suffixes `E`, filled with the output words the
@@ -24,8 +25,8 @@ pub struct ObservationTable<I, O> {
 
 impl<I, O> ObservationTable<I, O>
 where
-    I: Clone + Eq + Hash + fmt::Debug,
-    O: Clone + Eq + Hash + fmt::Debug,
+    I: Clone + Eq + Hash + fmt::Debug + Send + Sync,
+    O: Clone + Eq + Hash + fmt::Debug + Send + Sync,
 {
     /// Creates a table over `inputs` with `S = {ε}` and one suffix per input
     /// symbol (the canonical initialization for Mealy machines, which makes
@@ -50,51 +51,68 @@ where
         &self.suffixes
     }
 
-    /// Fills any missing cells by querying the membership oracle.
+    /// Fills any missing cells by querying the pool.
+    ///
+    /// All missing cells of a refinement step are gathered first and issued
+    /// as one [`QueryPool::query_batch`], so the cells are answered from the
+    /// shared prefix-trie cache where possible and sharded across the worker
+    /// pool where not.
     ///
     /// # Errors
     ///
     /// Propagates oracle errors.
-    pub fn fill(&mut self, oracle: &mut dyn MembershipOracle<I, O>) -> Result<(), OracleError> {
-        let mut prefixes: Vec<Vec<I>> = Vec::new();
+    pub fn fill(&mut self, pool: &mut QueryPool<'_, I, O>) -> Result<(), OracleError> {
+        // Gather the missing cells: for every row prefix, the words
+        // `prefix · suffix` for each not-yet-filled suffix column.
+        let mut row_prefixes: Vec<Vec<I>> = Vec::new();
         for s in &self.short {
-            prefixes.push(s.clone());
+            row_prefixes.push(s.clone());
             for a in &self.inputs {
                 let mut extended = s.clone();
                 extended.push(a.clone());
-                prefixes.push(extended);
+                row_prefixes.push(extended);
             }
         }
-        for prefix in prefixes {
-            self.fill_row(&prefix, oracle)?;
+        let mut pending: Vec<(Vec<I>, usize)> = Vec::new(); // (prefix, first missing column)
+        let mut queued: std::collections::HashSet<Vec<I>> = std::collections::HashSet::new();
+        let mut words: Vec<Vec<I>> = Vec::new();
+        for prefix in row_prefixes {
+            let filled = self.rows.get(&prefix).map(|r| r.len()).unwrap_or(0);
+            if filled == self.suffixes.len() || !queued.insert(prefix.clone()) {
+                continue;
+            }
+            for suffix in &self.suffixes[filled..] {
+                let mut word = prefix.clone();
+                word.extend(suffix.iter().cloned());
+                words.push(word);
+            }
+            pending.push((prefix, filled));
         }
-        Ok(())
-    }
-
-    fn fill_row(
-        &mut self,
-        prefix: &[I],
-        oracle: &mut dyn MembershipOracle<I, O>,
-    ) -> Result<(), OracleError> {
-        let existing = self.rows.get(prefix).map(|r| r.len()).unwrap_or(0);
-        if existing == self.suffixes.len() {
+        if words.is_empty() {
             return Ok(());
         }
-        let mut row = self.rows.remove(prefix).unwrap_or_default();
-        for e in &self.suffixes[existing..] {
-            let mut word = prefix.to_vec();
-            word.extend(e.iter().cloned());
-            let outputs = oracle.query(&word)?;
-            if outputs.len() != word.len() {
-                return Err(OracleError::new(format!(
-                    "oracle returned {} outputs for a word of length {}",
-                    outputs.len(),
-                    word.len()
-                )));
+
+        let answers = pool.query_batch(&words)?;
+        let mut cursor = 0usize;
+        for (prefix, filled) in pending {
+            let mut row = self.rows.remove(&prefix).unwrap_or_default();
+            debug_assert_eq!(row.len(), filled);
+            for _ in filled..self.suffixes.len() {
+                let (word, outputs) = (&words[cursor], &answers[cursor]);
+                cursor += 1;
+                debug_assert!(word.starts_with(&prefix));
+                if outputs.len() != word.len() {
+                    return Err(OracleError::new(format!(
+                        "oracle returned {} outputs for a word of length {}",
+                        outputs.len(),
+                        word.len()
+                    )));
+                }
+                row.push(outputs[prefix.len()..].to_vec());
             }
-            row.push(outputs[prefix.len()..].to_vec());
+            self.rows.insert(prefix, row);
         }
-        self.rows.insert(prefix.to_vec(), row);
+        debug_assert_eq!(cursor, words.len());
         Ok(())
     }
 
@@ -112,13 +130,14 @@ where
     /// Returns an unclosedness witness: a one-letter extension of a short
     /// prefix whose row matches no short row, if any.
     pub fn find_unclosed(&self) -> Option<Vec<I>> {
-        let short_rows: Vec<&[Vec<O>]> = self.short.iter().map(|s| self.row(s)).collect();
+        let short_rows: std::collections::HashSet<&[Vec<O>]> =
+            self.short.iter().map(|s| self.row(s)).collect();
         for s in &self.short {
             for a in &self.inputs {
                 let mut extended = s.clone();
                 extended.push(a.clone());
                 let row = self.row(&extended);
-                if !short_rows.contains(&row) {
+                if !short_rows.contains(row) {
                     return Some(extended);
                 }
             }
@@ -223,13 +242,15 @@ mod tests {
 
     #[test]
     fn closing_the_table_discovers_all_states() {
-        let mut oracle = MealyOracle::new(target());
+        let machine = target();
+        let factory = move || MealyOracle::new(machine.clone());
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut table = ObservationTable::new(vec!["a", "b"]);
-        table.fill(&mut oracle).unwrap();
+        table.fill(&mut pool).unwrap();
         // Close the table by promoting unclosed rows until stable.
         while let Some(witness) = table.find_unclosed() {
             table.promote(witness);
-            table.fill(&mut oracle).unwrap();
+            table.fill(&mut pool).unwrap();
         }
         let (hypothesis, access) = table.hypothesis();
         assert_eq!(hypothesis.num_states(), 3);
@@ -248,9 +269,11 @@ mod tests {
 
     #[test]
     fn rows_store_suffix_outputs_only() {
-        let mut oracle = MealyOracle::new(target());
+        let machine = target();
+        let factory = move || MealyOracle::new(machine.clone());
+        let mut pool = QueryPool::new(&factory, 1, true);
         let mut table = ObservationTable::new(vec!["a", "b"]);
-        table.fill(&mut oracle).unwrap();
+        table.fill(&mut pool).unwrap();
         // Row of prefix "a" for suffix "a": output of the second "a" only.
         let row = table.row(&["a"]);
         assert_eq!(row[0], vec![2]);

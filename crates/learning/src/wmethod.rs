@@ -6,8 +6,14 @@
 //! that if the system under learning agrees with the hypothesis on every test
 //! word, then either the two machines are equivalent or the system has more
 //! than `|H| + k` states (Theorem 3.3).
+//!
+//! Suites are *lazy*: [`w_method_suite_iter`] and [`wp_method_suite_iter`]
+//! yield test words on demand, so an equivalence query that fails on an early
+//! test never materializes the (exponentially large) tail of the suite.  The
+//! eager [`w_method_suite`] / [`wp_method_suite`] functions collect the same
+//! words for callers that want the whole suite.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::Hash;
 
@@ -205,94 +211,224 @@ fn words_up_to<I: Clone>(inputs: &[I], k: usize) -> Vec<Vec<I>> {
     result
 }
 
-/// The W-method test suite for extra depth `k`: `P · I^{≤k} · W` with `P` the
-/// transition cover and `W` the characterization set.
+/// Concatenates `prefix · middle · suffix` into one test word.
+fn concat3<I: Clone>(prefix: &[I], middle: &[I], suffix: &[I]) -> Vec<I> {
+    let mut word = Vec::with_capacity(prefix.len() + middle.len() + suffix.len());
+    word.extend(prefix.iter().cloned());
+    word.extend(middle.iter().cloned());
+    word.extend(suffix.iter().cloned());
+    word
+}
+
+/// Lazy W-method suite: `P · I^{≤k} · W` with `P` the transition cover and
+/// `W` the characterization set, deduplicated, empty words skipped.
+///
+/// Constructed by [`w_method_suite_iter`].
+#[derive(Debug)]
+pub struct WMethodSuite<I> {
+    prefixes: Vec<Vec<I>>,
+    middles: Vec<Vec<I>>,
+    w: Vec<Vec<I>>,
+    /// Linear index into the `prefixes × middles × w` product.
+    cursor: usize,
+    seen: HashSet<Vec<I>>,
+}
+
+impl<I> Iterator for WMethodSuite<I>
+where
+    I: Clone + Eq + Hash,
+{
+    type Item = Vec<I>;
+
+    fn next(&mut self) -> Option<Vec<I>> {
+        let per_prefix = self.middles.len() * self.w.len();
+        if per_prefix == 0 {
+            // Degenerate machines over an empty input alphabet have an empty
+            // characterization set and therefore an empty suite.
+            return None;
+        }
+        loop {
+            let pi = self.cursor / per_prefix;
+            if pi >= self.prefixes.len() {
+                return None;
+            }
+            let mi = (self.cursor / self.w.len()) % self.middles.len();
+            let wi = self.cursor % self.w.len();
+            self.cursor += 1;
+            let word = concat3(&self.prefixes[pi], &self.middles[mi], &self.w[wi]);
+            if !word.is_empty() && self.seen.insert(word.clone()) {
+                return Some(word);
+            }
+        }
+    }
+}
+
+/// Lazily yields the W-method test suite for extra depth `k`, in the same
+/// order as [`w_method_suite`].
+pub fn w_method_suite_iter<I, O>(machine: &Mealy<I, O>, k: usize) -> WMethodSuite<I>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    let (w, _) = characterization_set(machine);
+    WMethodSuite {
+        prefixes: transition_cover(machine),
+        middles: words_up_to(machine.inputs(), k),
+        w,
+        cursor: 0,
+        seen: HashSet::new(),
+    }
+}
+
+/// The W-method test suite for extra depth `k`, collected eagerly.
 pub fn w_method_suite<I, O>(machine: &Mealy<I, O>, k: usize) -> Vec<Vec<I>>
 where
     I: Clone + Eq + Hash + fmt::Debug,
     O: Clone + Eq + Hash + fmt::Debug,
 {
-    let p = transition_cover(machine);
-    let (w, _) = characterization_set(machine);
-    let middles = words_up_to(machine.inputs(), k);
-    let mut suite = Vec::new();
-    for prefix in &p {
-        for middle in &middles {
-            for suffix in &w {
-                let mut word = prefix.clone();
-                word.extend(middle.iter().cloned());
-                word.extend(suffix.iter().cloned());
-                if !word.is_empty() {
-                    suite.push(word);
-                }
-            }
-        }
-    }
-    dedup_preserving_order(suite)
+    w_method_suite_iter(machine, k).collect()
 }
 
-/// The Wp-method test suite for extra depth `k`.
+/// Lazy Wp-method suite; see [`wp_method_suite_iter`].
 ///
 /// Phase 1 checks the state cover against the full characterization set
 /// (`S · I^{≤k} · W`); phase 2 checks the remaining transitions against the
 /// identification sets of the states they reach (`R · I^{≤k} ⊗ Wp`).
-pub fn wp_method_suite<I, O>(machine: &Mealy<I, O>, k: usize) -> Vec<Vec<I>>
+#[derive(Debug)]
+pub struct WpMethodSuite<'m, I, O> {
+    machine: &'m Mealy<I, O>,
+    cover: Vec<Vec<I>>,
+    cover_set: HashSet<Vec<I>>,
+    middles: Vec<Vec<I>>,
+    w: Vec<Vec<I>>,
+    identification: Vec<Vec<usize>>,
+    /// Linear index into the phase-1 `cover × middles × w` product, or past
+    /// its end once phase 2 begins.
+    phase1_cursor: usize,
+    /// Phase-2 position: (cover index, input index, middle index).
+    transition: (usize, usize, usize),
+    /// The current phase-2 base word and its identification set.
+    base: Option<(Vec<I>, usize, usize)>, // (base word, reached state, next ident position)
+    seen: HashSet<Vec<I>>,
+}
+
+impl<I, O> WpMethodSuite<'_, I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    /// Advances the phase-2 state machine to the next base word, if any.
+    fn advance_base(&mut self) -> bool {
+        let inputs = self.machine.inputs();
+        if inputs.is_empty() {
+            // Degenerate machines over an empty alphabet have no transitions
+            // to test.
+            return false;
+        }
+        let (mut ci, mut ii, mut mi) = self.transition;
+        // Moves to the next transition word, resetting the middle index.
+        let next_transition = |ci: usize, ii: usize| {
+            if ii + 1 >= inputs.len() {
+                (ci + 1, 0, 0)
+            } else {
+                (ci, ii + 1, 0)
+            }
+        };
+        while ci < self.cover.len() {
+            let mut transition_word = self.cover[ci].clone();
+            transition_word.push(inputs[ii].clone());
+            if self.cover_set.contains(&transition_word) {
+                (ci, ii, mi) = next_transition(ci, ii);
+                continue;
+            }
+            if mi < self.middles.len() {
+                let mut base = transition_word;
+                base.extend(self.middles[mi].iter().cloned());
+                let reached = self.machine.delta(self.machine.initial(), base.iter());
+                self.transition = (ci, ii, mi + 1);
+                self.base = Some((base, reached.index(), 0));
+                return true;
+            }
+            (ci, ii, mi) = next_transition(ci, ii);
+        }
+        self.transition = (ci, ii, mi);
+        false
+    }
+}
+
+impl<I, O> Iterator for WpMethodSuite<'_, I, O>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    type Item = Vec<I>;
+
+    fn next(&mut self) -> Option<Vec<I>> {
+        // Phase 1: state cover × I^{≤k} × W.
+        let per_prefix = self.middles.len() * self.w.len();
+        while self.phase1_cursor < self.cover.len() * per_prefix {
+            let ci = self.phase1_cursor / per_prefix;
+            let mi = (self.phase1_cursor / self.w.len()) % self.middles.len();
+            let wi = self.phase1_cursor % self.w.len();
+            self.phase1_cursor += 1;
+            let word = concat3(&self.cover[ci], &self.middles[mi], &self.w[wi]);
+            if !word.is_empty() && self.seen.insert(word.clone()) {
+                return Some(word);
+            }
+        }
+
+        // Phase 2: transitions not in the state cover × I^{≤k} × the
+        // identification set of the state the word reaches in the hypothesis.
+        loop {
+            if let Some((base, reached, ident_pos)) = &mut self.base {
+                let ident = &self.identification[*reached];
+                while *ident_pos < ident.len() {
+                    let wi = ident[*ident_pos];
+                    *ident_pos += 1;
+                    let word = concat3(base, &[], &self.w[wi]);
+                    if self.seen.insert(word.clone()) {
+                        return Some(word);
+                    }
+                }
+                self.base = None;
+            }
+            if !self.advance_base() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Lazily yields the Wp-method test suite for extra depth `k`, in the same
+/// order as [`wp_method_suite`].
+pub fn wp_method_suite_iter<I, O>(machine: &Mealy<I, O>, k: usize) -> WpMethodSuite<'_, I, O>
 where
     I: Clone + Eq + Hash + fmt::Debug,
     O: Clone + Eq + Hash + fmt::Debug,
 {
     let cover = state_cover(machine);
     let (w, identification) = characterization_set(machine);
-    let middles = words_up_to(machine.inputs(), k);
-    let mut suite = Vec::new();
-
-    // Phase 1: state cover × I^{≤k} × W.
-    for prefix in &cover {
-        for middle in &middles {
-            for suffix in &w {
-                let mut word = prefix.clone();
-                word.extend(middle.iter().cloned());
-                word.extend(suffix.iter().cloned());
-                if !word.is_empty() {
-                    suite.push(word);
-                }
-            }
-        }
+    WpMethodSuite {
+        machine,
+        cover_set: cover.iter().cloned().collect(),
+        cover,
+        middles: words_up_to(machine.inputs(), k),
+        w,
+        identification,
+        phase1_cursor: 0,
+        transition: (0, 0, 0),
+        base: None,
+        seen: HashSet::new(),
     }
-
-    // Phase 2: transitions not in the state cover × I^{≤k} × the
-    // identification set of the state the word reaches in the hypothesis.
-    for prefix in &cover {
-        for input in machine.inputs() {
-            let mut transition_word = prefix.clone();
-            transition_word.push(input.clone());
-            if cover.contains(&transition_word) {
-                continue;
-            }
-            for middle in &middles {
-                let mut base = transition_word.clone();
-                base.extend(middle.iter().cloned());
-                let reached = machine.delta(machine.initial(), base.iter());
-                for &wi in &identification[reached.index()] {
-                    let mut word = base.clone();
-                    word.extend(w[wi].iter().cloned());
-                    suite.push(word);
-                }
-            }
-        }
-    }
-    dedup_preserving_order(suite)
 }
 
-fn dedup_preserving_order<I: Clone + Eq + Hash>(words: Vec<Vec<I>>) -> Vec<Vec<I>> {
-    let mut seen = std::collections::HashSet::new();
-    let mut result = Vec::with_capacity(words.len());
-    for word in words {
-        if seen.insert(word.clone()) {
-            result.push(word);
-        }
-    }
-    result
+/// The Wp-method test suite for extra depth `k`, collected eagerly.
+pub fn wp_method_suite<I, O>(machine: &Mealy<I, O>, k: usize) -> Vec<Vec<I>>
+where
+    I: Clone + Eq + Hash + fmt::Debug,
+    O: Clone + Eq + Hash + fmt::Debug,
+{
+    wp_method_suite_iter(machine, k).collect()
 }
 
 #[cfg(test)]
@@ -390,9 +526,44 @@ mod tests {
     }
 
     #[test]
+    fn lazy_and_eager_suites_agree() {
+        let m = three_state();
+        for k in [0usize, 1, 2] {
+            let eager_w = w_method_suite(&m, k);
+            let lazy_w: Vec<_> = w_method_suite_iter(&m, k).collect();
+            assert_eq!(eager_w, lazy_w);
+            let eager_wp = wp_method_suite(&m, k);
+            let lazy_wp: Vec<_> = wp_method_suite_iter(&m, k).collect();
+            assert_eq!(eager_wp, lazy_wp);
+        }
+    }
+
+    #[test]
+    fn lazy_suites_yield_without_full_materialization() {
+        // Pulling a handful of words from a lazy suite must work (the whole
+        // point: failing equivalence queries never build the full suite).
+        let m = three_state();
+        let first: Vec<_> = wp_method_suite_iter(&m, 2).take(3).collect();
+        assert_eq!(first.len(), 3);
+        assert_eq!(first, wp_method_suite(&m, 2)[..3].to_vec());
+    }
+
+    #[test]
     fn words_up_to_counts() {
         let words = words_up_to(&["a", "b"], 2);
         // ε, 2 words of length 1, 4 of length 2.
         assert_eq!(words.len(), 7);
+    }
+
+    #[test]
+    fn empty_alphabet_machines_get_empty_suites() {
+        // Degenerate but constructible: a machine with no inputs.  The lazy
+        // iterators must terminate with an empty suite (as the eager
+        // functions always did) instead of panicking.
+        let mut b: MealyBuilder<&str, u8> = MealyBuilder::new(vec![]);
+        let s = b.add_state();
+        let m = b.build(s).unwrap();
+        assert_eq!(w_method_suite(&m, 1), Vec::<Vec<&str>>::new());
+        assert_eq!(wp_method_suite(&m, 1), Vec::<Vec<&str>>::new());
     }
 }

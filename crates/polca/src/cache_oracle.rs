@@ -1,4 +1,16 @@
 //! The abstract cache interface Polca builds on, and its two implementations.
+//!
+//! Next to the paper's `probeCache` primitive (replay a whole block trace
+//! from the fixed initial state), the interface exposes *probe sessions*: a
+//! stateful walk along one trace with speculative side probes.  Hardware
+//! caches can only implement sessions by replaying ([`ReplaySession`], the
+//! cost model of the paper), but the software-simulated caches of §6 step
+//! their cache set once per accessed block — turning Polca's per-query cost
+//! from quadratic to linear in the word length, which is where the bulk of a
+//! simulated learning run's time used to go.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cache::{Block, CacheSet, HitMiss};
 use cachequery::{CacheQuery, Target};
@@ -6,12 +18,48 @@ use learning::OracleError;
 use mbl::{BlockId, MemOp, Query};
 use policies::PolicyKind;
 
+/// A stateful probe along one block trace, with speculative side probes.
+///
+/// Obtained from [`CacheOracle::begin`]; the session starts at the oracle's
+/// fixed initial state `cc0` and advances one block per [`access`] call.
+/// [`speculate`] answers "would this block hit right now?" without advancing
+/// the session — exactly the side probe `findEvicted` needs (Algorithm 1).
+///
+/// [`access`]: CacheSession::access
+/// [`speculate`]: CacheSession::speculate
+pub trait CacheSession {
+    /// Accesses `block`, advancing the session, and reports whether the
+    /// access hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] if the underlying cache misbehaves.
+    fn access(&mut self, block: BlockId) -> Result<HitMiss, OracleError>;
+
+    /// Reports whether accessing `block` *now* would hit, without advancing
+    /// the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] if the underlying cache misbehaves.
+    fn speculate(&mut self, block: BlockId) -> Result<HitMiss, OracleError>;
+}
+
 /// A cache set that can be probed with block traces from a fixed initial
 /// state (the `probeCache` primitive of Algorithm 1).
 ///
-/// Implementations must guarantee that every probe starts from the same
-/// initial cache state `cc0`, in which block `i` (for `i` in
-/// `0..associativity`) occupies line `i`.
+/// Implementations must guarantee that every probe (and every session)
+/// starts from the same initial cache state `cc0`, in which block `i` (for
+/// `i` in `0..associativity`) occupies line `i`.
+///
+/// **Contract for `Clone` implementations:** clones must answer identically
+/// to the original (they are the per-worker instances of a parallel learning
+/// run) *and share the [`probes`](CacheOracle::probes) /
+/// [`block_accesses`](CacheOracle::block_accesses) counters* — e.g. behind
+/// `Arc<AtomicU64>`, as [`SimulatedCacheOracle`] and [`CacheQueryOracle`]
+/// do.  [`learn_policy`](crate::learn_policy) reads whole-run statistics
+/// from a retained clone; per-clone counters would silently report (near)
+/// zero probes for the run.
 pub trait CacheOracle {
     /// Associativity of the cache set.
     fn associativity(&self) -> usize;
@@ -25,21 +73,66 @@ pub trait CacheOracle {
     /// inconsistent timing measurements on the hardware path).
     fn probe(&mut self, trace: &[BlockId]) -> Result<HitMiss, OracleError>;
 
-    /// Number of probes executed so far.
+    /// Starts a probe session from the fixed initial state.
+    fn begin(&mut self) -> Box<dyn CacheSession + '_>;
+
+    /// Number of probes executed so far.  A replayed trace counts as one
+    /// probe, and so does each step of a probe session.
     fn probes(&self) -> u64;
 
-    /// Total number of block accesses executed so far (each probe accesses
-    /// `trace.len()` blocks).
+    /// Total number of block accesses executed so far.  A replayed probe
+    /// accesses `trace.len()` blocks; an incremental session step accesses
+    /// exactly one.
     fn block_accesses(&self) -> u64;
+}
+
+/// A [`CacheSession`] for caches that can only be driven by whole-trace
+/// replay: every step re-probes the full trace so far.
+///
+/// This is the cost model of the paper's hardware experiments (§7): real
+/// silicon cannot snapshot its replacement state, so the `n`-th session step
+/// costs `n` block accesses.  Any [`CacheOracle`] gets a correct session
+/// implementation by wrapping itself in a `ReplaySession`.
+#[derive(Debug)]
+pub struct ReplaySession<'a, C: ?Sized> {
+    oracle: &'a mut C,
+    trace: Vec<BlockId>,
+}
+
+impl<'a, C: CacheOracle + ?Sized> ReplaySession<'a, C> {
+    /// Starts a replay-based session on `oracle`.
+    pub fn new(oracle: &'a mut C) -> Self {
+        ReplaySession {
+            oracle,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl<C: CacheOracle + ?Sized> CacheSession for ReplaySession<'_, C> {
+    fn access(&mut self, block: BlockId) -> Result<HitMiss, OracleError> {
+        self.trace.push(block);
+        self.oracle.probe(&self.trace)
+    }
+
+    fn speculate(&mut self, block: BlockId) -> Result<HitMiss, OracleError> {
+        let mut probe = self.trace.clone();
+        probe.push(block);
+        self.oracle.probe(&probe)
+    }
 }
 
 /// The software-simulated cache of the §6 case study: a [`CacheSet`] driven
 /// by an executable replacement policy, probed without any noise.
+///
+/// Clones share their probe counters (the clones are the per-worker
+/// instances of a parallel learning run, and statistics are per run, not per
+/// worker).
 #[derive(Debug, Clone)]
 pub struct SimulatedCacheOracle {
     template: CacheSet,
-    probes: u64,
-    accesses: u64,
+    probes: Arc<AtomicU64>,
+    accesses: Arc<AtomicU64>,
 }
 
 impl SimulatedCacheOracle {
@@ -52,11 +145,7 @@ impl SimulatedCacheOracle {
     pub fn new(kind: PolicyKind, associativity: usize) -> Result<Self, policies::PolicyError> {
         let policy = kind.build(associativity)?;
         let template = CacheSet::filled(policy, (0..associativity as u64).map(Block::new));
-        Ok(SimulatedCacheOracle {
-            template,
-            probes: 0,
-            accesses: 0,
-        })
+        Ok(Self::from_set(template))
     }
 
     /// Creates the oracle from an arbitrary pre-filled cache set (useful for
@@ -64,9 +153,33 @@ impl SimulatedCacheOracle {
     pub fn from_set(template: CacheSet) -> Self {
         SimulatedCacheOracle {
             template,
-            probes: 0,
-            accesses: 0,
+            probes: Arc::new(AtomicU64::new(0)),
+            accesses: Arc::new(AtomicU64::new(0)),
         }
+    }
+}
+
+/// An incremental session over a simulated cache set: one policy step per
+/// accessed block, one set clone per speculation.
+#[derive(Debug)]
+struct SimulatedSession {
+    set: CacheSet,
+    probes: Arc<AtomicU64>,
+    accesses: Arc<AtomicU64>,
+}
+
+impl CacheSession for SimulatedSession {
+    fn access(&mut self, block: BlockId) -> Result<HitMiss, OracleError> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        Ok(self.set.access(Block::new(block.0 as u64)).outcome())
+    }
+
+    fn speculate(&mut self, block: BlockId) -> Result<HitMiss, OracleError> {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let mut copy = self.set.clone();
+        Ok(copy.access(Block::new(block.0 as u64)).outcome())
     }
 }
 
@@ -79,8 +192,9 @@ impl CacheOracle for SimulatedCacheOracle {
         if trace.is_empty() {
             return Err(OracleError::new("cannot probe with an empty trace"));
         }
-        self.probes += 1;
-        self.accesses += trace.len() as u64;
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.accesses
+            .fetch_add(trace.len() as u64, Ordering::Relaxed);
         let mut set = self.template.clone();
         let mut last = HitMiss::Miss;
         for block in trace {
@@ -89,12 +203,20 @@ impl CacheOracle for SimulatedCacheOracle {
         Ok(last)
     }
 
+    fn begin(&mut self) -> Box<dyn CacheSession + '_> {
+        Box::new(SimulatedSession {
+            set: self.template.clone(),
+            probes: Arc::clone(&self.probes),
+            accesses: Arc::clone(&self.accesses),
+        })
+    }
+
     fn probes(&self) -> u64 {
-        self.probes
+        self.probes.load(Ordering::Relaxed)
     }
 
     fn block_accesses(&self) -> u64 {
-        self.accesses
+        self.accesses.load(Ordering::Relaxed)
     }
 }
 
@@ -104,13 +226,19 @@ impl CacheOracle for SimulatedCacheOracle {
 /// The CacheQuery reset sequence plays the role of establishing the fixed
 /// initial state; the oracle additionally verifies that repeated executions
 /// agree and reports an error otherwise (the nondeterminism signal discussed
-/// in §7.1).
-#[derive(Debug)]
+/// in §7.1).  Sessions replay, as real hardware must (see
+/// [`ReplaySession`]).
+///
+/// Clones carry an independent copy of the *simulated* CPU (which is
+/// deterministic, so clones answer identically) but share the probe
+/// counters; on real silicon there is only one cache, so hardware learning
+/// runs should pin `workers = 1`.
+#[derive(Debug, Clone)]
 pub struct CacheQueryOracle {
     tool: CacheQuery,
     associativity: usize,
-    probes: u64,
-    accesses: u64,
+    probes: Arc<AtomicU64>,
+    accesses: Arc<AtomicU64>,
 }
 
 impl CacheQueryOracle {
@@ -131,8 +259,8 @@ impl CacheQueryOracle {
         Ok(CacheQueryOracle {
             tool,
             associativity,
-            probes: 0,
-            accesses: 0,
+            probes: Arc::new(AtomicU64::new(0)),
+            accesses: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -178,8 +306,9 @@ impl CacheOracle for CacheQueryOracle {
         if trace.is_empty() {
             return Err(OracleError::new("cannot probe with an empty trace"));
         }
-        self.probes += 1;
-        self.accesses += trace.len() as u64;
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.accesses
+            .fetch_add(trace.len() as u64, Ordering::Relaxed);
         let query = Self::probe_query(trace);
         let outcome = self
             .tool
@@ -199,12 +328,16 @@ impl CacheOracle for CacheQueryOracle {
             .ok_or_else(|| OracleError::new("backend returned no profiled outcome"))
     }
 
+    fn begin(&mut self) -> Box<dyn CacheSession + '_> {
+        Box::new(ReplaySession::new(self))
+    }
+
     fn probes(&self) -> u64 {
-        self.probes
+        self.probes.load(Ordering::Relaxed)
     }
 
     fn block_accesses(&self) -> u64 {
-        self.accesses
+        self.accesses.load(Ordering::Relaxed)
     }
 }
 
@@ -245,6 +378,64 @@ mod tests {
     }
 
     #[test]
+    fn sessions_agree_with_replayed_probes() {
+        // Step a session along a trace and check each intermediate outcome
+        // against a from-scratch probe of the same prefix.
+        let trace = blocks(&[0, 3, 4, 0, 5, 1, 4]);
+        for kind in [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::SrripHp] {
+            let mut replay = SimulatedCacheOracle::new(kind, 4).unwrap();
+            let mut oracle = SimulatedCacheOracle::new(kind, 4).unwrap();
+            let mut session = oracle.begin();
+            for len in 1..=trace.len() {
+                let stepped = session.access(trace[len - 1]).unwrap();
+                assert_eq!(
+                    stepped,
+                    replay.probe(&trace[..len]).unwrap(),
+                    "{kind} diverged at prefix length {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_does_not_advance_the_session() {
+        let mut oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 2).unwrap();
+        let mut session = oracle.begin();
+        // Fill with 5, evicting LRU block 0; speculative misses on 0 must not
+        // disturb the state no matter how often they run.
+        assert_eq!(session.access(BlockId(5)).unwrap(), HitMiss::Miss);
+        for _ in 0..3 {
+            assert_eq!(session.speculate(BlockId(0)).unwrap(), HitMiss::Miss);
+            assert_eq!(session.speculate(BlockId(1)).unwrap(), HitMiss::Hit);
+        }
+        assert_eq!(session.access(BlockId(1)).unwrap(), HitMiss::Hit);
+    }
+
+    #[test]
+    fn session_steps_cost_one_access_each() {
+        let mut oracle = SimulatedCacheOracle::new(PolicyKind::Lru, 2).unwrap();
+        let mut session = oracle.begin();
+        session.access(BlockId(7)).unwrap();
+        session.access(BlockId(8)).unwrap();
+        session.speculate(BlockId(0)).unwrap();
+        drop(session);
+        assert_eq!(oracle.probes(), 3);
+        assert_eq!(oracle.block_accesses(), 3);
+    }
+
+    #[test]
+    fn cloned_oracles_answer_identically_and_share_counters() {
+        let oracle = SimulatedCacheOracle::new(PolicyKind::Plru, 4).unwrap();
+        let mut clone_a = oracle.clone();
+        let mut clone_b = oracle.clone();
+        let t = blocks(&[5, 1, 6, 2]);
+        assert_eq!(clone_a.probe(&t).unwrap(), clone_b.probe(&t).unwrap());
+        // Both probes land in the shared per-run counters.
+        assert_eq!(oracle.probes(), 2);
+        assert_eq!(oracle.block_accesses(), 8);
+    }
+
+    #[test]
     fn cachequery_oracle_probes_the_simulated_hardware() {
         let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 21);
         let mut tool = CacheQuery::new(cpu);
@@ -256,6 +447,22 @@ mod tests {
         assert_eq!(oracle.probe(&blocks(&[3])).unwrap(), HitMiss::Hit);
         // A fresh block misses.
         assert_eq!(oracle.probe(&blocks(&[11])).unwrap(), HitMiss::Miss);
+    }
+
+    #[test]
+    fn cachequery_sessions_replay_the_whole_trace() {
+        let cpu = SimulatedCpu::new(CpuModel::SkylakeI5_6500, 21);
+        let mut tool = CacheQuery::new(cpu);
+        tool.set_target(Target::new(LevelId::L1, 17, 0)).unwrap();
+        let mut oracle = CacheQueryOracle::new(tool).unwrap();
+        let mut session = oracle.begin();
+        assert_eq!(session.access(BlockId(11)).unwrap(), HitMiss::Miss);
+        assert_eq!(session.access(BlockId(11)).unwrap(), HitMiss::Hit);
+        assert_eq!(session.speculate(BlockId(11)).unwrap(), HitMiss::Hit);
+        drop(session);
+        // Replay cost model: 1 + 2 + 3 block accesses for the three steps.
+        assert_eq!(oracle.probes(), 3);
+        assert_eq!(oracle.block_accesses(), 6);
     }
 
     #[test]

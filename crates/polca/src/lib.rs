@@ -17,10 +17,17 @@
 //!   by [`SimulatedCacheOracle`] (the noiseless software-simulated caches of
 //!   the §6 case study) and [`CacheQueryOracle`] (real — here: simulated —
 //!   hardware through CacheQuery, §7);
+//! * [`CacheSession`] / [`ReplaySession`] — stateful probe sessions: the
+//!   simulated caches step once per accessed block (linear-cost queries),
+//!   while hardware sessions replay the whole trace per step, which is the
+//!   cost model of the paper;
 //! * [`PolcaOracle`] — Algorithm 1 as a [`learning::MembershipOracle`];
+//!   cloneable, so `|| PolcaOracle::new(cache.clone())` is an
+//!   [`learning::OracleFactory`] for the parallel learner;
 //! * [`learn_policy`], [`learn_simulated_policy`] and
-//!   [`learn_hardware_policy`] — the complete learning loop (L* + Wp-method)
-//!   over either kind of cache;
+//!   [`learn_hardware_policy`] — the complete learning loop (L* + Wp-method,
+//!   memoized through the prefix-trie query cache and sharded across the
+//!   worker pool) over either kind of cache;
 //! * [`identify_policy`] — matching a learned automaton against the library
 //!   of reference policies, up to the renaming of cache lines induced by the
 //!   reset sequence.
@@ -33,17 +40,24 @@
 //!
 //! let outcome = learn_simulated_policy(PolicyKind::Lru, 2, &LearnSetup::default()).unwrap();
 //! assert_eq!(outcome.machine.num_states(), 2); // Example 2.2: 2-state LRU
+//! // Query statistics are tracked centrally by the learner's cache layer.
+//! assert_eq!(
+//!     outcome.stats.membership_queries,
+//!     outcome.stats.cache_hits + outcome.stats.cache_misses,
+//! );
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cache_oracle;
 mod identify;
 mod membership;
 mod pipeline;
 
-pub use cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
+pub use cache_oracle::{
+    CacheOracle, CacheQueryOracle, CacheSession, ReplaySession, SimulatedCacheOracle,
+};
 pub use identify::{identify_policy, LinePermutation};
 pub use membership::PolcaOracle;
 pub use pipeline::{

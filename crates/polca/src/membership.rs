@@ -5,18 +5,29 @@ use learning::{MembershipOracle, OracleError};
 use mbl::BlockId;
 use policies::{PolicyInput, PolicyOutput};
 
-use crate::cache_oracle::CacheOracle;
+use crate::cache_oracle::{CacheOracle, CacheSession};
 
 /// Polca as a [`MembershipOracle`] over the policy alphabet.
 ///
 /// For every policy input the oracle maps the symbol to a concrete memory
-/// block (`mapInput`), probes the cache with the block trace accumulated so
-/// far, and maps the hit/miss answer back to a policy output (`mapOutput`),
-/// using extra probes to locate the evicted line on a miss (`findEvicted`).
+/// block (`mapInput`), accesses the block through a probe session, and maps
+/// the hit/miss answer back to a policy output (`mapOutput`), using
+/// speculative probes to locate the evicted line on a miss (`findEvicted`).
 /// The paper's Algorithm 1 *checks* a candidate trace; this implementation
 /// *produces* the output word for an input word, which is the form the L*
 /// loop needs — the two are equivalent because the policy is deterministic.
-#[derive(Debug)]
+///
+/// On simulated caches the probe session advances one policy step per input
+/// symbol, so a query costs `O(|word| + associativity · #evictions)` block
+/// accesses; on hardware (whose sessions must replay, see
+/// [`ReplaySession`](crate::ReplaySession)) the same code degenerates to the
+/// paper's quadratic probe count.
+///
+/// `PolcaOracle` is `Clone` whenever its cache oracle is: clones are
+/// independent workers answering from the same fixed initial state, which is
+/// what makes a `Fn() -> PolcaOracle<C>` closure an
+/// [`OracleFactory`](learning::OracleFactory) for parallel learning.
+#[derive(Debug, Clone)]
 pub struct PolcaOracle<C> {
     cache: C,
     queries: u64,
@@ -37,26 +48,20 @@ impl<C: CacheOracle> PolcaOracle<C> {
     pub fn into_cache(self) -> C {
         self.cache
     }
+}
 
-    /// `findEvicted` (Algorithm 1): probes `trace · cc[i]` for every line `i`
-    /// and returns the line whose block now misses.
-    fn find_evicted(
-        &mut self,
-        trace: &[BlockId],
-        content: &[BlockId],
-    ) -> Result<usize, OracleError> {
-        for (line, &block) in content.iter().enumerate() {
-            let mut probe = trace.to_vec();
-            probe.push(block);
-            if self.cache.probe(&probe)? == HitMiss::Miss {
-                return Ok(line);
-            }
+/// `findEvicted` (Algorithm 1): speculatively probes every tracked block and
+/// returns the line whose block now misses.
+fn find_evicted(session: &mut dyn CacheSession, content: &[BlockId]) -> Result<usize, OracleError> {
+    for (line, &block) in content.iter().enumerate() {
+        if session.speculate(block)? == HitMiss::Miss {
+            return Ok(line);
         }
-        Err(OracleError::new(
-            "no cached block was evicted by a miss: the cache is not behaving \
-             like an associativity-consistent deterministic cache",
-        ))
     }
+    Err(OracleError::new(
+        "no cached block was evicted by a miss: the cache is not behaving \
+         like an associativity-consistent deterministic cache",
+    ))
 }
 
 impl<C: CacheOracle> MembershipOracle<PolicyInput, PolicyOutput> for PolcaOracle<C> {
@@ -66,10 +71,10 @@ impl<C: CacheOracle> MembershipOracle<PolicyInput, PolicyOutput> for PolcaOracle
         // cc0: block i occupies line i (established by the cache oracle's
         // fixed initial state / reset sequence).
         let mut content: Vec<BlockId> = (0..n as u32).map(BlockId).collect();
-        let mut trace: Vec<BlockId> = Vec::with_capacity(word.len());
         // Fresh blocks for eviction requests never collide with cc0.
         let mut next_fresh = n as u32;
 
+        let mut session = self.cache.begin();
         let mut outputs = Vec::with_capacity(word.len());
         for input in word {
             let block = match input {
@@ -87,12 +92,11 @@ impl<C: CacheOracle> MembershipOracle<PolicyInput, PolicyOutput> for PolcaOracle
                     b
                 }
             };
-            trace.push(block);
-            let outcome = self.cache.probe(&trace)?;
+            let outcome = session.access(block)?;
             let output = match (input, outcome) {
                 (PolicyInput::Line(_), HitMiss::Hit) => PolicyOutput::None,
                 (PolicyInput::Evct, HitMiss::Miss) => {
-                    let line = self.find_evicted(&trace, &content)?;
+                    let line = find_evicted(session.as_mut(), &content)?;
                     content[line] = block;
                     PolicyOutput::Evicted(line)
                 }
@@ -220,17 +224,37 @@ mod tests {
     }
 
     #[test]
-    fn probe_counts_grow_quadratically_with_word_length() {
+    fn probe_counts_grow_linearly_with_word_length() {
+        // The incremental session costs one probe per hit and at most
+        // `1 + associativity` probes per eviction — not the quadratic replay
+        // cost of the paper's hardware path.
         let mut polca = oracle(PolicyKind::Lru, 4);
         polca
             .query(&[PolicyInput::Line(0), PolicyInput::Line(1)])
             .unwrap();
-        // Two probes for two hits, no findEvicted probes.
+        // Two session steps for two hits, no findEvicted probes.
         assert_eq!(polca.cache().probes(), 2);
+        assert_eq!(polca.cache().block_accesses(), 2);
         let mut polca = oracle(PolicyKind::Lru, 4);
         polca.query(&[PolicyInput::Evct]).unwrap();
-        // One probe for the miss plus at most `associativity` findEvicted
-        // probes (the LRU victim is line 0, found on the first try).
+        // One step for the miss plus one speculation (the LRU victim is line
+        // 0, found on the first try).
         assert_eq!(polca.cache().probes(), 2);
+    }
+
+    #[test]
+    fn cloned_polca_oracles_answer_like_the_original() {
+        let mut original = oracle(PolicyKind::New2, 4);
+        let mut clone = original.clone();
+        let word = vec![
+            PolicyInput::Evct,
+            PolicyInput::Line(2),
+            PolicyInput::Evct,
+            PolicyInput::Line(0),
+            PolicyInput::Evct,
+        ];
+        assert_eq!(original.query(&word).unwrap(), clone.query(&word).unwrap());
+        assert_eq!(original.queries_answered(), 1);
+        assert_eq!(clone.queries_answered(), 1);
     }
 }

@@ -8,7 +8,7 @@ use automata::minimize;
 use cache::LevelId;
 use cachequery::{CacheQuery, ResetSequence, Target};
 use hardware::{CpuModel, SimulatedCpu};
-use learning::{learn_mealy, CachedOracle, LearnError, LearnOptions, LearnStats, WpMethodOracle};
+use learning::{learn_mealy, LearnError, LearnOptions, LearnStats, WpMethodOracle};
 use policies::{policy_alphabet, PolicyKind, PolicyMealy};
 
 use crate::cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
@@ -24,6 +24,15 @@ pub struct LearnSetup {
     /// Wall-clock budget (the paper's §6 experiments use 36 hours; harness
     /// defaults are much smaller).
     pub time_budget: Option<Duration>,
+    /// Worker threads for parallel conformance testing and batched
+    /// observation-table filling.  `0` (the default) resolves the count from
+    /// the `CACHEQUERY_WORKERS` environment variable or the machine's
+    /// available parallelism.  Learning real (non-simulated) hardware should
+    /// pin this to `1`: there is only one physical cache to probe.
+    pub workers: usize,
+    /// Whether to memoize membership queries in the shared prefix-trie query
+    /// cache (default `true`).
+    pub memoize: bool,
 }
 
 impl Default for LearnSetup {
@@ -32,6 +41,20 @@ impl Default for LearnSetup {
             conformance_depth: 1,
             max_states: 1 << 16,
             time_budget: None,
+            workers: 0,
+            memoize: true,
+        }
+    }
+}
+
+impl LearnSetup {
+    /// The [`LearnOptions`] equivalent of this setup.
+    fn options(&self) -> LearnOptions {
+        LearnOptions {
+            max_states: self.max_states,
+            time_budget: self.time_budget,
+            workers: self.workers,
+            memoize: self.memoize,
         }
     }
 }
@@ -41,12 +64,13 @@ impl Default for LearnSetup {
 pub struct LearnOutcome {
     /// The learned (and minimized) policy automaton.
     pub machine: PolicyMealy,
-    /// Learner statistics (membership/equivalence queries, counterexamples,
-    /// wall-clock time).
+    /// Learner statistics: membership/equivalence queries, cache hit rate,
+    /// conformance shards, counterexamples, wall-clock time.
     pub stats: LearnStats,
-    /// Cache probes issued by Polca (each probe is one trace replay).
+    /// Cache probes issued by Polca across all workers (session steps and
+    /// speculative probes included).
     pub cache_probes: u64,
-    /// Individual block accesses issued by Polca.
+    /// Individual block accesses issued by Polca across all workers.
     pub block_accesses: u64,
 }
 
@@ -54,32 +78,30 @@ pub struct LearnOutcome {
 ///
 /// This is the generic pipeline: Polca provides membership queries, a
 /// Wp-method conformance oracle provides equivalence queries, and the learned
-/// machine is minimized before being returned.
+/// machine is minimized before being returned.  The cache oracle doubles as
+/// the oracle *factory*: each worker of the learner's query pool drives its
+/// own clone, and clones share their probe counters, so [`LearnOutcome`]
+/// reports whole-run statistics.
 ///
 /// # Errors
 ///
 /// Propagates learner errors ([`LearnError`]), including oracle failures and
 /// detected nondeterminism.
-pub fn learn_policy<C: CacheOracle>(
-    cache: C,
-    setup: &LearnSetup,
-) -> Result<LearnOutcome, LearnError> {
+pub fn learn_policy<C>(cache: C, setup: &LearnSetup) -> Result<LearnOutcome, LearnError>
+where
+    C: CacheOracle + Clone + Send + 'static,
+{
     let associativity = cache.associativity();
     let alphabet = policy_alphabet(associativity);
-    let mut membership = CachedOracle::new(PolcaOracle::new(cache));
+    let stats_handle = cache.clone();
+    let factory = move || PolcaOracle::new(cache.clone());
     let mut equivalence = WpMethodOracle::new(setup.conformance_depth);
-    let options = LearnOptions {
-        max_states: setup.max_states,
-        time_budget: setup.time_budget,
-    };
-    let (machine, stats) = learn_mealy(alphabet, &mut membership, &mut equivalence, options)?;
-    let polca = membership.into_inner();
-    let cache = polca.into_cache();
+    let (machine, stats) = learn_mealy(alphabet, &factory, &mut equivalence, setup.options())?;
     Ok(LearnOutcome {
         machine: minimize(&machine),
         stats,
-        cache_probes: cache.probes(),
-        block_accesses: cache.block_accesses(),
+        cache_probes: stats_handle.probes(),
+        block_accesses: stats_handle.block_accesses(),
     })
 }
 
@@ -118,6 +140,11 @@ pub struct HardwareTarget {
 
 /// Learns the replacement policy of one cache set of a simulated CPU through
 /// the full CacheQuery pipeline.
+///
+/// The simulated CPU is deterministic, so the per-worker clones of the
+/// learner answer identically and parallel conformance testing is sound.  On
+/// real silicon there is only one cache — pin [`LearnSetup::workers`] to 1
+/// there.
 ///
 /// # Errors
 ///
@@ -199,6 +226,49 @@ mod tests {
     }
 
     #[test]
+    fn learning_reports_cache_statistics() {
+        let outcome = learn_simulated_policy(PolicyKind::Mru, 4, &LearnSetup::default()).unwrap();
+        let stats = outcome.stats;
+        assert_eq!(
+            stats.membership_queries,
+            stats.cache_hits + stats.cache_misses
+        );
+        assert!(stats.cache_hits > 0, "learning never hit the query cache");
+        assert!(stats.conformance_tests > 0);
+        assert!(stats.equivalence_shards >= stats.equivalence_queries);
+        assert!(stats.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_learned_machine() {
+        let reference = policy_to_mealy(PolicyKind::Plru.build(4).unwrap().as_ref(), 1 << 16);
+        for workers in [1usize, 4] {
+            let setup = LearnSetup {
+                workers,
+                ..LearnSetup::default()
+            };
+            let outcome = learn_simulated_policy(PolicyKind::Plru, 4, &setup).unwrap();
+            assert_eq!(outcome.machine.num_states(), 8);
+            assert!(
+                check_equivalence(&outcome.machine, &reference).is_none(),
+                "PLRU mislearned with {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_memoization_still_learns_correctly() {
+        let setup = LearnSetup {
+            memoize: false,
+            ..LearnSetup::default()
+        };
+        let outcome = learn_simulated_policy(PolicyKind::Plru, 4, &setup).unwrap();
+        assert_eq!(outcome.machine.num_states(), 8);
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert!(outcome.stats.membership_queries > 0);
+    }
+
+    #[test]
     fn state_limit_aborts_learning() {
         let setup = LearnSetup {
             max_states: 4,
@@ -219,6 +289,7 @@ mod tests {
         assert_eq!(hw.reset, ResetSequence::FlushRefill);
         assert_eq!(hw.cat_ways, None);
         assert!(LearnSetup::default().time_budget.is_none());
-        assert!(Duration::from_secs(1) > Duration::ZERO);
+        assert!(LearnSetup::default().memoize);
+        assert_eq!(LearnSetup::default().workers, 0);
     }
 }

@@ -1,8 +1,9 @@
 //! Property-based tests for Polca: Theorem 3.1 on random words — the
-//! membership oracle's answers coincide with the policy semantics.
+//! membership oracle's answers coincide with the policy semantics — and the
+//! cache-consistency invariant of the memoization layer.
 
-use learning::MembershipOracle;
-use polca::{PolcaOracle, SimulatedCacheOracle};
+use learning::{CachedOracle, MembershipOracle};
+use polca::{CacheOracle, CacheSession, PolcaOracle, ReplaySession, SimulatedCacheOracle};
 use policies::{policy_to_mealy, PolicyInput, PolicyKind};
 use proptest::prelude::*;
 
@@ -64,5 +65,75 @@ proptest! {
             polca.query(&interleaved).unwrap();
         }
         prop_assert_eq!(polca.query(&word).unwrap(), first);
+    }
+
+    /// Cache-consistency invariant: the memoized oracle returns byte-identical
+    /// outputs to the uncached `PolcaOracle` for arbitrary query sequences —
+    /// including repeats and overlapping words, where answers come from the
+    /// prefix trie instead of the cache simulator.
+    #[test]
+    fn memoized_oracle_is_byte_identical_to_the_uncached_oracle(
+        (kind, assoc, word) in case_strategy(),
+        more in proptest::collection::vec(proptest::collection::vec(0usize..5, 1..20), 1..5),
+    ) {
+        let mut plain = PolcaOracle::new(SimulatedCacheOracle::new(kind, assoc).unwrap());
+        let mut memoized =
+            CachedOracle::new(PolcaOracle::new(SimulatedCacheOracle::new(kind, assoc).unwrap()));
+        // The generated word, every word derived from it, and each word twice:
+        // exercises cold paths, prefix hits, and exact repeats.
+        let mut words: Vec<Vec<PolicyInput>> = vec![word.clone()];
+        for raw in more {
+            words.push(
+                raw.into_iter()
+                    .map(|i| if i % (assoc + 1) == assoc {
+                        PolicyInput::Evct
+                    } else {
+                        PolicyInput::Line(i % (assoc + 1))
+                    })
+                    .collect(),
+            );
+        }
+        words.push(word[..word.len().div_ceil(2)].to_vec());
+        for word in words.iter().chain(words.iter()) {
+            if word.is_empty() {
+                continue;
+            }
+            prop_assert_eq!(
+                memoized.query(word).unwrap(),
+                plain.query(word).unwrap(),
+                "memoized and uncached answers diverged on {:?}", word
+            );
+        }
+        // The repeats above must have produced real cache traffic.
+        prop_assert!(memoized.cache_hits() >= words.len() as u64);
+    }
+
+    /// The incremental simulated probe session agrees with the paper's
+    /// replay-based session on every step and speculation.
+    #[test]
+    fn incremental_and_replay_sessions_agree((kind, assoc, word) in case_strategy()) {
+        let mut incremental_host = SimulatedCacheOracle::new(kind, assoc).unwrap();
+        let mut replay_host = SimulatedCacheOracle::new(kind, assoc).unwrap();
+        let mut incremental = incremental_host.begin();
+        let mut replay = ReplaySession::new(&mut replay_host);
+        // Drive both sessions with the blocks a Polca run would use and
+        // interleave speculations on every initially-resident block.
+        for (step, input) in word.iter().enumerate() {
+            let block = match input {
+                PolicyInput::Line(i) => mbl::BlockId(*i as u32),
+                PolicyInput::Evct => mbl::BlockId((assoc + step) as u32),
+            };
+            prop_assert_eq!(
+                incremental.access(block).unwrap(),
+                replay.access(block).unwrap(),
+                "sessions diverged on access at step {}", step
+            );
+            let probe = mbl::BlockId((step % assoc) as u32);
+            prop_assert_eq!(
+                incremental.speculate(probe).unwrap(),
+                replay.speculate(probe).unwrap(),
+                "sessions diverged on speculation at step {}", step
+            );
+        }
     }
 }

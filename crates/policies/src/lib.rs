@@ -51,7 +51,7 @@ pub use lru::Lru;
 pub use mealy_view::{policy_alphabet, policy_to_mealy, PolicyMealy};
 pub use mru::Mru;
 pub use new_intel::{New1, New2};
-pub use plru::Plru;
+pub use plru::{Plru, PlruAssocError};
 pub use registry::{PolicyError, PolicyKind};
 pub use srrip::{Brrip, Srrip, SrripVariant};
 

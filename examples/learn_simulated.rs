@@ -2,8 +2,11 @@
 //! noiseless software-simulated cache and compare it against the ground
 //! truth.
 //!
-//! Run with: `cargo run --release --example learn_simulated -- [POLICY] [ASSOC] [DEPTH]`
+//! Run with: `cargo run --release --example learn_simulated -- [POLICY] [ASSOC] [DEPTH] [WORKERS]`
 //! e.g.      `cargo run --release --example learn_simulated -- SRRIP-HP 4 1`
+//!
+//! `WORKERS` (default 0 = auto) shards conformance testing across a worker
+//! pool; the `CACHEQUERY_WORKERS` environment variable sets the same knob.
 
 use automata::check_equivalence;
 use polca::{learn_simulated_policy, LearnSetup};
@@ -17,6 +20,7 @@ fn main() {
         .unwrap_or(PolicyKind::Mru);
     let assoc: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
     let depth: usize = args.get(2).and_then(|d| d.parse().ok()).unwrap_or(1);
+    let workers: usize = args.get(3).and_then(|w| w.parse().ok()).unwrap_or(0);
 
     if !policy.supports_associativity(assoc) {
         eprintln!("{policy} does not support associativity {assoc}");
@@ -26,6 +30,7 @@ fn main() {
     println!("Learning {policy} at associativity {assoc} from a software-simulated cache");
     let setup = LearnSetup {
         conformance_depth: depth,
+        workers,
         ..LearnSetup::default()
     };
     let outcome = learn_simulated_policy(policy, assoc, &setup).expect("learning succeeds");
@@ -35,8 +40,18 @@ fn main() {
         outcome.stats.membership_queries
     );
     println!(
+        "  query-cache hit rate  : {:.1}% ({} hits / {} misses)",
+        outcome.stats.cache_hit_rate() * 100.0,
+        outcome.stats.cache_hits,
+        outcome.stats.cache_misses
+    );
+    println!(
         "  equivalence queries   : {}",
         outcome.stats.equivalence_queries
+    );
+    println!(
+        "  conformance tests     : {} across {} worker shards",
+        outcome.stats.conformance_tests, outcome.stats.equivalence_shards
     );
     println!(
         "  counterexamples       : {}",

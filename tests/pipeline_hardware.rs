@@ -13,6 +13,7 @@ fn setup() -> LearnSetup {
         conformance_depth: 1,
         max_states: 1024,
         time_budget: Some(std::time::Duration::from_secs(600)),
+        ..LearnSetup::default()
     }
 }
 

@@ -3,7 +3,7 @@
 //! The build container has no crates.io access, so this crate reimplements
 //! the slice of `proptest` that the workspace's five property suites use:
 //! the [`proptest!`] macro (including `#![proptest_config(..)]`), the
-//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_flat_map`, range and tuple
 //! strategies, [`strategy::Just`], [`collection::vec`], [`sample::select`],
 //! [`prop_oneof!`] and the `prop_assert*` macros.
 //!
