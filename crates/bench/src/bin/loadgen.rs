@@ -1,0 +1,153 @@
+//! Load generator for the `cqd` daemon: K concurrent clients × M queries
+//! against an in-process server on an ephemeral port.
+//!
+//! The workload is deliberately *overlapping* — every client draws from the
+//! same bounded pool of MBL expressions per target set — so it measures the
+//! three things the server subsystem exists for: sustained throughput
+//! (queries/s), tail latency under concurrency (p50/p99), and the
+//! cross-session hit-rate of the shared query store.
+//!
+//! Usage:
+//!   loadgen [--clients K] [--queries M] [--sets S] [--distinct D]
+//!           [--workers W] [--queue-depth Q] [--json PATH]
+//!
+//! Results are printed as a table and written as JSON (default
+//! `BENCH_server.json`) for regression tracking.
+
+use std::time::Instant;
+
+use bench::{Args, TextTable};
+use server::{spawn, Client, CqdConfig, Json, SessionSpec};
+
+/// Deterministic per-client generator (xorshift64*): the workload must not
+/// depend on thread scheduling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// The `i`-th expression of the shared pool: a three-block fill followed by
+/// a profiled re-access (each expands to exactly one concrete query, so one
+/// request equals one backend-or-store answer).
+fn expression(i: u64) -> String {
+    let name = |n: u64| mbl::block_name(mbl::BlockId((n % 6) as u32));
+    let (a, b, c) = (i % 6, (i / 6) % 6, (i / 36) % 6);
+    format!("{} {} {} {}?", name(a), name(b), name(c), name(a))
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let clients: usize = args.value_or("clients", 8);
+    let queries: usize = args.value_or("queries", 2000);
+    let sets: u64 = args.value_or("sets", 2);
+    let distinct: u64 = args.value_or("distinct", 128);
+    let workers: usize = args.value_or("workers", 4);
+    let queue_depth: usize = args.value_or("queue-depth", 64);
+    let json_path = args.value_of("json").unwrap_or("BENCH_server.json");
+
+    let daemon = spawn(CqdConfig {
+        workers,
+        queue_depth,
+        ..CqdConfig::default()
+    })
+    .expect("ephemeral port is bindable");
+    let addr = daemon.addr();
+    println!(
+        "loadgen: {clients} clients x {queries} queries, {sets} target sets, \
+         {distinct} distinct expressions per set, {workers} workers"
+    );
+
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("daemon accepts connections");
+                    let set = (client_index as u64) % sets;
+                    client
+                        .target(&SessionSpec {
+                            set,
+                            ..SessionSpec::default()
+                        })
+                        .expect("valid target");
+                    let mut rng = Rng(0x9e37_79b9_7f4a_7c15 ^ (client_index as u64 + 1));
+                    let mut latencies = Vec::with_capacity(queries);
+                    for _ in 0..queries {
+                        let expr = expression(rng.next() % distinct);
+                        let begin = Instant::now();
+                        let results = client.query(&expr).expect("well-formed MBL");
+                        latencies.push(begin.elapsed().as_nanos() as u64);
+                        assert_eq!(results.len(), 1, "pool expressions expand to one query");
+                    }
+                    client.quit().expect("clean disconnect");
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let total = latencies.len();
+    latencies.sort_unstable();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let p50_us = percentile(&latencies, 50) as f64 / 1000.0;
+    let p99_us = percentile(&latencies, 99) as f64 / 1000.0;
+    let hit_rate = daemon.store_hit_rate();
+
+    let mut table = TextTable::new(&[
+        "clients",
+        "queries",
+        "elapsed",
+        "queries/s",
+        "p50",
+        "p99",
+        "store hit-rate",
+    ]);
+    table.add_row(&[
+        clients.to_string(),
+        total.to_string(),
+        format!("{:.3} s", elapsed.as_secs_f64()),
+        format!("{throughput:.0}"),
+        format!("{p50_us:.1} us"),
+        format!("{p99_us:.1} us"),
+        format!("{:.1}%", 100.0 * hit_rate),
+    ]);
+    print!("{}", table.render());
+
+    let report = Json::obj(vec![
+        ("clients", Json::num(clients as u64)),
+        ("queries_per_client", Json::num(queries as u64)),
+        ("total_queries", Json::num(total as u64)),
+        ("target_sets", Json::num(sets)),
+        ("distinct_expressions", Json::num(distinct)),
+        ("workers", Json::num(workers as u64)),
+        ("elapsed_s", Json::Num(elapsed.as_secs_f64())),
+        ("throughput_qps", Json::Num(throughput)),
+        ("p50_us", Json::Num(p50_us)),
+        ("p99_us", Json::Num(p99_us)),
+        ("store_hit_rate", Json::Num(hit_rate)),
+    ]);
+    std::fs::write(json_path, report.render() + "\n").expect("benchmark report is writable");
+    println!("wrote {json_path}");
+
+    daemon.shutdown();
+}

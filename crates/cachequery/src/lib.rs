@@ -51,5 +51,5 @@ mod reset;
 pub use backend::{Backend, BackendError, Target};
 pub use frontend::{CacheQuery, QueryOutcome, QueryStats};
 pub use leader::{detect_leader_sets, LeaderClass, LeaderReport, LeaderSetInfo};
-pub use repl::{process_command, ReplSession};
+pub use repl::{execute_command, parse_command, process_command, Command, ReplSession, HELP_TEXT};
 pub use reset::ResetSequence;

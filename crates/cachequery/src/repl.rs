@@ -1,10 +1,19 @@
 //! A tiny command interpreter for interactive use of CacheQuery.
 //!
 //! The original frontend offers a REPL shell for executing queries and
-//! changing the target cache set on the fly (§4.2).  This module provides the
-//! same commands as a pure function from command lines to response strings,
-//! which the `mbl_repl` example wires to stdin/stdout and which is easy to
-//! test.
+//! changing the target cache set on the fly (§4.2).  This module splits the
+//! string protocol into two pure halves so that every consumer of the command
+//! language shares one implementation:
+//!
+//! * [`parse_command`] turns one command line into a [`Command`] value (the
+//!   *syntax* of the protocol), and
+//! * [`execute_command`] interprets a [`Command`] against a [`ReplSession`]
+//!   (the *semantics* over an in-process [`CacheQuery`]).
+//!
+//! [`process_command`] composes the two for the interactive `mbl_repl`
+//! example; the `cqd` network daemon (the `server` crate) reuses
+//! [`parse_command`] and maps the same [`Command`] values onto its
+//! session-routing machinery instead.
 
 use cache::{HitMiss, LevelId};
 
@@ -47,6 +56,100 @@ impl ReplSession {
     }
 }
 
+/// One parsed command of the CacheQuery string protocol (§4.2).
+///
+/// The same command language is spoken by the interactive `mbl_repl` example
+/// and by `cqd` sessions; both go through [`parse_command`], so the protocol
+/// cannot drift between the two frontends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `help`: list the available commands.
+    Help,
+    /// `level <L1|L2|L3>`: stage a new target cache level.
+    Level(LevelId),
+    /// `set <n>`: stage a new target set index.
+    Set(usize),
+    /// `slice <n>`: stage a new target slice index.
+    Slice(usize),
+    /// `assoc`: report the associativity of the (staged) target.
+    Assoc,
+    /// `reps <n>`: set the repetition count of the majority vote.
+    Reps(usize),
+    /// `reset <F+R | MBL sequence>`: set the reset sequence.
+    Reset(ResetSequence),
+    /// `cat <ways>`: restrict the last-level cache with Intel CAT.
+    Cat(usize),
+    /// `target`: print the staged target selection.
+    Target,
+    /// `stats`: print the session's work counters.
+    Stats,
+    /// Anything else: an MBL query to expand and execute.
+    Query(String),
+    /// A recognized command with malformed arguments; the payload is the
+    /// usage string to report.
+    Usage(&'static str),
+}
+
+/// The `help` response (also the reference list of commands).
+pub const HELP_TEXT: &str = "commands: level <L1|L2|L3>, set <n>, slice <n>, assoc, reps <n>, \
+                             reset <F+R|sequence>, cat <ways>, target, stats, or an MBL query";
+
+/// Parses one line of the CacheQuery command protocol.
+///
+/// Returns `None` for blank lines.  Malformed arguments of known commands
+/// parse to [`Command::Usage`] (carrying the usage message) rather than an
+/// error, mirroring the forgiving behaviour of the original shell; anything
+/// that is not a known command word is treated as an MBL query.
+pub fn parse_command(line: &str) -> Option<Command> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let mut parts = line.split_whitespace();
+    let command = parts.next().expect("non-empty line");
+    let rest: Vec<&str> = parts.collect();
+
+    Some(match command {
+        "help" => Command::Help,
+        "level" => match rest.first().and_then(|s| LevelId::parse(s)) {
+            Some(level) => Command::Level(level),
+            None => Command::Usage("usage: level <L1|L2|L3>"),
+        },
+        "set" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(set) => Command::Set(set),
+            None => Command::Usage("usage: set <index>"),
+        },
+        "slice" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(slice) => Command::Slice(slice),
+            None => Command::Usage("usage: slice <index>"),
+        },
+        "assoc" => Command::Assoc,
+        "reps" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(reps) => Command::Reps(reps),
+            None => Command::Usage("usage: reps <count>"),
+        },
+        "reset" => {
+            if rest.is_empty() {
+                Command::Usage("usage: reset <F+R | MBL sequence>")
+            } else {
+                let spec = rest.join(" ");
+                Command::Reset(if spec.eq_ignore_ascii_case("f+r") {
+                    ResetSequence::FlushRefill
+                } else {
+                    ResetSequence::Custom(spec)
+                })
+            }
+        }
+        "cat" => match rest.first().and_then(|s| s.parse().ok()) {
+            Some(ways) => Command::Cat(ways),
+            None => Command::Usage("usage: cat <ways>"),
+        },
+        "target" => Command::Target,
+        "stats" => Command::Stats,
+        _ => Command::Query(line.to_string()),
+    })
+}
+
 /// Renders a hit/miss vector the way the paper prints traces
 /// (`Hit Hit Miss …`).
 fn render_outcomes(outcomes: &[HitMiss]) -> String {
@@ -60,105 +163,68 @@ fn render_outcomes(outcomes: &[HitMiss]) -> String {
         .join(" ")
 }
 
-/// Processes one command line and returns the textual response.
-///
-/// Supported commands: `help`, `level <L1|L2|L3>`, `set <n>`, `slice <n>`,
-/// `assoc`, `reps <n>`, `reset <F+R | mbl sequence>`, `cat <ways>`, `stats`,
-/// `target`; anything else is treated as an MBL query.
-pub fn process_command(session: &mut ReplSession, line: &str) -> String {
-    let line = line.trim();
-    if line.is_empty() {
-        return String::new();
-    }
-    let mut parts = line.split_whitespace();
-    let command = parts.next().expect("non-empty line");
-    let rest: Vec<&str> = parts.collect();
-
+/// Interprets one parsed [`Command`] against an in-process session and
+/// returns the textual response.
+pub fn execute_command(session: &mut ReplSession, command: &Command) -> String {
     match command {
-        "help" => "commands: level <L1|L2|L3>, set <n>, slice <n>, assoc, reps <n>, \
-                   reset <F+R|sequence>, cat <ways>, target, stats, or an MBL query"
-            .to_string(),
-        "level" => match rest.first().and_then(|s| LevelId::parse(s)) {
-            Some(level) => {
-                session.level = level;
-                session.target_dirty = true;
-                format!("target level set to {level}")
-            }
-            None => "usage: level <L1|L2|L3>".to_string(),
-        },
-        "set" => match rest.first().and_then(|s| s.parse().ok()) {
-            Some(set) => {
-                session.set = set;
-                session.target_dirty = true;
-                format!("target set index set to {set}")
-            }
-            None => "usage: set <index>".to_string(),
-        },
-        "slice" => match rest.first().and_then(|s| s.parse().ok()) {
-            Some(slice) => {
-                session.slice = slice;
-                session.target_dirty = true;
-                format!("target slice set to {slice}")
-            }
-            None => "usage: slice <index>".to_string(),
-        },
-        "assoc" => match session.ensure_target() {
+        Command::Help => HELP_TEXT.to_string(),
+        Command::Usage(usage) => (*usage).to_string(),
+        Command::Level(level) => {
+            session.level = *level;
+            session.target_dirty = true;
+            format!("target level set to {level}")
+        }
+        Command::Set(set) => {
+            session.set = *set;
+            session.target_dirty = true;
+            format!("target set index set to {set}")
+        }
+        Command::Slice(slice) => {
+            session.slice = *slice;
+            session.target_dirty = true;
+            format!("target slice set to {slice}")
+        }
+        Command::Assoc => match session.ensure_target() {
             Ok(()) => format!(
                 "associativity: {}",
                 session.tool.associativity().expect("target just selected")
             ),
             Err(e) => format!("error: {e}"),
         },
-        "reps" => match rest.first().and_then(|s| s.parse().ok()) {
-            Some(reps) => {
-                session.tool.set_repetitions(reps);
-                format!(
-                    "repetitions set to {}",
-                    session.tool.backend().repetitions()
-                )
-            }
-            None => "usage: reps <count>".to_string(),
-        },
-        "reset" => {
-            if rest.is_empty() {
-                return "usage: reset <F+R | MBL sequence>".to_string();
-            }
-            let spec = rest.join(" ");
-            let reset = if spec.eq_ignore_ascii_case("f+r") {
-                ResetSequence::FlushRefill
-            } else {
-                ResetSequence::Custom(spec.clone())
-            };
-            session.tool.set_reset_sequence(reset);
-            format!("reset sequence set to {spec}")
+        Command::Reps(reps) => {
+            session.tool.set_repetitions(*reps);
+            format!(
+                "repetitions set to {}",
+                session.tool.backend().repetitions()
+            )
         }
-        "cat" => match rest.first().and_then(|s| s.parse().ok()) {
-            Some(ways) => match session.tool.apply_cat(ways) {
-                Ok(()) => {
-                    session.target_dirty = true;
-                    format!("last-level cache restricted to {ways} ways")
-                }
-                Err(e) => format!("error: {e}"),
-            },
-            None => "usage: cat <ways>".to_string(),
+        Command::Reset(reset) => {
+            session.tool.set_reset_sequence(reset.clone());
+            format!("reset sequence set to {reset}")
+        }
+        Command::Cat(ways) => match session.tool.apply_cat(*ways) {
+            Ok(()) => {
+                session.target_dirty = true;
+                format!("last-level cache restricted to {ways} ways")
+            }
+            Err(e) => format!("error: {e}"),
         },
-        "target" => format!(
+        Command::Target => format!(
             "target: {} set {} slice {}",
             session.level, session.set, session.slice
         ),
-        "stats" => {
+        Command::Stats => {
             let stats = session.tool.stats();
             format!(
                 "queries: {} (cache hits: {}), backend queries: {}, loads: {}",
                 stats.queries, stats.cache_hits, stats.backend_queries, stats.backend_loads
             )
         }
-        _ => {
-            // Everything else is an MBL query.
+        Command::Query(mbl) => {
             if let Err(e) = session.ensure_target() {
                 return format!("error: {e}");
             }
-            match session.tool.query(line) {
+            match session.tool.query(mbl) {
                 Ok(results) => results
                     .iter()
                     .map(|r| format!("{} -> {}", r.rendered, render_outcomes(&r.outcomes)))
@@ -167,6 +233,18 @@ pub fn process_command(session: &mut ReplSession, line: &str) -> String {
                 Err(e) => format!("error: {e}"),
             }
         }
+    }
+}
+
+/// Processes one command line and returns the textual response.
+///
+/// Supported commands: `help`, `level <L1|L2|L3>`, `set <n>`, `slice <n>`,
+/// `assoc`, `reps <n>`, `reset <F+R | mbl sequence>`, `cat <ways>`, `stats`,
+/// `target`; anything else is treated as an MBL query.
+pub fn process_command(session: &mut ReplSession, line: &str) -> String {
+    match parse_command(line) {
+        Some(command) => execute_command(session, &command),
+        None => String::new(),
     }
 }
 
@@ -231,5 +309,30 @@ mod tests {
         let mut s = session();
         let out = process_command(&mut s, "A (");
         assert!(out.contains("error"), "unexpected output: {out}");
+    }
+
+    #[test]
+    fn parsing_is_a_pure_function_of_the_line() {
+        assert_eq!(parse_command(""), None);
+        assert_eq!(parse_command("   "), None);
+        assert_eq!(parse_command("help"), Some(Command::Help));
+        assert_eq!(parse_command("level L2"), Some(Command::Level(LevelId::L2)));
+        assert_eq!(parse_command("set 12"), Some(Command::Set(12)));
+        assert_eq!(parse_command("slice 1"), Some(Command::Slice(1)));
+        assert_eq!(parse_command("reps 5"), Some(Command::Reps(5)));
+        assert_eq!(
+            parse_command("reset f+r"),
+            Some(Command::Reset(ResetSequence::FlushRefill))
+        );
+        assert_eq!(
+            parse_command("reset D C B A @"),
+            Some(Command::Reset(ResetSequence::Custom("D C B A @".into())))
+        );
+        assert_eq!(parse_command("cat 4"), Some(Command::Cat(4)));
+        assert_eq!(
+            parse_command("@ X A?"),
+            Some(Command::Query("@ X A?".into()))
+        );
+        assert!(matches!(parse_command("level"), Some(Command::Usage(_))));
     }
 }

@@ -1,0 +1,271 @@
+//! A blocking client library for the `cqd` daemon.
+//!
+//! [`Client`] wraps one TCP connection and exposes the wire protocol as
+//! typed methods.  Every method sends one request line and reads response
+//! lines until the request is answered (only [`Client::wait_with`] reads
+//! more than one line).  The client is deliberately synchronous — the
+//! daemon multiplexes concurrency server-side, so "more parallelism" is
+//! spelled "more clients", exactly like the load generator does.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    decode_response, encode_request, Request, Response, SessionSpec, WireJobStatus, WireOutcome,
+    WireSessionStats, WireStats,
+};
+
+/// Errors surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was closed.
+    Io(std::io::Error),
+    /// The server sent something the protocol layer cannot decode, or a
+    /// response of an unexpected kind.
+    Protocol(String),
+    /// The server answered with an `error` response.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Identity reported by the server's `hello` handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Server name (`cqd`).
+    pub server: String,
+    /// Protocol version.
+    pub proto: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+}
+
+/// One blocking `cqd` session.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let mut line = encode_request(request);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        decode_response(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send(request)?;
+        match self.read_response()? {
+            Response::Error { message } => Err(ClientError::Server(message)),
+            response => Ok(response),
+        }
+    }
+
+    fn unexpected<T>(response: Response) -> Result<T, ClientError> {
+        Err(ClientError::Protocol(format!(
+            "unexpected response: {response:?}"
+        )))
+    }
+
+    /// Performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or protocol errors.
+    pub fn hello(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.roundtrip(&Request::Hello)? {
+            Response::Hello {
+                server,
+                proto,
+                workers,
+            } => Ok(ServerInfo {
+                server,
+                proto,
+                workers,
+            }),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Replaces the session's backend/target configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server rejects the configuration.
+    pub fn target(&mut self, spec: &SessionSpec) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Target(spec.clone()))? {
+            Response::Done { message } => Ok(message),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Expands and runs one MBL expression.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the expression is malformed or the backend rejects it.
+    pub fn query(&mut self, mbl: &str) -> Result<Vec<WireOutcome>, ClientError> {
+        match self.roundtrip(&Request::Query {
+            mbl: mbl.to_string(),
+        })? {
+            Response::Outcomes { results } => Ok(results),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Runs several MBL expressions; results are grouped per expression.
+    ///
+    /// # Errors
+    ///
+    /// Fails at the first failing expression.
+    pub fn batch(&mut self, exprs: &[&str]) -> Result<Vec<Vec<WireOutcome>>, ClientError> {
+        match self.roundtrip(&Request::Batch {
+            exprs: exprs.iter().map(|e| e.to_string()).collect(),
+        })? {
+            Response::Batch { groups } => Ok(groups),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Sends one line of the REPL command language and returns the raw
+    /// response (`Done` for configuration commands, `Outcomes` for queries).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server rejects the command.
+    pub fn repl(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Repl {
+            line: line.to_string(),
+        })
+    }
+
+    /// Starts a `POLICY@ASSOC` learning job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the spec is malformed or over the server's limits.
+    pub fn learn(&mut self, spec: &str) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Learn {
+            spec: spec.to_string(),
+        })? {
+            Response::JobStarted { id } => Ok(id),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Polls a job's status once.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the job id is unknown.
+    pub fn job(&mut self, id: u64) -> Result<WireJobStatus, ClientError> {
+        match self.roundtrip(&Request::Job { id })? {
+            Response::JobStatus(status) => Ok(status),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Blocks until a job finishes, invoking `on_status` for every streamed
+    /// status line (including the final one), and returns the final status.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the job id is unknown or the connection drops mid-stream.
+    pub fn wait_with(
+        &mut self,
+        id: u64,
+        mut on_status: impl FnMut(&WireJobStatus),
+    ) -> Result<WireJobStatus, ClientError> {
+        self.send(&Request::Wait { id })?;
+        loop {
+            match self.read_response()? {
+                Response::JobStatus(status) => {
+                    on_status(&status);
+                    if status.finished {
+                        return Ok(status);
+                    }
+                }
+                Response::Error { message } => return Err(ClientError::Server(message)),
+                other => return Self::unexpected(other),
+            }
+        }
+    }
+
+    /// Blocks until a job finishes and returns the final status.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::wait_with`].
+    pub fn wait(&mut self, id: u64) -> Result<WireJobStatus, ClientError> {
+        self.wait_with(id, |_| {})
+    }
+
+    /// Fetches global and per-session metrics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or protocol errors.
+    pub fn stats(&mut self) -> Result<(WireStats, WireSessionStats), ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats { global, session } => Ok((global, session)),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Closes the session politely.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or protocol errors.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => Self::unexpected(other),
+        }
+    }
+}

@@ -1,0 +1,1067 @@
+//! The `cqd` daemon: a multi-session TCP frontend over a pool of simulated
+//! CacheQuery backends.
+//!
+//! Architecture (§4.2's service frontend, scaled to many clients):
+//!
+//! * an **accept loop** turns every TCP connection into a session thread
+//!   speaking the newline-delimited JSON protocol of [`crate::proto`];
+//! * each session holds a validated `ResolvedSpec` (backend + target
+//!   configuration) and answers what it can without touching a backend:
+//!   protocol chatter, configuration changes, and — crucially — every
+//!   concrete query already memoized in the [`SharedQueryStore`];
+//! * store misses are routed to a fixed **worker pool** through a *bounded*
+//!   channel: when all workers are busy and the queue is full, sessions
+//!   block on `send`, which is the daemon's backpressure (clients see
+//!   latency, the backend pool never sees unbounded queues);
+//! * workers own the **backend pool** — one `CacheQuery` instance per
+//!   (CPU model, seed, CAT restriction), created lazily and serialized by a
+//!   mutex, the "scarce hardware" the whole design exists to multiplex;
+//! * `learn` requests spawn asynchronous [`polca::LearnJob`]s; sessions
+//!   poll or stream their status without occupying a worker.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use cache::{HitMiss, LevelId};
+use cachequery::{parse_command, CacheQuery, Command, ResetSequence, Target, HELP_TEXT};
+use hardware::{CpuModel, SimulatedCpu};
+use mbl::{expand_query, render_query, Query};
+use polca::{JobStatus, LearnJob, LearnSetup};
+use policies::PolicyKind;
+
+use crate::metrics::ServerMetrics;
+use crate::proto::{
+    decode_request, encode_response, Request, Response, SessionSpec, WireJobStatus, WireOutcome,
+    WireSessionStats, WireStats, PROTOCOL_VERSION,
+};
+use crate::store::{SharedQueryStore, StoreKey};
+
+/// Configuration of a daemon instance.
+#[derive(Debug, Clone)]
+pub struct CqdConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Size of the backend worker pool.
+    pub workers: usize,
+    /// Capacity of the bounded work queue; once full, sessions block
+    /// (backpressure).
+    pub queue_depth: usize,
+    /// Worker threads each learning job may use (keep 1 to not starve
+    /// query traffic).
+    pub learn_workers: usize,
+    /// Largest associativity accepted by the `learn` command.
+    pub max_learn_assoc: usize,
+    /// Largest number of concrete queries one MBL expression may expand to.
+    pub max_expansions: usize,
+}
+
+impl Default for CqdConfig {
+    fn default() -> Self {
+        CqdConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            learn_workers: 1,
+            max_learn_assoc: 4,
+            max_expansions: 4096,
+        }
+    }
+}
+
+/// How often blocked reads wake up to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Upper bound on one request line; longer lines close the session.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+/// How often `wait` emits a non-final status line.
+const WAIT_STATUS_INTERVAL: Duration = Duration::from_millis(200);
+
+/// A session's backend/target configuration after validation.
+#[derive(Debug, Clone)]
+struct ResolvedSpec {
+    model: CpuModel,
+    seed: u64,
+    cat: Option<usize>,
+    reset: ResetSequence,
+    reps: usize,
+    target: Target,
+    /// Effective associativity of the target level (after CAT).
+    assoc: usize,
+}
+
+impl ResolvedSpec {
+    fn store_key(&self) -> StoreKey {
+        StoreKey {
+            model: self.model,
+            seed: self.seed,
+            cat: self.cat,
+            reset: self.reset.to_string(),
+            reps: self.reps,
+            level: self.target.level,
+            set: self.target.set,
+            slice: self.target.slice,
+        }
+    }
+}
+
+fn parse_model(name: &str) -> Option<CpuModel> {
+    match name.to_ascii_lowercase().as_str() {
+        "haswell" => Some(CpuModel::HaswellI7_4790),
+        "skylake" => Some(CpuModel::SkylakeI5_6500),
+        "kabylake" | "kaby-lake" => Some(CpuModel::KabyLakeI7_8550U),
+        _ => None,
+    }
+}
+
+fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
+    let model = parse_model(&spec.model).ok_or_else(|| {
+        format!(
+            "unknown CPU model '{}' (haswell|skylake|kabylake)",
+            spec.model
+        )
+    })?;
+    let level = LevelId::parse(&spec.level)
+        .ok_or_else(|| format!("unknown cache level '{}' (L1|L2|L3)", spec.level))?;
+    let cpu_spec = model.spec();
+    let geometry = cpu_spec
+        .level(level)
+        .ok_or_else(|| format!("model has no {level}"))?
+        .geometry;
+    if spec.set as usize >= geometry.sets_per_slice {
+        return Err(format!(
+            "set {} out of range (level has {} sets per slice)",
+            spec.set, geometry.sets_per_slice
+        ));
+    }
+    if spec.slice as usize >= geometry.slices {
+        return Err(format!(
+            "slice {} out of range (level has {} slices)",
+            spec.slice, geometry.slices
+        ));
+    }
+    let cat = match spec.cat {
+        None => None,
+        Some(ways) => {
+            if !cpu_spec.supports_cat {
+                return Err(format!("{} does not support Intel CAT", cpu_spec.name));
+            }
+            let l3 = cpu_spec
+                .level(LevelId::L3)
+                .expect("all modelled CPUs have an L3")
+                .geometry;
+            if ways == 0 || ways as usize > l3.associativity {
+                return Err(format!(
+                    "CAT ways {ways} out of range (L3 has {} ways)",
+                    l3.associativity
+                ));
+            }
+            Some(ways as usize)
+        }
+    };
+    let assoc = if level == LevelId::L3 {
+        cat.unwrap_or(geometry.associativity)
+    } else {
+        geometry.associativity
+    };
+    // Mirror the backend's repetition rounding so equal effective settings
+    // share one store namespace.
+    let reps = {
+        let r = (spec.reps as usize).max(1);
+        if r.is_multiple_of(2) {
+            r + 1
+        } else {
+            r
+        }
+    };
+    let reset = if spec.reset.eq_ignore_ascii_case("f+r") {
+        ResetSequence::FlushRefill
+    } else {
+        ResetSequence::Custom(spec.reset.clone())
+    };
+    // Reject unparseable/ambiguous reset sequences now — the backend assumes
+    // they were validated when set.
+    reset
+        .refill_query(assoc)
+        .map_err(|e| format!("bad reset sequence: {e}"))?;
+    Ok(ResolvedSpec {
+        model,
+        seed: spec.seed,
+        cat,
+        reset,
+        reps,
+        target: Target::new(level, spec.set as usize, spec.slice as usize),
+        assoc,
+    })
+}
+
+/// One lazily-created, mutex-serialized backend of the pool.
+#[derive(Debug)]
+struct PooledBackend {
+    tool: CacheQuery,
+    /// The `(target, reps, reset)` currently applied, to skip redundant
+    /// (and expensive: re-calibration) reconfiguration.
+    applied: Option<(Target, usize, String)>,
+}
+
+impl PooledBackend {
+    fn configure(&mut self, spec: &ResolvedSpec) -> Result<(), String> {
+        let wanted = (spec.target, spec.reps, spec.reset.to_string());
+        if self.applied.as_ref() == Some(&wanted) {
+            return Ok(());
+        }
+        self.tool.set_repetitions(spec.reps);
+        self.tool.set_reset_sequence(spec.reset.clone());
+        if self.tool.target() != Some(spec.target) {
+            self.tool
+                .set_target(spec.target)
+                .map_err(|e| e.to_string())?;
+        }
+        self.applied = Some(wanted);
+        Ok(())
+    }
+}
+
+/// The identity of one pooled backend: (model, seed, CAT restriction).
+type InstanceKey = (CpuModel, u64, Option<usize>);
+
+/// The backend pool: one instance per (model, seed, CAT restriction).
+#[derive(Debug, Default)]
+struct BackendPool {
+    instances: Mutex<HashMap<InstanceKey, Arc<Mutex<PooledBackend>>>>,
+}
+
+impl BackendPool {
+    fn instance(&self, spec: &ResolvedSpec) -> Result<Arc<Mutex<PooledBackend>>, String> {
+        let key = (spec.model, spec.seed, spec.cat);
+        let mut instances = self.instances.lock().expect("pool lock poisoned");
+        if let Some(instance) = instances.get(&key) {
+            return Ok(Arc::clone(instance));
+        }
+        let cpu = SimulatedCpu::new(spec.model, spec.seed);
+        let mut tool = CacheQuery::new(cpu);
+        // The shared cross-session store replaces the per-instance response
+        // cache (the LevelDB role), so disable the latter: one layer of
+        // memoization, one source of hit-rate truth.
+        tool.enable_cache(false);
+        if let Some(ways) = spec.cat {
+            tool.apply_cat(ways).map_err(|e| e.to_string())?;
+        }
+        let instance = Arc::new(Mutex::new(PooledBackend {
+            tool,
+            applied: None,
+        }));
+        instances.insert(key, Arc::clone(&instance));
+        Ok(instance)
+    }
+
+    fn len(&self) -> usize {
+        self.instances.lock().expect("pool lock poisoned").len()
+    }
+}
+
+/// A unit of backend work: concrete queries that missed the shared store,
+/// tagged with their position in the session's result vector.
+struct WorkItem {
+    spec: ResolvedSpec,
+    queries: Vec<(usize, Query)>,
+    reply: mpsc::Sender<Result<Vec<(usize, WireOutcome)>, String>>,
+}
+
+/// State shared by the accept loop, sessions and workers.
+#[derive(Debug)]
+struct Shared {
+    config: CqdConfig,
+    store: SharedQueryStore,
+    metrics: ServerMetrics,
+    pool: BackendPool,
+    jobs: Mutex<HashMap<u64, LearnJob>>,
+    next_job_id: AtomicU64,
+    shutdown: AtomicBool,
+    sessions: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn global_stats(&self) -> WireStats {
+        let jobs = self.jobs.lock().expect("job table lock poisoned");
+        let jobs_finished = jobs.values().filter(|j| j.status().is_terminal()).count() as u64;
+        WireStats {
+            sessions_active: ServerMetrics::get(&self.metrics.sessions_active),
+            sessions_total: ServerMetrics::get(&self.metrics.sessions_total),
+            queries: ServerMetrics::get(&self.metrics.queries),
+            store_hits: ServerMetrics::get(&self.metrics.store_hits),
+            backend_queries: ServerMetrics::get(&self.metrics.backend_queries),
+            jobs_spawned: ServerMetrics::get(&self.metrics.jobs_spawned),
+            jobs_finished,
+            busy_workers: ServerMetrics::get(&self.metrics.busy_workers),
+            workers: self.config.workers as u64,
+        }
+    }
+}
+
+/// A running daemon: its address plus everything needed to shut it down.
+///
+/// Dropping the handle shuts the daemon down; [`CqdHandle::shutdown`] does
+/// the same explicitly.  See the [crate documentation](crate) for a usage
+/// example.
+#[derive(Debug)]
+pub struct CqdHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    worker_handles: Vec<thread::JoinHandle<()>>,
+    work_tx: Option<SyncSender<WorkItem>>,
+}
+
+impl CqdHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fraction of concrete queries served from the shared store so far.
+    pub fn store_hit_rate(&self) -> f64 {
+        self.shared.global_stats().hit_rate()
+    }
+
+    /// Number of backend instances created so far.
+    pub fn backend_instances(&self) -> usize {
+        self.shared.pool.len()
+    }
+
+    /// Stops accepting connections, drains sessions, joins the worker pool
+    /// and all learning jobs.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a dummy connection.  A wildcard bind
+        // (0.0.0.0 / ::) is not connectable on every platform, so aim the
+        // dummy at the loopback of the same address family instead.
+        let mut connect_addr = self.addr;
+        if connect_addr.ip().is_unspecified() {
+            connect_addr.set_ip(match connect_addr {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(connect_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Sessions poll the shutdown flag on their read timeout.
+        let sessions: Vec<_> = {
+            let mut guard = self.shared.sessions.lock().expect("session list poisoned");
+            guard.drain(..).collect()
+        };
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        // Closing the work channel terminates the workers.
+        self.work_tx = None;
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Join outstanding learning jobs so no thread outlives the daemon.
+        let jobs: Vec<_> = {
+            let mut guard = self.shared.jobs.lock().expect("job table lock poisoned");
+            guard.drain().map(|(_, job)| job).collect()
+        };
+        for job in jobs {
+            let _ = job.join();
+        }
+    }
+}
+
+impl Drop for CqdHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Starts a daemon and returns its handle.
+///
+/// # Errors
+///
+/// Propagates the bind error if the configured address is unavailable.
+pub fn spawn(config: CqdConfig) -> std::io::Result<CqdHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        store: SharedQueryStore::new(),
+        metrics: ServerMetrics::default(),
+        pool: BackendPool::default(),
+        jobs: Mutex::new(HashMap::new()),
+        next_job_id: AtomicU64::new(1),
+        shutdown: AtomicBool::new(false),
+        sessions: Mutex::new(Vec::new()),
+    });
+
+    let mut worker_handles = Vec::with_capacity(config.workers);
+    for worker in 0..config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let work_rx = Arc::clone(&work_rx);
+        worker_handles.push(
+            thread::Builder::new()
+                .name(format!("cqd-worker-{worker}"))
+                .spawn(move || worker_loop(&shared, &work_rx))
+                .expect("spawning a worker thread cannot fail"),
+        );
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_tx = work_tx.clone();
+    let accept_handle = thread::Builder::new()
+        .name("cqd-accept".to_string())
+        .spawn(move || accept_loop(listener, &accept_shared, &accept_tx))
+        .expect("spawning the accept thread cannot fail");
+
+    Ok(CqdHandle {
+        addr,
+        shared,
+        accept_handle: Some(accept_handle),
+        worker_handles,
+        work_tx: Some(work_tx),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, work_tx: &SyncSender<WorkItem>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        ServerMetrics::add(&shared.metrics.sessions_total, 1);
+        ServerMetrics::add(&shared.metrics.sessions_active, 1);
+        let session_shared = Arc::clone(shared);
+        let session_tx = work_tx.clone();
+        let handle = thread::Builder::new()
+            .name("cqd-session".to_string())
+            .spawn(move || {
+                session_loop(stream, &session_shared, &session_tx);
+                ServerMetrics::sub(&session_shared.metrics.sessions_active, 1);
+            })
+            .expect("spawning a session thread cannot fail");
+        let mut sessions = shared.sessions.lock().expect("session list poisoned");
+        // Reap finished sessions so a long-running daemon does not accumulate
+        // one JoinHandle per connection it ever served.
+        sessions.retain(|h| !h.is_finished());
+        sessions.push(handle);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, work_rx: &Arc<Mutex<Receiver<WorkItem>>>) {
+    loop {
+        let item = {
+            let receiver = work_rx.lock().expect("work queue lock poisoned");
+            receiver.recv()
+        };
+        let Ok(item) = item else { break };
+        ServerMetrics::add(&shared.metrics.busy_workers, 1);
+        let outcome = execute_item(shared, &item);
+        ServerMetrics::sub(&shared.metrics.busy_workers, 1);
+        // A dropped receiver just means the session went away mid-request.
+        let _ = item.reply.send(outcome);
+    }
+}
+
+fn hitmiss_pattern(outcomes: &[HitMiss]) -> String {
+    outcomes
+        .iter()
+        .map(|o| if *o == HitMiss::Hit { 'H' } else { 'M' })
+        .collect()
+}
+
+fn execute_item(
+    shared: &Arc<Shared>,
+    item: &WorkItem,
+) -> Result<Vec<(usize, WireOutcome)>, String> {
+    let key = item.spec.store_key();
+    let mut results = Vec::with_capacity(item.queries.len());
+    // Another session may have answered these queries while the item sat in
+    // the queue; the store is the cheaper oracle, ask it again first — and
+    // only touch (or lazily create, or re-target + re-calibrate) a backend
+    // if something is still missing.
+    let mut missing = Vec::new();
+    for (index, query) in &item.queries {
+        match shared.store.lookup(&key, query) {
+            Some(outcomes) => results.push((
+                *index,
+                WireOutcome {
+                    query: render_query(query),
+                    pattern: hitmiss_pattern(&outcomes),
+                    consistent: true,
+                    cached: true,
+                },
+            )),
+            None => missing.push((*index, query)),
+        }
+    }
+    if missing.is_empty() {
+        return Ok(results);
+    }
+    let instance = shared.pool.instance(&item.spec)?;
+    let mut backend = match instance.lock() {
+        Ok(guard) => guard,
+        // A poisoned backend is safe to reuse: every query starts with the
+        // reset sequence, so no partial state leaks between queries.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    backend.configure(&item.spec)?;
+    for (index, query) in missing {
+        let outcome = backend.tool.run_query(query).map_err(|e| e.to_string())?;
+        ServerMetrics::add(&shared.metrics.backend_queries, 1);
+        shared
+            .store
+            .record(&key, query, &outcome.outcomes, outcome.consistent);
+        results.push((
+            index,
+            WireOutcome {
+                query: outcome.rendered,
+                pattern: hitmiss_pattern(&outcome.outcomes),
+                consistent: outcome.consistent,
+                cached: false,
+            },
+        ));
+    }
+    Ok(results)
+}
+
+/// Per-session mutable state.
+struct Session {
+    wire_spec: SessionSpec,
+    spec: ResolvedSpec,
+    stats: WireSessionStats,
+}
+
+fn session_loop(stream: TcpStream, shared: &Arc<Shared>, work_tx: &SyncSender<WorkItem>) {
+    let Ok(read_stream) = stream.try_clone() else {
+        return;
+    };
+    if read_stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(read_stream);
+    let mut writer = stream;
+    let wire_spec = SessionSpec::default();
+    let spec = resolve(&wire_spec).expect("the default session spec is valid");
+    let mut session = Session {
+        wire_spec,
+        spec,
+        stats: WireSessionStats::default(),
+    };
+
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_line_bounded(&mut reader, &mut buf, MAX_REQUEST_BYTES) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                // Every other daemon resource is bounded (queue depth,
+                // expansions, the mbl crate's own expansion guard); the
+                // request line must be too.
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+                    },
+                );
+                break;
+            }
+            Ok(LineRead::Line) => {
+                let request = String::from_utf8_lossy(&buf).trim().to_string();
+                buf.clear();
+                if request.is_empty() {
+                    continue;
+                }
+                let quit = match decode_request(&request) {
+                    Ok(request) => {
+                        let quit = matches!(request, Request::Quit);
+                        if !handle_request(shared, work_tx, &mut session, &request, &mut writer) {
+                            break;
+                        }
+                        quit
+                    }
+                    Err(e) => {
+                        let response = Response::Error {
+                            message: e.to_string(),
+                        };
+                        if write_response(&mut writer, &response).is_err() {
+                            break;
+                        }
+                        false
+                    }
+                };
+                if quit {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = encode_response(response);
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Result of one bounded line read.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The peer closed the connection with nothing buffered.
+    Eof,
+    /// The line exceeded the byte bound.
+    TooLong,
+}
+
+/// Reads one newline-terminated line into `buf`, never holding more than
+/// `max` bytes, and preserving partial data across read timeouts (the
+/// timeout surfaces as an `Err` the caller retries).
+///
+/// `std::io::BufRead::read_line` cannot be used here: with a fast sender it
+/// appends inside a single call until a newline arrives, which would let a
+/// newline-free stream grow the buffer without bound.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            // EOF: deliver trailing unterminated data as a final line.
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        if let Some(position) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..position]);
+            reader.consume(position + 1);
+            return Ok(LineRead::Line);
+        }
+        let n = available.len();
+        buf.extend_from_slice(available);
+        reader.consume(n);
+        if buf.len() > max {
+            return Ok(LineRead::TooLong);
+        }
+    }
+}
+
+/// Handles one request; returns `false` when the connection should close.
+fn handle_request(
+    shared: &Arc<Shared>,
+    work_tx: &SyncSender<WorkItem>,
+    session: &mut Session,
+    request: &Request,
+    writer: &mut TcpStream,
+) -> bool {
+    let response = match request {
+        Request::Hello => Response::Hello {
+            server: "cqd".to_string(),
+            proto: PROTOCOL_VERSION,
+            workers: shared.config.workers as u64,
+        },
+        Request::Target(wire_spec) => match resolve(wire_spec) {
+            Ok(spec) => {
+                session.wire_spec = wire_spec.clone();
+                session.spec = spec;
+                Response::Done {
+                    message: format!(
+                        "target: {} (model {}, seed {})",
+                        session.spec.target, session.wire_spec.model, session.spec.seed
+                    ),
+                }
+            }
+            Err(message) => Response::Error { message },
+        },
+        Request::Query { mbl } => match run_mbl(shared, work_tx, session, mbl) {
+            Ok(results) => Response::Outcomes { results },
+            Err(message) => Response::Error { message },
+        },
+        Request::Batch { exprs } => {
+            let mut groups = Vec::with_capacity(exprs.len());
+            let mut error = None;
+            for expr in exprs {
+                match run_mbl(shared, work_tx, session, expr) {
+                    Ok(results) => groups.push(results),
+                    Err(message) => {
+                        error = Some(message);
+                        break;
+                    }
+                }
+            }
+            match error {
+                None => Response::Batch { groups },
+                Some(message) => Response::Error { message },
+            }
+        }
+        Request::Repl { line } => handle_repl(shared, work_tx, session, line),
+        Request::Learn { spec } => handle_learn(shared, spec),
+        Request::Job { id } => match job_status(shared, *id) {
+            Some(status) => Response::JobStatus(status),
+            None => Response::Error {
+                message: format!("no such job: {id}"),
+            },
+        },
+        Request::Wait { id } => return stream_wait(shared, *id, writer),
+        Request::Stats => Response::Stats {
+            global: shared.global_stats(),
+            session: session.stats,
+        },
+        Request::Quit => Response::Bye,
+    };
+    write_response(writer, &response).is_ok()
+}
+
+/// Expands one MBL expression, serves what the store knows, routes the rest
+/// through the worker pool, and reassembles the results in expansion order.
+fn run_mbl(
+    shared: &Arc<Shared>,
+    work_tx: &SyncSender<WorkItem>,
+    session: &mut Session,
+    mbl: &str,
+) -> Result<Vec<WireOutcome>, String> {
+    let queries = expand_query(mbl, session.spec.assoc).map_err(|e| e.to_string())?;
+    if queries.len() > shared.config.max_expansions {
+        return Err(format!(
+            "expression expands to {} queries (limit {})",
+            queries.len(),
+            shared.config.max_expansions
+        ));
+    }
+    let key = session.spec.store_key();
+    let mut results: Vec<Option<WireOutcome>> = vec![None; queries.len()];
+    let mut misses = Vec::new();
+    for (index, query) in queries.into_iter().enumerate() {
+        match shared.store.lookup(&key, &query) {
+            Some(outcomes) => {
+                results[index] = Some(WireOutcome {
+                    query: render_query(&query),
+                    pattern: hitmiss_pattern(&outcomes),
+                    consistent: true,
+                    cached: true,
+                });
+            }
+            None => misses.push((index, query)),
+        }
+    }
+    if !misses.is_empty() {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        work_tx
+            .send(WorkItem {
+                spec: session.spec.clone(),
+                queries: misses,
+                reply: reply_tx,
+            })
+            .map_err(|_| "server is shutting down".to_string())?;
+        let worker_results = reply_rx
+            .recv()
+            .map_err(|_| "backend worker disappeared".to_string())??;
+        for (index, outcome) in worker_results {
+            results[index] = Some(outcome);
+        }
+    }
+    let results: Vec<WireOutcome> = results
+        .into_iter()
+        .map(|r| r.expect("every expansion index is answered"))
+        .collect();
+    let hits = results.iter().filter(|r| r.cached).count() as u64;
+    session.stats.queries += results.len() as u64;
+    session.stats.store_hits += hits;
+    ServerMetrics::add(&shared.metrics.queries, results.len() as u64);
+    ServerMetrics::add(&shared.metrics.store_hits, hits);
+    Ok(results)
+}
+
+/// Maps one line of the shared REPL command language onto the session: the
+/// same [`Command`] values `mbl_repl` executes in-process reconfigure this
+/// session's spec or run queries through the store/worker path.
+fn handle_repl(
+    shared: &Arc<Shared>,
+    work_tx: &SyncSender<WorkItem>,
+    session: &mut Session,
+    line: &str,
+) -> Response {
+    let Some(command) = parse_command(line) else {
+        return Response::Done {
+            message: String::new(),
+        };
+    };
+    // Configuration commands stage a candidate spec and commit only if it
+    // validates — mirroring the lazy-validation REPL but failing eagerly.
+    let mut candidate = session.wire_spec.clone();
+    let message = match &command {
+        Command::Help => Ok(HELP_TEXT.to_string()),
+        Command::Usage(usage) => Ok((*usage).to_string()),
+        Command::Level(level) => {
+            candidate.level = level.to_string();
+            Ok(format!("target level set to {level}"))
+        }
+        Command::Set(set) => {
+            candidate.set = *set as u64;
+            Ok(format!("target set index set to {set}"))
+        }
+        Command::Slice(slice) => {
+            candidate.slice = *slice as u64;
+            Ok(format!("target slice set to {slice}"))
+        }
+        Command::Reps(reps) => {
+            candidate.reps = (*reps as u64).max(1);
+            // Report the effective (odd-rounded) count, like the in-process
+            // shell does after Backend::set_repetitions.
+            let r = (*reps).max(1);
+            let effective = if r.is_multiple_of(2) { r + 1 } else { r };
+            Ok(format!("repetitions set to {effective}"))
+        }
+        Command::Reset(reset) => {
+            candidate.reset = reset.to_string();
+            Ok(format!("reset sequence set to {reset}"))
+        }
+        Command::Cat(ways) => {
+            candidate.cat = Some(*ways as u64);
+            Ok(format!("last-level cache restricted to {ways} ways"))
+        }
+        Command::Assoc => Ok(format!("associativity: {}", session.spec.assoc)),
+        Command::Target => Ok(format!(
+            "target: {} set {} slice {}",
+            session.spec.target.level, session.spec.target.set, session.spec.target.slice
+        )),
+        Command::Stats => Ok(format!(
+            "queries: {} (store hits: {})",
+            session.stats.queries, session.stats.store_hits
+        )),
+        Command::Query(mbl) => {
+            return match run_mbl(shared, work_tx, session, mbl) {
+                Ok(results) => Response::Outcomes { results },
+                Err(message) => Response::Error { message },
+            };
+        }
+    };
+    match message {
+        Ok(message) => {
+            if candidate != session.wire_spec {
+                match resolve(&candidate) {
+                    Ok(spec) => {
+                        session.wire_spec = candidate;
+                        session.spec = spec;
+                    }
+                    Err(error) => {
+                        return Response::Error { message: error };
+                    }
+                }
+            }
+            Response::Done { message }
+        }
+        Err(error) => Response::Error { message: error },
+    }
+}
+
+fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
+    let parsed = (|| -> Result<(PolicyKind, usize), String> {
+        let (name, assoc) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("bad learn spec '{spec}' (expected POLICY@ASSOC)"))?;
+        let kind = name
+            .trim()
+            .parse::<PolicyKind>()
+            .map_err(|e| e.to_string())?;
+        let assoc: usize = assoc
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad associativity in '{spec}'"))?;
+        if assoc == 0 || assoc > shared.config.max_learn_assoc {
+            return Err(format!(
+                "associativity {assoc} out of range (this server learns up to {})",
+                shared.config.max_learn_assoc
+            ));
+        }
+        if !kind.supports_associativity(assoc) {
+            return Err(format!("{kind} does not support associativity {assoc}"));
+        }
+        Ok((kind, assoc))
+    })();
+    match parsed {
+        Ok((kind, assoc)) => {
+            let setup = LearnSetup {
+                workers: shared.config.learn_workers,
+                ..LearnSetup::default()
+            };
+            let job = polca::spawn_simulated_learn_job(kind, assoc, setup);
+            let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+            shared
+                .jobs
+                .lock()
+                .expect("job table lock poisoned")
+                .insert(id, job);
+            ServerMetrics::add(&shared.metrics.jobs_spawned, 1);
+            Response::JobStarted { id }
+        }
+        Err(message) => Response::Error { message },
+    }
+}
+
+fn job_status(shared: &Arc<Shared>, id: u64) -> Option<WireJobStatus> {
+    let jobs = shared.jobs.lock().expect("job table lock poisoned");
+    let status = jobs.get(&id)?.status();
+    Some(wire_status(id, &status))
+}
+
+fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
+    match status {
+        JobStatus::Running { elapsed } => WireJobStatus {
+            id,
+            state: "running".to_string(),
+            detail: String::new(),
+            finished: false,
+            states: 0,
+            queries: 0,
+            millis: elapsed.as_millis() as u64,
+        },
+        JobStatus::Done { result, elapsed } => WireJobStatus {
+            id,
+            state: "done".to_string(),
+            detail: match &result.identified {
+                Some(name) => format!("identified as {name}"),
+                None => "not identified".to_string(),
+            },
+            finished: true,
+            states: result.states as u64,
+            queries: result.membership_queries,
+            millis: elapsed.as_millis() as u64,
+        },
+        JobStatus::Failed { error, elapsed } => WireJobStatus {
+            id,
+            state: "failed".to_string(),
+            detail: error.clone(),
+            finished: true,
+            states: 0,
+            queries: 0,
+            millis: elapsed.as_millis() as u64,
+        },
+    }
+}
+
+/// Streams job status lines until the job finishes (or the daemon shuts
+/// down); returns `false` when the connection should close.
+fn stream_wait(shared: &Arc<Shared>, id: u64, writer: &mut TcpStream) -> bool {
+    let mut last_emit: Option<std::time::Instant> = None;
+    loop {
+        let Some(mut status) = job_status(shared, id) else {
+            return write_response(
+                writer,
+                &Response::Error {
+                    message: format!("no such job: {id}"),
+                },
+            )
+            .is_ok();
+        };
+        if status.finished {
+            return write_response(writer, &Response::JobStatus(status)).is_ok();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            status.detail = "server is shutting down".to_string();
+            status.state = "failed".to_string();
+            status.finished = true;
+            let _ = write_response(writer, &Response::JobStatus(status));
+            return false;
+        }
+        let due = last_emit.is_none_or(|t| t.elapsed() >= WAIT_STATUS_INTERVAL);
+        if due {
+            if write_response(writer, &Response::JobStatus(status)).is_err() {
+                return false;
+            }
+            last_emit = Some(std::time::Instant::now());
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_resolve_and_validate() {
+        let spec = SessionSpec::default();
+        let resolved = resolve(&spec).unwrap();
+        assert_eq!(resolved.assoc, 8);
+        assert_eq!(resolved.target, Target::new(LevelId::L1, 0, 0));
+        assert_eq!(resolved.reps, 3);
+
+        let bad_model = SessionSpec {
+            model: "pentium".into(),
+            ..SessionSpec::default()
+        };
+        assert!(resolve(&bad_model).is_err());
+        let bad_set = SessionSpec {
+            set: 10_000,
+            ..SessionSpec::default()
+        };
+        assert!(resolve(&bad_set).is_err());
+        let bad_reset = SessionSpec {
+            reset: "(".into(),
+            ..SessionSpec::default()
+        };
+        assert!(resolve(&bad_reset).is_err());
+        let haswell_cat = SessionSpec {
+            model: "haswell".into(),
+            cat: Some(4),
+            ..SessionSpec::default()
+        };
+        assert!(resolve(&haswell_cat).unwrap_err().contains("CAT"));
+    }
+
+    #[test]
+    fn cat_changes_the_effective_l3_associativity() {
+        let spec = SessionSpec {
+            level: "L3".into(),
+            cat: Some(4),
+            ..SessionSpec::default()
+        };
+        assert_eq!(resolve(&spec).unwrap().assoc, 4);
+        // Repetition rounding matches the backend (even → odd).
+        let spec = SessionSpec {
+            reps: 4,
+            ..SessionSpec::default()
+        };
+        assert_eq!(resolve(&spec).unwrap().reps, 5);
+    }
+
+    #[test]
+    fn store_keys_capture_the_whole_configuration() {
+        let a = resolve(&SessionSpec::default()).unwrap().store_key();
+        let b = resolve(&SessionSpec {
+            seed: 8,
+            ..SessionSpec::default()
+        })
+        .unwrap()
+        .store_key();
+        assert_ne!(a, b);
+    }
+}

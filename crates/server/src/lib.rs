@@ -1,0 +1,71 @@
+//! `cqd`: a multi-session CacheQuery server with a shared result cache.
+//!
+//! The original CacheQuery frontend (§4.2 of the paper) is a *service*: it
+//! multiplexes interactive and batch clients over one scarce hardware
+//! backend, memoizes every answer in LevelDB, and batches queries.  This
+//! crate reproduces that shape at campaign scale on top of the simulated
+//! machines:
+//!
+//! * [`spawn`] starts **`cqd`**, a std-only TCP daemon speaking a
+//!   newline-delimited JSON protocol ([`proto`]); each connection is one
+//!   session with its own backend/target configuration;
+//! * sessions are multiplexed onto a pool of `CacheQuery` instances (one
+//!   per CPU model × seed × CAT restriction) through a bounded worker
+//!   queue — full queue means blocked senders, which is the backpressure;
+//! * the [`SharedQueryStore`] deduplicates work *across sessions*: it lifts
+//!   the learning subsystem's prefix-trie [`learning::QueryCache`] to whole
+//!   concrete queries, so identical (or prefix-overlapping) MBL expansions
+//!   from different clients are answered from memory instead of the
+//!   backend — the LevelDB role of the original, with structural sharing;
+//! * `learn POLICY@ASSOC` runs the `polca` pipeline as an asynchronous job
+//!   whose status can be polled (`job`) or streamed (`wait`);
+//! * [`Client`] is the blocking client library, and the `loadgen` binary in
+//!   the `bench` crate drives K concurrent clients against an in-process
+//!   daemon to measure throughput, latency and the cross-session hit-rate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use server::{spawn, Client, CqdConfig};
+//!
+//! // An in-process daemon on an ephemeral port…
+//! let daemon = spawn(CqdConfig::default()).unwrap();
+//! let mut client = Client::connect(daemon.addr()).unwrap();
+//! assert_eq!(client.hello().unwrap().server, "cqd");
+//!
+//! // …answers MBL queries for the default target (simulated Skylake L1):
+//! // fill the set, touch A again, profile it.
+//! let results = client.query("A B C A?").unwrap();
+//! assert_eq!(results[0].pattern, "H");
+//!
+//! // A second session asking the same question is served from the shared
+//! // store without touching the backend.
+//! let mut other = Client::connect(daemon.addr()).unwrap();
+//! let again = other.query("A B C A?").unwrap();
+//! assert!(again[0].cached);
+//! assert_eq!(again[0].pattern, "H");
+//!
+//! client.quit().unwrap();
+//! other.quit().unwrap();
+//! daemon.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod json;
+mod metrics;
+pub mod proto;
+pub mod store;
+
+pub use client::{Client, ClientError, ServerInfo};
+pub use daemon::{spawn, CqdConfig, CqdHandle};
+pub use json::{Json, JsonError};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, ProtoError, Request,
+    Response, SessionSpec, WireJobStatus, WireOutcome, WireSessionStats, WireStats,
+    PROTOCOL_VERSION,
+};
+pub use store::{SharedQueryStore, StoreKey};

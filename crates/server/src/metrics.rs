@@ -1,0 +1,41 @@
+//! Global daemon counters, shared by every session and worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of one daemon instance.  All fields are relaxed
+/// atomics: they feed the `stats` command, not any synchronization.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Sessions accepted since startup.
+    pub sessions_total: AtomicU64,
+    /// Sessions currently connected.
+    pub sessions_active: AtomicU64,
+    /// Concrete queries answered (store hits + backend runs).
+    pub queries: AtomicU64,
+    /// Concrete queries answered from the shared cross-session store.
+    pub store_hits: AtomicU64,
+    /// Queries executed by the backend pool.
+    pub backend_queries: AtomicU64,
+    /// Learning jobs spawned.
+    pub jobs_spawned: AtomicU64,
+    /// Workers currently executing backend work.
+    pub busy_workers: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Relaxed increment helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed decrement helper (saturating at zero is the caller's duty:
+    /// every `sub` must pair with an earlier `add`).
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        counter.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}

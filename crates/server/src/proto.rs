@@ -1,0 +1,722 @@
+//! The `cqd` wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every message is one JSON object on one line.  Requests carry a `"cmd"`
+//! discriminator, responses a `"resp"` discriminator; all numbers fit in
+//! 2^53 so the hand-rolled [`Json`] layer round-trips them exactly.  The
+//! protocol is strictly request→response *except* for `wait`, which streams
+//! zero or more non-final `status` lines (`"final": false`) before the
+//! terminal one (`"final": true`) — a client must keep reading until the
+//! final line.
+//!
+//! | Request (`cmd`) | Fields | Response (`resp`) |
+//! |---|---|---|
+//! | `hello` | — | `hello` (server, proto, workers) |
+//! | `target` | full [`SessionSpec`] | `done` |
+//! | `query` | `mbl` | `outcomes` |
+//! | `batch` | `exprs` | `batch` (groups per expression) |
+//! | `repl` | `line` (REPL command string) | `done` or `outcomes` |
+//! | `learn` | `spec` (`POLICY@ASSOC`) | `job` (id) |
+//! | `job` | `id` | `status` |
+//! | `wait` | `id` | `status`* … `status` (`final: true`) |
+//! | `stats` | — | `stats` (global + session) |
+//! | `quit` | — | `bye` |
+//!
+//! Any request can instead produce an `error` response.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Version of the wire protocol described by this module.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A malformed protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(message: impl Into<String>) -> ProtoError {
+    ProtoError(message.into())
+}
+
+/// The complete backend/target configuration of one session, as sent with
+/// the `target` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// CPU model name (`haswell`, `skylake`, `kabylake`).
+    pub model: String,
+    /// Seed of the simulated machine.  Must stay below 2^53: the JSON wire
+    /// format stores numbers as `f64`, so larger seeds would be silently
+    /// rounded in transit.
+    pub seed: u64,
+    /// Target cache level (`L1`, `L2`, `L3`).
+    pub level: String,
+    /// Target set index within the slice.
+    pub set: u64,
+    /// Target slice index.
+    pub slice: u64,
+    /// Intel CAT restriction of the last-level cache, if any.
+    pub cat: Option<u64>,
+    /// Repetitions of the majority vote.
+    pub reps: u64,
+    /// Reset sequence (`F+R` or a custom MBL refill).
+    pub reset: String,
+}
+
+impl Default for SessionSpec {
+    fn default() -> Self {
+        SessionSpec {
+            model: "skylake".to_string(),
+            seed: 7,
+            level: "L1".to_string(),
+            set: 0,
+            slice: 0,
+            cat: None,
+            reps: 3,
+            reset: "F+R".to_string(),
+        }
+    }
+}
+
+/// A request from a client to the daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: ask for server identity and protocol version.
+    Hello,
+    /// Replace the session's backend/target configuration.
+    Target(SessionSpec),
+    /// Expand and run one MBL expression.
+    Query {
+        /// The MBL expression.
+        mbl: String,
+    },
+    /// Run several MBL expressions (the batch mode of §4.2).
+    Batch {
+        /// The expressions, answered in order.
+        exprs: Vec<String>,
+    },
+    /// One line of the interactive REPL protocol (shared with `mbl_repl`).
+    Repl {
+        /// The command line.
+        line: String,
+    },
+    /// Start an asynchronous learning job.
+    Learn {
+        /// `POLICY@ASSOC`, e.g. `LRU@2`.
+        spec: String,
+    },
+    /// Poll the status of a learning job.
+    Job {
+        /// The job id returned by `learn`.
+        id: u64,
+    },
+    /// Stream status lines until a learning job finishes.
+    Wait {
+        /// The job id returned by `learn`.
+        id: u64,
+    },
+    /// Global and per-session metrics.
+    Stats,
+    /// Close the session.
+    Quit,
+}
+
+/// One executed concrete query, as sent over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOutcome {
+    /// The rendered concrete query (after MBL expansion).
+    pub query: String,
+    /// Hit/miss pattern of the profiled accesses (`H` / `M` per access).
+    pub pattern: String,
+    /// Whether all repetitions agreed.
+    pub consistent: bool,
+    /// Whether the answer came from the shared cross-session store.
+    pub cached: bool,
+}
+
+/// Status snapshot of a learning job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireJobStatus {
+    /// The job id.
+    pub id: u64,
+    /// `running`, `done` or `failed`.
+    pub state: String,
+    /// Human-readable detail (identification result or error).
+    pub detail: String,
+    /// Whether this is the last status line of a `wait` stream.
+    pub finished: bool,
+    /// States of the learned machine (0 while running/failed).
+    pub states: u64,
+    /// Membership queries issued so far (0 while running).
+    pub queries: u64,
+    /// Wall-clock milliseconds since the job started.
+    pub millis: u64,
+}
+
+/// Global daemon counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Sessions currently connected.
+    pub sessions_active: u64,
+    /// Sessions accepted since startup.
+    pub sessions_total: u64,
+    /// Concrete queries answered (store hits + backend runs).
+    pub queries: u64,
+    /// Concrete queries served from the shared cross-session store; the
+    /// remainder (`queries - store_hits`) missed and ran on the backend.
+    pub store_hits: u64,
+    /// Queries executed by the backend pool.
+    pub backend_queries: u64,
+    /// Learning jobs spawned.
+    pub jobs_spawned: u64,
+    /// Learning jobs in a terminal state.
+    pub jobs_finished: u64,
+    /// Workers currently executing backend work (backend occupancy).
+    pub busy_workers: u64,
+    /// Size of the worker pool.
+    pub workers: u64,
+}
+
+impl WireStats {
+    /// Fraction of answered queries served from the shared store.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Counters of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireSessionStats {
+    /// Concrete queries answered for this session.
+    pub queries: u64,
+    /// Of those, answers served from the shared store.
+    pub store_hits: u64,
+}
+
+/// A response from the daemon to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake reply.
+    Hello {
+        /// Server name (`cqd`).
+        server: String,
+        /// Protocol version.
+        proto: u64,
+        /// Worker-pool size.
+        workers: u64,
+    },
+    /// Generic success with a human-readable message.
+    Done {
+        /// The message.
+        message: String,
+    },
+    /// Results of one MBL expression.
+    Outcomes {
+        /// One entry per expanded concrete query.
+        results: Vec<WireOutcome>,
+    },
+    /// Results of a batch, grouped per expression.
+    Batch {
+        /// One group per expression, in request order.
+        groups: Vec<Vec<WireOutcome>>,
+    },
+    /// A learning job was started.
+    JobStarted {
+        /// Its id.
+        id: u64,
+    },
+    /// A learning-job status line.
+    JobStatus(WireJobStatus),
+    /// Metrics reply.
+    Stats {
+        /// Daemon-wide counters.
+        global: WireStats,
+        /// This session's counters.
+        session: WireSessionStats,
+    },
+    /// The request failed.
+    Error {
+        /// Why.
+        message: String,
+    },
+    /// Session closed.
+    Bye,
+}
+
+fn spec_to_json(spec: &SessionSpec) -> Vec<(&'static str, Json)> {
+    vec![
+        ("model", Json::str(&spec.model)),
+        ("seed", Json::num(spec.seed)),
+        ("level", Json::str(&spec.level)),
+        ("set", Json::num(spec.set)),
+        ("slice", Json::num(spec.slice)),
+        ("cat", spec.cat.map_or(Json::Null, Json::num)),
+        ("reps", Json::num(spec.reps)),
+        ("reset", Json::str(&spec.reset)),
+    ]
+}
+
+fn get_str(value: &Json, key: &str) -> Result<String, ProtoError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err(format!("missing string field '{key}'")))
+}
+
+fn get_u64(value: &Json, key: &str) -> Result<u64, ProtoError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(format!("missing integer field '{key}'")))
+}
+
+fn get_bool(value: &Json, key: &str) -> Result<bool, ProtoError> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| err(format!("missing boolean field '{key}'")))
+}
+
+fn spec_from_json(value: &Json) -> Result<SessionSpec, ProtoError> {
+    let cat = match value.get("cat") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or_else(|| err("'cat' must be an integer"))?),
+    };
+    Ok(SessionSpec {
+        model: get_str(value, "model")?,
+        seed: get_u64(value, "seed")?,
+        level: get_str(value, "level")?,
+        set: get_u64(value, "set")?,
+        slice: get_u64(value, "slice")?,
+        cat,
+        reps: get_u64(value, "reps")?,
+        reset: get_str(value, "reset")?,
+    })
+}
+
+fn outcome_to_json(outcome: &WireOutcome) -> Json {
+    Json::obj(vec![
+        ("query", Json::str(&outcome.query)),
+        ("pattern", Json::str(&outcome.pattern)),
+        ("consistent", Json::Bool(outcome.consistent)),
+        ("cached", Json::Bool(outcome.cached)),
+    ])
+}
+
+fn outcome_from_json(value: &Json) -> Result<WireOutcome, ProtoError> {
+    Ok(WireOutcome {
+        query: get_str(value, "query")?,
+        pattern: get_str(value, "pattern")?,
+        consistent: get_bool(value, "consistent")?,
+        cached: get_bool(value, "cached")?,
+    })
+}
+
+fn status_to_json(status: &WireJobStatus) -> Vec<(&'static str, Json)> {
+    vec![
+        ("id", Json::num(status.id)),
+        ("state", Json::str(&status.state)),
+        ("detail", Json::str(&status.detail)),
+        ("final", Json::Bool(status.finished)),
+        ("states", Json::num(status.states)),
+        ("queries", Json::num(status.queries)),
+        ("millis", Json::num(status.millis)),
+    ]
+}
+
+fn status_from_json(value: &Json) -> Result<WireJobStatus, ProtoError> {
+    Ok(WireJobStatus {
+        id: get_u64(value, "id")?,
+        state: get_str(value, "state")?,
+        detail: get_str(value, "detail")?,
+        finished: get_bool(value, "final")?,
+        states: get_u64(value, "states")?,
+        queries: get_u64(value, "queries")?,
+        millis: get_u64(value, "millis")?,
+    })
+}
+
+fn stats_to_json(stats: &WireStats) -> Json {
+    Json::obj(vec![
+        ("sessions_active", Json::num(stats.sessions_active)),
+        ("sessions_total", Json::num(stats.sessions_total)),
+        ("queries", Json::num(stats.queries)),
+        ("store_hits", Json::num(stats.store_hits)),
+        ("backend_queries", Json::num(stats.backend_queries)),
+        ("jobs_spawned", Json::num(stats.jobs_spawned)),
+        ("jobs_finished", Json::num(stats.jobs_finished)),
+        ("busy_workers", Json::num(stats.busy_workers)),
+        ("workers", Json::num(stats.workers)),
+    ])
+}
+
+fn stats_from_json(value: &Json) -> Result<WireStats, ProtoError> {
+    Ok(WireStats {
+        sessions_active: get_u64(value, "sessions_active")?,
+        sessions_total: get_u64(value, "sessions_total")?,
+        queries: get_u64(value, "queries")?,
+        store_hits: get_u64(value, "store_hits")?,
+        backend_queries: get_u64(value, "backend_queries")?,
+        jobs_spawned: get_u64(value, "jobs_spawned")?,
+        jobs_finished: get_u64(value, "jobs_finished")?,
+        busy_workers: get_u64(value, "busy_workers")?,
+        workers: get_u64(value, "workers")?,
+    })
+}
+
+/// Encodes a request as one JSON line (without the trailing newline).
+pub fn encode_request(request: &Request) -> String {
+    let json = match request {
+        Request::Hello => Json::obj(vec![("cmd", Json::str("hello"))]),
+        Request::Target(spec) => {
+            let mut pairs = vec![("cmd", Json::str("target"))];
+            pairs.extend(spec_to_json(spec));
+            Json::obj(pairs)
+        }
+        Request::Query { mbl } => {
+            Json::obj(vec![("cmd", Json::str("query")), ("mbl", Json::str(mbl))])
+        }
+        Request::Batch { exprs } => Json::obj(vec![
+            ("cmd", Json::str("batch")),
+            ("exprs", Json::Arr(exprs.iter().map(Json::str).collect())),
+        ]),
+        Request::Repl { line } => {
+            Json::obj(vec![("cmd", Json::str("repl")), ("line", Json::str(line))])
+        }
+        Request::Learn { spec } => {
+            Json::obj(vec![("cmd", Json::str("learn")), ("spec", Json::str(spec))])
+        }
+        Request::Job { id } => Json::obj(vec![("cmd", Json::str("job")), ("id", Json::num(*id))]),
+        Request::Wait { id } => Json::obj(vec![("cmd", Json::str("wait")), ("id", Json::num(*id))]),
+        Request::Stats => Json::obj(vec![("cmd", Json::str("stats"))]),
+        Request::Quit => Json::obj(vec![("cmd", Json::str("quit"))]),
+    };
+    json.render()
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] for malformed JSON, unknown commands, or missing
+/// fields.
+pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
+    let value = Json::parse(line.trim()).map_err(|e| err(e.to_string()))?;
+    let cmd = get_str(&value, "cmd")?;
+    match cmd.as_str() {
+        "hello" => Ok(Request::Hello),
+        "target" => Ok(Request::Target(spec_from_json(&value)?)),
+        "query" => Ok(Request::Query {
+            mbl: get_str(&value, "mbl")?,
+        }),
+        "batch" => {
+            let exprs = value
+                .get("exprs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'exprs'"))?;
+            let exprs = exprs
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| err("'exprs' must contain strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Batch { exprs })
+        }
+        "repl" => Ok(Request::Repl {
+            line: get_str(&value, "line")?,
+        }),
+        "learn" => Ok(Request::Learn {
+            spec: get_str(&value, "spec")?,
+        }),
+        "job" => Ok(Request::Job {
+            id: get_u64(&value, "id")?,
+        }),
+        "wait" => Ok(Request::Wait {
+            id: get_u64(&value, "id")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "quit" => Ok(Request::Quit),
+        other => Err(err(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Encodes a response as one JSON line (without the trailing newline).
+pub fn encode_response(response: &Response) -> String {
+    let json = match response {
+        Response::Hello {
+            server,
+            proto,
+            workers,
+        } => Json::obj(vec![
+            ("resp", Json::str("hello")),
+            ("server", Json::str(server)),
+            ("proto", Json::num(*proto)),
+            ("workers", Json::num(*workers)),
+        ]),
+        Response::Done { message } => Json::obj(vec![
+            ("resp", Json::str("done")),
+            ("message", Json::str(message)),
+        ]),
+        Response::Outcomes { results } => Json::obj(vec![
+            ("resp", Json::str("outcomes")),
+            (
+                "results",
+                Json::Arr(results.iter().map(outcome_to_json).collect()),
+            ),
+        ]),
+        Response::Batch { groups } => Json::obj(vec![
+            ("resp", Json::str("batch")),
+            (
+                "groups",
+                Json::Arr(
+                    groups
+                        .iter()
+                        .map(|g| Json::Arr(g.iter().map(outcome_to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Response::JobStarted { id } => {
+            Json::obj(vec![("resp", Json::str("job")), ("id", Json::num(*id))])
+        }
+        Response::JobStatus(status) => {
+            let mut pairs = vec![("resp", Json::str("status"))];
+            pairs.extend(status_to_json(status));
+            Json::obj(pairs)
+        }
+        Response::Stats { global, session } => Json::obj(vec![
+            ("resp", Json::str("stats")),
+            ("global", stats_to_json(global)),
+            (
+                "session",
+                Json::obj(vec![
+                    ("queries", Json::num(session.queries)),
+                    ("store_hits", Json::num(session.store_hits)),
+                ]),
+            ),
+        ]),
+        Response::Error { message } => Json::obj(vec![
+            ("resp", Json::str("error")),
+            ("message", Json::str(message)),
+        ]),
+        Response::Bye => Json::obj(vec![("resp", Json::str("bye"))]),
+    };
+    json.render()
+}
+
+/// Decodes one response line.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] for malformed JSON, unknown response kinds, or
+/// missing fields.
+pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
+    let value = Json::parse(line.trim()).map_err(|e| err(e.to_string()))?;
+    let resp = get_str(&value, "resp")?;
+    match resp.as_str() {
+        "hello" => Ok(Response::Hello {
+            server: get_str(&value, "server")?,
+            proto: get_u64(&value, "proto")?,
+            workers: get_u64(&value, "workers")?,
+        }),
+        "done" => Ok(Response::Done {
+            message: get_str(&value, "message")?,
+        }),
+        "outcomes" => {
+            let results = value
+                .get("results")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'results'"))?;
+            Ok(Response::Outcomes {
+                results: results
+                    .iter()
+                    .map(outcome_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            })
+        }
+        "batch" => {
+            let groups = value
+                .get("groups")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'groups'"))?;
+            let groups = groups
+                .iter()
+                .map(|g| {
+                    g.as_arr()
+                        .ok_or_else(|| err("'groups' must contain arrays"))?
+                        .iter()
+                        .map(outcome_from_json)
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::Batch { groups })
+        }
+        "job" => Ok(Response::JobStarted {
+            id: get_u64(&value, "id")?,
+        }),
+        "status" => Ok(Response::JobStatus(status_from_json(&value)?)),
+        "stats" => {
+            let global = value
+                .get("global")
+                .ok_or_else(|| err("missing object field 'global'"))?;
+            let session = value
+                .get("session")
+                .ok_or_else(|| err("missing object field 'session'"))?;
+            Ok(Response::Stats {
+                global: stats_from_json(global)?,
+                session: WireSessionStats {
+                    queries: get_u64(session, "queries")?,
+                    store_hits: get_u64(session, "store_hits")?,
+                },
+            })
+        }
+        "error" => Ok(Response::Error {
+            message: get_str(&value, "message")?,
+        }),
+        "bye" => Ok(Response::Bye),
+        other => Err(err(format!("unknown response '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Hello,
+            Request::Target(SessionSpec::default()),
+            Request::Target(SessionSpec {
+                model: "kabylake".into(),
+                cat: Some(4),
+                reset: "D C B A @".into(),
+                ..SessionSpec::default()
+            }),
+            Request::Query {
+                mbl: "@ X _?".into(),
+            },
+            Request::Batch {
+                exprs: vec!["A?".into(), "@ X A?".into()],
+            },
+            Request::Repl {
+                line: "set 12".into(),
+            },
+            Request::Learn {
+                spec: "LRU@2".into(),
+            },
+            Request::Job { id: 3 },
+            Request::Wait { id: 9 },
+            Request::Stats,
+            Request::Quit,
+        ];
+        for request in requests {
+            let line = encode_request(&request);
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_request(&line).unwrap(), request, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Hello {
+                server: "cqd".into(),
+                proto: PROTOCOL_VERSION,
+                workers: 4,
+            },
+            Response::Done {
+                message: "target set".into(),
+            },
+            Response::Outcomes {
+                results: vec![WireOutcome {
+                    query: "A B C A?".into(),
+                    pattern: "H".into(),
+                    consistent: true,
+                    cached: false,
+                }],
+            },
+            Response::Batch {
+                groups: vec![
+                    vec![],
+                    vec![WireOutcome {
+                        query: "X?".into(),
+                        pattern: "M".into(),
+                        consistent: true,
+                        cached: true,
+                    }],
+                ],
+            },
+            Response::JobStarted { id: 1 },
+            Response::JobStatus(WireJobStatus {
+                id: 1,
+                state: "done".into(),
+                detail: "identified as LRU".into(),
+                finished: true,
+                states: 24,
+                queries: 7569,
+                millis: 31,
+            }),
+            Response::Stats {
+                global: WireStats {
+                    sessions_active: 2,
+                    sessions_total: 5,
+                    queries: 100,
+                    store_hits: 60,
+                    backend_queries: 40,
+                    jobs_spawned: 1,
+                    jobs_finished: 1,
+                    busy_workers: 0,
+                    workers: 4,
+                },
+                session: WireSessionStats {
+                    queries: 10,
+                    store_hits: 4,
+                },
+            },
+            Response::Error {
+                message: "no such job".into(),
+            },
+            Response::Bye,
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'));
+            assert_eq!(decode_response(&line).unwrap(), response, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_messages_are_rejected() {
+        assert!(decode_request("{\"cmd\":\"mystery\"}").is_err());
+        assert!(decode_request("{\"mbl\":\"A?\"}").is_err());
+        assert!(decode_request("not json").is_err());
+        assert!(decode_response("{\"resp\":\"mystery\"}").is_err());
+        assert!(decode_response("{}").is_err());
+    }
+
+    #[test]
+    fn hit_rate_is_derived_from_store_counters() {
+        assert_eq!(WireStats::default().hit_rate(), 0.0);
+        let stats = WireStats {
+            queries: 4,
+            store_hits: 3,
+            ..WireStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

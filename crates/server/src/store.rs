@@ -1,0 +1,317 @@
+//! The shared cross-session query store: the LevelDB role of §4.2, lifted
+//! onto the prefix-trie cache of the learning subsystem.
+//!
+//! The original frontend memoizes every query response in LevelDB so that
+//! repeated queries — from the same client or a different one — never touch
+//! the scarce hardware backend again.  This reproduction goes one step
+//! further: instead of a flat key-value map it reuses
+//! [`learning::QueryCache`], the thread-safe arena-backed prefix trie built
+//! for membership queries in PR 2.  Because a query's profiled outcomes are
+//! *prefix-consistent* — the hit/miss classification of access `i` depends
+//! only on the reset state and the accesses before it, never on what comes
+//! after — recording one concrete query also answers every prefix of it, and
+//! overlapping expansions from different sessions share trie nodes instead
+//! of duplicating whole key strings.
+//!
+//! The store is namespaced by [`StoreKey`]: the full backend configuration
+//! (CPU model, seed, CAT restriction, reset sequence, repetitions) plus the
+//! target cache set.  Two sessions share answers exactly when the backend
+//! would have executed their queries identically.
+//!
+//! Only *consistent* answers (all repetitions agreed) are shared; a degraded
+//! majority vote is returned to its requester but never memoized, so noise
+//! cannot be frozen into the store.  A recording that contradicts an earlier
+//! one (the nondeterminism signal of §7.1) is dropped and counted in
+//! [`SharedQueryStore::conflicts`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cache::{HitMiss, LevelId};
+use hardware::CpuModel;
+use learning::QueryCache;
+use mbl::{MemOp, Query, Tag};
+
+/// The namespace of one backend configuration: answers are shared between
+/// sessions if and only if their keys are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// CPU model of the simulated machine.
+    pub model: CpuModel,
+    /// Seed of the simulated machine.
+    pub seed: u64,
+    /// CAT restriction of the last-level cache, if any.
+    pub cat: Option<usize>,
+    /// Rendered reset sequence.
+    pub reset: String,
+    /// Repetitions of the majority vote.
+    pub reps: usize,
+    /// Target cache level.
+    pub level: LevelId,
+    /// Target set index.
+    pub set: usize,
+    /// Target slice index.
+    pub slice: usize,
+}
+
+/// One namespace's trie: symbols are whole memory operations (block + tag),
+/// outputs are the classification of the access (`None` for unprofiled and
+/// invalidating operations).
+type Space = QueryCache<MemOp, Option<HitMiss>>;
+
+/// A concurrent, namespaced memoization store for concrete query outcomes,
+/// shared by every session of a `cqd` daemon.
+///
+/// # Example
+///
+/// ```
+/// use cache::{HitMiss, LevelId};
+/// use hardware::CpuModel;
+/// use mbl::expand_query;
+/// use server::{SharedQueryStore, StoreKey};
+///
+/// let store = SharedQueryStore::new();
+/// let key = StoreKey {
+///     model: CpuModel::SkylakeI5_6500,
+///     seed: 7,
+///     cat: None,
+///     reset: "F+R".to_string(),
+///     reps: 3,
+///     level: LevelId::L1,
+///     set: 0,
+///     slice: 0,
+/// };
+/// let query = &expand_query("A B A?", 8).unwrap()[0];
+/// assert_eq!(store.lookup(&key, query), None);
+/// store.record(&key, query, &[HitMiss::Hit], true);
+/// // The query itself — and any prefix of it — now hits.
+/// assert_eq!(store.lookup(&key, query), Some(vec![HitMiss::Hit]));
+/// let prefix = &expand_query("A B", 8).unwrap()[0];
+/// assert_eq!(store.lookup(&key, prefix), Some(vec![]));
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedQueryStore {
+    spaces: RwLock<HashMap<StoreKey, Arc<Space>>>,
+    conflicts: AtomicU64,
+}
+
+impl SharedQueryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SharedQueryStore::default()
+    }
+
+    /// The trie for `key`, created on first use.
+    fn space(&self, key: &StoreKey) -> Arc<Space> {
+        if let Some(space) = self.spaces.read().expect("store lock poisoned").get(key) {
+            return Arc::clone(space);
+        }
+        let mut spaces = self.spaces.write().expect("store lock poisoned");
+        Arc::clone(
+            spaces
+                .entry(key.clone())
+                .or_insert_with(|| Arc::new(QueryCache::new())),
+        )
+    }
+
+    /// Returns the memoized profiled outcomes of `query` under `key`, if the
+    /// whole access sequence is cached.
+    ///
+    /// Served answers are always consistent (inconsistent runs are never
+    /// recorded).
+    pub fn lookup(&self, key: &StoreKey, query: &Query) -> Option<Vec<HitMiss>> {
+        let outputs = self.space(key).lookup(query)?;
+        Some(outputs.into_iter().flatten().collect())
+    }
+
+    /// Records the profiled `outcomes` of `query` under `key`.
+    ///
+    /// `consistent == false` runs are skipped (returning `false`): a
+    /// degraded majority vote must not be served to other sessions as a
+    /// clean answer.  A recording that contradicts an existing entry is
+    /// dropped and counted as a conflict.  Returns whether the answer was
+    /// stored.
+    pub fn record(
+        &self,
+        key: &StoreKey,
+        query: &Query,
+        outcomes: &[HitMiss],
+        consistent: bool,
+    ) -> bool {
+        if !consistent {
+            return false;
+        }
+        let profiled_ops = query
+            .iter()
+            .filter(|op| op.tag == Some(Tag::Profile))
+            .count();
+        if profiled_ops != outcomes.len() {
+            // The outcome vector does not line up with the query's profiled
+            // accesses; refusing to store is safer than storing garbage.
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut profiled = outcomes.iter();
+        let outputs: Vec<Option<HitMiss>> = query
+            .iter()
+            .map(|op| {
+                if op.tag == Some(Tag::Profile) {
+                    profiled.next().copied()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        match self.space(key).record(query, &outputs) {
+            Ok(()) => true,
+            Err(_) => {
+                self.conflicts.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Lookups served from memory, across all namespaces.
+    pub fn hits(&self) -> u64 {
+        self.fold(|s| s.hits())
+    }
+
+    /// Lookups that missed, across all namespaces.
+    pub fn misses(&self) -> u64 {
+        self.fold(|s| s.misses())
+    }
+
+    /// Distinct cached access prefixes (trie nodes), across all namespaces.
+    pub fn entries(&self) -> u64 {
+        self.fold(|s| s.entries())
+    }
+
+    /// Recordings dropped because they contradicted the store or were
+    /// malformed.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct backend configurations seen.
+    pub fn namespaces(&self) -> usize {
+        self.spaces.read().expect("store lock poisoned").len()
+    }
+
+    /// Fraction of lookups served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    fn fold(&self, per_space: impl Fn(&Space) -> u64) -> u64 {
+        self.spaces
+            .read()
+            .expect("store lock poisoned")
+            .values()
+            .map(|s| per_space(s))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbl::expand_query;
+
+    fn key(set: usize) -> StoreKey {
+        StoreKey {
+            model: CpuModel::SkylakeI5_6500,
+            seed: 7,
+            cat: None,
+            reset: "F+R".to_string(),
+            reps: 3,
+            level: LevelId::L1,
+            set,
+            slice: 0,
+        }
+    }
+
+    fn concrete(mbl: &str) -> Query {
+        let mut queries = expand_query(mbl, 8).unwrap();
+        assert_eq!(queries.len(), 1);
+        queries.pop().unwrap()
+    }
+
+    #[test]
+    fn lookups_miss_until_recorded_and_namespaces_are_isolated() {
+        let store = SharedQueryStore::new();
+        let q = concrete("A B A?");
+        assert_eq!(store.lookup(&key(0), &q), None);
+        assert!(store.record(&key(0), &q, &[HitMiss::Hit], true));
+        assert_eq!(store.lookup(&key(0), &q), Some(vec![HitMiss::Hit]));
+        // A different target set is a different namespace.
+        assert_eq!(store.lookup(&key(1), &q), None);
+        assert_eq!(store.namespaces(), 2);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 2);
+        assert!(store.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn prefixes_of_recorded_queries_hit() {
+        let store = SharedQueryStore::new();
+        store.record(&key(0), &concrete("A? B? C?"), &[HitMiss::Miss; 3], true);
+        assert_eq!(
+            store.lookup(&key(0), &concrete("A? B?")),
+            Some(vec![HitMiss::Miss, HitMiss::Miss])
+        );
+        // Same blocks, different tags: a different access sequence.
+        assert_eq!(store.lookup(&key(0), &concrete("A B")), None);
+    }
+
+    #[test]
+    fn inconsistent_answers_are_not_shared() {
+        let store = SharedQueryStore::new();
+        let q = concrete("A?");
+        assert!(!store.record(&key(0), &q, &[HitMiss::Hit], false));
+        assert_eq!(store.lookup(&key(0), &q), None);
+    }
+
+    #[test]
+    fn contradictions_count_as_conflicts() {
+        let store = SharedQueryStore::new();
+        let q = concrete("A?");
+        assert!(store.record(&key(0), &q, &[HitMiss::Hit], true));
+        assert!(!store.record(&key(0), &q, &[HitMiss::Miss], true));
+        assert_eq!(store.conflicts(), 1);
+        // The original answer survives.
+        assert_eq!(store.lookup(&key(0), &q), Some(vec![HitMiss::Hit]));
+    }
+
+    #[test]
+    fn malformed_outcome_vectors_are_rejected() {
+        let store = SharedQueryStore::new();
+        let q = concrete("A? B?");
+        assert!(!store.record(&key(0), &q, &[HitMiss::Hit], true));
+        assert_eq!(store.conflicts(), 1);
+    }
+
+    #[test]
+    fn concurrent_sessions_share_one_store() {
+        let store = Arc::new(SharedQueryStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let q = concrete(&format!("{} A?", mbl::block_name(mbl::BlockId(t + 1))));
+                    store.record(&key(0), &q, &[HitMiss::Miss], true);
+                });
+            }
+        });
+        assert_eq!(
+            store.entries(),
+            8,
+            "4 distinct 2-op queries, no sharing of the first op"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests for the `cqd` wire protocol: every request and
+//! response variant must survive encode → decode exactly, for arbitrary
+//! field contents (including JSON-hostile strings).
+
+use proptest::prelude::*;
+
+use server::{
+    decode_request, decode_response, encode_request, encode_response, Json, Request, Response,
+    SessionSpec, WireJobStatus, WireOutcome, WireSessionStats, WireStats,
+};
+
+/// A string strategy that loves JSON metacharacters: quotes, backslashes,
+/// braces, control characters, non-ASCII and astral-plane codepoints.
+fn wire_string() -> impl Strategy<Value = String> {
+    let ch = prop_oneof![
+        Just('a'),
+        Just('Z'),
+        Just('0'),
+        Just(' '),
+        Just('"'),
+        Just('\\'),
+        Just('/'),
+        Just('{'),
+        Just('}'),
+        Just('['),
+        Just(','),
+        Just(':'),
+        Just('\n'),
+        Just('\t'),
+        Just('\r'),
+        Just('\u{8}'),
+        Just('\u{c}'),
+        Just('\u{1}'),
+        Just('ü'),
+        Just('∘'),
+        Just('🦀'),
+    ];
+    proptest::collection::vec(ch, 0..12).prop_map(|chars| chars.into_iter().collect())
+}
+
+fn session_spec() -> impl Strategy<Value = SessionSpec> {
+    (
+        prop_oneof![
+            Just("skylake".to_string()),
+            Just("haswell".to_string()),
+            wire_string(),
+        ],
+        0u64..1000,
+        (
+            prop_oneof![
+                Just("L1".to_string()),
+                Just("L3".to_string()),
+                wire_string()
+            ],
+            0u64..4096,
+            0u64..8,
+        ),
+        prop_oneof![Just(None), (1u64..16).prop_map(Some)],
+        1u64..9,
+        prop_oneof![Just("F+R".to_string()), wire_string()],
+    )
+        .prop_map(
+            |(model, seed, (level, set, slice), cat, reps, reset)| SessionSpec {
+                model,
+                seed,
+                level,
+                set,
+                slice,
+                cat,
+                reps,
+                reset,
+            },
+        )
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Hello),
+        session_spec().prop_map(Request::Target),
+        wire_string().prop_map(|mbl| Request::Query { mbl }),
+        proptest::collection::vec(wire_string(), 0..4).prop_map(|exprs| Request::Batch { exprs }),
+        wire_string().prop_map(|line| Request::Repl { line }),
+        wire_string().prop_map(|spec| Request::Learn { spec }),
+        (0u64..100).prop_map(|id| Request::Job { id }),
+        (0u64..100).prop_map(|id| Request::Wait { id }),
+        Just(Request::Stats),
+        Just(Request::Quit),
+    ]
+}
+
+fn wire_outcome() -> impl Strategy<Value = WireOutcome> {
+    (wire_string(), wire_string(), 0u64..2, 0u64..2).prop_map(
+        |(query, pattern, consistent, cached)| WireOutcome {
+            query,
+            pattern,
+            consistent: consistent == 1,
+            cached: cached == 1,
+        },
+    )
+}
+
+fn job_status() -> impl Strategy<Value = WireJobStatus> {
+    (
+        0u64..100,
+        prop_oneof![
+            Just("running".to_string()),
+            Just("done".to_string()),
+            Just("failed".to_string()),
+        ],
+        wire_string(),
+        0u64..2,
+        (0u64..1000, 0u64..5_000_000, 0u64..100_000),
+    )
+        .prop_map(
+            |(id, state, detail, finished, (states, queries, millis))| WireJobStatus {
+                id,
+                state,
+                detail,
+                finished: finished == 1,
+                states,
+                queries,
+                millis,
+            },
+        )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    let stats = (
+        (0u64..10, 0u64..100),
+        (0u64..100_000, 0u64..100_000),
+        (0u64..100_000, 0u64..10, 0u64..10),
+        (0u64..8, 1u64..9),
+    )
+        .prop_map(
+            |(
+                (sessions_active, sessions_total),
+                (queries, store_hits),
+                (backend_queries, jobs_spawned, jobs_finished),
+                (busy_workers, workers),
+            )| WireStats {
+                sessions_active,
+                sessions_total,
+                queries,
+                store_hits,
+                backend_queries,
+                jobs_spawned,
+                jobs_finished,
+                busy_workers,
+                workers,
+            },
+        );
+    prop_oneof![
+        (wire_string(), 0u64..10, 0u64..8).prop_map(|(server, proto, workers)| Response::Hello {
+            server,
+            proto,
+            workers
+        }),
+        wire_string().prop_map(|message| Response::Done { message }),
+        proptest::collection::vec(wire_outcome(), 0..4)
+            .prop_map(|results| Response::Outcomes { results }),
+        proptest::collection::vec(proptest::collection::vec(wire_outcome(), 0..3), 0..3)
+            .prop_map(|groups| Response::Batch { groups }),
+        (0u64..100).prop_map(|id| Response::JobStarted { id }),
+        job_status().prop_map(Response::JobStatus),
+        (stats, (0u64..1000, 0u64..1000)).prop_map(|(global, (queries, store_hits))| {
+            Response::Stats {
+                global,
+                session: WireSessionStats {
+                    queries,
+                    store_hits,
+                },
+            }
+        }),
+        wire_string().prop_map(|message| Response::Error { message }),
+        Just(Response::Bye),
+    ]
+}
+
+/// A strategy over arbitrary JSON value trees (depth-bounded).
+fn json_value() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        Just(Json::Bool(true)),
+        Just(Json::Bool(false)),
+        (0u64..1_000_000).prop_map(|n| Json::Num(n as f64)),
+        Just(Json::Num(-2.5)),
+        wire_string().prop_map(Json::Str),
+    ];
+    let inner = leaf.clone().boxed();
+    prop_oneof![
+        leaf,
+        proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+        proptest::collection::vec((wire_string(), inner), 0..4).prop_map(|pairs| {
+            // Duplicate keys would make `get`-based decoding ambiguous; the
+            // protocol never produces them, so neither does the strategy.
+            let mut seen = std::collections::HashSet::new();
+            Json::Obj(
+                pairs
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect(),
+            )
+        }),
+    ]
+}
+
+proptest! {
+    /// Every request survives one encode → decode round trip.
+    #[test]
+    fn requests_round_trip(request in request()) {
+        let line = encode_request(&request);
+        prop_assert!(!line.contains('\n'), "encoded request spans lines: {line}");
+        let decoded = decode_request(&line);
+        prop_assert_eq!(decoded.unwrap(), request);
+    }
+
+    /// Every response survives one encode → decode round trip.
+    #[test]
+    fn responses_round_trip(response in response()) {
+        let line = encode_response(&response);
+        prop_assert!(!line.contains('\n'), "encoded response spans lines: {line}");
+        let decoded = decode_response(&line);
+        prop_assert_eq!(decoded.unwrap(), response);
+    }
+
+    /// The JSON layer itself round-trips arbitrary value trees, and
+    /// rendering is deterministic.
+    #[test]
+    fn json_round_trips(value in json_value()) {
+        let rendered = value.render();
+        let parsed = Json::parse(&rendered).unwrap();
+        prop_assert_eq!(&parsed, &value);
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+}

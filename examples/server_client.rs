@@ -1,0 +1,84 @@
+//! A complete `cqd` client session: spawn an in-process daemon, configure a
+//! target, run queries from two sessions (demonstrating the shared
+//! cross-session store), start a learning job, and read the metrics.
+//!
+//! Run with: `cargo run --example server_client -- [POLICY@ASSOC]`
+
+use server::{spawn, Client, CqdConfig, SessionSpec};
+
+fn main() {
+    let learn_spec = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "LRU@2".to_string());
+
+    // In production `cqd` runs standalone (`cargo run -p server --bin cqd`);
+    // for a self-contained example an in-process daemon on an ephemeral
+    // port behaves identically.
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    println!("cqd listening on {}", daemon.addr());
+
+    let mut client = Client::connect(daemon.addr()).expect("daemon accepts connections");
+    let info = client.hello().expect("handshake");
+    println!(
+        "connected to {} (proto {}, {} workers)",
+        info.server, info.proto, info.workers
+    );
+
+    // Target the simulated Skylake L2, set 63 — the Figure 1 configuration.
+    let spec = SessionSpec {
+        level: "L2".to_string(),
+        set: 63,
+        ..SessionSpec::default()
+    };
+    println!("{}", client.target(&spec).expect("valid target"));
+
+    // Figure 1's trace: fill A B C, then profile the re-access of A.
+    for outcome in client.query("A B C A?").expect("well-formed MBL") {
+        println!(
+            "  {} -> {} (cached: {})",
+            outcome.query, outcome.pattern, outcome.cached
+        );
+    }
+
+    // A second session asking an overlapping question is answered from the
+    // shared store without touching the backend.
+    let mut second = Client::connect(daemon.addr()).expect("daemon accepts connections");
+    second.target(&spec).expect("valid target");
+    for outcome in second.query("A B C A?").expect("well-formed MBL") {
+        println!(
+            "  second session: {} -> {} (cached: {})",
+            outcome.query, outcome.pattern, outcome.cached
+        );
+    }
+
+    // Learning runs asynchronously; `wait` streams status lines.
+    let id = client.learn(&learn_spec).expect("valid learn spec");
+    println!("learning {learn_spec} as job {id}");
+    let done = client
+        .wait_with(id, |status| {
+            println!(
+                "  job {}: {} ({} ms)",
+                status.id, status.state, status.millis
+            );
+        })
+        .expect("job exists");
+    println!(
+        "job {} finished: {} states, {} queries, {}",
+        id, done.states, done.queries, done.detail
+    );
+
+    let (global, session) = client.stats().expect("stats");
+    println!(
+        "served {} queries ({} from the shared store, hit rate {:.1}%), {} sessions",
+        global.queries,
+        global.store_hits,
+        100.0 * global.hit_rate(),
+        global.sessions_total,
+    );
+    println!("this session asked {} queries", session.queries);
+
+    client.quit().expect("clean shutdown");
+    second.quit().expect("clean shutdown");
+    daemon.shutdown();
+    println!("daemon stopped");
+}

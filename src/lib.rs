@@ -13,4 +13,5 @@ pub use learning;
 pub use mbl;
 pub use polca;
 pub use policies;
+pub use server;
 pub use synth;

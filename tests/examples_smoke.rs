@@ -51,6 +51,38 @@ fn run_example(name: &str, args: &[&str], stdin: Option<&str>) -> String {
     String::from_utf8_lossy(&output.stdout).into_owned()
 }
 
+/// The examples this suite knows how to drive.  `every_example_is_covered`
+/// derives the actual list from `examples/` and fails when a new example is
+/// added without a smoke test here, so examples cannot silently rot.
+const COVERED: &[&str] = &[
+    "leader_sets",
+    "learn_hardware",
+    "learn_simulated",
+    "mbl_repl",
+    "quickstart",
+    "server_client",
+    "synthesize_policy",
+];
+
+#[test]
+fn every_example_is_covered() {
+    let examples_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut found: Vec<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable dir entry").path();
+            (path.extension().is_some_and(|e| e == "rs"))
+                .then(|| path.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    assert_eq!(
+        found, COVERED,
+        "examples/ and the smoke-test list diverged: add a run_example test \
+         for every new example and list it in COVERED"
+    );
+}
+
 #[test]
 fn quickstart_runs() {
     let stdout = run_example("quickstart", &[], None);
@@ -84,6 +116,14 @@ fn synthesize_policy_runs() {
 fn leader_sets_runs() {
     let stdout = run_example("leader_sets", &["8"], None);
     assert!(stdout.contains("Thrashing"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn server_client_runs() {
+    let stdout = run_example("server_client", &["FIFO@2"], None);
+    assert!(stdout.contains("cached: true"), "stdout:\n{stdout}");
+    assert!(stdout.contains("finished: 2 states"), "stdout:\n{stdout}");
+    assert!(stdout.contains("daemon stopped"), "stdout:\n{stdout}");
 }
 
 #[test]

@@ -1,0 +1,211 @@
+//! Integration test of the `cqd` daemon: many concurrent sessions with
+//! overlapping workloads must get answers byte-identical to an in-process
+//! `CacheQuery`, while the shared cross-session store absorbs the overlap.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use cache::LevelId;
+use cachequery::{CacheQuery, Target};
+use hardware::{CpuModel, SimulatedCpu};
+use server::{spawn, Client, CqdConfig, Response, SessionSpec};
+
+/// The overlapping workload: every client runs all of these expressions
+/// against both target sets, in a client-specific order.
+const EXPRESSIONS: &[&str] = &[
+    "A B C A?",
+    "@ X A?",
+    "@ X _?",
+    "X? X?",
+    "A A! A?",
+    "(@)?",
+    "A B C D E F G H I J? A?",
+];
+
+const SETS: &[u64] = &[3, 9];
+const CLIENTS: usize = 8;
+
+fn spec_for(set: u64) -> SessionSpec {
+    SessionSpec {
+        set,
+        ..SessionSpec::default()
+    }
+}
+
+/// (set, expression) → the answers as `query -> pattern/consistent` lines —
+/// the byte-level form the equality assertions compare.
+type Answers = BTreeMap<(u64, String), Vec<String>>;
+
+fn render_answers(results: &[server::WireOutcome]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| format!("{} -> {} ({})", r.query, r.pattern, r.consistent))
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_agree_with_the_direct_oracle() {
+    let daemon = spawn(CqdConfig {
+        workers: 4,
+        // A small queue so the test also exercises the backpressure path.
+        queue_depth: 4,
+        ..CqdConfig::default()
+    })
+    .expect("ephemeral port is always bindable");
+    let addr = daemon.addr();
+
+    // 8 concurrent clients, each covering every (set, expression) pair in a
+    // client-specific order so the overlap arrives interleaved.
+    let answers: Vec<Answers> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("daemon accepts connections");
+                    assert_eq!(client.hello().unwrap().server, "cqd");
+                    let mut collected: Answers = BTreeMap::new();
+                    for step in 0..EXPRESSIONS.len() * SETS.len() {
+                        let rotated = (step + client_index) % (EXPRESSIONS.len() * SETS.len());
+                        let set = SETS[rotated % SETS.len()];
+                        let expr = EXPRESSIONS[rotated / SETS.len()];
+                        client.target(&spec_for(set)).unwrap();
+                        let results = client.query(expr).unwrap();
+                        collected.insert((set, expr.to_string()), render_answers(&results));
+                    }
+                    client.quit().unwrap();
+                    collected
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The in-process oracle: the same simulated machine, driven directly.
+    let mut oracle = CacheQuery::new(SimulatedCpu::new(CpuModel::SkylakeI5_6500, 7));
+    let mut expected: Answers = BTreeMap::new();
+    for &set in SETS {
+        oracle
+            .set_target(Target::new(LevelId::L1, set as usize, 0))
+            .unwrap();
+        for &expr in EXPRESSIONS {
+            let results = oracle.query(expr).unwrap();
+            let rendered: Vec<String> = results
+                .iter()
+                .map(|r| {
+                    let pattern: String = r
+                        .outcomes
+                        .iter()
+                        .map(|o| if *o == cache::HitMiss::Hit { 'H' } else { 'M' })
+                        .collect();
+                    format!("{} -> {} ({})", r.rendered, pattern, r.consistent)
+                })
+                .collect();
+            expected.insert((set, expr.to_string()), rendered);
+        }
+    }
+
+    for (client_index, collected) in answers.iter().enumerate() {
+        assert_eq!(
+            collected, &expected,
+            "client {client_index} diverged from the direct CacheQuery oracle"
+        );
+    }
+
+    // The workload overlaps massively (8 clients × identical queries), so
+    // the shared store must have served a substantial share from memory.
+    let hit_rate = daemon.store_hit_rate();
+    assert!(
+        hit_rate > 0.0,
+        "no cross-session sharing happened (hit rate {hit_rate})"
+    );
+    // Only one backend configuration was used.
+    assert_eq!(daemon.backend_instances(), 1);
+    daemon.shutdown();
+}
+
+#[test]
+fn stats_jobs_batch_and_repl_work_over_the_wire() {
+    let daemon = spawn(CqdConfig::default()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    // Batch mode groups results per expression.
+    let groups = client.batch(&["A?", "@ X _?"]).unwrap();
+    assert_eq!(groups.len(), 2);
+    assert_eq!(groups[0].len(), 1);
+    assert_eq!(groups[1].len(), 8);
+
+    // The REPL command language is shared with the in-process shell.
+    match client.repl("set 5").unwrap() {
+        Response::Done { message } => assert!(message.contains('5')),
+        other => panic!("unexpected repl response: {other:?}"),
+    }
+    match client.repl("assoc").unwrap() {
+        Response::Done { message } => assert!(message.contains('8')),
+        other => panic!("unexpected repl response: {other:?}"),
+    }
+    match client.repl("A B C A?").unwrap() {
+        Response::Outcomes { results } => assert_eq!(results[0].pattern, "H"),
+        other => panic!("unexpected repl response: {other:?}"),
+    }
+    // Invalid configurations are rejected eagerly.
+    assert!(client.repl("set 100000").is_err());
+
+    // Learning jobs run asynchronously and stream status over `wait`.
+    let id = client.learn("LRU@2").unwrap();
+    let mut status_lines = 0;
+    let done = client.wait_with(id, |_| status_lines += 1).unwrap();
+    assert_eq!(done.state, "done");
+    assert_eq!(done.states, 2);
+    assert_eq!(done.detail, "identified as LRU");
+    assert!(status_lines >= 1);
+    // Polling after completion still works.
+    assert_eq!(client.job(id).unwrap().state, "done");
+    // Unknown jobs and bad specs are errors.
+    assert!(client.job(999).is_err());
+    assert!(client.learn("LRU@64").is_err());
+    assert!(client.learn("CLAIRVOYANT@2").is_err());
+
+    // Global metrics reflect the traffic of this session.
+    let (global, session) = client.stats().unwrap();
+    assert!(global.queries >= 9);
+    assert_eq!(global.jobs_spawned, 1);
+    assert_eq!(global.jobs_finished, 1);
+    assert_eq!(global.sessions_active, 1);
+    assert!(session.queries >= 9);
+
+    client.quit().unwrap();
+    daemon.shutdown();
+
+    let second = spawn(CqdConfig::default()).unwrap();
+    // A second daemon starts cleanly after the first shut down (distinct
+    // ephemeral ports, no leaked state).
+    let mut client = Client::connect(second.addr()).unwrap();
+    assert_eq!(client.query("A?").unwrap().len(), 1);
+    second.shutdown();
+}
+
+#[test]
+fn different_seeds_and_targets_do_not_share_answers() {
+    let daemon = spawn(CqdConfig::default()).unwrap();
+    let mut a = Client::connect(daemon.addr()).unwrap();
+    let mut b = Client::connect(daemon.addr()).unwrap();
+    a.target(&SessionSpec::default()).unwrap();
+    b.target(&SessionSpec {
+        seed: 8,
+        ..SessionSpec::default()
+    })
+    .unwrap();
+
+    let first = a.query("@ X A?").unwrap();
+    assert!(!first[0].cached, "fresh query cannot be cached");
+    // Different seed → different namespace → not served from the store.
+    let other_seed = b.query("@ X A?").unwrap();
+    assert!(!other_seed[0].cached, "seeds must not share a namespace");
+    // Same seed and target, different session → shared.
+    let mut c = Client::connect(daemon.addr()).unwrap();
+    let shared = c.query("@ X A?").unwrap();
+    assert!(shared[0].cached, "identical configurations must share");
+    assert_eq!(shared[0].pattern, first[0].pattern);
+    // Two distinct (model, seed, cat) combinations were instantiated.
+    assert_eq!(daemon.backend_instances(), 2);
+    daemon.shutdown();
+}
