@@ -8,16 +8,27 @@
 //! cross-session hit-rate of the shared query store.
 //!
 //! Usage:
-//!   loadgen [--clients K] [--queries M] [--sets S] [--distinct D]
-//!           [--workers W] [--queue-depth Q] [--json PATH]
+//!   `loadgen [--mode queries|learn-remote]
+//!            [--clients K] [--queries M] [--sets S] [--distinct D]
+//!            [--workers W] [--queue-depth Q] [--json PATH]
+//!            [--policy POLICY@ASSOC]`
+//!
+//! `--mode queries` (the default) measures interactive query traffic;
+//! `--mode learn-remote` runs the same learning campaign in-process and over
+//! a loopback daemon (`polca::learn_policy` through a `RemoteBackend`) and
+//! reports the network overhead of distributed learning.
 //!
 //! Results are printed as a table and written as JSON (default
-//! `BENCH_server.json`) for regression tracking.
+//! `BENCH_server.json`) for regression tracking; the learn-remote record is
+//! merged into an existing report instead of clobbering it.
 
 use std::time::Instant;
 
 use bench::{Args, TextTable};
-use server::{spawn, Client, CqdConfig, Json, SessionSpec};
+use cachequery::QueryEngine;
+use polca::{learn_policy, learn_simulated_policy, CacheQueryOracle, LearnSetup};
+use policies::PolicyKind;
+use server::{spawn, Client, CqdConfig, Json, RemoteBackend, SessionSpec};
 
 /// Deterministic per-client generator (xorshift64*): the workload must not
 /// depend on thread scheduling.
@@ -50,8 +61,117 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
     sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
 }
 
+/// Writes `report` under `key` into the JSON file at `path`, preserving the
+/// other *records* (object-valued keys) an earlier run left there.
+/// Unparseable files and stale flat-format keys (pre-nesting loadgen wrote
+/// metrics at the top level) are dropped with a note, never silently.
+fn merge_report(path: &str, key: &str, report: Json) {
+    let existing = std::fs::read_to_string(path).ok();
+    let mut pairs: Vec<(String, Json)> = match existing.as_deref().map(Json::parse) {
+        None => Vec::new(),
+        Some(Ok(Json::Obj(pairs))) => pairs
+            .into_iter()
+            .filter(|(k, v)| {
+                let keep = k != key && matches!(v, Json::Obj(_));
+                if !keep && k != key {
+                    println!("note: dropping stale flat-format key '{k}' from {path}");
+                }
+                keep
+            })
+            .collect(),
+        Some(_) => {
+            println!("note: {path} did not parse as a JSON object; starting a fresh report");
+            Vec::new()
+        }
+    };
+    pairs.push((key.to_string(), report));
+    std::fs::write(path, Json::Obj(pairs).render() + "\n").expect("benchmark report is writable");
+    println!("wrote {path}");
+}
+
+/// The learn-remote mode: the same campaign in-process and over loopback.
+fn run_learn_remote(args: &Args) {
+    let policy = args.value_of("policy").unwrap_or("LRU@4");
+    let json_path = args.value_of("json").unwrap_or("BENCH_server.json");
+    let (name, assoc) = policy.split_once('@').expect("policy spec is POLICY@ASSOC");
+    let kind: PolicyKind = name.parse().expect("known policy");
+    let assoc: usize = assoc.parse().expect("numeric associativity");
+    let setup = LearnSetup {
+        workers: 1,
+        ..LearnSetup::default()
+    };
+
+    println!("loadgen: mode learn-remote, campaign {kind}@{assoc}");
+    let started = Instant::now();
+    let local = learn_simulated_policy(kind, assoc, &setup).expect("in-process learning succeeds");
+    let local_elapsed = started.elapsed();
+
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    let spec = SessionSpec {
+        policy: Some(policy.to_string()),
+        ..SessionSpec::default()
+    };
+    let started = Instant::now();
+    let backend = RemoteBackend::connect(daemon.addr(), &spec).expect("daemon accepts the spec");
+    let engine = QueryEngine::new(backend);
+    let client_store = std::sync::Arc::clone(engine.store());
+    let oracle = CacheQueryOracle::from_engine(engine).expect("remote target configured");
+    let remote = learn_policy(oracle, &setup).expect("remote learning succeeds");
+    let remote_elapsed = started.elapsed();
+    daemon.shutdown();
+
+    assert_eq!(
+        remote.machine.num_states(),
+        local.machine.num_states(),
+        "remote learning must reproduce the in-process automaton"
+    );
+    let overhead = remote_elapsed.as_secs_f64() / local_elapsed.as_secs_f64().max(1e-9);
+    let mut table = TextTable::new(&[
+        "campaign",
+        "states",
+        "memb. queries",
+        "in-process",
+        "over server",
+        "overhead",
+        "client store hit-rate",
+    ]);
+    table.add_row(&[
+        format!("{kind}@{assoc}"),
+        remote.machine.num_states().to_string(),
+        remote.stats.membership_queries.to_string(),
+        format!("{:.3} s", local_elapsed.as_secs_f64()),
+        format!("{:.3} s", remote_elapsed.as_secs_f64()),
+        format!("{overhead:.1}x"),
+        format!(
+            "{:.1}%",
+            100.0 * client_store.hits() as f64
+                / (client_store.hits() + client_store.misses()).max(1) as f64
+        ),
+    ]);
+    print!("{}", table.render());
+
+    let report = Json::obj(vec![
+        ("campaign", Json::str(policy)),
+        ("states", Json::num(remote.machine.num_states() as u64)),
+        (
+            "membership_queries",
+            Json::num(remote.stats.membership_queries),
+        ),
+        ("in_process_s", Json::Num(local_elapsed.as_secs_f64())),
+        ("over_server_s", Json::Num(remote_elapsed.as_secs_f64())),
+        ("overhead", Json::Num(overhead)),
+        ("client_store_hits", Json::num(client_store.hits())),
+        ("client_store_misses", Json::num(client_store.misses())),
+    ]);
+    merge_report(json_path, "learn_remote", report);
+}
+
 fn main() {
     let args = Args::from_env();
+    if args.value_of("mode") == Some("learn-remote") {
+        run_learn_remote(&args);
+        return;
+    }
     let clients: usize = args.value_or("clients", 8);
     let queries: usize = args.value_or("queries", 2000);
     let sets: u64 = args.value_or("sets", 2);
@@ -146,8 +266,7 @@ fn main() {
         ("p99_us", Json::Num(p99_us)),
         ("store_hit_rate", Json::Num(hit_rate)),
     ]);
-    std::fs::write(json_path, report.render() + "\n").expect("benchmark report is writable");
-    println!("wrote {json_path}");
+    merge_report(json_path, "queries", report);
 
     daemon.shutdown();
 }

@@ -85,6 +85,9 @@ pub enum BackendError {
     Expand(ExpandError),
     /// Applying CAT failed.
     Cat(CatError),
+    /// A non-hardware backend (a remote `cqd` session, a simulated-policy
+    /// backend) failed; the payload is its rendered error.
+    Service(String),
 }
 
 impl fmt::Display for BackendError {
@@ -107,6 +110,7 @@ impl fmt::Display for BackendError {
             BackendError::NoTarget => write!(f, "no target cache set selected"),
             BackendError::Expand(e) => write!(f, "{e}"),
             BackendError::Cat(e) => write!(f, "{e}"),
+            BackendError::Service(message) => write!(f, "{message}"),
         }
     }
 }
@@ -631,6 +635,34 @@ impl Backend {
                 cpu.load(addr);
             }
         }
+    }
+}
+
+impl crate::engine::QueryBackend for Backend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        self.run(query)
+    }
+
+    fn config(&self) -> Result<crate::engine::QueryConfig, BackendError> {
+        let target = self.target().ok_or(BackendError::NoTarget)?;
+        let cat = self
+            .cpu()
+            .cat_ways()
+            .map_or_else(|| "-".to_string(), |ways| ways.to_string());
+        Ok(crate::engine::QueryConfig {
+            backend: format!(
+                "{} seed={} cat={cat}",
+                self.cpu().model().short_name(),
+                self.cpu().seed()
+            ),
+            reset: self.reset_sequence().to_string(),
+            reps: self.repetitions(),
+            target,
+        })
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        Backend::associativity(self)
     }
 }
 

@@ -1,0 +1,511 @@
+//! The unified query path: a [`QueryBackend`] abstraction over everything
+//! that can execute a concrete query, and the [`QueryEngine`] that puts the
+//! *single* memoization layer of this reproduction in front of it.
+//!
+//! The paper's tool is one pipeline — MBL frontend → memoized query store →
+//! scarce backend (§4, §4.2).  Every consumer in this repo follows the same
+//! shape through this module:
+//!
+//! ```text
+//!   MBL / Polca probes ──► QueryEngine ──► QueryStore (prefix trie)
+//!                               │               ▲
+//!                               ▼ (miss)        │ (record)
+//!                          QueryBackend  ───────┘
+//! ```
+//!
+//! Implementations of [`QueryBackend`]:
+//!
+//! * [`Backend`](crate::Backend) — the simulated-hardware kernel-module
+//!   replacement of this crate;
+//! * `polca::PolicySimBackend` — a bare software-simulated cache set running
+//!   a named replacement policy;
+//! * `server::RemoteBackend` — a `cqd` session over TCP, so the same engine
+//!   (and the same learning pipeline) runs against a remote machine.
+//!
+//! Engines that should share answers share one [`QueryStore`] behind an
+//! [`Arc`]: the `cqd` daemon gives its sessions, worker pool *and* learning
+//! jobs one store, so a multi-second learning campaign fills the same trie
+//! that interactive sessions are served from.
+
+use std::sync::Arc;
+
+use cache::HitMiss;
+use mbl::{expand_query, render_query, Query};
+
+use crate::backend::{BackendError, Target};
+use crate::store::{QueryStore, StoreSpace};
+
+/// The memoization namespace of a configured backend: everything that
+/// determines a query's answer.  Two backends whose configs render equally
+/// answer identically and may share store entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryConfig {
+    /// Rendered backend identity — e.g. `skylake seed=7 cat=-` for a
+    /// simulated machine or `policy:LRU@4` for a bare simulated policy.
+    pub backend: String,
+    /// Rendered reset sequence establishing the initial state.
+    pub reset: String,
+    /// Repetitions of the majority vote.
+    pub reps: usize,
+    /// The target cache set.
+    pub target: Target,
+}
+
+impl std::fmt::Display for QueryConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} reset={} reps={} {} set={} slice={}",
+            self.backend,
+            self.reset,
+            self.reps,
+            self.target.level,
+            self.target.set,
+            self.target.slice
+        )
+    }
+}
+
+/// Anything that can execute concrete queries against a configured target:
+/// the "scarce oracle" side of the query path.
+///
+/// Implementations report their current configuration through
+/// [`QueryBackend::config`]; the engine uses it (rendered) as the store
+/// namespace, so reconfiguring a backend automatically re-namespaces its
+/// answers — no cache invalidation protocol is needed.
+pub trait QueryBackend: Send {
+    /// Executes one concrete query and returns the classified outcome of
+    /// every profiled access plus whether all repetitions agreed.  This is
+    /// the raw path: implementations must not memoize (the engine does).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the backend is unconfigured or
+    /// execution fails.
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError>;
+
+    /// Executes a batch of concrete queries, in order.  The default
+    /// implementation loops over [`QueryBackend::execute`]; backends with a
+    /// cheaper bulk path (one network round trip for a remote backend)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing query and returns its error.
+    fn execute_many(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        queries.iter().map(|q| self.execute(q)).collect()
+    }
+
+    /// The current configuration (memoization namespace) of the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if no target is configured yet.
+    fn config(&self) -> Result<QueryConfig, BackendError>;
+
+    /// Effective associativity of the configured target (after CAT), used by
+    /// the MBL expansion macros.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if no target is configured yet.
+    fn associativity(&self) -> Result<usize, BackendError>;
+}
+
+impl<B: QueryBackend + ?Sized> QueryBackend for Box<B> {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        (**self).execute(query)
+    }
+
+    fn execute_many(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        (**self).execute_many(queries)
+    }
+
+    fn config(&self) -> Result<QueryConfig, BackendError> {
+        (**self).config()
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        (**self).associativity()
+    }
+}
+
+/// Result of running one concrete query through an engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The query that was executed (after MBL expansion).
+    pub rendered: String,
+    /// Hit/miss classification of each profiled access, in order.
+    pub outcomes: Vec<HitMiss>,
+    /// Whether all repetitions of the query agreed on every profiled access.
+    pub consistent: bool,
+    /// Whether the result was served from the query store.
+    pub from_cache: bool,
+}
+
+/// Work counters of one engine instance (not shared between clones — the
+/// underlying [`QueryStore`] keeps the shared truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Concrete queries answered (store hits included).
+    pub queries: u64,
+    /// Concrete queries answered from the store.
+    pub store_hits: u64,
+    /// Concrete queries the backend actually executed.
+    pub backend_queries: u64,
+}
+
+/// The single query path: exactly one [`QueryStore`] in front of one
+/// [`QueryBackend`].
+///
+/// `Clone` (for cloneable backends) duplicates the backend but **shares the
+/// store**: clones are the per-worker instances of a parallel run and must
+/// benefit from each other's answers.  Local [`EngineStats`] counters start
+/// at zero in the clone.
+#[derive(Debug)]
+pub struct QueryEngine<B> {
+    backend: B,
+    store: Arc<QueryStore>,
+    /// Cached `(config, namespace handle)` of the backend's last-seen
+    /// configuration, so the hot path does not re-render and re-hash the
+    /// namespace string per query.
+    space: Option<(QueryConfig, StoreSpace)>,
+    memoize: bool,
+    stats: EngineStats,
+}
+
+impl<B: Clone> Clone for QueryEngine<B> {
+    fn clone(&self) -> Self {
+        QueryEngine {
+            backend: self.backend.clone(),
+            store: Arc::clone(&self.store),
+            space: self.space.clone(),
+            memoize: self.memoize,
+            stats: EngineStats::default(),
+        }
+    }
+}
+
+impl<B: QueryBackend> QueryEngine<B> {
+    /// Creates an engine with a private, empty store.
+    pub fn new(backend: B) -> Self {
+        Self::with_store(backend, Arc::new(QueryStore::new()))
+    }
+
+    /// Creates an engine over a shared store: every engine holding a clone of
+    /// the same `Arc` serves (and fills) the same memoized answers.
+    pub fn with_store(backend: B, store: Arc<QueryStore>) -> Self {
+        QueryEngine {
+            backend,
+            store,
+            space: None,
+            memoize: true,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Read-only access to the backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the backend (for reconfiguration; the engine picks
+    /// up the new namespace automatically on the next query).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Consumes the engine and returns the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// The shared store behind this engine.
+    pub fn store(&self) -> &Arc<QueryStore> {
+        &self.store
+    }
+
+    /// The namespace handle of the backend's *current* configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the backend is unconfigured.
+    pub fn current_space(&mut self) -> Result<StoreSpace, BackendError> {
+        self.refresh_space().map(|(_, space)| space.clone())
+    }
+
+    /// Enables or disables store consultation/recording for this engine
+    /// (disabled engines always execute on the backend).
+    pub fn set_memoize(&mut self, memoize: bool) {
+        self.memoize = memoize;
+    }
+
+    /// Whether the engine consults and fills the store.
+    pub fn memoize(&self) -> bool {
+        self.memoize
+    }
+
+    /// This engine's local work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn refresh_space(&mut self) -> Result<&(QueryConfig, StoreSpace), BackendError> {
+        let config = self.backend.config()?;
+        let stale = match &self.space {
+            Some((cached, _)) => *cached != config,
+            None => true,
+        };
+        if stale {
+            let space = self.store.space(&config.to_string());
+            self.space = Some((config, space));
+        }
+        Ok(self.space.as_ref().expect("space was just refreshed"))
+    }
+
+    /// Runs a single concrete query: store lookup, backend execution on a
+    /// miss, recording of consistent answers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors.
+    pub fn run(&mut self, query: &Query) -> Result<QueryOutcome, BackendError> {
+        self.run_many(std::slice::from_ref(query))
+            .map(|mut outcomes| outcomes.pop().expect("one query yields one outcome"))
+    }
+
+    /// Runs a batch of concrete queries: everything the store knows is served
+    /// from memory, the rest goes to the backend in **one**
+    /// [`QueryBackend::execute_many`] call (a single round trip for remote
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors; no partial results are returned.
+    pub fn run_many(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, BackendError> {
+        let memoize = self.memoize;
+        let space = if memoize {
+            Some(self.refresh_space()?.1.clone())
+        } else {
+            None
+        };
+        self.stats.queries += queries.len() as u64;
+
+        let mut results: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (index, query) in queries.iter().enumerate() {
+            let cached = space.as_ref().and_then(|s| s.lookup(query));
+            match cached {
+                Some(outcomes) => {
+                    self.stats.store_hits += 1;
+                    results.push(Some(QueryOutcome {
+                        rendered: render_query(query),
+                        outcomes,
+                        consistent: true,
+                        from_cache: true,
+                    }));
+                }
+                None => {
+                    results.push(None);
+                    missing.push(index);
+                }
+            }
+        }
+
+        if !missing.is_empty() {
+            let to_run: Vec<Query> = missing.iter().map(|&i| queries[i].clone()).collect();
+            let executed = self.backend.execute_many(&to_run)?;
+            self.stats.backend_queries += executed.len() as u64;
+            for (&index, (outcomes, consistent)) in missing.iter().zip(executed) {
+                if let Some(space) = &space {
+                    space.record(&queries[index], &outcomes, consistent);
+                }
+                results[index] = Some(QueryOutcome {
+                    rendered: render_query(&queries[index]),
+                    outcomes,
+                    consistent,
+                    from_cache: false,
+                });
+            }
+        }
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every query is answered"))
+            .collect())
+    }
+
+    /// Expands an MBL expression for the backend's associativity and runs
+    /// every resulting concrete query (as one batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/expansion errors and backend errors.
+    pub fn query_mbl(&mut self, mbl: &str) -> Result<Vec<QueryOutcome>, BackendError> {
+        let assoc = self.backend.associativity()?;
+        let queries = expand_query(mbl, assoc)?;
+        self.run_many(&queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache::LevelId;
+
+    /// A deterministic toy backend: every access to an even block hits, odd
+    /// blocks miss; execution count is observable.
+    #[derive(Debug, Clone)]
+    struct ParityBackend {
+        executed: u64,
+        consistent: bool,
+    }
+
+    impl ParityBackend {
+        fn new() -> Self {
+            ParityBackend {
+                executed: 0,
+                consistent: true,
+            }
+        }
+    }
+
+    impl QueryBackend for ParityBackend {
+        fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+            self.executed += 1;
+            let outcomes = query
+                .iter()
+                .filter(|op| op.tag == Some(mbl::Tag::Profile))
+                .map(|op| {
+                    if op.block.0 % 2 == 0 {
+                        HitMiss::Hit
+                    } else {
+                        HitMiss::Miss
+                    }
+                })
+                .collect();
+            Ok((outcomes, self.consistent))
+        }
+
+        fn config(&self) -> Result<QueryConfig, BackendError> {
+            Ok(QueryConfig {
+                backend: "parity".to_string(),
+                reset: "none".to_string(),
+                reps: 1,
+                target: Target::new(LevelId::L1, 0, 0),
+            })
+        }
+
+        fn associativity(&self) -> Result<usize, BackendError> {
+            Ok(4)
+        }
+    }
+
+    fn concrete(mbl: &str) -> Query {
+        expand_query(mbl, 4).unwrap().pop().unwrap()
+    }
+
+    #[test]
+    fn second_run_is_served_from_the_store() {
+        let mut engine = QueryEngine::new(ParityBackend::new());
+        let q = concrete("A? B?");
+        let first = engine.run(&q).unwrap();
+        assert!(!first.from_cache);
+        assert_eq!(first.outcomes, vec![HitMiss::Hit, HitMiss::Miss]);
+        let second = engine.run(&q).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(second.outcomes, first.outcomes);
+        assert_eq!(engine.backend().executed, 1);
+        let stats = engine.stats();
+        assert_eq!(
+            (stats.queries, stats.store_hits, stats.backend_queries),
+            (2, 1, 1)
+        );
+    }
+
+    #[test]
+    fn engines_sharing_a_store_share_answers() {
+        let store = Arc::new(QueryStore::new());
+        let mut a = QueryEngine::with_store(ParityBackend::new(), Arc::clone(&store));
+        let mut b = QueryEngine::with_store(ParityBackend::new(), Arc::clone(&store));
+        let q = concrete("A?");
+        assert!(!a.run(&q).unwrap().from_cache);
+        assert!(b.run(&q).unwrap().from_cache);
+        assert_eq!(b.backend().executed, 0);
+    }
+
+    #[test]
+    fn clones_share_the_store_but_not_the_counters() {
+        let mut original = QueryEngine::new(ParityBackend::new());
+        original.run(&concrete("A?")).unwrap();
+        let mut clone = original.clone();
+        assert_eq!(clone.stats(), EngineStats::default());
+        assert!(clone.run(&concrete("A?")).unwrap().from_cache);
+    }
+
+    #[test]
+    fn inconsistent_answers_are_not_memoized() {
+        let mut engine = QueryEngine::new(ParityBackend::new());
+        engine.backend_mut().consistent = false;
+        let q = concrete("A?");
+        assert!(!engine.run(&q).unwrap().consistent);
+        // The degraded answer was not stored: the next run re-executes.
+        assert!(!engine.run(&q).unwrap().from_cache);
+        assert_eq!(engine.backend().executed, 2);
+    }
+
+    #[test]
+    fn disabling_memoization_bypasses_the_store() {
+        let mut engine = QueryEngine::new(ParityBackend::new());
+        engine.set_memoize(false);
+        assert!(!engine.memoize());
+        let q = concrete("A?");
+        engine.run(&q).unwrap();
+        assert!(!engine.run(&q).unwrap().from_cache);
+        assert_eq!(engine.backend().executed, 2);
+        assert_eq!(engine.store().entries(), 0);
+    }
+
+    #[test]
+    fn mbl_expansion_goes_through_one_batch() {
+        let mut engine = QueryEngine::new(ParityBackend::new());
+        let results = engine.query_mbl("@ X _?").unwrap();
+        assert_eq!(results.len(), 4);
+        // One batch call per expansion set is the contract run_many provides;
+        // the toy backend still counts one execution per query.
+        assert_eq!(engine.backend().executed, 4);
+        // Prefix sharing: "@ X" is a shared prefix of all four expansions.
+        assert!(engine.store().entries() > 0);
+    }
+
+    #[test]
+    fn reconfiguring_the_backend_renames_the_namespace() {
+        #[derive(Debug, Clone)]
+        struct Switchable(ParityBackend, usize);
+        impl QueryBackend for Switchable {
+            fn execute(&mut self, q: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+                self.0.execute(q)
+            }
+            fn config(&self) -> Result<QueryConfig, BackendError> {
+                let mut config = self.0.config()?;
+                config.target.set = self.1;
+                Ok(config)
+            }
+            fn associativity(&self) -> Result<usize, BackendError> {
+                self.0.associativity()
+            }
+        }
+        let mut engine = QueryEngine::new(Switchable(ParityBackend::new(), 0));
+        let q = concrete("A?");
+        engine.run(&q).unwrap();
+        engine.backend_mut().1 = 1;
+        assert!(!engine.run(&q).unwrap().from_cache, "new namespace, no hit");
+        assert_eq!(engine.store().namespaces(), 2);
+    }
+}

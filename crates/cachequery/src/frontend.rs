@@ -1,34 +1,28 @@
-//! The CacheQuery frontend: MBL expansion, batching, and the query-response
-//! cache.
+//! The CacheQuery frontend: a thin MBL shell over the unified
+//! [`QueryEngine`] — expansion, batching and statistics.
+//!
+//! Since the engine refactor this type holds **no cache of its own**: the
+//! single memoization layer is the engine's [`QueryStore`], which can be
+//! private to one tool instance ([`CacheQuery::new`]) or shared with other
+//! engines — other tools, the `cqd` daemon's worker pool, learning jobs —
+//! through [`CacheQuery::with_store`].
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use cache::{HitMiss, LevelId};
 use hardware::SimulatedCpu;
-use mbl::{expand_query, render_query, Query};
+use mbl::Query;
 
 use crate::backend::{Backend, BackendError, Target};
+use crate::engine::{QueryEngine, QueryOutcome};
 use crate::reset::ResetSequence;
-
-/// Result of running one concrete query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryOutcome {
-    /// The query that was executed (after MBL expansion).
-    pub rendered: String,
-    /// Hit/miss classification of each profiled access, in order.
-    pub outcomes: Vec<HitMiss>,
-    /// Whether all repetitions of the query agreed on every profiled access.
-    pub consistent: bool,
-    /// Whether the result was served from the response cache.
-    pub from_cache: bool,
-}
+use crate::store::QueryStore;
 
 /// Counters describing the work done by a [`CacheQuery`] instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryStats {
-    /// Queries answered (including cached ones).
+    /// Queries answered (including store-served ones).
     pub queries: u64,
-    /// Queries answered from the response cache.
+    /// Queries answered from the query store.
     pub cache_hits: u64,
     /// Memory loads issued by the backend on behalf of queries.
     pub backend_loads: u64,
@@ -36,47 +30,65 @@ pub struct QueryStats {
     pub backend_queries: u64,
 }
 
-/// Key of one cached response: the target (level, set, cpu-visible slice)
-/// plus the rendered concrete query.
-type ResponseKey = (LevelId, usize, usize, String);
-
-/// Cached value: the profiled outcomes and whether the run was degraded.
-type CachedResponse = (Vec<HitMiss>, bool);
-
-/// The user-facing CacheQuery tool: target selection, MBL queries, response
-/// caching and statistics.
+/// The user-facing CacheQuery tool: target selection, MBL queries, and
+/// statistics, all routed through one [`QueryEngine`] over the simulated
+/// hardware [`Backend`].
 ///
 /// See the [crate-level documentation](crate) for an example.
 ///
-/// `Clone` duplicates the tool together with its simulated machine and
-/// response cache; clones answer identically but do not share state.
+/// `Clone` duplicates the simulated machine but **shares the query store**:
+/// clones answer identically and benefit from each other's memoized answers
+/// (they are the per-worker instances of a parallel learning run).
 #[derive(Debug, Clone)]
 pub struct CacheQuery {
-    backend: Backend,
-    cache: HashMap<ResponseKey, CachedResponse>,
-    caching_enabled: bool,
-    stats: QueryStats,
+    engine: QueryEngine<Backend>,
 }
 
 impl CacheQuery {
-    /// Creates the tool on top of a simulated CPU.
+    /// Creates the tool on top of a simulated CPU, with a private store.
     pub fn new(cpu: SimulatedCpu) -> Self {
         CacheQuery {
-            backend: Backend::new(cpu),
-            cache: HashMap::new(),
-            caching_enabled: true,
-            stats: QueryStats::default(),
+            engine: QueryEngine::new(Backend::new(cpu)),
         }
+    }
+
+    /// Creates the tool over a shared [`QueryStore`]: every engine holding a
+    /// clone of the same `Arc` serves (and fills) the same memoized answers.
+    pub fn with_store(cpu: SimulatedCpu, store: Arc<QueryStore>) -> Self {
+        CacheQuery {
+            engine: QueryEngine::with_store(Backend::new(cpu), store),
+        }
+    }
+
+    /// Wraps an existing engine (the inverse of [`CacheQuery::into_engine`]).
+    pub fn from_engine(engine: QueryEngine<Backend>) -> Self {
+        CacheQuery { engine }
+    }
+
+    /// Read-only access to the underlying engine.
+    pub fn engine(&self) -> &QueryEngine<Backend> {
+        &self.engine
+    }
+
+    /// Consumes the tool and returns the underlying engine (e.g. to hand it
+    /// to `polca::CacheQueryOracle`).
+    pub fn into_engine(self) -> QueryEngine<Backend> {
+        self.engine
+    }
+
+    /// The query store behind this tool.
+    pub fn store(&self) -> &Arc<QueryStore> {
+        self.engine.store()
     }
 
     /// Read-only access to the backend.
     pub fn backend(&self) -> &Backend {
-        &self.backend
+        self.engine.backend()
     }
 
     /// Mutable access to the backend (for advanced configuration).
     pub fn backend_mut(&mut self) -> &mut Backend {
-        &mut self.backend
+        self.engine.backend_mut()
     }
 
     /// Selects the target cache set.
@@ -85,12 +97,12 @@ impl CacheQuery {
     ///
     /// Propagates backend validation and address-selection errors.
     pub fn set_target(&mut self, target: Target) -> Result<(), BackendError> {
-        self.backend.select_target(target)
+        self.engine.backend_mut().select_target(target)
     }
 
     /// The currently selected target.
     pub fn target(&self) -> Option<Target> {
-        self.backend.target()
+        self.engine.backend().target()
     }
 
     /// Associativity of the target level (after CAT).
@@ -99,91 +111,64 @@ impl CacheQuery {
     ///
     /// Returns [`BackendError::NoTarget`] if no target is selected.
     pub fn associativity(&self) -> Result<usize, BackendError> {
-        self.backend.associativity()
+        self.engine.backend().associativity()
     }
 
     /// Sets the reset sequence used before every query.
     pub fn set_reset_sequence(&mut self, reset: ResetSequence) {
-        self.backend.set_reset_sequence(reset);
+        self.engine.backend_mut().set_reset_sequence(reset);
     }
 
     /// Sets the number of repetitions per query.
     pub fn set_repetitions(&mut self, repetitions: usize) {
-        self.backend.set_repetitions(repetitions);
+        self.engine.backend_mut().set_repetitions(repetitions);
     }
 
-    /// Applies Intel CAT to the last-level cache.
+    /// Applies Intel CAT to the last-level cache.  No cache invalidation is
+    /// needed: the CAT restriction is part of the memoization namespace, so
+    /// the engine switches namespaces automatically.
     ///
     /// # Errors
     ///
     /// Propagates [`BackendError::Cat`] and re-selection failures.
     pub fn apply_cat(&mut self, ways: usize) -> Result<(), BackendError> {
-        self.cache.clear();
-        self.backend.apply_cat(ways)
+        self.engine.backend_mut().apply_cat(ways)
     }
 
-    /// Enables or disables the query-response cache (the LevelDB replacement
-    /// of §4.2).  Disabling it also clears it.
+    /// Enables or disables memoization through the query store (the LevelDB
+    /// role of §4.2).  A disabled tool neither consults nor fills the store.
     pub fn enable_cache(&mut self, enabled: bool) {
-        self.caching_enabled = enabled;
-        if !enabled {
-            self.cache.clear();
-        }
+        self.engine.set_memoize(enabled);
     }
 
     /// Work counters.
     pub fn stats(&self) -> QueryStats {
-        let mut stats = self.stats;
-        stats.backend_loads = self.backend.query_loads();
-        stats.backend_queries = self.backend.queries_run();
-        stats
+        let engine = self.engine.stats();
+        QueryStats {
+            queries: engine.queries,
+            cache_hits: engine.store_hits,
+            backend_loads: self.engine.backend().query_loads(),
+            backend_queries: self.engine.backend().queries_run(),
+        }
     }
 
-    /// Expands an MBL expression for the target's associativity and runs every
-    /// resulting query.
+    /// Expands an MBL expression for the target's associativity and runs
+    /// every resulting query (as one engine batch).
     ///
     /// # Errors
     ///
     /// Returns parse/expansion errors and backend errors.
     pub fn query(&mut self, mbl: &str) -> Result<Vec<QueryOutcome>, BackendError> {
-        let assoc = self.associativity()?;
-        let queries = expand_query(mbl, assoc)?;
-        queries.iter().map(|q| self.run_query(q)).collect()
+        self.engine.query_mbl(mbl)
     }
 
-    /// Runs a single already-expanded query, consulting the response cache.
+    /// Runs a single already-expanded query through the engine.
     ///
     /// # Errors
     ///
     /// Propagates backend errors.
     pub fn run_query(&mut self, query: &Query) -> Result<QueryOutcome, BackendError> {
-        let target = self.backend.target().ok_or(BackendError::NoTarget)?;
-        let rendered = render_query(query);
-        let key = (target.level, target.set, target.slice, rendered.clone());
-        self.stats.queries += 1;
-
-        if self.caching_enabled {
-            if let Some((outcomes, consistent)) = self.cache.get(&key) {
-                self.stats.cache_hits += 1;
-                return Ok(QueryOutcome {
-                    rendered,
-                    outcomes: outcomes.clone(),
-                    consistent: *consistent,
-                    from_cache: true,
-                });
-            }
-        }
-
-        let (outcomes, consistent) = self.backend.run(query)?;
-        if self.caching_enabled {
-            self.cache.insert(key, (outcomes.clone(), consistent));
-        }
-        Ok(QueryOutcome {
-            rendered,
-            outcomes,
-            consistent,
-            from_cache: false,
-        })
+        self.engine.run(query)
     }
 
     /// Runs a batch of MBL expressions (the batch mode of §4.2) and returns
@@ -199,67 +184,29 @@ impl CacheQuery {
         expressions.iter().map(|e| self.query(e)).collect()
     }
 
-    /// Serializes the response cache to a plain-text format (one line per
-    /// entry).
+    /// Serializes the query store to a plain-text format (one line per
+    /// maximal recorded query); see [`QueryStore::export`].
     pub fn export_cache(&self) -> String {
-        let mut lines: Vec<String> = self
-            .cache
-            .iter()
-            .map(|((level, set, slice, query), (outcomes, consistent))| {
-                let pattern: String = outcomes
-                    .iter()
-                    .map(|o| if *o == HitMiss::Hit { 'H' } else { 'M' })
-                    .collect();
-                format!("{level}|{set}|{slice}|{consistent}|{pattern}|{query}")
-            })
-            .collect();
-        lines.sort();
-        lines.join("\n")
+        self.engine.store().export()
     }
 
-    /// Restores a response cache exported by [`CacheQuery::export_cache`].
+    /// Restores store entries exported by [`CacheQuery::export_cache`].
     /// Malformed lines are ignored.
     pub fn import_cache(&mut self, text: &str) {
-        for line in text.lines() {
-            let parts: Vec<&str> = line.splitn(6, '|').collect();
-            if parts.len() != 6 {
-                continue;
-            }
-            let Some(level) = LevelId::parse(parts[0]) else {
-                continue;
-            };
-            let (Ok(set), Ok(slice)) = (parts[1].parse(), parts[2].parse()) else {
-                continue;
-            };
-            let Ok(consistent) = parts[3].parse::<bool>() else {
-                continue;
-            };
-            let outcomes: Vec<HitMiss> = parts[4]
-                .chars()
-                .map(|c| {
-                    if c == 'H' {
-                        HitMiss::Hit
-                    } else {
-                        HitMiss::Miss
-                    }
-                })
-                .collect();
-            self.cache.insert(
-                (level, set, slice, parts[5].to_string()),
-                (outcomes, consistent),
-            );
-        }
+        self.engine.store().import(text);
     }
 
-    /// Number of cached query responses.
+    /// Number of cached access prefixes (trie nodes) across all of the
+    /// store's namespaces.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.engine.store().entries() as usize
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cache::{HitMiss, LevelId};
     use hardware::CpuModel;
 
     fn tool() -> CacheQuery {
@@ -292,7 +239,7 @@ mod tests {
     }
 
     #[test]
-    fn responses_are_cached() {
+    fn responses_are_memoized_by_the_engine() {
         let mut cq = tool();
         let first = cq.query("@ X A?").unwrap();
         assert!(!first[0].from_cache);
@@ -302,31 +249,33 @@ mod tests {
         let stats = cq.stats();
         assert_eq!(stats.queries, 2);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.backend_queries, 1);
     }
 
     #[test]
-    fn cache_keys_include_the_target() {
+    fn store_namespaces_include_the_target() {
         let mut cq = tool();
         cq.query("@ X A?").unwrap();
-        assert_eq!(cq.cache_len(), 1);
+        assert_eq!(cq.store().namespaces(), 1);
         cq.set_target(Target::new(LevelId::L1, 5, 0)).unwrap();
         let second = cq.query("@ X A?").unwrap();
-        assert!(!second[0].from_cache);
-        assert_eq!(cq.cache_len(), 2);
+        assert!(!second[0].from_cache, "a new target is a new namespace");
+        assert_eq!(cq.store().namespaces(), 2);
     }
 
     #[test]
-    fn cache_can_be_disabled() {
+    fn memoization_can_be_disabled() {
         let mut cq = tool();
         cq.enable_cache(false);
         cq.query("A?").unwrap();
         cq.query("A?").unwrap();
         assert_eq!(cq.stats().cache_hits, 0);
         assert_eq!(cq.cache_len(), 0);
+        assert_eq!(cq.stats().backend_queries, 2);
     }
 
     #[test]
-    fn cache_export_import_round_trips() {
+    fn store_export_import_round_trips() {
         let mut cq = tool();
         cq.query("@ X A?").unwrap();
         cq.query("@ X B?").unwrap();
@@ -336,9 +285,28 @@ mod tests {
         let mut fresh = CacheQuery::new(cpu);
         fresh.set_target(Target::new(LevelId::L1, 4, 0)).unwrap();
         fresh.import_cache(&exported);
-        assert_eq!(fresh.cache_len(), 2);
+        assert_eq!(fresh.cache_len(), cq.cache_len());
         let res = fresh.query("@ X A?").unwrap();
         assert!(res[0].from_cache);
+    }
+
+    #[test]
+    fn tools_can_share_one_store() {
+        let store = Arc::new(QueryStore::new());
+        let mut a = CacheQuery::with_store(
+            SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5),
+            Arc::clone(&store),
+        );
+        let mut b = CacheQuery::with_store(
+            SimulatedCpu::new(CpuModel::SkylakeI5_6500, 5),
+            Arc::clone(&store),
+        );
+        a.set_target(Target::new(LevelId::L1, 4, 0)).unwrap();
+        b.set_target(Target::new(LevelId::L1, 4, 0)).unwrap();
+        assert!(!a.query("@ X A?").unwrap()[0].from_cache);
+        // Same model, seed and target: b is served from a's answer.
+        assert!(b.query("@ X A?").unwrap()[0].from_cache);
+        assert_eq!(b.stats().backend_queries, 0);
     }
 
     #[test]

@@ -8,18 +8,21 @@
 //! hashing, congruent-address selection, interference from other cache
 //! levels, or measurement noise.
 //!
-//! The split mirrors the original tool:
+//! The split mirrors the original tool — with one query path for everything:
 //!
 //! * [`Backend`] plays the role of the Linux kernel module: it owns the
 //!   (simulated) machine, quiesces it, allocates memory pools, selects
 //!   congruent addresses for the target set, generates the access plan
 //!   (including the higher-level eviction loads used for *cache filtering*),
 //!   executes it, measures latencies and classifies them against calibrated
-//!   thresholds.
-//! * [`CacheQuery`] is the frontend: it expands MBL expressions, batches
-//!   queries, caches responses (the LevelDB role in the original), and offers
-//!   the interactive/batch entry points used by the learning pipeline and the
-//!   examples.
+//!   thresholds.  It is one implementation of the [`QueryBackend`] trait —
+//!   the abstraction every "scarce oracle" of this repo implements.
+//! * [`QueryEngine`] is the single memoization layer (the LevelDB role of
+//!   §4.2): a namespaced prefix-trie [`QueryStore`] in front of any
+//!   [`QueryBackend`].  Engines that should share answers — concurrent `cqd`
+//!   sessions, learning jobs, per-worker oracle clones — share one store.
+//! * [`CacheQuery`] is the frontend: a thin MBL shell (expansion, batching,
+//!   the interactive/batch entry points) over one engine.
 //! * [`leader`](detect_leader_sets) implements the thrashing-based leader-set
 //!   detection of Appendix B.
 //!
@@ -40,16 +43,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod backend;
+mod engine;
 mod frontend;
 mod leader;
 mod repl;
 mod reset;
+mod store;
 
 pub use backend::{Backend, BackendError, Target};
-pub use frontend::{CacheQuery, QueryOutcome, QueryStats};
+pub use engine::{EngineStats, QueryBackend, QueryConfig, QueryEngine, QueryOutcome};
+pub use frontend::{CacheQuery, QueryStats};
 pub use leader::{detect_leader_sets, LeaderClass, LeaderReport, LeaderSetInfo};
 pub use repl::{execute_command, parse_command, process_command, Command, ReplSession, HELP_TEXT};
 pub use reset::ResetSequence;
+pub use store::{QueryStore, StoreSpace};

@@ -1,0 +1,449 @@
+//! The query store: one namespaced, prefix-trie memoization layer for
+//! concrete query outcomes — the LevelDB role of §4.2.
+//!
+//! The original frontend memoizes every query response in LevelDB so that
+//! repeated queries — from the same client or a different one — never touch
+//! the scarce hardware backend again.  This reproduction goes one step
+//! further: instead of a flat key-value map it reuses
+//! [`learning::QueryCache`], the thread-safe arena-backed prefix trie built
+//! for membership queries.  Because a query's profiled outcomes are
+//! *prefix-consistent* — the hit/miss classification of access `i` depends
+//! only on the reset state and the accesses before it, never on what comes
+//! after — recording one concrete query also answers every prefix of it, and
+//! overlapping expansions from different clients share trie nodes instead of
+//! duplicating whole key strings.
+//!
+//! The store is namespaced by the rendered [`QueryConfig`](crate::QueryConfig)
+//! of the backend that produced an answer: the full backend identity (CPU
+//! model, seed, CAT restriction — or a simulated-policy description), the
+//! reset sequence, the repetition count and the target cache set.  Two
+//! consumers share answers exactly when a backend would have executed their
+//! queries identically.
+//!
+//! Only *consistent* answers (all repetitions agreed) are shared; a degraded
+//! majority vote is returned to its requester but never memoized, so noise
+//! cannot be frozen into the store.  A recording that contradicts an earlier
+//! one (the nondeterminism signal of §7.1) is dropped and counted in
+//! [`QueryStore::conflicts`].
+//!
+//! One [`QueryStore`] instance sits behind every [`QueryEngine`]
+//! (crate::QueryEngine); engines that should share answers (the `cqd`
+//! daemon's sessions, workers and learn jobs; the per-worker oracle clones of
+//! a parallel learning run) share one store through an [`Arc`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cache::HitMiss;
+use learning::QueryCache;
+use mbl::{expand_query, render_query, MemOp, Query, Tag};
+
+/// One namespace's trie: symbols are whole memory operations (block + tag),
+/// outputs are the classification of the access (`None` for unprofiled and
+/// invalidating operations).
+type Space = QueryCache<MemOp, Option<HitMiss>>;
+
+/// A handle to one namespace of a [`QueryStore`]: the cheap, lock-free way to
+/// issue many lookups/recordings against the same backend configuration.
+///
+/// Handles are obtained from [`QueryStore::space`] and can be cloned and sent
+/// across threads freely; all clones address the same trie.
+#[derive(Debug, Clone)]
+pub struct StoreSpace {
+    trie: Arc<Space>,
+    conflicts: Arc<AtomicU64>,
+}
+
+impl StoreSpace {
+    /// Returns the memoized profiled outcomes of `query` if the whole access
+    /// sequence is cached.
+    ///
+    /// Served answers are always consistent (inconsistent runs are never
+    /// recorded).
+    pub fn lookup(&self, query: &Query) -> Option<Vec<HitMiss>> {
+        let outputs = self.trie.lookup(query)?;
+        Some(outputs.into_iter().flatten().collect())
+    }
+
+    /// Records the profiled `outcomes` of `query`.
+    ///
+    /// `consistent == false` runs are skipped (returning `false`): a degraded
+    /// majority vote must not be served to other consumers as a clean answer.
+    /// A recording that contradicts an existing entry is dropped and counted
+    /// as a conflict.  Returns whether the answer was stored.
+    pub fn record(&self, query: &Query, outcomes: &[HitMiss], consistent: bool) -> bool {
+        if !consistent {
+            return false;
+        }
+        let profiled_ops = query
+            .iter()
+            .filter(|op| op.tag == Some(Tag::Profile))
+            .count();
+        if profiled_ops != outcomes.len() {
+            // The outcome vector does not line up with the query's profiled
+            // accesses; refusing to store is safer than storing garbage.
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut profiled = outcomes.iter();
+        let outputs: Vec<Option<HitMiss>> = query
+            .iter()
+            .map(|op| {
+                if op.tag == Some(Tag::Profile) {
+                    profiled.next().copied()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        match self.trie.record(query, &outputs) {
+            Ok(()) => true,
+            Err(_) => {
+                self.conflicts.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Lookups served from memory in this namespace.
+    pub fn hits(&self) -> u64 {
+        self.trie.hits()
+    }
+
+    /// Lookups that missed in this namespace.
+    pub fn misses(&self) -> u64 {
+        self.trie.misses()
+    }
+
+    /// Distinct cached access prefixes (trie nodes) in this namespace.
+    pub fn entries(&self) -> u64 {
+        self.trie.entries()
+    }
+
+    /// Fraction of this namespace's lookups served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// A concurrent, namespaced memoization store for concrete query outcomes:
+/// the single caching layer every query path of this reproduction goes
+/// through.
+///
+/// # Example
+///
+/// ```
+/// use cache::HitMiss;
+/// use cachequery::QueryStore;
+/// use mbl::expand_query;
+///
+/// let store = QueryStore::new();
+/// let space = store.space("skylake seed=7 cat=- reset=F+R reps=3 L1 set=0 slice=0");
+/// let query = &expand_query("A B A?", 8).unwrap()[0];
+/// assert_eq!(space.lookup(query), None);
+/// space.record(query, &[HitMiss::Hit], true);
+/// // The query itself — and any prefix of it — now hits.
+/// assert_eq!(space.lookup(query), Some(vec![HitMiss::Hit]));
+/// let prefix = &expand_query("A B", 8).unwrap()[0];
+/// assert_eq!(space.lookup(prefix), Some(vec![]));
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryStore {
+    spaces: RwLock<HashMap<String, Arc<Space>>>,
+    conflicts: Arc<AtomicU64>,
+}
+
+impl QueryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        QueryStore::default()
+    }
+
+    /// The namespace handle for `namespace`, created empty on first use.
+    pub fn space(&self, namespace: &str) -> StoreSpace {
+        if let Some(space) = self
+            .spaces
+            .read()
+            .expect("store lock poisoned")
+            .get(namespace)
+        {
+            return StoreSpace {
+                trie: Arc::clone(space),
+                conflicts: Arc::clone(&self.conflicts),
+            };
+        }
+        let mut spaces = self.spaces.write().expect("store lock poisoned");
+        let trie = Arc::clone(
+            spaces
+                .entry(namespace.to_string())
+                .or_insert_with(|| Arc::new(QueryCache::new())),
+        );
+        StoreSpace {
+            trie,
+            conflicts: Arc::clone(&self.conflicts),
+        }
+    }
+
+    /// Returns the memoized profiled outcomes of `query` under `namespace`,
+    /// if the whole access sequence is cached.
+    pub fn lookup(&self, namespace: &str, query: &Query) -> Option<Vec<HitMiss>> {
+        self.space(namespace).lookup(query)
+    }
+
+    /// Records the profiled `outcomes` of `query` under `namespace` (see
+    /// [`StoreSpace::record`]).  Returns whether the answer was stored.
+    pub fn record(
+        &self,
+        namespace: &str,
+        query: &Query,
+        outcomes: &[HitMiss],
+        consistent: bool,
+    ) -> bool {
+        self.space(namespace).record(query, outcomes, consistent)
+    }
+
+    /// Lookups served from memory, across all namespaces.
+    pub fn hits(&self) -> u64 {
+        self.fold(|s| s.hits())
+    }
+
+    /// Lookups that missed, across all namespaces.
+    pub fn misses(&self) -> u64 {
+        self.fold(|s| s.misses())
+    }
+
+    /// Distinct cached access prefixes (trie nodes), across all namespaces.
+    pub fn entries(&self) -> u64 {
+        self.fold(|s| s.entries())
+    }
+
+    /// Recordings dropped because they contradicted the store or were
+    /// malformed.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct backend configurations seen.
+    pub fn namespaces(&self) -> usize {
+        self.spaces.read().expect("store lock poisoned").len()
+    }
+
+    /// Every namespace with its entry (trie node) count, sorted by name —
+    /// the per-namespace breakdown the `cqd` `stats` command reports.
+    pub fn namespace_entries(&self) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> = self
+            .spaces
+            .read()
+            .expect("store lock poisoned")
+            .iter()
+            .map(|(name, space)| (name.clone(), space.entries()))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Fraction of lookups served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = (self.hits(), self.misses());
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Serializes the store to a plain-text format: one tab-separated line
+    /// per maximal recorded query (`namespace \t pattern \t query`).  Because
+    /// the trie is prefix-closed, exporting the maximal paths loses nothing.
+    pub fn export(&self) -> String {
+        let spaces = self.spaces.read().expect("store lock poisoned");
+        let mut lines: Vec<String> = Vec::new();
+        for (namespace, space) in spaces.iter() {
+            for (query, outputs) in space.maximal_entries() {
+                let pattern: String = outputs
+                    .iter()
+                    .flatten()
+                    .map(|o| if *o == HitMiss::Hit { 'H' } else { 'M' })
+                    .collect();
+                lines.push(format!("{namespace}\t{pattern}\t{}", render_query(&query)));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+
+    /// Restores entries exported by [`QueryStore::export`].  Malformed lines
+    /// and entries contradicting the current contents are ignored (the
+    /// latter are counted as conflicts).
+    pub fn import(&self, text: &str) {
+        for line in text.lines() {
+            let mut parts = line.splitn(3, '\t');
+            let (Some(namespace), Some(pattern), Some(rendered)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            // A rendered concrete query contains no macros, so it expands to
+            // itself at any associativity.
+            let Ok(mut queries) = expand_query(rendered, 1) else {
+                continue;
+            };
+            if queries.len() != 1 {
+                continue;
+            }
+            let query = queries.pop().expect("length checked");
+            let outcomes: Vec<HitMiss> = pattern
+                .chars()
+                .map(|c| {
+                    if c == 'H' {
+                        HitMiss::Hit
+                    } else {
+                        HitMiss::Miss
+                    }
+                })
+                .collect();
+            self.space(namespace).record(&query, &outcomes, true);
+        }
+    }
+
+    fn fold(&self, per_space: impl Fn(&Space) -> u64) -> u64 {
+        self.spaces
+            .read()
+            .expect("store lock poisoned")
+            .values()
+            .map(|s| per_space(s))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concrete(mbl: &str) -> Query {
+        let mut queries = expand_query(mbl, 8).unwrap();
+        assert_eq!(queries.len(), 1);
+        queries.pop().unwrap()
+    }
+
+    const NS: &str = "skylake seed=7 cat=- reset=F+R reps=3 L1 set=0 slice=0";
+    const NS2: &str = "skylake seed=7 cat=- reset=F+R reps=3 L1 set=1 slice=0";
+
+    #[test]
+    fn lookups_miss_until_recorded_and_namespaces_are_isolated() {
+        let store = QueryStore::new();
+        let q = concrete("A B A?");
+        assert_eq!(store.lookup(NS, &q), None);
+        assert!(store.record(NS, &q, &[HitMiss::Hit], true));
+        assert_eq!(store.lookup(NS, &q), Some(vec![HitMiss::Hit]));
+        // A different target set is a different namespace.
+        assert_eq!(store.lookup(NS2, &q), None);
+        assert_eq!(store.namespaces(), 2);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 2);
+        assert!(store.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn prefixes_of_recorded_queries_hit() {
+        let store = QueryStore::new();
+        store.record(NS, &concrete("A? B? C?"), &[HitMiss::Miss; 3], true);
+        assert_eq!(
+            store.lookup(NS, &concrete("A? B?")),
+            Some(vec![HitMiss::Miss, HitMiss::Miss])
+        );
+        // Same blocks, different tags: a different access sequence.
+        assert_eq!(store.lookup(NS, &concrete("A B")), None);
+    }
+
+    #[test]
+    fn inconsistent_answers_are_not_shared() {
+        let store = QueryStore::new();
+        let q = concrete("A?");
+        assert!(!store.record(NS, &q, &[HitMiss::Hit], false));
+        assert_eq!(store.lookup(NS, &q), None);
+    }
+
+    #[test]
+    fn contradictions_count_as_conflicts() {
+        let store = QueryStore::new();
+        let q = concrete("A?");
+        assert!(store.record(NS, &q, &[HitMiss::Hit], true));
+        assert!(!store.record(NS, &q, &[HitMiss::Miss], true));
+        assert_eq!(store.conflicts(), 1);
+        // The original answer survives.
+        assert_eq!(store.lookup(NS, &q), Some(vec![HitMiss::Hit]));
+    }
+
+    #[test]
+    fn malformed_outcome_vectors_are_rejected() {
+        let store = QueryStore::new();
+        let q = concrete("A? B?");
+        assert!(!store.record(NS, &q, &[HitMiss::Hit], true));
+        assert_eq!(store.conflicts(), 1);
+    }
+
+    #[test]
+    fn namespace_entries_report_per_space_sizes() {
+        let store = QueryStore::new();
+        store.record(NS, &concrete("A B A?"), &[HitMiss::Hit], true);
+        store.record(NS2, &concrete("A?"), &[HitMiss::Miss], true);
+        assert_eq!(
+            store.namespace_entries(),
+            vec![(NS.to_string(), 3), (NS2.to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn export_import_round_trips_across_stores() {
+        let store = QueryStore::new();
+        store.record(NS, &concrete("A B A?"), &[HitMiss::Hit], true);
+        store.record(NS, &concrete("A B C?"), &[HitMiss::Miss], true);
+        store.record(NS2, &concrete("X! A?"), &[HitMiss::Miss], true);
+        let exported = store.export();
+
+        let fresh = QueryStore::new();
+        fresh.import(&exported);
+        assert_eq!(
+            fresh.lookup(NS, &concrete("A B A?")),
+            Some(vec![HitMiss::Hit])
+        );
+        assert_eq!(
+            fresh.lookup(NS, &concrete("A B C?")),
+            Some(vec![HitMiss::Miss])
+        );
+        assert_eq!(
+            fresh.lookup(NS2, &concrete("X! A?")),
+            Some(vec![HitMiss::Miss])
+        );
+        assert_eq!(fresh.entries(), store.entries());
+        // Garbage lines are skipped silently.
+        fresh.import("not a store line\nns\tH");
+        assert_eq!(fresh.entries(), store.entries());
+    }
+
+    #[test]
+    fn concurrent_consumers_share_one_store() {
+        let store = Arc::new(QueryStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let q = concrete(&format!("{} A?", mbl::block_name(mbl::BlockId(t + 1))));
+                    store.record(NS, &q, &[HitMiss::Miss], true);
+                });
+            }
+        });
+        assert_eq!(
+            store.entries(),
+            8,
+            "4 distinct 2-op queries, no sharing of the first op"
+        );
+    }
+}

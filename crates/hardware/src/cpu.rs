@@ -125,6 +125,13 @@ impl SimulatedCpu {
         self.model
     }
 
+    /// The seed every source of simulated nondeterminism derives from.  Two
+    /// machines with the same model and seed behave identically, which is
+    /// what makes the seed part of a query's memoization namespace.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// The static specification (Table 3 geometry, Table 4 policies).
     pub fn spec(&self) -> &CpuSpec {
         &self.spec

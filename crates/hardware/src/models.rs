@@ -75,6 +75,17 @@ impl CpuModel {
         CpuModel::KabyLakeI7_8550U,
     ];
 
+    /// The short microarchitecture name (`haswell`, `skylake`, `kabylake`):
+    /// the token used by the `cqd` wire protocol and by query-store
+    /// namespace strings.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CpuModel::HaswellI7_4790 => "haswell",
+            CpuModel::SkylakeI5_6500 => "skylake",
+            CpuModel::KabyLakeI7_8550U => "kabylake",
+        }
+    }
+
     /// The full specification (geometries of Table 3, policies of Table 4).
     pub fn spec(self) -> CpuSpec {
         const LINE: u64 = 64;

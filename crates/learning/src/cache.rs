@@ -230,6 +230,45 @@ where
         self.hits() + self.misses()
     }
 
+    /// Every *maximal* recorded word (root-to-leaf path of the trie) with
+    /// its output word.  Because the trie is prefix-closed, re-recording the
+    /// maximal words reconstructs the whole cache — which is exactly what a
+    /// plain-text export/import needs.
+    pub fn maximal_entries(&self) -> Vec<(Vec<I>, Vec<O>)> {
+        fn walk<I: Clone + Eq, O: Clone + PartialEq>(
+            trie: &Trie<I, O>,
+            children: &[(I, u32)],
+            word: &mut Vec<I>,
+            outputs: &mut Vec<O>,
+            result: &mut Vec<(Vec<I>, Vec<O>)>,
+        ) {
+            if children.is_empty() {
+                if !word.is_empty() {
+                    result.push((word.clone(), outputs.clone()));
+                }
+                return;
+            }
+            for (symbol, index) in children {
+                let node = &trie.nodes[*index as usize];
+                word.push(symbol.clone());
+                outputs.push(node.output.clone());
+                walk(trie, &node.children, word, outputs, result);
+                word.pop();
+                outputs.pop();
+            }
+        }
+        let trie = self.trie.read().expect("query cache lock poisoned");
+        let mut result = Vec::new();
+        walk(
+            &trie,
+            &trie.roots,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut result,
+        );
+        result
+    }
+
     /// Number of trie nodes, i.e. distinct cached prefixes.
     pub fn entries(&self) -> u64 {
         self.trie
@@ -331,6 +370,28 @@ mod tests {
             cache.check_against(&[1, 2, 9], &[10, 20, 0]),
             CacheVerdict::Unknown
         );
+    }
+
+    #[test]
+    fn maximal_entries_cover_the_whole_trie() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        cache.record(&[1, 4], &[10, 40]).unwrap();
+        let mut entries = cache.maximal_entries();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                (vec![1, 2, 3], vec![10, 20, 30]),
+                (vec![1, 4], vec![10, 40]),
+            ]
+        );
+        // Re-recording the maximal words reconstructs an identical trie.
+        let copy: QueryCache<u8, u8> = QueryCache::new();
+        for (word, outputs) in cache.maximal_entries() {
+            copy.record(&word, &outputs).unwrap();
+        }
+        assert_eq!(copy.entries(), cache.entries());
     }
 
     #[test]

@@ -76,7 +76,7 @@ mod wmethod;
 
 pub use cache::{CacheVerdict, QueryCache};
 pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
-pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnStats};
+pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnProgress, LearnStats};
 pub use oracle::{CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, OracleError};
 pub use pool::{OracleFactory, QueryPool, SuiteOutcome, WORKERS_ENV};
 pub use wmethod::{

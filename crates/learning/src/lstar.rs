@@ -2,6 +2,8 @@
 
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use automata::Mealy;
@@ -10,8 +12,42 @@ use crate::oracle::{EquivalenceOracle, OracleError};
 use crate::pool::{OracleFactory, QueryPool};
 use crate::table::ObservationTable;
 
+/// A live, thread-shared view of a learning run: the hypothesis size and the
+/// central membership-query count, updated by [`learn_mealy`] at every
+/// hypothesis round.  Hand an `Arc<LearnProgress>` to
+/// [`LearnOptions::progress`] and poll it from another thread — the `cqd`
+/// daemon streams these counters to clients while a learn job runs.
+#[derive(Debug, Default)]
+pub struct LearnProgress {
+    states: AtomicU64,
+    membership_queries: AtomicU64,
+}
+
+impl LearnProgress {
+    /// Creates a zeroed progress tracker.
+    pub fn new() -> Self {
+        LearnProgress::default()
+    }
+
+    /// States of the current hypothesis (0 until the first table closure).
+    pub fn states(&self) -> u64 {
+        self.states.load(Ordering::Relaxed)
+    }
+
+    /// Membership queries issued so far (cache hits included).
+    pub fn membership_queries(&self) -> u64 {
+        self.membership_queries.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, states: u64, membership_queries: u64) {
+        self.states.store(states, Ordering::Relaxed);
+        self.membership_queries
+            .store(membership_queries, Ordering::Relaxed);
+    }
+}
+
 /// Options controlling the learning loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct LearnOptions {
     /// Abort if the hypothesis grows beyond this many states.
     pub max_states: usize,
@@ -26,6 +62,10 @@ pub struct LearnOptions {
     /// [`QueryCache`](crate::QueryCache) (default `true`; the ablation
     /// benchmarks turn it off).
     pub memoize: bool,
+    /// Optional live progress counters, updated once per hypothesis round
+    /// (table closure / equivalence query).  `None` (the default) costs
+    /// nothing.
+    pub progress: Option<Arc<LearnProgress>>,
 }
 
 impl Default for LearnOptions {
@@ -35,6 +75,7 @@ impl Default for LearnOptions {
             time_budget: None,
             workers: 0,
             memoize: true,
+            progress: None,
         }
     }
 }
@@ -165,6 +206,9 @@ where
         }
 
         let (hypothesis, access) = table.hypothesis();
+        if let Some(progress) = &options.progress {
+            progress.record(hypothesis.num_states() as u64, pool.queries_answered());
+        }
 
         // Ask for a counterexample.
         stats.equivalence_queries += 1;
@@ -210,6 +254,9 @@ where
         }
     };
 
+    if let Some(progress) = &options.progress {
+        progress.record(result.num_states() as u64, pool.queries_answered());
+    }
     stats.membership_queries = pool.queries_answered();
     stats.cache_hits = pool.cache_hits();
     stats.cache_misses = pool.cache_misses();

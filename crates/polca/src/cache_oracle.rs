@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cache::{Block, CacheSet, HitMiss};
-use cachequery::{CacheQuery, Target};
+use cachequery::{Backend, CacheQuery, QueryBackend, QueryEngine, Target};
 use learning::OracleError;
 use mbl::{BlockId, MemOp, Query};
 use policies::PolicyKind;
@@ -220,28 +220,47 @@ impl CacheOracle for SimulatedCacheOracle {
     }
 }
 
-/// The hardware-backed cache oracle of §7: probes are turned into CacheQuery
-/// queries whose last access is profiled.
+/// The engine-backed cache oracle of §7: probes are turned into concrete
+/// queries whose last access is profiled, and every query flows through one
+/// [`QueryEngine`] — so a learning run shares the same memoization layer (and
+/// the same [`QueryStore`](cachequery::QueryStore), when shared) as every
+/// other consumer of the query path.
 ///
-/// The CacheQuery reset sequence plays the role of establishing the fixed
+/// The backend's reset sequence plays the role of establishing the fixed
 /// initial state; the oracle additionally verifies that repeated executions
 /// agree and reports an error otherwise (the nondeterminism signal discussed
-/// in §7.1).  Sessions replay, as real hardware must (see
-/// [`ReplaySession`]).
+/// in §7.1).  Sessions replay, as real hardware must (see [`ReplaySession`])
+/// — but a replayed prefix is a prefix of an already-recorded query, so the
+/// engine's prefix trie absorbs most of the replay blowup.
 ///
-/// Clones carry an independent copy of the *simulated* CPU (which is
-/// deterministic, so clones answer identically) but share the probe
-/// counters; on real silicon there is only one cache, so hardware learning
-/// runs should pin `workers = 1`.
-#[derive(Debug, Clone)]
-pub struct CacheQueryOracle {
-    tool: CacheQuery,
+/// The oracle is generic over the [`QueryBackend`]: the simulated-hardware
+/// [`Backend`], a [`PolicySimBackend`](crate::PolicySimBackend), or a remote
+/// `cqd` session (`server::RemoteBackend`) all learn through the same code.
+///
+/// Clones carry an independent copy of the backend (which must answer
+/// identically — true for deterministic simulations; on real silicon there
+/// is only one cache, so pin `workers = 1`) but share the probe counters and
+/// the engine's store.
+#[derive(Debug)]
+pub struct CacheQueryOracle<B = Backend> {
+    engine: QueryEngine<B>,
     associativity: usize,
     probes: Arc<AtomicU64>,
     accesses: Arc<AtomicU64>,
 }
 
-impl CacheQueryOracle {
+impl<B: Clone> Clone for CacheQueryOracle<B> {
+    fn clone(&self) -> Self {
+        CacheQueryOracle {
+            engine: self.engine.clone(),
+            associativity: self.associativity,
+            probes: Arc::clone(&self.probes),
+            accesses: Arc::clone(&self.accesses),
+        }
+    }
+}
+
+impl CacheQueryOracle<Backend> {
     /// Wraps a CacheQuery instance that already has its target selected.
     ///
     /// The number of repetitions per query is raised to 5 so that stray
@@ -252,16 +271,8 @@ impl CacheQueryOracle {
     ///
     /// Returns an error if no target is selected.
     pub fn new(mut tool: CacheQuery) -> Result<Self, OracleError> {
-        let associativity = tool
-            .associativity()
-            .map_err(|e| OracleError::new(e.to_string()))?;
         tool.set_repetitions(5);
-        Ok(CacheQueryOracle {
-            tool,
-            associativity,
-            probes: Arc::new(AtomicU64::new(0)),
-            accesses: Arc::new(AtomicU64::new(0)),
-        })
+        Self::from_engine(tool.into_engine())
     }
 
     /// Selects a target and wraps the tool.
@@ -274,15 +285,36 @@ impl CacheQueryOracle {
             .map_err(|e| OracleError::new(e.to_string()))?;
         Self::new(tool)
     }
+}
 
-    /// Read access to the wrapped tool (e.g. for statistics).
-    pub fn tool(&self) -> &CacheQuery {
-        &self.tool
+impl<B: QueryBackend> CacheQueryOracle<B> {
+    /// Wraps an already-configured engine: the generic entry point for
+    /// simulated-policy and remote backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backend has no configured target.
+    pub fn from_engine(engine: QueryEngine<B>) -> Result<Self, OracleError> {
+        let associativity = engine
+            .backend()
+            .associativity()
+            .map_err(|e| OracleError::new(e.to_string()))?;
+        Ok(CacheQueryOracle {
+            engine,
+            associativity,
+            probes: Arc::new(AtomicU64::new(0)),
+            accesses: Arc::new(AtomicU64::new(0)),
+        })
     }
 
-    /// Consumes the oracle and returns the wrapped tool.
-    pub fn into_tool(self) -> CacheQuery {
-        self.tool
+    /// Read access to the wrapped engine (e.g. for store statistics).
+    pub fn engine(&self) -> &QueryEngine<B> {
+        &self.engine
+    }
+
+    /// Consumes the oracle and returns the wrapped engine.
+    pub fn into_engine(self) -> QueryEngine<B> {
+        self.engine
     }
 
     /// Builds the MBL query corresponding to a probe: access every block,
@@ -297,7 +329,7 @@ impl CacheQueryOracle {
     }
 }
 
-impl CacheOracle for CacheQueryOracle {
+impl<B: QueryBackend> CacheOracle for CacheQueryOracle<B> {
     fn associativity(&self) -> usize {
         self.associativity
     }
@@ -311,8 +343,8 @@ impl CacheOracle for CacheQueryOracle {
             .fetch_add(trace.len() as u64, Ordering::Relaxed);
         let query = Self::probe_query(trace);
         let outcome = self
-            .tool
-            .run_query(&query)
+            .engine
+            .run(&query)
             .map_err(|e| OracleError::new(e.to_string()))?;
         if !outcome.consistent {
             return Err(OracleError::new(format!(
@@ -467,7 +499,7 @@ mod tests {
 
     #[test]
     fn probe_query_profiles_only_the_last_access() {
-        let q = CacheQueryOracle::probe_query(&blocks(&[0, 1, 2]));
+        let q = CacheQueryOracle::<Backend>::probe_query(&blocks(&[0, 1, 2]));
         assert_eq!(q.len(), 3);
         assert!(q[0].tag.is_none());
         assert!(q[1].tag.is_none());

@@ -1,21 +1,29 @@
-//! Job-oriented learning: running the pipeline asynchronously with status
-//! polling.
+//! Job-oriented learning: running the pipeline asynchronously with live
+//! status polling.
 //!
-//! The synchronous entry points ([`learn_simulated_policy`] and friends)
-//! block for the whole run — fine for a CLI, useless for a server that must
-//! keep answering queries while a multi-second learning campaign is in
-//! flight.  [`LearnJob`] wraps one pipeline run in a background
-//! `std::thread`: the caller gets an immediate handle, polls
-//! [`LearnJob::status`] for cheap snapshots (the `cqd` daemon streams these
-//! to its clients), and can [`LearnJob::join`] for the final outcome.
+//! The synchronous entry points ([`learn_policy`] and friends) block for the
+//! whole run — fine for a CLI, useless for a server that must keep answering
+//! queries while a multi-second learning campaign is in flight.  [`LearnJob`]
+//! wraps one pipeline run in a background `std::thread`: the caller gets an
+//! immediate handle, polls [`LearnJob::status`] for cheap snapshots (the
+//! `cqd` daemon streams these to its clients), and can [`LearnJob::join`]
+//! for the final outcome.
+//!
+//! Running jobs report *live* progress: the hypothesis size and membership
+//! queries come from the learner's [`LearnProgress`] counters, and — for
+//! engine-backed campaigns — the hit rate of the query-store namespace the
+//! campaign fills, so an operator can watch the shared store absorb the run.
 
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use cachequery::StoreSpace;
+use learning::LearnProgress;
 use policies::PolicyKind;
 
-use crate::pipeline::{learn_simulated_policy, LearnOutcome, LearnSetup};
+use crate::cache_oracle::{CacheOracle, SimulatedCacheOracle};
+use crate::pipeline::{learn_policy, LearnOutcome, LearnSetup};
 
 /// Final result of a finished learning job, reduced to the plain facts a
 /// status protocol wants to report.
@@ -40,6 +48,13 @@ pub enum JobStatus {
     Running {
         /// Time since the job was spawned.
         elapsed: Duration,
+        /// States of the current hypothesis (0 until the first closure).
+        states: u64,
+        /// Membership queries issued so far.
+        membership_queries: u64,
+        /// Hit rate of the campaign's query-store namespace so far (0.0 for
+        /// jobs that do not run through a shared store).
+        store_hit_rate: f64,
     },
     /// The pipeline finished successfully.
     Done {
@@ -70,6 +85,8 @@ impl JobStatus {
 #[derive(Debug)]
 struct JobState {
     started: Instant,
+    progress: Arc<LearnProgress>,
+    store: Option<StoreSpace>,
     #[allow(clippy::type_complexity)]
     outcome: Mutex<Option<(Result<(LearnOutcome, JobResult), String>, Duration)>>,
 }
@@ -99,6 +116,9 @@ impl LearnJob {
         match outcome.as_ref() {
             None => JobStatus::Running {
                 elapsed: self.state.started.elapsed(),
+                states: self.state.progress.states(),
+                membership_queries: self.state.progress.membership_queries(),
+                store_hit_rate: self.state.store.as_ref().map_or(0.0, StoreSpace::hit_rate),
             },
             Some((Ok((_, result)), elapsed)) => JobStatus::Done {
                 result: result.clone(),
@@ -129,33 +149,63 @@ impl LearnJob {
             None => Err("learning thread exited without a result".to_string()),
         }
     }
+
+    /// A job that is already terminal with `error` — what spawners return
+    /// when the oracle cannot even be constructed.
+    fn failed(error: String) -> LearnJob {
+        LearnJob {
+            state: Arc::new(JobState {
+                started: Instant::now(),
+                progress: Arc::new(LearnProgress::new()),
+                store: None,
+                outcome: Mutex::new(Some((Err(error), Duration::ZERO))),
+            }),
+            handle: None,
+        }
+    }
 }
 
-/// Spawns a background job learning `kind` at `associativity` from a
-/// noiseless simulated cache (the asynchronous form of
-/// [`learn_simulated_policy`]).
+/// Spawns a background job learning the policy of an arbitrary cache oracle
+/// (the asynchronous form of [`learn_policy`]).
 ///
-/// After a successful run the learned machine is matched against the
-/// requested policy with [`identify_policy`](crate::identify_policy), so the
-/// reported [`JobResult::identified`] confirms (or refutes) that the learner
-/// reconstructed the policy it was pointed at.
-pub fn spawn_simulated_learn_job(
-    kind: PolicyKind,
-    associativity: usize,
+/// After a successful run the learned machine is matched against
+/// `candidates` with [`identify_policy`](crate::identify_policy), so the
+/// reported [`JobResult::identified`] confirms (or refutes) what was
+/// learned.  For engine-backed oracles, pass the campaign's
+/// [`StoreSpace`] as `store` so running status lines can report the
+/// namespace's live hit rate.
+pub fn spawn_learn_job<C>(
+    cache: C,
+    candidates: Vec<PolicyKind>,
     setup: LearnSetup,
-) -> LearnJob {
+    store: Option<StoreSpace>,
+) -> LearnJob
+where
+    C: CacheOracle + Clone + Send + 'static,
+{
+    let progress = setup
+        .progress
+        .clone()
+        .unwrap_or_else(|| Arc::new(LearnProgress::new()));
+    let setup = LearnSetup {
+        progress: Some(Arc::clone(&progress)),
+        ..setup
+    };
     let state = Arc::new(JobState {
         started: Instant::now(),
+        progress,
+        store,
         outcome: Mutex::new(None),
     });
+    let associativity = cache.associativity();
     let thread_state = Arc::clone(&state);
     let handle = thread::Builder::new()
-        .name(format!("learn-{kind}-{associativity}"))
+        .name(format!("learn-{associativity}"))
         .spawn(move || {
-            let result = learn_simulated_policy(kind, associativity, &setup)
+            let result = learn_policy(cache, &setup)
                 .map(|outcome| {
                     let identified =
-                        crate::identify_policy(&outcome.machine, associativity, &[kind])
+                        crate::identify_policy(&outcome.machine, associativity, &candidates)
                             .map(|(found, _)| found.to_string());
                     let summary = JobResult {
                         states: outcome.machine.num_states(),
@@ -179,9 +229,26 @@ pub fn spawn_simulated_learn_job(
     }
 }
 
+/// Spawns a background job learning `kind` at `associativity` from a
+/// noiseless simulated cache (the asynchronous form of
+/// [`learn_simulated_policy`](crate::learn_simulated_policy)).
+pub fn spawn_simulated_learn_job(
+    kind: PolicyKind,
+    associativity: usize,
+    setup: LearnSetup,
+) -> LearnJob {
+    match SimulatedCacheOracle::new(kind, associativity) {
+        Ok(cache) => spawn_learn_job(cache, vec![kind], setup, None),
+        Err(e) => LearnJob::failed(e.to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim_backend::PolicySimBackend;
+    use crate::CacheQueryOracle;
+    use cachequery::QueryEngine;
 
     #[test]
     fn jobs_run_to_completion_and_identify() {
@@ -223,5 +290,36 @@ mod tests {
         let job = spawn_simulated_learn_job(PolicyKind::Lru, 4, setup);
         let error = job.join().unwrap_err();
         assert!(error.contains("state"), "unexpected error: {error}");
+    }
+
+    #[test]
+    fn unsupported_associativities_fail_immediately() {
+        let job = spawn_simulated_learn_job(PolicyKind::Plru, 3, LearnSetup::default());
+        assert!(job.status().is_terminal());
+        assert!(job.join().is_err());
+    }
+
+    #[test]
+    fn engine_backed_jobs_report_progress_and_store_hit_rate() {
+        let engine = QueryEngine::new(PolicySimBackend::new(PolicyKind::Lru, 2).unwrap());
+        let store = engine
+            .store()
+            .space(&PolicySimBackend::config_for(PolicyKind::Lru, 2).to_string());
+        let oracle = CacheQueryOracle::from_engine(engine).unwrap();
+        let job = spawn_learn_job(
+            oracle,
+            vec![PolicyKind::Lru],
+            LearnSetup {
+                workers: 1,
+                ..LearnSetup::default()
+            },
+            Some(store.clone()),
+        );
+        let outcome = job.join().unwrap();
+        assert_eq!(outcome.machine.num_states(), 2);
+        // The campaign filled the engine's store namespace, and the replayed
+        // probe sessions hit it heavily.
+        assert!(store.entries() > 0);
+        assert!(store.hit_rate() > 0.0);
     }
 }

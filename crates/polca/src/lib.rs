@@ -59,14 +59,16 @@ mod identify;
 mod job;
 mod membership;
 mod pipeline;
+mod sim_backend;
 
 pub use cache_oracle::{
     CacheOracle, CacheQueryOracle, CacheSession, ReplaySession, SimulatedCacheOracle,
 };
 pub use identify::{identify_policy, LinePermutation};
-pub use job::{spawn_simulated_learn_job, JobResult, JobStatus, LearnJob};
+pub use job::{spawn_learn_job, spawn_simulated_learn_job, JobResult, JobStatus, LearnJob};
 pub use membership::PolcaOracle;
 pub use pipeline::{
     learn_hardware_policy, learn_policy, learn_simulated_policy, HardwareTarget, LearnOutcome,
     LearnSetup,
 };
+pub use sim_backend::PolicySimBackend;

@@ -2,13 +2,14 @@
 //! software-simulated cache (§6) or simulated hardware through CacheQuery
 //! (§7).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use automata::minimize;
 use cache::LevelId;
 use cachequery::{CacheQuery, ResetSequence, Target};
 use hardware::{CpuModel, SimulatedCpu};
-use learning::{learn_mealy, LearnError, LearnOptions, LearnStats, WpMethodOracle};
+use learning::{learn_mealy, LearnError, LearnOptions, LearnProgress, LearnStats, WpMethodOracle};
 use policies::{policy_alphabet, PolicyKind, PolicyMealy};
 
 use crate::cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
@@ -33,6 +34,10 @@ pub struct LearnSetup {
     /// Whether to memoize membership queries in the shared prefix-trie query
     /// cache (default `true`).
     pub memoize: bool,
+    /// Optional live progress counters (hypothesis size, membership queries),
+    /// updated once per hypothesis round — the job layer polls these while a
+    /// run is in flight.
+    pub progress: Option<Arc<LearnProgress>>,
 }
 
 impl Default for LearnSetup {
@@ -43,6 +48,7 @@ impl Default for LearnSetup {
             time_budget: None,
             workers: 0,
             memoize: true,
+            progress: None,
         }
     }
 }
@@ -55,6 +61,7 @@ impl LearnSetup {
             time_budget: self.time_budget,
             workers: self.workers,
             memoize: self.memoize,
+            progress: self.progress.clone(),
         }
     }
 }

@@ -9,11 +9,16 @@
 
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
+use cache::HitMiss;
+use cachequery::{BackendError, QueryBackend, QueryConfig};
+use mbl::{render_query, Query};
+
+use crate::daemon::{resolve_with_limits, ResolvedSpec};
 use crate::proto::{
-    decode_response, encode_request, Request, Response, SessionSpec, WireJobStatus, WireOutcome,
-    WireSessionStats, WireStats,
+    decode_response, encode_request, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
+    WireOutcome, WireSessionStats, WireStats,
 };
 
 /// Errors surfaced by [`Client`] calls.
@@ -55,6 +60,17 @@ pub struct ServerInfo {
     pub proto: u64,
     /// Worker-pool size.
     pub workers: u64,
+}
+
+/// Everything the `stats` command reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Daemon-wide counters.
+    pub global: WireStats,
+    /// The calling session's counters.
+    pub session: WireSessionStats,
+    /// Per-namespace entry counts of the shared query store.
+    pub namespaces: Vec<WireNamespace>,
 }
 
 /// One blocking `cqd` session.
@@ -245,14 +261,23 @@ impl Client {
         self.wait_with(id, |_| {})
     }
 
-    /// Fetches global and per-session metrics.
+    /// Fetches global metrics, per-session metrics and the query store's
+    /// per-namespace breakdown.
     ///
     /// # Errors
     ///
     /// Fails on connection or protocol errors.
-    pub fn stats(&mut self) -> Result<(WireStats, WireSessionStats), ClientError> {
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.roundtrip(&Request::Stats)? {
-            Response::Stats { global, session } => Ok((global, session)),
+            Response::Stats {
+                global,
+                session,
+                namespaces,
+            } => Ok(ServerStats {
+                global,
+                session,
+                namespaces,
+            }),
             other => Self::unexpected(other),
         }
     }
@@ -267,5 +292,170 @@ impl Client {
             Response::Bye => Ok(()),
             other => Self::unexpected(other),
         }
+    }
+}
+
+/// A [`QueryBackend`] over one `cqd` session: the scarce oracle lives on the
+/// other end of a TCP connection.
+///
+/// With a `RemoteBackend` inside a [`QueryEngine`](cachequery::QueryEngine),
+/// the *whole* local query path — MBL expansion, the memoizing store, even
+/// `polca::learn_policy` — runs unchanged against a remote daemon:
+/// distributed learning is just another backend.  Engine batches
+/// ([`QueryEngine::run_many`](cachequery::QueryEngine::run_many)) become one
+/// `batch` request, so bulk fills cost a single round trip; single probes
+/// (the learning path) first consult the client-side store, which absorbs
+/// the replay-session blowup before anything touches the network.
+///
+/// `Clone` produces a *lazily connected* backend for the same daemon and
+/// session spec (a protocol stream cannot be shared between workers): the
+/// clone opens its own connection on first use, and a daemon that has gone
+/// away surfaces as a [`BackendError::Service`] on the next query, never as
+/// a panic.  Clones that are only held for their shared counters (e.g. the
+/// statistics handle `learn_policy` retains) cost no connection at all.
+#[derive(Debug)]
+pub struct RemoteBackend {
+    /// `None` until the first query after a `Clone` (lazy reconnect).
+    client: Option<Client>,
+    addr: SocketAddr,
+    spec: SessionSpec,
+    resolved: ResolvedSpec,
+}
+
+impl RemoteBackend {
+    /// Connects to a daemon, performs the handshake and configures the
+    /// session with `spec`.
+    ///
+    /// The memoization namespace and the target's associativity are resolved
+    /// locally with the same rules the daemon applies, so a remote engine's
+    /// store entries are interchangeable with the server's own.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, on an invalid spec (rejected locally or
+    /// by the server), and on protocol errors.
+    pub fn connect(addr: impl ToSocketAddrs, spec: &SessionSpec) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolves to nothing".to_string()))?;
+        // Validate locally first (assoc limits are the server's to enforce).
+        let resolved = resolve_with_limits(spec, usize::MAX).map_err(ClientError::Server)?;
+        let client = Self::open_session(addr, spec)?;
+        Ok(RemoteBackend {
+            client: Some(client),
+            addr,
+            spec: spec.clone(),
+            resolved,
+        })
+    }
+
+    /// The daemon's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn open_session(addr: SocketAddr, spec: &SessionSpec) -> Result<Client, ClientError> {
+        let mut client = Client::connect(addr)?;
+        client.hello()?;
+        client.target(spec)?;
+        Ok(client)
+    }
+
+    /// The live session, (re)connected on demand — which is how clones made
+    /// for worker oracles come online.
+    fn session(&mut self) -> Result<&mut Client, BackendError> {
+        if self.client.is_none() {
+            let client = Self::open_session(self.addr, &self.spec)
+                .map_err(|e| BackendError::Service(e.to_string()))?;
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("session was just established"))
+    }
+
+    fn parse_outcome(outcome: &WireOutcome) -> (Vec<HitMiss>, bool) {
+        let outcomes = outcome
+            .pattern
+            .chars()
+            .map(|c| {
+                if c == 'H' {
+                    HitMiss::Hit
+                } else {
+                    HitMiss::Miss
+                }
+            })
+            .collect();
+        (outcomes, outcome.consistent)
+    }
+}
+
+impl Clone for RemoteBackend {
+    fn clone(&self) -> Self {
+        RemoteBackend {
+            client: None,
+            addr: self.addr,
+            spec: self.spec.clone(),
+            resolved: self.resolved.clone(),
+        }
+    }
+}
+
+impl QueryBackend for RemoteBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        // A rendered concrete query contains no macros, so the server-side
+        // expansion is the identity.
+        let rendered = render_query(query);
+        let results = self
+            .session()?
+            .query(&rendered)
+            .map_err(|e| BackendError::Service(e.to_string()))?;
+        match results.as_slice() {
+            [outcome] => Ok(Self::parse_outcome(outcome)),
+            other => Err(BackendError::Service(format!(
+                "server answered a concrete query with {} results",
+                other.len()
+            ))),
+        }
+    }
+
+    fn execute_many(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let rendered: Vec<String> = queries.iter().map(render_query).collect();
+        let exprs: Vec<&str> = rendered.iter().map(String::as_str).collect();
+        // One `batch` request answers the whole bulk fill in one round trip.
+        let groups = self
+            .session()?
+            .batch(&exprs)
+            .map_err(|e| BackendError::Service(e.to_string()))?;
+        if groups.len() != queries.len() {
+            return Err(BackendError::Service(format!(
+                "server answered a {}-query batch with {} groups",
+                queries.len(),
+                groups.len()
+            )));
+        }
+        groups
+            .iter()
+            .map(|group| match group.as_slice() {
+                [outcome] => Ok(Self::parse_outcome(outcome)),
+                other => Err(BackendError::Service(format!(
+                    "server answered a concrete query with {} results",
+                    other.len()
+                ))),
+            })
+            .collect()
+    }
+
+    fn config(&self) -> Result<QueryConfig, BackendError> {
+        Ok(self.resolved.config())
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        Ok(self.resolved.assoc)
     }
 }

@@ -1,5 +1,5 @@
-//! The `cqd` daemon: a multi-session TCP frontend over a pool of simulated
-//! CacheQuery backends.
+//! The `cqd` daemon: a multi-session TCP frontend over the unified query
+//! engine.
 //!
 //! Architecture (§4.2's service frontend, scaled to many clients):
 //!
@@ -8,16 +8,21 @@
 //! * each session holds a validated `ResolvedSpec` (backend + target
 //!   configuration) and answers what it can without touching a backend:
 //!   protocol chatter, configuration changes, and — crucially — every
-//!   concrete query already memoized in the [`SharedQueryStore`];
+//!   concrete query already memoized in the shared [`QueryStore`];
 //! * store misses are routed to a fixed **worker pool** through a *bounded*
 //!   channel: when all workers are busy and the queue is full, sessions
 //!   block on `send`, which is the daemon's backpressure (clients see
 //!   latency, the backend pool never sees unbounded queues);
-//! * workers own the **backend pool** — one `CacheQuery` instance per
-//!   (CPU model, seed, CAT restriction), created lazily and serialized by a
-//!   mutex, the "scarce hardware" the whole design exists to multiplex;
-//! * `learn` requests spawn asynchronous [`polca::LearnJob`]s; sessions
-//!   poll or stream their status without occupying a worker.
+//! * workers own the **backend pool** — one [`QueryEngine`] per backend
+//!   identity (CPU model × seed × CAT restriction, or simulated policy),
+//!   created lazily
+//!   and serialized by a mutex, all sharing the daemon's one store: the
+//!   engine *is* the concurrent implementation of the memoization layer,
+//!   and the "scarce hardware" it multiplexes;
+//! * `learn` requests spawn asynchronous [`polca::LearnJob`]s whose oracle
+//!   runs through an engine over the **same shared store** — campaign
+//!   answers land in the trie sessions are served from (and vice versa);
+//!   sessions poll or stream live job progress without occupying a worker.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -29,18 +34,20 @@ use std::thread;
 use std::time::Duration;
 
 use cache::{HitMiss, LevelId};
-use cachequery::{parse_command, CacheQuery, Command, ResetSequence, Target, HELP_TEXT};
+use cachequery::{
+    parse_command, Backend, Command, QueryBackend, QueryConfig, QueryEngine, QueryStore,
+    ResetSequence, StoreSpace, Target, HELP_TEXT,
+};
 use hardware::{CpuModel, SimulatedCpu};
 use mbl::{expand_query, render_query, Query};
-use polca::{JobStatus, LearnJob, LearnSetup};
+use polca::{CacheQueryOracle, JobStatus, LearnJob, LearnSetup, PolicySimBackend};
 use policies::PolicyKind;
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    decode_request, encode_response, Request, Response, SessionSpec, WireJobStatus, WireOutcome,
-    WireSessionStats, WireStats, PROTOCOL_VERSION,
+    decode_request, encode_response, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
+    WireOutcome, WireSessionStats, WireStats, PROTOCOL_VERSION,
 };
-use crate::store::{SharedQueryStore, StoreKey};
 
 /// Configuration of a daemon instance.
 #[derive(Debug, Clone)]
@@ -55,7 +62,8 @@ pub struct CqdConfig {
     /// Worker threads each learning job may use (keep 1 to not starve
     /// query traffic).
     pub learn_workers: usize,
-    /// Largest associativity accepted by the `learn` command.
+    /// Largest associativity accepted by the `learn` command (and by
+    /// `policy:` session targets).
     pub max_learn_assoc: usize,
     /// Largest number of concrete queries one MBL expression may expand to.
     pub max_expansions: usize,
@@ -81,30 +89,60 @@ const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// How often `wait` emits a non-final status line.
 const WAIT_STATUS_INTERVAL: Duration = Duration::from_millis(200);
 
+/// The backend half of a resolved session spec: which scarce oracle answers
+/// this session's queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ResolvedBackend {
+    /// A simulated machine (the §7 path).
+    Hardware {
+        /// CPU model.
+        model: CpuModel,
+        /// Machine seed.
+        seed: u64,
+        /// CAT restriction of the last-level cache.
+        cat: Option<usize>,
+    },
+    /// A bare simulated replacement policy (the §6 path, shared with
+    /// `learn` campaigns).
+    Policy {
+        /// The policy.
+        kind: PolicyKind,
+        /// Its associativity.
+        assoc: usize,
+    },
+}
+
 /// A session's backend/target configuration after validation.
 #[derive(Debug, Clone)]
-struct ResolvedSpec {
-    model: CpuModel,
-    seed: u64,
-    cat: Option<usize>,
-    reset: ResetSequence,
-    reps: usize,
-    target: Target,
-    /// Effective associativity of the target level (after CAT).
-    assoc: usize,
+pub(crate) struct ResolvedSpec {
+    pub(crate) backend: ResolvedBackend,
+    pub(crate) reset: ResetSequence,
+    pub(crate) reps: usize,
+    pub(crate) target: Target,
+    /// Effective associativity of the target (after CAT).
+    pub(crate) assoc: usize,
 }
 
 impl ResolvedSpec {
-    fn store_key(&self) -> StoreKey {
-        StoreKey {
-            model: self.model,
-            seed: self.seed,
-            cat: self.cat,
-            reset: self.reset.to_string(),
-            reps: self.reps,
-            level: self.target.level,
-            set: self.target.set,
-            slice: self.target.slice,
+    /// The memoization namespace this spec shares with every engine driving
+    /// an identically-configured backend.  For hardware specs this renders
+    /// byte-identically to `Backend`'s own
+    /// [`QueryBackend::config`](cachequery::QueryBackend::config), which is
+    /// what makes session-side store lookups and worker-side engine
+    /// recordings meet in one namespace.
+    pub(crate) fn config(&self) -> QueryConfig {
+        match &self.backend {
+            ResolvedBackend::Hardware { model, seed, cat } => QueryConfig {
+                backend: format!(
+                    "{} seed={seed} cat={}",
+                    model.short_name(),
+                    cat.map_or_else(|| "-".to_string(), |ways| ways.to_string())
+                ),
+                reset: self.reset.to_string(),
+                reps: self.reps,
+                target: self.target,
+            },
+            ResolvedBackend::Policy { kind, assoc } => PolicySimBackend::config_for(*kind, *assoc),
         }
     }
 }
@@ -118,7 +156,56 @@ fn parse_model(name: &str) -> Option<CpuModel> {
     }
 }
 
-fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
+/// Parses a `POLICY@ASSOC` spec against an associativity limit.
+pub(crate) fn parse_policy_spec(
+    spec: &str,
+    max_assoc: usize,
+) -> Result<(PolicyKind, usize), String> {
+    let (name, assoc) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("bad policy spec '{spec}' (expected POLICY@ASSOC)"))?;
+    let kind = name
+        .trim()
+        .parse::<PolicyKind>()
+        .map_err(|e| e.to_string())?;
+    let assoc: usize = assoc
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad associativity in '{spec}'"))?;
+    if assoc == 0 || assoc > max_assoc {
+        return Err(format!(
+            "associativity {assoc} out of range (this server simulates policies up to {max_assoc})"
+        ));
+    }
+    if !kind.supports_associativity(assoc) {
+        return Err(format!("{kind} does not support associativity {assoc}"));
+    }
+    Ok((kind, assoc))
+}
+
+pub(crate) fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
+    resolve_with_limits(spec, CqdConfig::default().max_learn_assoc)
+}
+
+pub(crate) fn resolve_with_limits(
+    spec: &SessionSpec,
+    max_policy_assoc: usize,
+) -> Result<ResolvedSpec, String> {
+    if let Some(policy) = &spec.policy {
+        // Policy sessions are fully described by POLICY@ASSOC: the simulation
+        // is exact (one canonical reset, no repetitions), and the hardware
+        // fields are ignored so that every client lands in the one namespace
+        // `learn` campaigns for the same policy fill.
+        let (kind, assoc) = parse_policy_spec(policy, max_policy_assoc)?;
+        let config = PolicySimBackend::config_for(kind, assoc);
+        return Ok(ResolvedSpec {
+            backend: ResolvedBackend::Policy { kind, assoc },
+            reset: ResetSequence::Custom(config.reset.clone()),
+            reps: config.reps,
+            target: config.target,
+            assoc,
+        });
+    }
     let model = parse_model(&spec.model).ok_or_else(|| {
         format!(
             "unknown CPU model '{}' (haswell|skylake|kabylake)",
@@ -189,9 +276,11 @@ fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
         .refill_query(assoc)
         .map_err(|e| format!("bad reset sequence: {e}"))?;
     Ok(ResolvedSpec {
-        model,
-        seed: spec.seed,
-        cat,
+        backend: ResolvedBackend::Hardware {
+            model,
+            seed: spec.seed,
+            cat,
+        },
         reset,
         reps,
         target: Target::new(level, spec.set as usize, spec.slice as usize),
@@ -199,10 +288,43 @@ fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
     })
 }
 
-/// One lazily-created, mutex-serialized backend of the pool.
+/// Either kind of pooled scarce oracle, behind the one [`QueryBackend`]
+/// interface the engine multiplexes.  The hardware variant is boxed: it
+/// carries a whole simulated machine (memory pools, page tables), dwarfing
+/// the policy variant.
+#[derive(Debug)]
+enum AnyBackend {
+    Hardware(Box<Backend>),
+    Policy(PolicySimBackend),
+}
+
+impl QueryBackend for AnyBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), cachequery::BackendError> {
+        match self {
+            AnyBackend::Hardware(backend) => backend.execute(query),
+            AnyBackend::Policy(backend) => backend.execute(query),
+        }
+    }
+
+    fn config(&self) -> Result<QueryConfig, cachequery::BackendError> {
+        match self {
+            AnyBackend::Hardware(backend) => backend.config(),
+            AnyBackend::Policy(backend) => backend.config(),
+        }
+    }
+
+    fn associativity(&self) -> Result<usize, cachequery::BackendError> {
+        match self {
+            AnyBackend::Hardware(backend) => QueryBackend::associativity(backend),
+            AnyBackend::Policy(backend) => backend.associativity(),
+        }
+    }
+}
+
+/// One lazily-created, mutex-serialized engine of the pool.
 #[derive(Debug)]
 struct PooledBackend {
-    tool: CacheQuery,
+    engine: QueryEngine<AnyBackend>,
     /// The `(target, reps, reset)` currently applied, to skip redundant
     /// (and expensive: re-calibration) reconfiguration.
     applied: Option<(Target, usize, String)>,
@@ -210,15 +332,19 @@ struct PooledBackend {
 
 impl PooledBackend {
     fn configure(&mut self, spec: &ResolvedSpec) -> Result<(), String> {
+        let AnyBackend::Hardware(backend) = self.engine.backend_mut() else {
+            // Policy backends have exactly one configuration.
+            return Ok(());
+        };
         let wanted = (spec.target, spec.reps, spec.reset.to_string());
         if self.applied.as_ref() == Some(&wanted) {
             return Ok(());
         }
-        self.tool.set_repetitions(spec.reps);
-        self.tool.set_reset_sequence(spec.reset.clone());
-        if self.tool.target() != Some(spec.target) {
-            self.tool
-                .set_target(spec.target)
+        backend.set_repetitions(spec.reps);
+        backend.set_reset_sequence(spec.reset.clone());
+        if backend.target() != Some(spec.target) {
+            backend
+                .select_target(spec.target)
                 .map_err(|e| e.to_string())?;
         }
         self.applied = Some(wanted);
@@ -226,33 +352,46 @@ impl PooledBackend {
     }
 }
 
-/// The identity of one pooled backend: (model, seed, CAT restriction).
-type InstanceKey = (CpuModel, u64, Option<usize>);
+/// The identity of one pooled backend.
+type InstanceKey = ResolvedBackend;
 
-/// The backend pool: one instance per (model, seed, CAT restriction).
+/// The backend pool: one engine per backend identity, all sharing the
+/// daemon's query store.
 #[derive(Debug, Default)]
 struct BackendPool {
     instances: Mutex<HashMap<InstanceKey, Arc<Mutex<PooledBackend>>>>,
 }
 
 impl BackendPool {
-    fn instance(&self, spec: &ResolvedSpec) -> Result<Arc<Mutex<PooledBackend>>, String> {
-        let key = (spec.model, spec.seed, spec.cat);
+    fn instance(
+        &self,
+        spec: &ResolvedSpec,
+        store: &Arc<QueryStore>,
+    ) -> Result<Arc<Mutex<PooledBackend>>, String> {
+        let key = spec.backend.clone();
         let mut instances = self.instances.lock().expect("pool lock poisoned");
         if let Some(instance) = instances.get(&key) {
             return Ok(Arc::clone(instance));
         }
-        let cpu = SimulatedCpu::new(spec.model, spec.seed);
-        let mut tool = CacheQuery::new(cpu);
-        // The shared cross-session store replaces the per-instance response
-        // cache (the LevelDB role), so disable the latter: one layer of
-        // memoization, one source of hit-rate truth.
-        tool.enable_cache(false);
-        if let Some(ways) = spec.cat {
-            tool.apply_cat(ways).map_err(|e| e.to_string())?;
-        }
+        let backend = match &spec.backend {
+            ResolvedBackend::Hardware { model, seed, cat } => {
+                let cpu = SimulatedCpu::new(*model, *seed);
+                let mut backend = Backend::new(cpu);
+                if let Some(ways) = cat {
+                    backend.apply_cat(*ways).map_err(|e| e.to_string())?;
+                }
+                AnyBackend::Hardware(Box::new(backend))
+            }
+            ResolvedBackend::Policy { kind, assoc } => {
+                AnyBackend::Policy(PolicySimBackend::new(*kind, *assoc).map_err(|e| e.to_string())?)
+            }
+        };
+        // The engine shares the daemon-wide store: one memoization layer,
+        // one source of hit-rate truth, across sessions, workers and learn
+        // jobs alike.
+        let engine = QueryEngine::with_store(backend, Arc::clone(store));
         let instance = Arc::new(Mutex::new(PooledBackend {
-            tool,
+            engine,
             applied: None,
         }));
         instances.insert(key, Arc::clone(&instance));
@@ -276,7 +415,7 @@ struct WorkItem {
 #[derive(Debug)]
 struct Shared {
     config: CqdConfig,
-    store: SharedQueryStore,
+    store: Arc<QueryStore>,
     metrics: ServerMetrics,
     pool: BackendPool,
     jobs: Mutex<HashMap<u64, LearnJob>>,
@@ -299,7 +438,16 @@ impl Shared {
             jobs_finished,
             busy_workers: ServerMetrics::get(&self.metrics.busy_workers),
             workers: self.config.workers as u64,
+            store_conflicts: self.store.conflicts(),
         }
+    }
+
+    fn namespace_stats(&self) -> Vec<WireNamespace> {
+        self.store
+            .namespace_entries()
+            .into_iter()
+            .map(|(name, entries)| WireNamespace { name, entries })
+            .collect()
     }
 }
 
@@ -399,7 +547,7 @@ pub fn spawn(config: CqdConfig) -> std::io::Result<CqdHandle> {
     let work_rx = Arc::new(Mutex::new(work_rx));
     let shared = Arc::new(Shared {
         config: config.clone(),
-        store: SharedQueryStore::new(),
+        store: Arc::new(QueryStore::new()),
         metrics: ServerMetrics::default(),
         pool: BackendPool::default(),
         jobs: Mutex::new(HashMap::new()),
@@ -487,15 +635,15 @@ fn execute_item(
     shared: &Arc<Shared>,
     item: &WorkItem,
 ) -> Result<Vec<(usize, WireOutcome)>, String> {
-    let key = item.spec.store_key();
-    let mut results = Vec::with_capacity(item.queries.len());
     // Another session may have answered these queries while the item sat in
     // the queue; the store is the cheaper oracle, ask it again first — and
-    // only touch (or lazily create, or re-target + re-calibrate) a backend
-    // if something is still missing.
-    let mut missing = Vec::new();
+    // only lock (or lazily create, or re-target + re-calibrate) the scarce
+    // pooled backend if something is still missing.
+    let space = shared.store.space(&item.spec.config().to_string());
+    let mut results = Vec::with_capacity(item.queries.len());
+    let mut missing: Vec<(usize, Query)> = Vec::new();
     for (index, query) in &item.queries {
-        match shared.store.lookup(&key, query) {
+        match space.lookup(query) {
             Some(outcomes) => results.push((
                 *index,
                 WireOutcome {
@@ -505,13 +653,13 @@ fn execute_item(
                     cached: true,
                 },
             )),
-            None => missing.push((*index, query)),
+            None => missing.push((*index, query.clone())),
         }
     }
     if missing.is_empty() {
         return Ok(results);
     }
-    let instance = shared.pool.instance(&item.spec)?;
+    let instance = shared.pool.instance(&item.spec, &shared.store)?;
     let mut backend = match instance.lock() {
         Ok(guard) => guard,
         // A poisoned backend is safe to reuse: every query starts with the
@@ -519,19 +667,25 @@ fn execute_item(
         Err(poisoned) => poisoned.into_inner(),
     };
     backend.configure(&item.spec)?;
-    for (index, query) in missing {
-        let outcome = backend.tool.run_query(query).map_err(|e| e.to_string())?;
-        ServerMetrics::add(&shared.metrics.backend_queries, 1);
-        shared
-            .store
-            .record(&key, query, &outcome.outcomes, outcome.consistent);
+    // The engine re-checks the store before executing (a query may have been
+    // answered while this worker waited on the mutex) and records fresh
+    // answers — the standard unified path.
+    let queries: Vec<Query> = missing.iter().map(|(_, q)| q.clone()).collect();
+    let outcomes = backend
+        .engine
+        .run_many(&queries)
+        .map_err(|e| e.to_string())?;
+    for ((index, _), outcome) in missing.iter().zip(outcomes) {
+        if !outcome.from_cache {
+            ServerMetrics::add(&shared.metrics.backend_queries, 1);
+        }
         results.push((
-            index,
+            *index,
             WireOutcome {
                 query: outcome.rendered,
                 pattern: hitmiss_pattern(&outcome.outcomes),
                 consistent: outcome.consistent,
-                cached: false,
+                cached: outcome.from_cache,
             },
         ));
     }
@@ -542,7 +696,17 @@ fn execute_item(
 struct Session {
     wire_spec: SessionSpec,
     spec: ResolvedSpec,
+    /// The store namespace of `spec`, cached for the lookup fast path.
+    space: StoreSpace,
     stats: WireSessionStats,
+}
+
+impl Session {
+    fn apply(&mut self, wire_spec: SessionSpec, spec: ResolvedSpec, store: &QueryStore) {
+        self.space = store.space(&spec.config().to_string());
+        self.wire_spec = wire_spec;
+        self.spec = spec;
+    }
 }
 
 fn session_loop(stream: TcpStream, shared: &Arc<Shared>, work_tx: &SyncSender<WorkItem>) {
@@ -556,9 +720,11 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>, work_tx: &SyncSender<Wo
     let mut writer = stream;
     let wire_spec = SessionSpec::default();
     let spec = resolve(&wire_spec).expect("the default session spec is valid");
+    let space = shared.store.space(&spec.config().to_string());
     let mut session = Session {
         wire_spec,
         spec,
+        space,
         stats: WireSessionStats::default(),
     };
 
@@ -687,19 +853,24 @@ fn handle_request(
             proto: PROTOCOL_VERSION,
             workers: shared.config.workers as u64,
         },
-        Request::Target(wire_spec) => match resolve(wire_spec) {
-            Ok(spec) => {
-                session.wire_spec = wire_spec.clone();
-                session.spec = spec;
-                Response::Done {
-                    message: format!(
-                        "target: {} (model {}, seed {})",
-                        session.spec.target, session.wire_spec.model, session.spec.seed
-                    ),
+        Request::Target(wire_spec) => {
+            match resolve_with_limits(wire_spec, shared.config.max_learn_assoc) {
+                Ok(spec) => {
+                    let message = match &spec.backend {
+                        ResolvedBackend::Hardware { seed, .. } => format!(
+                            "target: {} (model {}, seed {})",
+                            spec.target, wire_spec.model, seed
+                        ),
+                        ResolvedBackend::Policy { kind, assoc } => {
+                            format!("target: simulated policy {kind}@{assoc}")
+                        }
+                    };
+                    session.apply(wire_spec.clone(), spec, &shared.store);
+                    Response::Done { message }
                 }
+                Err(message) => Response::Error { message },
             }
-            Err(message) => Response::Error { message },
-        },
+        }
         Request::Query { mbl } => match run_mbl(shared, work_tx, session, mbl) {
             Ok(results) => Response::Outcomes { results },
             Err(message) => Response::Error { message },
@@ -733,6 +904,7 @@ fn handle_request(
         Request::Stats => Response::Stats {
             global: shared.global_stats(),
             session: session.stats,
+            namespaces: shared.namespace_stats(),
         },
         Request::Quit => Response::Bye,
     };
@@ -755,11 +927,10 @@ fn run_mbl(
             shared.config.max_expansions
         ));
     }
-    let key = session.spec.store_key();
     let mut results: Vec<Option<WireOutcome>> = vec![None; queries.len()];
     let mut misses = Vec::new();
     for (index, query) in queries.into_iter().enumerate() {
-        match shared.store.lookup(&key, &query) {
+        match session.space.lookup(&query) {
             Some(outcomes) => {
                 results[index] = Some(WireOutcome {
                     query: render_query(&query),
@@ -866,11 +1037,8 @@ fn handle_repl(
     match message {
         Ok(message) => {
             if candidate != session.wire_spec {
-                match resolve(&candidate) {
-                    Ok(spec) => {
-                        session.wire_spec = candidate;
-                        session.spec = spec;
-                    }
+                match resolve_with_limits(&candidate, shared.config.max_learn_assoc) {
+                    Ok(spec) => session.apply(candidate, spec, &shared.store),
                     Err(error) => {
                         return Response::Error { message: error };
                     }
@@ -883,36 +1051,36 @@ fn handle_repl(
 }
 
 fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
-    let parsed = (|| -> Result<(PolicyKind, usize), String> {
-        let (name, assoc) = spec
-            .split_once('@')
-            .ok_or_else(|| format!("bad learn spec '{spec}' (expected POLICY@ASSOC)"))?;
-        let kind = name
-            .trim()
-            .parse::<PolicyKind>()
-            .map_err(|e| e.to_string())?;
-        let assoc: usize = assoc
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad associativity in '{spec}'"))?;
-        if assoc == 0 || assoc > shared.config.max_learn_assoc {
-            return Err(format!(
-                "associativity {assoc} out of range (this server learns up to {})",
-                shared.config.max_learn_assoc
-            ));
-        }
-        if !kind.supports_associativity(assoc) {
-            return Err(format!("{kind} does not support associativity {assoc}"));
-        }
-        Ok((kind, assoc))
-    })();
-    match parsed {
+    match parse_policy_spec(spec, shared.config.max_learn_assoc) {
         Ok((kind, assoc)) => {
+            // The campaign's oracle runs through an engine over the daemon's
+            // shared store: every concrete query it issues lands in the same
+            // namespace `policy:` sessions are served from.
+            let backend = match PolicySimBackend::new(kind, assoc) {
+                Ok(backend) => backend,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            let engine = QueryEngine::with_store(backend, Arc::clone(&shared.store));
+            let space = shared
+                .store
+                .space(&PolicySimBackend::config_for(kind, assoc).to_string());
+            let oracle = match CacheQueryOracle::from_engine(engine) {
+                Ok(oracle) => oracle,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            };
             let setup = LearnSetup {
                 workers: shared.config.learn_workers,
                 ..LearnSetup::default()
             };
-            let job = polca::spawn_simulated_learn_job(kind, assoc, setup);
+            let job = polca::spawn_learn_job(oracle, vec![kind], setup, Some(space));
             let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
             shared
                 .jobs
@@ -934,13 +1102,19 @@ fn job_status(shared: &Arc<Shared>, id: u64) -> Option<WireJobStatus> {
 
 fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
     match status {
-        JobStatus::Running { elapsed } => WireJobStatus {
+        JobStatus::Running {
+            elapsed,
+            states,
+            membership_queries,
+            store_hit_rate,
+        } => WireJobStatus {
             id,
             state: "running".to_string(),
             detail: String::new(),
             finished: false,
-            states: 0,
-            queries: 0,
+            states: *states,
+            queries: *membership_queries,
+            hit_rate: *store_hit_rate,
             millis: elapsed.as_millis() as u64,
         },
         JobStatus::Done { result, elapsed } => WireJobStatus {
@@ -953,6 +1127,7 @@ fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
             finished: true,
             states: result.states as u64,
             queries: result.membership_queries,
+            hit_rate: result.cache_hit_rate,
             millis: elapsed.as_millis() as u64,
         },
         JobStatus::Failed { error, elapsed } => WireJobStatus {
@@ -962,6 +1137,7 @@ fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
             finished: true,
             states: 0,
             queries: 0,
+            hit_rate: 0.0,
             millis: elapsed.as_millis() as u64,
         },
     }
@@ -1054,14 +1230,71 @@ mod tests {
     }
 
     #[test]
-    fn store_keys_capture_the_whole_configuration() {
-        let a = resolve(&SessionSpec::default()).unwrap().store_key();
+    fn store_namespaces_capture_the_whole_configuration() {
+        let a = resolve(&SessionSpec::default()).unwrap().config();
         let b = resolve(&SessionSpec {
             seed: 8,
             ..SessionSpec::default()
         })
         .unwrap()
-        .store_key();
-        assert_ne!(a, b);
+        .config();
+        assert_ne!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    fn session_configs_match_the_backends_own_namespace() {
+        // The keystone of the shared store: the namespace a session computes
+        // from its spec must be byte-identical to the one the pooled engine
+        // derives from its configured backend — otherwise lookups and
+        // recordings never meet.
+        let spec = SessionSpec {
+            set: 13,
+            reps: 4,
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&spec).unwrap();
+        let mut backend = Backend::new(SimulatedCpu::new(CpuModel::SkylakeI5_6500, 7));
+        backend.set_repetitions(resolved.reps);
+        backend.set_reset_sequence(resolved.reset.clone());
+        backend.select_target(resolved.target).unwrap();
+        assert_eq!(
+            resolved.config().to_string(),
+            QueryBackend::config(&backend).unwrap().to_string()
+        );
+        // Same for policy backends.
+        let policy_spec = SessionSpec {
+            policy: Some("LRU@4".into()),
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&policy_spec).unwrap();
+        let sim = PolicySimBackend::new(PolicyKind::Lru, 4).unwrap();
+        assert_eq!(
+            resolved.config().to_string(),
+            QueryBackend::config(&sim).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn policy_specs_resolve_and_validate() {
+        let spec = SessionSpec {
+            policy: Some("PLRU@4".into()),
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&spec).unwrap();
+        assert_eq!(resolved.assoc, 4);
+        assert!(matches!(
+            resolved.backend,
+            ResolvedBackend::Policy {
+                kind: PolicyKind::Plru,
+                assoc: 4
+            }
+        ));
+        for bad in ["PLRU", "PLRU@0", "PLRU@64", "PLRU@3", "CLAIRVOYANT@2"] {
+            let spec = SessionSpec {
+                policy: Some(bad.into()),
+                ..SessionSpec::default()
+            };
+            assert!(resolve(&spec).is_err(), "{bad} should be rejected");
+        }
     }
 }

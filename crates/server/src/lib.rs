@@ -8,20 +8,25 @@
 //!
 //! * [`spawn`] starts **`cqd`**, a std-only TCP daemon speaking a
 //!   newline-delimited JSON protocol ([`proto`]); each connection is one
-//!   session with its own backend/target configuration;
-//! * sessions are multiplexed onto a pool of `CacheQuery` instances (one
-//!   per CPU model × seed × CAT restriction) through a bounded worker
-//!   queue — full queue means blocked senders, which is the backpressure;
-//! * the [`SharedQueryStore`] deduplicates work *across sessions*: it lifts
-//!   the learning subsystem's prefix-trie [`learning::QueryCache`] to whole
-//!   concrete queries, so identical (or prefix-overlapping) MBL expansions
-//!   from different clients are answered from memory instead of the
-//!   backend — the LevelDB role of the original, with structural sharing;
+//!   session with its own backend/target configuration — a simulated
+//!   machine, or a bare simulated replacement policy (`policy: POLICY@ASSOC`);
+//! * sessions are multiplexed onto a pool of
+//!   [`cachequery::QueryEngine`]-wrapped backends (one per backend identity)
+//!   through a bounded worker queue — full queue means blocked senders,
+//!   which is the backpressure;
+//! * every engine of the pool shares the daemon's one [`QueryStore`] (the
+//!   prefix-trie memoization layer of the unified query path), so identical
+//!   (or prefix-overlapping) MBL expansions from different clients are
+//!   answered from memory instead of the backend — the LevelDB role of the
+//!   original, with structural sharing;
 //! * `learn POLICY@ASSOC` runs the `polca` pipeline as an asynchronous job
-//!   whose status can be polled (`job`) or streamed (`wait`);
-//! * [`Client`] is the blocking client library, and the `loadgen` binary in
-//!   the `bench` crate drives K concurrent clients against an in-process
-//!   daemon to measure throughput, latency and the cross-session hit-rate.
+//!   *through the same store*: campaign answers are served to (and from)
+//!   interactive sessions, and `job`/`wait` stream live progress;
+//! * [`Client`] is the blocking client library, [`RemoteBackend`] turns one
+//!   session into a [`cachequery::QueryBackend`] — so `polca::learn_policy`
+//!   runs unchanged against a remote daemon — and the `loadgen` binary in
+//!   the `bench` crate measures both query throughput and the overhead of
+//!   learning over the network.
 //!
 //! # Quickstart
 //!
@@ -58,14 +63,13 @@ pub mod daemon;
 pub mod json;
 mod metrics;
 pub mod proto;
-pub mod store;
 
-pub use client::{Client, ClientError, ServerInfo};
+pub use cachequery::{QueryStore, StoreSpace};
+pub use client::{Client, ClientError, RemoteBackend, ServerInfo, ServerStats};
 pub use daemon::{spawn, CqdConfig, CqdHandle};
 pub use json::{Json, JsonError};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, ProtoError, Request,
-    Response, SessionSpec, WireJobStatus, WireOutcome, WireSessionStats, WireStats,
+    Response, SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireSessionStats, WireStats,
     PROTOCOL_VERSION,
 };
-pub use store::{SharedQueryStore, StoreKey};

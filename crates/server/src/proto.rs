@@ -18,7 +18,7 @@
 //! | `learn` | `spec` (`POLICY@ASSOC`) | `job` (id) |
 //! | `job` | `id` | `status` |
 //! | `wait` | `id` | `status`* … `status` (`final: true`) |
-//! | `stats` | — | `stats` (global + session) |
+//! | `stats` | — | `stats` (global + session + store namespaces) |
 //! | `quit` | — | `bye` |
 //!
 //! Any request can instead produce an `error` response.
@@ -28,7 +28,12 @@ use std::fmt;
 use crate::json::Json;
 
 /// Version of the wire protocol described by this module.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version history: 1 = the original PR 3 protocol; 2 = `policy` session
+/// specs, live `hit_rate` in job status, `store_conflicts` + per-namespace
+/// entry counts in `stats` (the additions are hard decode errors for a v1
+/// client, so the handshake must signal the change).
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +73,11 @@ pub struct SessionSpec {
     pub reps: u64,
     /// Reset sequence (`F+R` or a custom MBL refill).
     pub reset: String,
+    /// Target a bare simulated replacement policy (`POLICY@ASSOC`, e.g.
+    /// `LRU@4`) instead of a simulated machine.  When set, the hardware
+    /// fields above are ignored and the session shares the query-store
+    /// namespace that `learn` campaigns for the same policy fill.
+    pub policy: Option<String>,
 }
 
 impl Default for SessionSpec {
@@ -81,6 +91,7 @@ impl Default for SessionSpec {
             cat: None,
             reps: 3,
             reset: "F+R".to_string(),
+            policy: None,
         }
     }
 }
@@ -142,7 +153,7 @@ pub struct WireOutcome {
 }
 
 /// Status snapshot of a learning job.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WireJobStatus {
     /// The job id.
     pub id: u64,
@@ -152,10 +163,14 @@ pub struct WireJobStatus {
     pub detail: String,
     /// Whether this is the last status line of a `wait` stream.
     pub finished: bool,
-    /// States of the learned machine (0 while running/failed).
+    /// States of the current hypothesis (live while running, final when
+    /// done, 0 when failed).
     pub states: u64,
-    /// Membership queries issued so far (0 while running).
+    /// Membership queries issued so far (live while running).
     pub queries: u64,
+    /// Memoization hit rate: the campaign's query-store namespace while
+    /// running, the learner's prefix-trie cache once done.
+    pub hit_rate: f64,
     /// Wall-clock milliseconds since the job started.
     pub millis: u64,
 }
@@ -182,6 +197,19 @@ pub struct WireStats {
     pub busy_workers: u64,
     /// Size of the worker pool.
     pub workers: u64,
+    /// Store recordings dropped because they contradicted an earlier answer
+    /// or were malformed (the nondeterminism signal of §7.1).
+    pub store_conflicts: u64,
+}
+
+/// One query-store namespace (a distinct backend configuration) and its
+/// size, as reported by the `stats` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireNamespace {
+    /// The rendered backend configuration.
+    pub name: String,
+    /// Cached access prefixes (trie nodes) in the namespace.
+    pub entries: u64,
 }
 
 impl WireStats {
@@ -244,6 +272,8 @@ pub enum Response {
         global: WireStats,
         /// This session's counters.
         session: WireSessionStats,
+        /// Per-namespace entry counts of the shared query store.
+        namespaces: Vec<WireNamespace>,
     },
     /// The request failed.
     Error {
@@ -264,6 +294,10 @@ fn spec_to_json(spec: &SessionSpec) -> Vec<(&'static str, Json)> {
         ("cat", spec.cat.map_or(Json::Null, Json::num)),
         ("reps", Json::num(spec.reps)),
         ("reset", Json::str(&spec.reset)),
+        (
+            "policy",
+            spec.policy.as_deref().map_or(Json::Null, Json::str),
+        ),
     ]
 }
 
@@ -289,10 +323,25 @@ fn get_bool(value: &Json, key: &str) -> Result<bool, ProtoError> {
         .ok_or_else(|| err(format!("missing boolean field '{key}'")))
 }
 
+fn get_f64(value: &Json, key: &str) -> Result<f64, ProtoError> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err(format!("missing number field '{key}'")))
+}
+
 fn spec_from_json(value: &Json) -> Result<SessionSpec, ProtoError> {
     let cat = match value.get("cat") {
         None | Some(Json::Null) => None,
         Some(v) => Some(v.as_u64().ok_or_else(|| err("'cat' must be an integer"))?),
+    };
+    let policy = match value.get("policy") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err("'policy' must be a string"))?,
+        ),
     };
     Ok(SessionSpec {
         model: get_str(value, "model")?,
@@ -303,6 +352,7 @@ fn spec_from_json(value: &Json) -> Result<SessionSpec, ProtoError> {
         cat,
         reps: get_u64(value, "reps")?,
         reset: get_str(value, "reset")?,
+        policy,
     })
 }
 
@@ -332,6 +382,7 @@ fn status_to_json(status: &WireJobStatus) -> Vec<(&'static str, Json)> {
         ("final", Json::Bool(status.finished)),
         ("states", Json::num(status.states)),
         ("queries", Json::num(status.queries)),
+        ("hit_rate", Json::Num(status.hit_rate)),
         ("millis", Json::num(status.millis)),
     ]
 }
@@ -344,6 +395,7 @@ fn status_from_json(value: &Json) -> Result<WireJobStatus, ProtoError> {
         finished: get_bool(value, "final")?,
         states: get_u64(value, "states")?,
         queries: get_u64(value, "queries")?,
+        hit_rate: get_f64(value, "hit_rate")?,
         millis: get_u64(value, "millis")?,
     })
 }
@@ -359,6 +411,7 @@ fn stats_to_json(stats: &WireStats) -> Json {
         ("jobs_finished", Json::num(stats.jobs_finished)),
         ("busy_workers", Json::num(stats.busy_workers)),
         ("workers", Json::num(stats.workers)),
+        ("store_conflicts", Json::num(stats.store_conflicts)),
     ])
 }
 
@@ -373,6 +426,7 @@ fn stats_from_json(value: &Json) -> Result<WireStats, ProtoError> {
         jobs_finished: get_u64(value, "jobs_finished")?,
         busy_workers: get_u64(value, "busy_workers")?,
         workers: get_u64(value, "workers")?,
+        store_conflicts: get_u64(value, "store_conflicts")?,
     })
 }
 
@@ -498,7 +552,11 @@ pub fn encode_response(response: &Response) -> String {
             pairs.extend(status_to_json(status));
             Json::obj(pairs)
         }
-        Response::Stats { global, session } => Json::obj(vec![
+        Response::Stats {
+            global,
+            session,
+            namespaces,
+        } => Json::obj(vec![
             ("resp", Json::str("stats")),
             ("global", stats_to_json(global)),
             (
@@ -507,6 +565,20 @@ pub fn encode_response(response: &Response) -> String {
                     ("queries", Json::num(session.queries)),
                     ("store_hits", Json::num(session.store_hits)),
                 ]),
+            ),
+            (
+                "namespaces",
+                Json::Arr(
+                    namespaces
+                        .iter()
+                        .map(|ns| {
+                            Json::obj(vec![
+                                ("name", Json::str(&ns.name)),
+                                ("entries", Json::num(ns.entries)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ]),
         Response::Error { message } => Json::obj(vec![
@@ -576,12 +648,25 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             let session = value
                 .get("session")
                 .ok_or_else(|| err("missing object field 'session'"))?;
+            let namespaces = value
+                .get("namespaces")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'namespaces'"))?
+                .iter()
+                .map(|ns| {
+                    Ok(WireNamespace {
+                        name: get_str(ns, "name")?,
+                        entries: get_u64(ns, "entries")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ProtoError>>()?;
             Ok(Response::Stats {
                 global: stats_from_json(global)?,
                 session: WireSessionStats {
                     queries: get_u64(session, "queries")?,
                     store_hits: get_u64(session, "store_hits")?,
                 },
+                namespaces,
             })
         }
         "error" => Ok(Response::Error {
@@ -605,6 +690,10 @@ mod tests {
                 model: "kabylake".into(),
                 cat: Some(4),
                 reset: "D C B A @".into(),
+                ..SessionSpec::default()
+            }),
+            Request::Target(SessionSpec {
+                policy: Some("LRU@4".into()),
                 ..SessionSpec::default()
             }),
             Request::Query {
@@ -669,6 +758,7 @@ mod tests {
                 finished: true,
                 states: 24,
                 queries: 7569,
+                hit_rate: 0.75,
                 millis: 31,
             }),
             Response::Stats {
@@ -682,11 +772,22 @@ mod tests {
                     jobs_finished: 1,
                     busy_workers: 0,
                     workers: 4,
+                    store_conflicts: 2,
                 },
                 session: WireSessionStats {
                     queries: 10,
                     store_hits: 4,
                 },
+                namespaces: vec![
+                    WireNamespace {
+                        name: "skylake seed=7 cat=- reset=F+R reps=3 L1 set=0 slice=0".into(),
+                        entries: 40,
+                    },
+                    WireNamespace {
+                        name: "policy:LRU@4 reset=cc0 reps=1 L1 set=0 slice=0".into(),
+                        entries: 7,
+                    },
+                ],
             },
             Response::Error {
                 message: "no such job".into(),

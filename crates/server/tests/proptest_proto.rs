@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use server::{
     decode_request, decode_response, encode_request, encode_response, Json, Request, Response,
-    SessionSpec, WireJobStatus, WireOutcome, WireSessionStats, WireStats,
+    SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireSessionStats, WireStats,
 };
 
 /// A string strategy that loves JSON metacharacters: quotes, backslashes,
@@ -57,10 +57,17 @@ fn session_spec() -> impl Strategy<Value = SessionSpec> {
         ),
         prop_oneof![Just(None), (1u64..16).prop_map(Some)],
         1u64..9,
-        prop_oneof![Just("F+R".to_string()), wire_string()],
+        (
+            prop_oneof![Just("F+R".to_string()), wire_string()],
+            prop_oneof![
+                Just(None),
+                Just(Some("LRU@4".to_string())),
+                wire_string().prop_map(Some),
+            ],
+        ),
     )
         .prop_map(
-            |(model, seed, (level, set, slice), cat, reps, reset)| SessionSpec {
+            |(model, seed, (level, set, slice), cat, reps, (reset, policy))| SessionSpec {
                 model,
                 seed,
                 level,
@@ -69,6 +76,7 @@ fn session_spec() -> impl Strategy<Value = SessionSpec> {
                 cat,
                 reps,
                 reset,
+                policy,
             },
         )
 }
@@ -110,18 +118,26 @@ fn job_status() -> impl Strategy<Value = WireJobStatus> {
         wire_string(),
         0u64..2,
         (0u64..1000, 0u64..5_000_000, 0u64..100_000),
+        // Arbitrary finite f64 values round-trip (Rust renders the shortest
+        // representation), but keep the strategy on human-shaped rates.
+        (0u64..=1000u64).prop_map(|thousandths| thousandths as f64 / 1000.0),
     )
         .prop_map(
-            |(id, state, detail, finished, (states, queries, millis))| WireJobStatus {
+            |(id, state, detail, finished, (states, queries, millis), hit_rate)| WireJobStatus {
                 id,
                 state,
                 detail,
                 finished: finished == 1,
                 states,
                 queries,
+                hit_rate,
                 millis,
             },
         )
+}
+
+fn namespace() -> impl Strategy<Value = WireNamespace> {
+    (wire_string(), 0u64..100_000).prop_map(|(name, entries)| WireNamespace { name, entries })
 }
 
 fn response() -> impl Strategy<Value = Response> {
@@ -129,14 +145,14 @@ fn response() -> impl Strategy<Value = Response> {
         (0u64..10, 0u64..100),
         (0u64..100_000, 0u64..100_000),
         (0u64..100_000, 0u64..10, 0u64..10),
-        (0u64..8, 1u64..9),
+        (0u64..8, 1u64..9, 0u64..50),
     )
         .prop_map(
             |(
                 (sessions_active, sessions_total),
                 (queries, store_hits),
                 (backend_queries, jobs_spawned, jobs_finished),
-                (busy_workers, workers),
+                (busy_workers, workers, store_conflicts),
             )| WireStats {
                 sessions_active,
                 sessions_total,
@@ -147,6 +163,7 @@ fn response() -> impl Strategy<Value = Response> {
                 jobs_finished,
                 busy_workers,
                 workers,
+                store_conflicts,
             },
         );
     prop_oneof![
@@ -162,15 +179,21 @@ fn response() -> impl Strategy<Value = Response> {
             .prop_map(|groups| Response::Batch { groups }),
         (0u64..100).prop_map(|id| Response::JobStarted { id }),
         job_status().prop_map(Response::JobStatus),
-        (stats, (0u64..1000, 0u64..1000)).prop_map(|(global, (queries, store_hits))| {
-            Response::Stats {
-                global,
-                session: WireSessionStats {
-                    queries,
-                    store_hits,
-                },
-            }
-        }),
+        (
+            stats,
+            (0u64..1000, 0u64..1000),
+            proptest::collection::vec(namespace(), 0..4),
+        )
+            .prop_map(|(global, (queries, store_hits), namespaces)| {
+                Response::Stats {
+                    global,
+                    session: WireSessionStats {
+                        queries,
+                        store_hits,
+                    },
+                    namespaces,
+                }
+            }),
         wire_string().prop_map(|message| Response::Error { message }),
         Just(Response::Bye),
     ]

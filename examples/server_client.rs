@@ -67,7 +67,8 @@ fn main() {
         id, done.states, done.queries, done.detail
     );
 
-    let (global, session) = client.stats().expect("stats");
+    let stats = client.stats().expect("stats");
+    let (global, session) = (stats.global, stats.session);
     println!(
         "served {} queries ({} from the shared store, hit rate {:.1}%), {} sessions",
         global.queries,
@@ -76,6 +77,12 @@ fn main() {
         global.sessions_total,
     );
     println!("this session asked {} queries", session.queries);
+    for namespace in &stats.namespaces {
+        println!(
+            "store namespace '{}': {} entries",
+            namespace.name, namespace.entries
+        );
+    }
 
     client.quit().expect("clean shutdown");
     second.quit().expect("clean shutdown");

@@ -57,6 +57,7 @@ fn run_example(name: &str, args: &[&str], stdin: Option<&str>) -> String {
 const COVERED: &[&str] = &[
     "leader_sets",
     "learn_hardware",
+    "learn_over_server",
     "learn_simulated",
     "mbl_repl",
     "quickstart",
@@ -116,6 +117,16 @@ fn synthesize_policy_runs() {
 fn leader_sets_runs() {
     let stdout = run_example("leader_sets", &["8"], None);
     assert!(stdout.contains("Thrashing"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn learn_over_server_runs() {
+    let stdout = run_example("learn_over_server", &["LRU", "2"], None);
+    assert!(
+        stdout.contains("byte-identical to the in-process run"),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("cached: true"), "stdout:\n{stdout}");
 }
 
 #[test]

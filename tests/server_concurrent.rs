@@ -165,12 +165,20 @@ fn stats_jobs_batch_and_repl_work_over_the_wire() {
     assert!(client.learn("CLAIRVOYANT@2").is_err());
 
     // Global metrics reflect the traffic of this session.
-    let (global, session) = client.stats().unwrap();
+    let stats = client.stats().unwrap();
+    let (global, session) = (stats.global, stats.session);
     assert!(global.queries >= 9);
     assert_eq!(global.jobs_spawned, 1);
     assert_eq!(global.jobs_finished, 1);
     assert_eq!(global.sessions_active, 1);
     assert!(session.queries >= 9);
+    // The stats response breaks the store down per namespace; this session
+    // only used the default hardware namespace plus the learn campaign's.
+    assert!(!stats.namespaces.is_empty());
+    assert!(stats
+        .namespaces
+        .iter()
+        .any(|ns| ns.name.starts_with("skylake seed=7") && ns.entries > 0));
 
     client.quit().unwrap();
     daemon.shutdown();
@@ -181,6 +189,54 @@ fn stats_jobs_batch_and_repl_work_over_the_wire() {
     let mut client = Client::connect(second.addr()).unwrap();
     assert_eq!(client.query("A?").unwrap().len(), 1);
     second.shutdown();
+}
+
+#[test]
+fn learn_campaigns_fill_the_store_sessions_read() {
+    // The store-integrated learn path: a `learn LRU@2` campaign runs through
+    // the daemon's shared query store, so a session targeting the same
+    // simulated policy afterwards replays the campaign's expansions straight
+    // from memory — cross-session hits, with zero backend executions.
+    let daemon = spawn(CqdConfig::default()).unwrap();
+    let mut client = Client::connect(daemon.addr()).unwrap();
+
+    let id = client.learn("LRU@2").unwrap();
+    let done = client.wait(id).unwrap();
+    assert_eq!(done.state, "done");
+    assert_eq!(done.states, 2);
+
+    // A fresh session targets the campaign's namespace and replays some of
+    // its expansions: the very first membership queries of the L* run touch
+    // the initial content (blocks A and B), so these prefixes are cached.
+    let mut replay = Client::connect(daemon.addr()).unwrap();
+    replay
+        .target(&SessionSpec {
+            policy: Some("LRU@2".into()),
+            ..SessionSpec::default()
+        })
+        .unwrap();
+    let results = replay.query("A?").unwrap();
+    assert!(
+        results[0].cached,
+        "the campaign's expansions must be served from the shared store"
+    );
+    assert_eq!(results[0].pattern, "H");
+
+    let stats = replay.stats().unwrap();
+    assert!(
+        stats.session.store_hits > 0,
+        "hit-rate must be > 0 for a session replaying the campaign"
+    );
+    assert!(stats
+        .namespaces
+        .iter()
+        .any(|ns| ns.name.starts_with("policy:LRU@2") && ns.entries > 0));
+    // The deterministic policy simulation never contradicts itself.
+    assert_eq!(stats.global.store_conflicts, 0);
+
+    client.quit().unwrap();
+    replay.quit().unwrap();
+    daemon.shutdown();
 }
 
 #[test]
