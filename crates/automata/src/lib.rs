@@ -52,6 +52,7 @@ mod explore;
 mod mealy;
 mod minimize;
 mod text;
+mod walk;
 
 pub use dot::to_dot;
 pub use equivalence::{
@@ -61,3 +62,4 @@ pub use explore::{explore, ExploreError, ExploreLimit};
 pub use mealy::{Mealy, MealyBuildError, MealyBuilder, StateId};
 pub use minimize::minimize;
 pub use text::{parse_mealy, render_mealy, TextFormatError};
+pub use walk::{random_walk_check, WalkDivergence};

@@ -1,0 +1,164 @@
+//! Random-walk differential checking: drive a [`Mealy`] machine and an
+//! arbitrary reference implementation with the same input stream and report
+//! the first output divergence.
+//!
+//! Exhaustive trace equivalence ([`crate::check_equivalence`]) needs the
+//! reference as a second machine; the walk only needs a *step function*, so
+//! it can compare a learned automaton directly against an executable
+//! simulator (the ground-truth policy of the conformance harness) without
+//! materializing the simulator's state space first.
+
+use std::fmt;
+
+use crate::mealy::Mealy;
+
+/// The first point where a walked machine and its reference disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkDivergence<I, O> {
+    /// Zero-based index of the diverging step.
+    pub step: usize,
+    /// The inputs fed so far, the diverging one last.
+    pub inputs: Vec<I>,
+    /// What the reference produced.
+    pub expected: O,
+    /// What the machine produced.
+    pub actual: O,
+}
+
+impl<I: fmt::Debug, O: fmt::Debug> fmt::Display for WalkDivergence<I, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: expected {:?}, got {:?} after {:?}",
+            self.step, self.expected, self.actual, self.inputs
+        )
+    }
+}
+
+/// Walks `machine` for `steps` random steps against a reference step
+/// function and returns the first divergence, or `None` if every output
+/// agreed.
+///
+/// * `reference` — the ground truth: consumes one input, returns its output
+///   (stateful; starts in the state corresponding to the machine's initial
+///   state);
+/// * `choose` — the input selector: given the alphabet size, returns the
+///   index of the next input.  Passing a seeded generator's `gen_range`
+///   makes the walk reproducible; the crate stays RNG-agnostic.
+///
+/// # Example
+///
+/// ```
+/// use automata::{explore, random_walk_check, ExploreLimit};
+///
+/// let m = explore(0u8, vec!["t"], |s, _| ((s + 1) % 3, (s + 1) % 3), ExploreLimit::default())
+///     .unwrap();
+/// let mut counter = 0u8;
+/// let reference = |_: &&str| {
+///     counter = (counter + 1) % 3;
+///     counter
+/// };
+/// assert!(random_walk_check(&m, reference, 100, |_| 0).is_none());
+/// ```
+pub fn random_walk_check<I, O>(
+    machine: &Mealy<I, O>,
+    mut reference: impl FnMut(&I) -> O,
+    steps: usize,
+    mut choose: impl FnMut(usize) -> usize,
+) -> Option<WalkDivergence<I, O>>
+where
+    I: Clone + Eq + std::hash::Hash + fmt::Debug,
+    O: Clone + Eq + fmt::Debug,
+{
+    let inputs = machine.inputs();
+    let mut state = machine.initial();
+    let mut history = Vec::new();
+    for step in 0..steps {
+        let input = &inputs[choose(inputs.len()) % inputs.len()];
+        history.push(input.clone());
+        let (next, actual) = machine.step(state, input);
+        let expected = reference(input);
+        if actual != expected {
+            return Some(WalkDivergence {
+                step,
+                inputs: history,
+                expected,
+                actual,
+            });
+        }
+        state = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreLimit};
+
+    fn counter_machine(modulus: u8) -> Mealy<&'static str, u8> {
+        explore(
+            0u8,
+            vec!["tick"],
+            |s, _| ((s + 1) % modulus, (s + 1) % modulus),
+            ExploreLimit::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn agreeing_walks_return_none() {
+        let m = counter_machine(5);
+        let mut counter = 0u8;
+        let result = random_walk_check(
+            &m,
+            |_| {
+                counter = (counter + 1) % 5;
+                counter
+            },
+            1000,
+            |n| 7 % n,
+        );
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn the_first_divergence_is_reported_exactly() {
+        // The reference wraps at 4 instead of 5: the machines agree for the
+        // first three ticks and diverge on the fourth (reference yields 0,
+        // machine yields 4).
+        let m = counter_machine(5);
+        let mut counter = 0u8;
+        let divergence = random_walk_check(
+            &m,
+            |_| {
+                counter = (counter + 1) % 4;
+                counter
+            },
+            1000,
+            |n| 3 % n,
+        )
+        .expect("modulus 4 and 5 counters must diverge");
+        assert_eq!(divergence.step, 3);
+        assert_eq!(divergence.inputs.len(), 4);
+        assert_eq!(divergence.expected, 0);
+        assert_eq!(divergence.actual, 4);
+        assert!(divergence.to_string().contains("step 3"));
+    }
+
+    #[test]
+    fn out_of_range_choices_are_wrapped() {
+        let m = counter_machine(2);
+        let mut counter = 0u8;
+        assert!(random_walk_check(
+            &m,
+            |_| {
+                counter = (counter + 1) % 2;
+                counter
+            },
+            10,
+            |_| usize::MAX,
+        )
+        .is_none());
+    }
+}

@@ -8,15 +8,19 @@
 //! cross-session hit-rate of the shared query store.
 //!
 //! Usage:
-//!   `loadgen [--mode queries|learn-remote]
+//!   `loadgen [--mode queries|learn-remote|noisy]
 //!            [--clients K] [--queries M] [--sets S] [--distinct D]
 //!            [--workers W] [--queue-depth Q] [--json PATH]
-//!            [--policy POLICY@ASSOC]`
+//!            [--policy POLICY@ASSOC] [--flip RATE]`
 //!
 //! `--mode queries` (the default) measures interactive query traffic;
 //! `--mode learn-remote` runs the same learning campaign in-process and over
 //! a loopback daemon (`polca::learn_policy` through a `RemoteBackend`) and
-//! reports the network overhead of distributed learning.
+//! reports the network overhead of distributed learning;
+//! `--mode noisy` drives the same overlapping workload against a
+//! fault-injecting policy session (`POLICY@ASSOC+noise(flip=…)`) and against
+//! its clean twin, reporting the voting overhead and the daemon's
+//! vote-margin statistics.
 //!
 //! Results are printed as a table and written as JSON (default
 //! `BENCH_server.json`) for regression tracking; the learn-remote record is
@@ -166,10 +170,150 @@ fn run_learn_remote(args: &Args) {
     merge_report(json_path, "learn_remote", report);
 }
 
+/// Drives `clients × queries` of the shared expression pool through one
+/// daemon session spec and returns the elapsed seconds.
+fn drive_clients(
+    addr: std::net::SocketAddr,
+    spec: &SessionSpec,
+    clients: usize,
+    queries: usize,
+) -> f64 {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("daemon accepts connections");
+                    client.target(spec).expect("valid target");
+                    let mut rng = Rng(0x9e37_79b9_7f4a_7c15 ^ (client_index as u64 + 1));
+                    for _ in 0..queries {
+                        let expr = expression(rng.next() % 64);
+                        let results = client.query(&expr).expect("well-formed MBL");
+                        assert_eq!(results.len(), 1, "pool expressions expand to one query");
+                    }
+                    client.quit().expect("clean disconnect");
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
+    });
+    started.elapsed().as_secs_f64()
+}
+
+/// The noisy mode: the overlapping workload against a fault-injecting
+/// policy session and its clean twin, plus the daemon's vote statistics.
+fn run_noisy(args: &Args) {
+    let clients: usize = args.value_or("clients", 4);
+    let queries: usize = args.value_or("queries", 200);
+    let policy = args.value_of("policy").unwrap_or("LRU@4");
+    let flip = args.value_of("flip").unwrap_or("0.05");
+    let json_path = args.value_of("json").unwrap_or("BENCH_server.json");
+    let noisy_policy = format!("{policy}+noise(flip={flip},seed=1)");
+
+    println!(
+        "loadgen: mode noisy, {clients} clients x {queries} queries, \
+         {noisy_policy} vs clean {policy}"
+    );
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    let addr = daemon.addr();
+
+    let clean_spec = SessionSpec {
+        policy: Some(policy.to_string()),
+        ..SessionSpec::default()
+    };
+    let clean_s = drive_clients(addr, &clean_spec, clients, queries);
+
+    let noisy_spec = SessionSpec {
+        policy: Some(noisy_policy.clone()),
+        ..SessionSpec::default()
+    };
+    let noisy_s = drive_clients(addr, &noisy_spec, clients, queries);
+    let mut probe = Client::connect(addr).expect("daemon accepts connections");
+    let stats = probe.stats().expect("stats are served");
+    probe.quit().expect("clean disconnect");
+    daemon.shutdown();
+
+    let total = (clients * queries) as f64;
+    let overhead = noisy_s / clean_s.max(1e-9);
+    let global = stats.global;
+    // The store amortizes voting out of the wall-clock (every repeated
+    // request is a hit), so the honest cost metric is executions per voted
+    // query — the effective repetition count of the novel traffic.  Only
+    // noisy queries vote (the clean policy runs at reps = 1), so the
+    // store-wide vote tally is exactly the noisy workload's.
+    let reps_per_vote = global.vote_executions as f64 / (global.votes.max(1)) as f64;
+    let mut table = TextTable::new(&[
+        "workload",
+        "queries",
+        "elapsed",
+        "queries/s",
+        "votes",
+        "escalated",
+        "unsettled",
+        "min margin",
+        "reps/vote",
+        "store hit-rate",
+    ]);
+    table.add_row(&[
+        policy.to_string(),
+        format!("{}", clients * queries),
+        format!("{clean_s:.3} s"),
+        format!("{:.0}", total / clean_s),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.add_row(&[
+        noisy_policy.clone(),
+        format!("{}", clients * queries),
+        format!("{noisy_s:.3} s"),
+        format!("{:.0}", total / noisy_s),
+        global.votes.to_string(),
+        global.vote_escalations.to_string(),
+        global.vote_unsettled.to_string(),
+        format!("{:.1}%", global.vote_min_margin_permille as f64 / 10.0),
+        format!("{reps_per_vote:.1}"),
+        format!("{:.1}%", 100.0 * global.hit_rate()),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "voting overhead: {reps_per_vote:.1} executions per voted query; \
+         wall-clock {overhead:.2}x vs clean (store-amortized)"
+    );
+
+    let report = Json::obj(vec![
+        ("policy", Json::str(&noisy_policy)),
+        ("clients", Json::num(clients as u64)),
+        ("queries_per_client", Json::num(queries as u64)),
+        ("clean_s", Json::Num(clean_s)),
+        ("noisy_s", Json::Num(noisy_s)),
+        ("wall_clock_overhead", Json::Num(overhead)),
+        ("executions_per_vote", Json::Num(reps_per_vote)),
+        ("votes", Json::num(global.votes)),
+        ("vote_escalations", Json::num(global.vote_escalations)),
+        ("vote_unsettled", Json::num(global.vote_unsettled)),
+        (
+            "vote_min_margin_permille",
+            Json::num(global.vote_min_margin_permille),
+        ),
+        ("store_hit_rate", Json::Num(global.hit_rate())),
+    ]);
+    merge_report(json_path, "noisy", report);
+}
+
 fn main() {
     let args = Args::from_env();
     if args.value_of("mode") == Some("learn-remote") {
         run_learn_remote(&args);
+        return;
+    }
+    if args.value_of("mode") == Some("noisy") {
+        run_noisy(&args);
         return;
     }
     let clients: usize = args.value_or("clients", 8);

@@ -265,7 +265,8 @@ impl Backend {
         self.query_loads
     }
 
-    /// Number of (repeated, majority-voted) queries executed so far.
+    /// Number of query executions so far: one per [`Backend::run_single`]
+    /// call, i.e. one per engine-level voting repetition.
     pub fn queries_run(&self) -> u64 {
         self.queries_run
     }
@@ -339,49 +340,26 @@ impl Backend {
         Ok(())
     }
 
-    /// Executes a concrete query (a sequence of memory operations on abstract
-    /// blocks) and returns the classified outcome of every profiled access,
-    /// together with a flag telling whether all repetitions agreed.
+    /// Executes a concrete query **once**: reset, replay, measure, classify.
+    ///
+    /// This is the raw single-measurement path — the *only* execution entry
+    /// point.  Repetition and majority voting live in `QueryEngine` (which
+    /// reads the count from [`QueryConfig::reps`](crate::QueryConfig::reps)),
+    /// so every backend shares one noise-handling implementation; run this
+    /// backend through an engine to get voted answers.
     ///
     /// # Errors
     ///
     /// Returns [`BackendError::NoTarget`] if no target is selected, or an
     /// address-selection error if the query uses more distinct blocks than can
     /// be bound.
-    pub fn run(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+    pub fn run_single(&mut self, query: &Query) -> Result<Vec<HitMiss>, BackendError> {
         if self.state.is_none() {
             return Err(BackendError::NoTarget);
         }
         self.ensure_blocks(query)?;
-
-        let repetitions = self.repetitions;
-        let mut votes: Vec<Vec<HitMiss>> = Vec::with_capacity(repetitions);
-        for _ in 0..repetitions {
-            votes.push(self.run_once(query));
-        }
         self.queries_run += 1;
-
-        let profiled = votes[0].len();
-        let mut outcome = Vec::with_capacity(profiled);
-        let mut consistent = true;
-        for i in 0..profiled {
-            let hits = votes.iter().filter(|v| v[i] == HitMiss::Hit).count();
-            let misses = repetitions - hits;
-            // A small minority of dissenting repetitions is attributed to
-            // stray measurement outliers (which the repetition/majority-vote
-            // design exists to absorb); larger splits indicate genuine
-            // nondeterminism (adaptive policies, wrong reset sequences).
-            let minority = hits.min(misses);
-            if minority * 4 > repetitions {
-                consistent = false;
-            }
-            outcome.push(if hits > misses {
-                HitMiss::Hit
-            } else {
-                HitMiss::Miss
-            });
-        }
-        Ok((outcome, consistent))
+        Ok(self.run_once(query))
     }
 
     /// Executes the reset sequence followed by the query once, returning raw
@@ -640,7 +618,9 @@ impl Backend {
 
 impl crate::engine::QueryBackend for Backend {
     fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
-        self.run(query)
+        // One raw measurement: the engine repeats and votes per
+        // `QueryConfig::reps`, so the backend must not vote on top.
+        self.run_single(query).map(|outcomes| (outcomes, true))
     }
 
     fn config(&self) -> Result<crate::engine::QueryConfig, BackendError> {
@@ -669,45 +649,54 @@ impl crate::engine::QueryBackend for Backend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::QueryEngine;
     use hardware::CpuModel;
     use mbl::expand_query;
 
-    fn backend(model: CpuModel) -> Backend {
-        Backend::new(SimulatedCpu::new(model, 99))
+    /// Backend tests drive the production path — a memoization-disabled
+    /// [`QueryEngine`], which performs the backend's `reps` majority vote —
+    /// so there is exactly one voting implementation in the crate.
+    fn engine(model: CpuModel) -> QueryEngine<Backend> {
+        let mut engine = QueryEngine::new(Backend::new(SimulatedCpu::new(model, 99)));
+        engine.set_memoize(false);
+        engine
     }
 
-    fn run_str(b: &mut Backend, q: &str) -> Vec<HitMiss> {
-        let assoc = b.associativity().unwrap();
+    fn run_str(e: &mut QueryEngine<Backend>, q: &str) -> Vec<HitMiss> {
+        let assoc = e.backend().associativity().unwrap();
         let queries = expand_query(q, assoc).unwrap();
         assert_eq!(queries.len(), 1, "test queries must expand to one query");
-        b.run(&queries[0]).unwrap().0
+        e.run(&queries[0]).unwrap().outcomes
     }
 
     #[test]
     fn l1_fill_and_probe_behaves_like_plru() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
-        b.select_target(Target::new(LevelId::L1, 5, 0)).unwrap();
+        let mut e = engine(CpuModel::SkylakeI5_6500);
+        e.backend_mut()
+            .select_target(Target::new(LevelId::L1, 5, 0))
+            .unwrap();
         // After the reset fill A..H, probing every block must hit.
-        let outcomes = run_str(&mut b, "(@)?");
+        let outcomes = run_str(&mut e, "(@)?");
         assert_eq!(outcomes, vec![HitMiss::Hit; 8]);
         // An extra block X misses, and probing X afterwards hits.
-        let outcomes = run_str(&mut b, "X? X?");
+        let outcomes = run_str(&mut e, "X? X?");
         assert_eq!(outcomes, vec![HitMiss::Miss, HitMiss::Hit]);
     }
 
     #[test]
     fn l1_eviction_is_observable() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
-        b.select_target(Target::new(LevelId::L1, 9, 0)).unwrap();
+        let mut e = engine(CpuModel::SkylakeI5_6500);
+        e.backend_mut()
+            .select_target(Target::new(LevelId::L1, 9, 0))
+            .unwrap();
         // Fill the 8-way set, access one more block: exactly one of the
         // original blocks must have been evicted.
-        let assoc = b.associativity().unwrap();
+        let assoc = e.backend().associativity().unwrap();
         let queries = expand_query("@ X _?", assoc).unwrap();
         assert_eq!(queries.len(), assoc);
         let mut misses = 0;
         for q in &queries {
-            let (outcome, _) = b.run(q).unwrap();
-            if outcome[0] == HitMiss::Miss {
+            if e.run(q).unwrap().outcomes[0] == HitMiss::Miss {
                 misses += 1;
             }
         }
@@ -716,28 +705,32 @@ mod tests {
 
     #[test]
     fn l2_target_sees_the_new1_policy_not_l1_hits() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
-        b.select_target(Target::new(LevelId::L2, 77, 0)).unwrap();
-        assert_eq!(b.associativity().unwrap(), 4);
+        let mut e = engine(CpuModel::SkylakeI5_6500);
+        e.backend_mut()
+            .select_target(Target::new(LevelId::L2, 77, 0))
+            .unwrap();
+        assert_eq!(e.backend().associativity().unwrap(), 4);
         // Without cache filtering these probes would all be L1 hits and the
         // query would be meaningless; with filtering the profiled accesses
         // reflect the L2 state: after filling A B C D, all four blocks are
         // cached.
-        let outcomes = run_str(&mut b, "(@)?");
+        let outcomes = run_str(&mut e, "(@)?");
         assert_eq!(outcomes, vec![HitMiss::Hit; 4]);
     }
 
     #[test]
     fn invalidation_tag_flushes_the_block() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
-        b.select_target(Target::new(LevelId::L1, 3, 0)).unwrap();
-        let outcomes = run_str(&mut b, "A A! A?");
+        let mut e = engine(CpuModel::SkylakeI5_6500);
+        e.backend_mut()
+            .select_target(Target::new(LevelId::L1, 3, 0))
+            .unwrap();
+        let outcomes = run_str(&mut e, "A A! A?");
         assert_eq!(outcomes, vec![HitMiss::Miss]);
     }
 
     #[test]
     fn target_validation_errors() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
+        let mut b = Backend::new(SimulatedCpu::new(CpuModel::SkylakeI5_6500, 99));
         assert!(matches!(
             b.select_target(Target::new(LevelId::L1, 64, 0)),
             Err(BackendError::SetOutOfRange { .. })
@@ -747,12 +740,12 @@ mod tests {
             Err(BackendError::SliceOutOfRange { .. })
         ));
         let q = expand_query("A?", 4).unwrap();
-        assert!(matches!(b.run(&q[0]), Err(BackendError::NoTarget)));
+        assert!(matches!(b.run_single(&q[0]), Err(BackendError::NoTarget)));
     }
 
     #[test]
     fn repetitions_are_forced_odd() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
+        let mut b = Backend::new(SimulatedCpu::new(CpuModel::SkylakeI5_6500, 99));
         b.set_repetitions(4);
         assert_eq!(b.repetitions(), 5);
         b.set_repetitions(0);
@@ -761,7 +754,7 @@ mod tests {
 
     #[test]
     fn cat_restricts_the_l3_target() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
+        let mut b = Backend::new(SimulatedCpu::new(CpuModel::SkylakeI5_6500, 99));
         b.apply_cat(4).unwrap();
         b.select_target(Target::new(LevelId::L3, 0, 0)).unwrap();
         assert_eq!(b.associativity().unwrap(), 4);
@@ -769,10 +762,12 @@ mod tests {
 
     #[test]
     fn blocks_beyond_the_initial_binding_are_bound_on_demand() {
-        let mut b = backend(CpuModel::SkylakeI5_6500);
-        b.select_target(Target::new(LevelId::L1, 1, 0)).unwrap();
+        let mut e = engine(CpuModel::SkylakeI5_6500);
+        e.backend_mut()
+            .select_target(Target::new(LevelId::L1, 1, 0))
+            .unwrap();
         // Block index 59 ("BH") is far beyond the initial binding of 48.
-        let outcomes = run_str(&mut b, "BH?");
+        let outcomes = run_str(&mut e, "BH?");
         assert_eq!(outcomes, vec![HitMiss::Miss]);
     }
 }

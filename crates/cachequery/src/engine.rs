@@ -113,6 +113,19 @@ pub trait QueryBackend: Send {
     ///
     /// Returns a [`BackendError`] if no target is configured yet.
     fn associativity(&self) -> Result<usize, BackendError>;
+
+    /// Whether [`QueryBackend::execute`] already accounts for repetition and
+    /// majority voting itself, so the engine must **not** repeat queries on
+    /// top of it.
+    ///
+    /// The default is `false`: `execute` is one raw measurement and the
+    /// engine performs the [`QueryConfig::reps`] majority vote.  A backend
+    /// that delegates to another engine — e.g. a remote `cqd` session whose
+    /// server-side engine votes — returns `true`, and the local engine
+    /// executes each query once and trusts the reported consistency flag.
+    fn handles_repetitions(&self) -> bool {
+        false
+    }
 }
 
 impl<B: QueryBackend + ?Sized> QueryBackend for Box<B> {
@@ -133,6 +146,60 @@ impl<B: QueryBackend + ?Sized> QueryBackend for Box<B> {
 
     fn associativity(&self) -> Result<usize, BackendError> {
         (**self).associativity()
+    }
+
+    fn handles_repetitions(&self) -> bool {
+        (**self).handles_repetitions()
+    }
+}
+
+/// Configuration of the engine's repetition/majority-vote layer (§4.3's
+/// noise handling, moved to the one place every backend shares).
+///
+/// For every concrete query the engine executes the backend
+/// [`QueryConfig::reps`] times and majority-votes each profiled access.  The
+/// *vote margin* of an access is `(winner − loser) / total` (1.0 for a
+/// unanimous vote, 0.0 for a tie); the query's margin is the minimum over
+/// its accesses.  While the margin stays below [`VoteConfig::margin_permille`] the
+/// engine *escalates*: it doubles the number of repetitions, up to
+/// [`VoteConfig::max_rounds`] rounds.  A query that never reaches the margin
+/// is reported with `consistent == false` — returned to the caller but never
+/// committed to the [`QueryStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteConfig {
+    /// Whether the engine votes at all.  Disabled, every query is executed
+    /// exactly once regardless of `reps` — the configuration the
+    /// noise-robustness tests use to prove that voting is load-bearing.
+    pub enabled: bool,
+    /// Minimum acceptable vote margin, in permille of the repetition count
+    /// (the default 500 accepts a winner with ≥ 75% of the votes, matching
+    /// the paper's "small minority of dissenting repetitions" rule).
+    pub margin_permille: u32,
+    /// Maximum number of voting rounds.  Round 1 executes `reps`
+    /// repetitions; every further round doubles the total, so a query is
+    /// executed at most `reps · 2^(max_rounds − 1)` times.  `0` is treated
+    /// as `1` (a vote always executes at least the base repetitions).
+    pub max_rounds: u32,
+}
+
+impl Default for VoteConfig {
+    fn default() -> Self {
+        VoteConfig {
+            enabled: true,
+            margin_permille: 500,
+            max_rounds: 5,
+        }
+    }
+}
+
+impl VoteConfig {
+    /// A configuration with voting switched off: one execution per query,
+    /// the backend's own consistency flag passed through.
+    pub fn disabled() -> Self {
+        VoteConfig {
+            enabled: false,
+            ..VoteConfig::default()
+        }
     }
 }
 
@@ -157,8 +224,13 @@ pub struct EngineStats {
     pub queries: u64,
     /// Concrete queries answered from the store.
     pub store_hits: u64,
-    /// Concrete queries the backend actually executed.
+    /// Concrete queries the backend answered (each counted once, however
+    /// many repetitions the vote needed).
     pub backend_queries: u64,
+    /// Raw backend executions, repetitions included — `backend_executions /
+    /// backend_queries` is the effective repetition count and the direct
+    /// measure of the voting overhead.
+    pub backend_executions: u64,
 }
 
 /// The single query path: exactly one [`QueryStore`] in front of one
@@ -177,6 +249,7 @@ pub struct QueryEngine<B> {
     /// namespace string per query.
     space: Option<(QueryConfig, StoreSpace)>,
     memoize: bool,
+    voting: VoteConfig,
     stats: EngineStats,
 }
 
@@ -187,6 +260,7 @@ impl<B: Clone> Clone for QueryEngine<B> {
             store: Arc::clone(&self.store),
             space: self.space.clone(),
             memoize: self.memoize,
+            voting: self.voting,
             stats: EngineStats::default(),
         }
     }
@@ -206,6 +280,7 @@ impl<B: QueryBackend> QueryEngine<B> {
             store,
             space: None,
             memoize: true,
+            voting: VoteConfig::default(),
             stats: EngineStats::default(),
         }
     }
@@ -251,6 +326,16 @@ impl<B: QueryBackend> QueryEngine<B> {
         self.memoize
     }
 
+    /// Replaces the repetition/majority-vote configuration.
+    pub fn set_vote_config(&mut self, voting: VoteConfig) {
+        self.voting = voting;
+    }
+
+    /// The current repetition/majority-vote configuration.
+    pub fn vote_config(&self) -> VoteConfig {
+        self.voting
+    }
+
     /// This engine's local work counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -281,9 +366,9 @@ impl<B: QueryBackend> QueryEngine<B> {
     }
 
     /// Runs a batch of concrete queries: everything the store knows is served
-    /// from memory, the rest goes to the backend in **one**
-    /// [`QueryBackend::execute_many`] call (a single round trip for remote
-    /// backends).
+    /// from memory, the rest goes to the backend in batched
+    /// [`QueryBackend::execute_many`] calls (one per voting repetition — a
+    /// single round trip for remote backends, which vote server-side).
     ///
     /// # Errors
     ///
@@ -320,7 +405,7 @@ impl<B: QueryBackend> QueryEngine<B> {
 
         if !missing.is_empty() {
             let to_run: Vec<Query> = missing.iter().map(|&i| queries[i].clone()).collect();
-            let executed = self.backend.execute_many(&to_run)?;
+            let executed = self.execute_voted(&to_run)?;
             self.stats.backend_queries += executed.len() as u64;
             for (&index, (outcomes, consistent)) in missing.iter().zip(executed) {
                 if let Some(space) = &space {
@@ -338,6 +423,135 @@ impl<B: QueryBackend> QueryEngine<B> {
         Ok(results
             .into_iter()
             .map(|r| r.expect("every query is answered"))
+            .collect())
+    }
+
+    /// Executes a batch on the backend with the engine's repetition /
+    /// majority-vote layer (see [`VoteConfig`]).
+    ///
+    /// The repetition count comes from the backend's own
+    /// [`QueryConfig::reps`] — the knob is honored here, in the one place
+    /// every backend shares, instead of inside each backend.  Backends that
+    /// [handle repetitions themselves](QueryBackend::handles_repetitions)
+    /// (remote engines) and `reps == 1` configurations are executed once,
+    /// with the backend's consistency flag passed through.
+    fn execute_voted(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        let voting = self.voting;
+        let reps = self.backend.config()?.reps;
+        if !voting.enabled || reps <= 1 || self.backend.handles_repetitions() {
+            let executed = self.backend.execute_many(queries)?;
+            self.stats.backend_executions += executed.len() as u64;
+            return Ok(executed);
+        }
+
+        /// Running tally of one query's repetitions.
+        struct Tally {
+            /// Hit votes per profiled access.
+            hits: Vec<u32>,
+            /// Repetitions executed.
+            reps: u32,
+            /// All repetitions reported a consistent execution and the same
+            /// number of profiled accesses.
+            well_formed: bool,
+        }
+
+        impl Tally {
+            fn add(&mut self, outcomes: &[HitMiss], rep_consistent: bool) {
+                if self.reps == 0 {
+                    self.hits = vec![0; outcomes.len()];
+                } else if outcomes.len() != self.hits.len() {
+                    self.well_formed = false;
+                    self.reps += 1;
+                    return;
+                }
+                for (votes, outcome) in self.hits.iter_mut().zip(outcomes) {
+                    if *outcome == HitMiss::Hit {
+                        *votes += 1;
+                    }
+                }
+                self.well_formed &= rep_consistent;
+                self.reps += 1;
+            }
+
+            /// Minimum vote margin across the profiled accesses, in permille
+            /// (1000 for unanimous or access-free queries).
+            fn margin_permille(&self) -> u64 {
+                let total = u64::from(self.reps);
+                self.hits
+                    .iter()
+                    .map(|&h| {
+                        let hits = u64::from(h);
+                        let misses = total - hits;
+                        (hits.abs_diff(misses)) * 1000 / total.max(1)
+                    })
+                    .min()
+                    .unwrap_or(1000)
+            }
+
+            fn majority(&self) -> Vec<HitMiss> {
+                let total = self.reps;
+                self.hits
+                    .iter()
+                    .map(|&h| {
+                        if 2 * h > total {
+                            HitMiss::Hit
+                        } else {
+                            HitMiss::Miss
+                        }
+                    })
+                    .collect()
+            }
+        }
+
+        let mut tallies: Vec<Tally> = (0..queries.len())
+            .map(|_| Tally {
+                hits: Vec::new(),
+                reps: 0,
+                well_formed: true,
+            })
+            .collect();
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut round_reps = reps;
+        let mut total_reps = 0usize;
+        let max_rounds = voting.max_rounds.max(1);
+        for round in 1..=max_rounds {
+            let subset: Vec<Query> = pending.iter().map(|&i| queries[i].clone()).collect();
+            for _ in 0..round_reps {
+                let executed = self.backend.execute_many(&subset)?;
+                self.stats.backend_executions += executed.len() as u64;
+                for (&index, (outcomes, rep_consistent)) in pending.iter().zip(executed) {
+                    tallies[index].add(&outcomes, rep_consistent);
+                }
+            }
+            total_reps += round_reps;
+            // Escalate only the queries whose vote is still too close; each
+            // round doubles their total repetition count.
+            pending.retain(|&index| {
+                let tally = &tallies[index];
+                tally.well_formed && tally.margin_permille() < u64::from(voting.margin_permille)
+            });
+            if pending.is_empty() || round == max_rounds {
+                break;
+            }
+            round_reps = total_reps;
+        }
+
+        Ok(tallies
+            .into_iter()
+            .map(|tally| {
+                let margin = tally.margin_permille();
+                let settled = tally.well_formed && margin >= u64::from(voting.margin_permille);
+                self.store.record_vote(
+                    margin,
+                    u64::from(tally.reps),
+                    u64::from(tally.reps) > reps as u64,
+                    settled,
+                );
+                (tally.majority(), settled)
+            })
             .collect())
     }
 

@@ -26,8 +26,11 @@ pub struct QueryStats {
     pub cache_hits: u64,
     /// Memory loads issued by the backend on behalf of queries.
     pub backend_loads: u64,
-    /// Queries the backend actually executed.
+    /// Queries the backend actually answered (each counted once, however
+    /// many repetitions the engine's majority vote needed).
     pub backend_queries: u64,
+    /// Raw backend executions, voting repetitions included.
+    pub backend_executions: u64,
 }
 
 /// The user-facing CacheQuery tool: target selection, MBL queries, and
@@ -119,9 +122,16 @@ impl CacheQuery {
         self.engine.backend_mut().set_reset_sequence(reset);
     }
 
-    /// Sets the number of repetitions per query.
+    /// Sets the number of repetitions per query (the engine executes each
+    /// novel query this many times and majority-votes; see
+    /// [`VoteConfig`](crate::VoteConfig)).
     pub fn set_repetitions(&mut self, repetitions: usize) {
         self.engine.backend_mut().set_repetitions(repetitions);
+    }
+
+    /// Replaces the engine's repetition/majority-vote configuration.
+    pub fn set_vote_config(&mut self, voting: crate::VoteConfig) {
+        self.engine.set_vote_config(voting);
     }
 
     /// Applies Intel CAT to the last-level cache.  No cache invalidation is
@@ -148,7 +158,8 @@ impl CacheQuery {
             queries: engine.queries,
             cache_hits: engine.store_hits,
             backend_loads: self.engine.backend().query_loads(),
-            backend_queries: self.engine.backend().queries_run(),
+            backend_queries: engine.backend_queries,
+            backend_executions: engine.backend_executions,
         }
     }
 

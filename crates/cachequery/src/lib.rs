@@ -49,14 +49,16 @@ mod backend;
 mod engine;
 mod frontend;
 mod leader;
+mod noise;
 mod repl;
 mod reset;
 mod store;
 
 pub use backend::{Backend, BackendError, Target};
-pub use engine::{EngineStats, QueryBackend, QueryConfig, QueryEngine, QueryOutcome};
+pub use engine::{EngineStats, QueryBackend, QueryConfig, QueryEngine, QueryOutcome, VoteConfig};
 pub use frontend::{CacheQuery, QueryStats};
 pub use leader::{detect_leader_sets, LeaderClass, LeaderReport, LeaderSetInfo};
+pub use noise::{NoiseSpec, NoiseStats, NoisyBackend, DEFAULT_NOISY_REPS};
 pub use repl::{execute_command, parse_command, process_command, Command, ReplSession, HELP_TEXT};
 pub use reset::ResetSequence;
-pub use store::{QueryStore, StoreSpace};
+pub use store::{QueryStore, StoreSpace, VoteStats};

@@ -1,0 +1,464 @@
+//! Deterministic fault injection: a [`NoisyBackend`] that corrupts the
+//! answers of any [`QueryBackend`] at configurable, seeded rates.
+//!
+//! The paper's hardware frontend only works because noisy timing
+//! measurements are repeated and majority-voted before they ever reach the
+//! learner (§5).  This module *manufactures* that noise reproducibly, so the
+//! voting layer of `QueryEngine` can be exercised, tested and benchmarked
+//! without real silicon:
+//!
+//! * **per-access classification flips** — a stray outlier turning a hit
+//!   into a miss (or vice versa);
+//! * **whole-query drops** — a measurement disturbed end to end (an
+//!   interrupt, a context switch): every profiled outcome is replaced by a
+//!   coin flip;
+//! * **spurious-eviction interference** — another core touching the set:
+//!   one genuinely-hitting access is demoted to a miss.
+//!
+//! Faults are drawn from a generator seeded by `(noise seed, query content,
+//! execution index)`: repeated executions of the *same* query see
+//! *different* faults (which is what makes majority voting effective), while
+//! the whole fault sequence is a pure function of the [`NoiseSpec`] — every
+//! run is reproducible.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cache::HitMiss;
+use mbl::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::backend::BackendError;
+use crate::engine::{QueryBackend, QueryConfig};
+
+/// Default repetition count of a [`NoisyBackend`]: high enough that a wrong
+/// majority at the fault rates this module targets (≤ 10%) is vanishingly
+/// rare once the engine's escalation kicks in.
+pub const DEFAULT_NOISY_REPS: usize = 7;
+
+/// Fault rates and seed of a [`NoisyBackend`], in permille (so the spec is
+/// exact, hashable, and renders byte-identically everywhere it appears —
+/// including store namespaces and the `cqd` session grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NoiseSpec {
+    /// Per-access probability of flipping the classification, in permille.
+    pub flip_permille: u32,
+    /// Per-query probability of a whole-query drop (every profiled outcome
+    /// replaced by a coin flip), in permille.
+    pub drop_permille: u32,
+    /// Per-query probability of a spurious eviction (one hitting access
+    /// demoted to a miss), in permille.
+    pub evict_permille: u32,
+    /// Seed of the fault stream.
+    pub seed: u64,
+}
+
+impl NoiseSpec {
+    /// A spec that only flips classifications, at `flip_permille`/1000 per
+    /// access.
+    pub fn flips(flip_permille: u32, seed: u64) -> Self {
+        NoiseSpec {
+            flip_permille,
+            drop_permille: 0,
+            evict_permille: 0,
+            seed,
+        }
+    }
+}
+
+impl std::fmt::Display for NoiseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "flip={},drop={},evict={},seed={}",
+            self.flip_permille, self.drop_permille, self.evict_permille, self.seed
+        )
+    }
+}
+
+/// Counts of the faults a [`NoisyBackend`] actually injected (shared across
+/// clones, so per-worker backends of a parallel run report whole-run
+/// totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoiseStats {
+    /// Raw query executions.
+    pub executions: u64,
+    /// Per-access classification flips injected.
+    pub flips: u64,
+    /// Whole-query drops injected.
+    pub drops: u64,
+    /// Spurious evictions injected.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct NoiseCounters {
+    executions: AtomicU64,
+    flips: AtomicU64,
+    drops: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A [`QueryBackend`] decorator injecting seeded, reproducible faults into
+/// the answers of any inner backend.
+///
+/// The decorated backend reports the inner backend's configuration with the
+/// noise spec folded into the backend identity (so noisy answers can never
+/// pollute a clean namespace) and with [`QueryConfig::reps`] raised to the
+/// decorator's repetition count — which is how the engine knows to
+/// majority-vote its answers.
+///
+/// `Clone` clones the inner backend and shares the fault counters; the fault
+/// *stream* of a clone is the same pure function of `(seed, query, execution
+/// index)`, so single-worker runs are byte-reproducible.
+#[derive(Debug, Clone)]
+pub struct NoisyBackend<B> {
+    inner: B,
+    spec: NoiseSpec,
+    reps: usize,
+    /// Executions of each query so far, keyed by the query's content hash:
+    /// a query's fault stream depends only on its own execution count, never
+    /// on what other queries ran in between.  (The map stays small — the
+    /// engine memoizes, so a query is executed at most a vote's worth of
+    /// times.)
+    executions: std::collections::HashMap<u64, u64>,
+    counters: Arc<NoiseCounters>,
+}
+
+impl<B> NoisyBackend<B> {
+    /// Decorates `inner` with fault injection per `spec`, at the default
+    /// repetition count ([`DEFAULT_NOISY_REPS`]).
+    pub fn new(inner: B, spec: NoiseSpec) -> Self {
+        NoisyBackend {
+            inner,
+            spec,
+            reps: DEFAULT_NOISY_REPS,
+            executions: std::collections::HashMap::new(),
+            counters: Arc::new(NoiseCounters::default()),
+        }
+    }
+
+    /// Overrides the repetition count the engine votes with.
+    pub fn with_repetitions(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// The fault specification.
+    pub fn spec(&self) -> NoiseSpec {
+        self.spec
+    }
+
+    /// The inner (fault-free) backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Faults injected so far (across all clones).
+    pub fn fault_stats(&self) -> NoiseStats {
+        NoiseStats {
+            executions: self.counters.executions.load(Ordering::Relaxed),
+            flips: self.counters.flips.load(Ordering::Relaxed),
+            drops: self.counters.drops.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configuration a noisy decoration of a backend with config
+    /// `inner` reports — exposed so servers can compute a session's store
+    /// namespace without building the backend.
+    pub fn config_for(inner: QueryConfig, spec: &NoiseSpec, reps: usize) -> QueryConfig {
+        QueryConfig {
+            backend: format!("noisy[{spec}] {}", inner.backend),
+            reps,
+            ..inner
+        }
+    }
+
+    /// The fault generator for the next execution of `query`: seeded from
+    /// `(noise seed, query content, per-query execution index)`, so the
+    /// stream is a pure function of the spec and each query's own history.
+    fn fault_rng(&mut self, query: &Query) -> StdRng {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        query.hash(&mut hasher);
+        let query_hash = hasher.finish();
+        let nth = self.executions.entry(query_hash).or_insert(0);
+        *nth += 1;
+        let mixed = self
+            .spec
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ query_hash
+            ^ nth.wrapping_mul(0xD134_2543_DE82_EF95);
+        StdRng::seed_from_u64(mixed)
+    }
+}
+
+fn roll(rng: &mut StdRng, permille: u32) -> bool {
+    permille > 0 && rng.next_u64() % 1000 < u64::from(permille)
+}
+
+impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        let (mut outcomes, consistent) = self.inner.execute(query)?;
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.fault_rng(query);
+
+        if roll(&mut rng, self.spec.drop_permille) {
+            // The whole measurement was disturbed: every profiled outcome is
+            // replaced by a coin flip.
+            for outcome in &mut outcomes {
+                *outcome = if rng.next_u64().is_multiple_of(2) {
+                    HitMiss::Hit
+                } else {
+                    HitMiss::Miss
+                };
+            }
+            self.counters.drops.fetch_add(1, Ordering::Relaxed);
+            return Ok((outcomes, consistent));
+        }
+        if roll(&mut rng, self.spec.evict_permille) {
+            // Spurious eviction: an interfering access pushed a block out, so
+            // one access that really hit is measured as a miss.
+            let hits: Vec<usize> = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| **o == HitMiss::Hit)
+                .map(|(i, _)| i)
+                .collect();
+            if !hits.is_empty() {
+                let victim = hits[rng.gen_range(0..hits.len())];
+                outcomes[victim] = HitMiss::Miss;
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for outcome in &mut outcomes {
+            if roll(&mut rng, self.spec.flip_permille) {
+                *outcome = match *outcome {
+                    HitMiss::Hit => HitMiss::Miss,
+                    HitMiss::Miss => HitMiss::Hit,
+                };
+                self.counters.flips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok((outcomes, consistent))
+    }
+
+    fn config(&self) -> Result<QueryConfig, BackendError> {
+        Ok(Self::config_for(
+            self.inner.config()?,
+            &self.spec,
+            self.reps,
+        ))
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        self.inner.associativity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::Target;
+    use cache::LevelId;
+    use mbl::{expand_query, Tag};
+
+    /// A deterministic inner backend: even blocks hit, odd blocks miss.
+    #[derive(Debug, Clone)]
+    struct ParityBackend;
+
+    impl QueryBackend for ParityBackend {
+        fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+            Ok((
+                query
+                    .iter()
+                    .filter(|op| op.tag == Some(Tag::Profile))
+                    .map(|op| {
+                        if op.block.0 % 2 == 0 {
+                            HitMiss::Hit
+                        } else {
+                            HitMiss::Miss
+                        }
+                    })
+                    .collect(),
+                true,
+            ))
+        }
+
+        fn config(&self) -> Result<QueryConfig, BackendError> {
+            Ok(QueryConfig {
+                backend: "parity".to_string(),
+                reset: "none".to_string(),
+                reps: 1,
+                target: Target::new(LevelId::L1, 0, 0),
+            })
+        }
+
+        fn associativity(&self) -> Result<usize, BackendError> {
+            Ok(4)
+        }
+    }
+
+    fn concrete(mbl: &str) -> Query {
+        expand_query(mbl, 4).unwrap().pop().unwrap()
+    }
+
+    #[test]
+    fn the_fault_stream_is_reproducible() {
+        let run = || {
+            let mut backend = NoisyBackend::new(ParityBackend, NoiseSpec::flips(300, 7));
+            let q = concrete("A? B? C? D?");
+            (0..20)
+                .map(|_| backend.execute(&q).unwrap().0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // And faults actually occur at a 30% flip rate over 80 accesses.
+        let mut backend = NoisyBackend::new(ParityBackend, NoiseSpec::flips(300, 7));
+        let q = concrete("A? B? C? D?");
+        for _ in 0..20 {
+            backend.execute(&q).unwrap();
+        }
+        let stats = backend.fault_stats();
+        assert_eq!(stats.executions, 20);
+        assert!(stats.flips > 0, "a 30% flip rate never fired in 80 draws");
+    }
+
+    #[test]
+    fn fault_streams_are_independent_of_query_order() {
+        // The nth execution of a query draws the same faults whether or not
+        // other queries ran in between: the stream is a pure function of
+        // (seed, query content, per-query execution index).
+        let spec = NoiseSpec::flips(300, 13);
+        let q = concrete("A? B? C?");
+        let alone: Vec<_> = {
+            let mut backend = NoisyBackend::new(ParityBackend, spec);
+            (0..5).map(|_| backend.execute(&q).unwrap().0).collect()
+        };
+        let interleaved: Vec<_> = {
+            let mut backend = NoisyBackend::new(ParityBackend, spec);
+            let other = concrete("D? E?");
+            (0..5)
+                .map(|_| {
+                    backend.execute(&other).unwrap();
+                    backend.execute(&q).unwrap().0
+                })
+                .collect()
+        };
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn repeated_executions_see_different_faults() {
+        let mut backend = NoisyBackend::new(ParityBackend, NoiseSpec::flips(500, 3));
+        let q = concrete("A? B? C? D?");
+        let answers: Vec<_> = (0..8).map(|_| backend.execute(&q).unwrap().0).collect();
+        assert!(
+            answers.iter().any(|a| a != &answers[0]),
+            "eight 50%-flipped executions all agreed — the fault stream is stuck"
+        );
+    }
+
+    #[test]
+    fn a_zero_rate_spec_is_transparent() {
+        let mut clean = ParityBackend;
+        let mut noisy = NoisyBackend::new(ParityBackend, NoiseSpec::flips(0, 9));
+        let q = concrete("A? B? C?");
+        assert_eq!(noisy.execute(&q).unwrap(), clean.execute(&q).unwrap());
+        assert_eq!(noisy.fault_stats().flips, 0);
+    }
+
+    #[test]
+    fn drops_randomize_and_evictions_only_demote() {
+        let mut backend = NoisyBackend::new(
+            ParityBackend,
+            NoiseSpec {
+                flip_permille: 0,
+                drop_permille: 0,
+                evict_permille: 1000,
+                seed: 1,
+            },
+        );
+        // Every execution suffers a spurious eviction: exactly one of the
+        // two true hits (A, C) is demoted; the true miss (B) never becomes
+        // a hit.
+        let q = concrete("A? B? C?");
+        for _ in 0..10 {
+            let (outcomes, _) = backend.execute(&q).unwrap();
+            assert_eq!(outcomes[1], HitMiss::Miss);
+            let demoted =
+                (outcomes[0] == HitMiss::Miss) as u32 + (outcomes[2] == HitMiss::Miss) as u32;
+            assert_eq!(demoted, 1, "exactly one hit is demoted per eviction");
+        }
+        assert_eq!(backend.fault_stats().evictions, 10);
+    }
+
+    #[test]
+    fn the_namespace_embeds_the_noise_spec() {
+        let spec = NoiseSpec {
+            flip_permille: 50,
+            drop_permille: 10,
+            evict_permille: 5,
+            seed: 42,
+        };
+        let backend = NoisyBackend::new(ParityBackend, spec).with_repetitions(9);
+        let config = backend.config().unwrap();
+        assert_eq!(
+            config.backend,
+            "noisy[flip=50,drop=10,evict=5,seed=42] parity"
+        );
+        assert_eq!(config.reps, 9);
+        assert_eq!(
+            config,
+            NoisyBackend::<ParityBackend>::config_for(
+                QueryBackend::config(&ParityBackend).unwrap(),
+                &spec,
+                9
+            )
+        );
+    }
+
+    #[test]
+    fn the_voted_engine_recovers_the_clean_answer() {
+        let mut clean_engine = QueryEngine::new(ParityBackend);
+        let mut noisy_engine =
+            QueryEngine::new(NoisyBackend::new(ParityBackend, NoiseSpec::flips(100, 11)));
+        for mblq in ["A? B?", "@ X _?", "C! D? A?"] {
+            let clean = clean_engine.query_mbl(mblq).unwrap();
+            let noisy = noisy_engine.query_mbl(mblq).unwrap();
+            for (c, n) in clean.iter().zip(&noisy) {
+                assert!(n.consistent, "vote did not settle for {}", n.rendered);
+                assert_eq!(n.outcomes, c.outcomes, "voting failed on {}", n.rendered);
+            }
+        }
+        let stats = noisy_engine.stats();
+        assert!(
+            stats.backend_executions >= stats.backend_queries * DEFAULT_NOISY_REPS as u64,
+            "the engine did not repeat noisy queries"
+        );
+        let votes = noisy_engine.store().vote_stats();
+        assert_eq!(votes.voted, stats.backend_queries);
+        assert_eq!(votes.unsettled, 0);
+        assert!(votes.min_margin_permille <= 1000);
+    }
+
+    #[test]
+    fn disabling_voting_lets_faults_through() {
+        let mut engine =
+            QueryEngine::new(NoisyBackend::new(ParityBackend, NoiseSpec::flips(500, 23)));
+        engine.set_vote_config(crate::VoteConfig::disabled());
+        engine.set_memoize(false);
+        let q = concrete("A? B? C? D?");
+        let answers: Vec<_> = (0..10).map(|_| engine.run(&q).unwrap().outcomes).collect();
+        assert!(
+            answers.iter().any(|a| a != &answers[0]),
+            "without voting, a 50% flip rate must be visible to the caller"
+        );
+        assert_eq!(engine.stats().backend_executions, 10, "one execution each");
+    }
+}

@@ -132,6 +132,61 @@ impl StoreSpace {
     }
 }
 
+/// Aggregate statistics of the engine-level majority votes recorded against
+/// a store (see `QueryEngine`'s `VoteConfig`): how many queries were voted,
+/// how many needed escalation, how many never settled, and the worst final
+/// vote margin observed — the noise dashboard `cqd stats` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteStats {
+    /// Queries that went through the engine's repetition vote.
+    pub voted: u64,
+    /// Backend executions those votes consumed (repetitions and escalations
+    /// included): `executions / voted` is the effective repetition count.
+    pub executions: u64,
+    /// Voted queries that needed at least one escalation round.
+    pub escalated: u64,
+    /// Voted queries whose margin never reached the threshold; their
+    /// (degraded) majority answer was returned but not stored.
+    pub unsettled: u64,
+    /// The smallest final vote margin observed, in permille (1000 until the
+    /// first vote is recorded).
+    pub min_margin_permille: u64,
+}
+
+impl Default for VoteStats {
+    fn default() -> Self {
+        VoteStats {
+            voted: 0,
+            executions: 0,
+            escalated: 0,
+            unsettled: 0,
+            min_margin_permille: 1000,
+        }
+    }
+}
+
+/// Atomic counterparts of [`VoteStats`].
+#[derive(Debug)]
+struct VoteCounters {
+    voted: AtomicU64,
+    executions: AtomicU64,
+    escalated: AtomicU64,
+    unsettled: AtomicU64,
+    min_margin_permille: AtomicU64,
+}
+
+impl Default for VoteCounters {
+    fn default() -> Self {
+        VoteCounters {
+            voted: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            escalated: AtomicU64::new(0),
+            unsettled: AtomicU64::new(0),
+            min_margin_permille: AtomicU64::new(1000),
+        }
+    }
+}
+
 /// A concurrent, namespaced memoization store for concrete query outcomes:
 /// the single caching layer every query path of this reproduction goes
 /// through.
@@ -157,6 +212,7 @@ impl StoreSpace {
 pub struct QueryStore {
     spaces: RwLock<HashMap<String, Arc<Space>>>,
     conflicts: Arc<AtomicU64>,
+    votes: VoteCounters,
 }
 
 impl QueryStore {
@@ -227,6 +283,45 @@ impl QueryStore {
     /// malformed.
     pub fn conflicts(&self) -> u64 {
         self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Records the outcome of one engine-level majority vote: its final
+    /// margin (permille), the backend executions it consumed, whether it
+    /// escalated past the base repetition count, and whether it settled
+    /// above the margin threshold.
+    pub fn record_vote(
+        &self,
+        margin_permille: u64,
+        executions: u64,
+        escalated: bool,
+        settled: bool,
+    ) {
+        self.votes.voted.fetch_add(1, Ordering::Relaxed);
+        self.votes
+            .executions
+            .fetch_add(executions, Ordering::Relaxed);
+        if escalated {
+            self.votes.escalated.fetch_add(1, Ordering::Relaxed);
+        }
+        if !settled {
+            self.votes.unsettled.fetch_add(1, Ordering::Relaxed);
+        }
+        self.votes
+            .min_margin_permille
+            .fetch_min(margin_permille, Ordering::Relaxed);
+    }
+
+    /// Aggregate vote-margin statistics recorded against this store — one
+    /// tally covering *every* engine sharing the store, pooled session
+    /// backends and learning campaigns alike.
+    pub fn vote_stats(&self) -> VoteStats {
+        VoteStats {
+            voted: self.votes.voted.load(Ordering::Relaxed),
+            executions: self.votes.executions.load(Ordering::Relaxed),
+            escalated: self.votes.escalated.load(Ordering::Relaxed),
+            unsettled: self.votes.unsettled.load(Ordering::Relaxed),
+            min_margin_permille: self.votes.min_margin_permille.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct backend configurations seen.

@@ -1,0 +1,192 @@
+//! Property-based tests of the noise-robustness layer: for random fault
+//! rates up to 10% and random short MBL expansions, the voted engine answer
+//! over a fault-injecting backend equals the fault-free backend answer, and
+//! the shared store never records a contradicted entry.
+//!
+//! The inner backend is a miniature policy-set simulation (the same shape as
+//! `polca::PolicySimBackend`, rebuilt here because `polca` sits above this
+//! crate), so the reference answers are exact and the only nondeterminism in
+//! the whole test is the seeded fault stream.
+
+use cache::{Block, CacheSet, HitMiss, LevelId};
+use cachequery::{
+    BackendError, NoiseSpec, NoisyBackend, QueryBackend, QueryConfig, QueryEngine, Target,
+};
+use mbl::{expand_query, render_query, BlockId, MemOp, Query, Tag};
+use policies::PolicyKind;
+use proptest::prelude::*;
+
+/// A deterministic cache-set backend running a named replacement policy from
+/// the canonical initial state, answering every query exactly.
+#[derive(Debug, Clone)]
+struct MiniSimBackend {
+    kind: PolicyKind,
+    template: CacheSet,
+}
+
+impl MiniSimBackend {
+    fn new(kind: PolicyKind, associativity: usize) -> Self {
+        let policy = kind.build(associativity).expect("supported associativity");
+        let template = CacheSet::filled(policy, (0..associativity as u64).map(Block::new));
+        MiniSimBackend { kind, template }
+    }
+}
+
+impl QueryBackend for MiniSimBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        let mut set = self.template.clone();
+        let mut outcomes = Vec::new();
+        for op in query {
+            let block = Block::new(u64::from(op.block.0));
+            match op.tag {
+                Some(Tag::Invalidate) => {
+                    set.invalidate(block);
+                }
+                tag => {
+                    let outcome = set.access(block).outcome();
+                    if tag == Some(Tag::Profile) {
+                        outcomes.push(outcome);
+                    }
+                }
+            }
+        }
+        Ok((outcomes, true))
+    }
+
+    fn config(&self) -> Result<QueryConfig, BackendError> {
+        Ok(QueryConfig {
+            backend: format!("minisim:{}@{}", self.kind, self.template.associativity()),
+            reset: "cc0".to_string(),
+            reps: 1,
+            target: Target::new(LevelId::L1, 0, 0),
+        })
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        Ok(self.template.associativity())
+    }
+}
+
+/// Repetition count of the voted runs: high enough that a wrong majority at
+/// 10% fault rates is out of reach of 64 seeded cases.
+const TEST_REPS: usize = 21;
+
+fn noise_strategy() -> impl Strategy<Value = NoiseSpec> {
+    (0u32..=100, 0u32..=100, 0u32..=100, 0u64..1_000_000).prop_map(
+        |(flip_permille, drop_permille, evict_permille, seed)| NoiseSpec {
+            flip_permille,
+            drop_permille,
+            evict_permille,
+            seed,
+        },
+    )
+}
+
+/// A random short MBL expression: a handful of concrete ops (blocks A–F,
+/// tagged or plain), optionally ending in the `_?` wildcard so some
+/// expressions expand to a whole batch of concrete queries.
+fn mbl_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec((0u32..6, 0usize..4), 1..7),
+        0u8..2,
+    )
+        .prop_map(|(ops, wildcard)| {
+            let wildcard = wildcard == 1;
+            let query: Query = ops
+                .into_iter()
+                .map(|(block, tag)| match tag {
+                    0 => MemOp::profiled(BlockId(block)),
+                    1 => MemOp::invalidate(BlockId(block)),
+                    _ => MemOp::access(BlockId(block)),
+                })
+                .collect();
+            let mut rendered = render_query(&query);
+            if wildcard {
+                rendered.push_str(" _?");
+            }
+            rendered
+        })
+}
+
+fn policy_strategy() -> impl Strategy<Value = (PolicyKind, usize)> {
+    proptest::sample::select(vec![
+        (PolicyKind::Lru, 4),
+        (PolicyKind::Fifo, 4),
+        (PolicyKind::Plru, 4),
+        (PolicyKind::SrripHp, 2),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: whatever faults are injected (any combination
+    /// of flips, drops and spurious evictions at rates ≤ 10%), the voted
+    /// engine answer equals the fault-free backend answer — and nothing
+    /// contradictory is ever committed to the store.
+    #[test]
+    fn voted_answers_equal_the_fault_free_answers(
+        (kind, assoc) in policy_strategy(),
+        noise in noise_strategy(),
+        exprs in proptest::collection::vec(mbl_strategy(), 1..5),
+    ) {
+        let mut clean = MiniSimBackend::new(kind, assoc);
+        let noisy = NoisyBackend::new(clean.clone(), noise).with_repetitions(TEST_REPS);
+        let mut engine = QueryEngine::new(noisy);
+
+        let mut voted_queries = 0u64;
+        for expr in &exprs {
+            let expanded = expand_query(expr, assoc).expect("generated MBL is well-formed");
+            let reference = clean.execute_many(&expanded).expect("exact simulation");
+            let answers = engine.query_mbl(expr).expect("noisy engine answers");
+            prop_assert_eq!(answers.len(), reference.len());
+            for (answer, (expected, _)) in answers.iter().zip(&reference) {
+                if !answer.from_cache {
+                    voted_queries += 1;
+                }
+                prop_assert_eq!(
+                    &answer.outcomes, expected,
+                    "voting failed to recover '{}' under {:?}", answer.rendered, noise
+                );
+            }
+        }
+
+        // Only agreed results were committed: replaying every expression is
+        // served from the store with the same (correct) answers.
+        for expr in &exprs {
+            for answer in engine.query_mbl(expr).expect("replay") {
+                prop_assert!(answer.from_cache, "settled answers must be memoized");
+            }
+        }
+        prop_assert_eq!(
+            engine.store().conflicts(), 0,
+            "a voted result contradicted the store"
+        );
+        let votes = engine.store().vote_stats();
+        prop_assert_eq!(votes.voted, voted_queries);
+        prop_assert_eq!(votes.unsettled, 0, "a vote failed to settle at 10% rates");
+    }
+
+    /// The voting layer is what the property above exercises: with voting
+    /// disabled and real fault rates, corrupted answers do reach the caller.
+    #[test]
+    fn without_voting_faults_reach_the_caller(seed in 0u64..1000) {
+        let clean = MiniSimBackend::new(PolicyKind::Lru, 4);
+        let noisy = NoisyBackend::new(clean, NoiseSpec::flips(400, seed));
+        let mut engine = QueryEngine::new(noisy);
+        engine.set_vote_config(cachequery::VoteConfig::disabled());
+        engine.set_memoize(false);
+        // 20 executions of a 4-access probe at a 40% flip rate: the odds of
+        // not seeing a single flip are (0.6)^80 ≈ 10^-18.
+        let q = &expand_query("A? B? C? D?", 4).unwrap()[0];
+        let reference = engine.run(q).unwrap().outcomes.clone();
+        let mut saw_disagreement = false;
+        for _ in 0..20 {
+            if engine.run(q).unwrap().outcomes != reference {
+                saw_disagreement = true;
+                break;
+            }
+        }
+        prop_assert!(saw_disagreement, "faults never surfaced without voting");
+    }
+}

@@ -34,7 +34,14 @@
 //!   query traffic;
 //! * [`identify_policy`] — matching a learned automaton against the library
 //!   of reference policies, up to the renaming of cache lines induced by the
-//!   reset sequence.
+//!   reset sequence;
+//! * [`NoisySimBackend`] / [`learn_noisy_policy`] — the noise-robustness
+//!   path: the exact simulation with seeded fault injection on top, learned
+//!   through the engine's repetition/majority vote (§5's noise handling,
+//!   manufactured deterministically);
+//! * [`conformance_walk`] — the differential harness: random-walk a learned
+//!   automaton against the ground-truth policy simulator and report the
+//!   first divergence.
 //!
 //! # Example: the §6 case study in one call
 //!
@@ -55,6 +62,7 @@
 #![deny(missing_docs)]
 
 mod cache_oracle;
+mod conformance;
 mod identify;
 mod job;
 mod membership;
@@ -64,11 +72,15 @@ mod sim_backend;
 pub use cache_oracle::{
     CacheOracle, CacheQueryOracle, CacheSession, ReplaySession, SimulatedCacheOracle,
 };
+pub use conformance::{
+    conformance_cases, conformance_walk, exact_learn_setup, ConformanceDivergence,
+    ConformanceReport,
+};
 pub use identify::{identify_policy, LinePermutation};
 pub use job::{spawn_learn_job, spawn_simulated_learn_job, JobResult, JobStatus, LearnJob};
 pub use membership::PolcaOracle;
 pub use pipeline::{
-    learn_hardware_policy, learn_policy, learn_simulated_policy, HardwareTarget, LearnOutcome,
-    LearnSetup,
+    learn_hardware_policy, learn_noisy_policy, learn_policy, learn_simulated_policy,
+    HardwareTarget, LearnOutcome, LearnSetup,
 };
-pub use sim_backend::PolicySimBackend;
+pub use sim_backend::{noisy_sim_backend, noisy_sim_config_for, NoisySimBackend, PolicySimBackend};

@@ -129,6 +129,37 @@ pub fn learn_simulated_policy(
     learn_policy(cache, setup)
 }
 
+/// Learns a named policy through a fault-injecting simulated backend
+/// ([`NoisySimBackend`](crate::NoisySimBackend)): the noise-robustness form
+/// of [`learn_simulated_policy`].
+///
+/// Every probe flows through a memoizing `QueryEngine` whose majority vote
+/// (repetitions + escalation, see `cachequery::VoteConfig`) must absorb the
+/// injected faults; at the rates the noise subsystem targets (≤ 10%) the
+/// learned automaton is byte-identical to the noise-free run, which
+/// `tests/learn_noisy.rs` pins.  The engine's `VoteConfig` is passed in
+/// explicitly so tests can also prove the *negative*: with
+/// `VoteConfig::disabled()` the same fault rates corrupt or abort the run.
+///
+/// # Errors
+///
+/// Returns an error if the policy does not support the associativity, or if
+/// learning fails (with voting disabled, the expected outcome).
+pub fn learn_noisy_policy(
+    kind: PolicyKind,
+    associativity: usize,
+    noise: cachequery::NoiseSpec,
+    voting: cachequery::VoteConfig,
+    setup: &LearnSetup,
+) -> Result<LearnOutcome, LearnError> {
+    let backend = crate::noisy_sim_backend(kind, associativity, noise)
+        .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
+    let mut engine = cachequery::QueryEngine::new(backend);
+    engine.set_vote_config(voting);
+    let oracle = CacheQueryOracle::from_engine(engine).map_err(LearnError::Oracle)?;
+    learn_policy(oracle, setup)
+}
+
 /// Configuration of a hardware learning run (§7).
 #[derive(Debug, Clone)]
 pub struct HardwareTarget {

@@ -10,9 +10,50 @@
 //! from, and vice versa.
 
 use cache::{Block, CacheSet, HitMiss};
-use cachequery::{BackendError, QueryConfig, Target};
+use cachequery::{BackendError, NoiseSpec, NoisyBackend, QueryConfig, Target};
 use mbl::{Query, Tag};
 use policies::{PolicyError, PolicyKind};
+
+/// A fault-injecting decoration of a [`PolicySimBackend`]: the §6 exact
+/// simulation with the §5 measurement noise layered on top, at seeded,
+/// reproducible rates (see [`cachequery::NoisyBackend`]).  This is the
+/// backend the noise-robustness tests learn through: the engine's majority
+/// vote must recover the exact noise-free automaton from it.
+pub type NoisySimBackend = NoisyBackend<PolicySimBackend>;
+
+/// Builds a [`NoisySimBackend`] for `kind` at `associativity` with the fault
+/// rates of `spec` (and the default noisy repetition count,
+/// [`cachequery::DEFAULT_NOISY_REPS`]).
+///
+/// # Errors
+///
+/// Returns an error if the policy does not support the associativity.
+pub fn noisy_sim_backend(
+    kind: PolicyKind,
+    associativity: usize,
+    spec: NoiseSpec,
+) -> Result<NoisySimBackend, PolicyError> {
+    Ok(NoisyBackend::new(
+        PolicySimBackend::new(kind, associativity)?,
+        spec,
+    ))
+}
+
+/// The memoization namespace of a [`NoisySimBackend`] built by
+/// [`noisy_sim_backend`] — exposed so servers can compute a noisy session's
+/// store namespace without building the backend.
+pub fn noisy_sim_config_for(
+    kind: PolicyKind,
+    associativity: usize,
+    spec: &NoiseSpec,
+    reps: usize,
+) -> QueryConfig {
+    NoisyBackend::<PolicySimBackend>::config_for(
+        PolicySimBackend::config_for(kind, associativity),
+        spec,
+        reps,
+    )
+}
 
 /// A deterministic cache-set backend running a named replacement policy.
 ///

@@ -458,4 +458,10 @@ impl QueryBackend for RemoteBackend {
     fn associativity(&self) -> Result<usize, BackendError> {
         Ok(self.resolved.assoc)
     }
+
+    fn handles_repetitions(&self) -> bool {
+        // The daemon's own engine performs the `reps` majority vote; voting
+        // again client-side would multiply every novel query's round trips.
+        true
+    }
 }

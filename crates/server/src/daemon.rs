@@ -35,12 +35,15 @@ use std::time::Duration;
 
 use cache::{HitMiss, LevelId};
 use cachequery::{
-    parse_command, Backend, Command, QueryBackend, QueryConfig, QueryEngine, QueryStore,
-    ResetSequence, StoreSpace, Target, HELP_TEXT,
+    parse_command, Backend, Command, NoiseSpec, QueryBackend, QueryConfig, QueryEngine, QueryStore,
+    ResetSequence, StoreSpace, Target, DEFAULT_NOISY_REPS, HELP_TEXT,
 };
 use hardware::{CpuModel, SimulatedCpu};
 use mbl::{expand_query, render_query, Query};
-use polca::{CacheQueryOracle, JobStatus, LearnJob, LearnSetup, PolicySimBackend};
+use polca::{
+    noisy_sim_backend, noisy_sim_config_for, CacheQueryOracle, JobStatus, LearnJob, LearnSetup,
+    NoisySimBackend, PolicySimBackend,
+};
 use policies::PolicyKind;
 
 use crate::metrics::ServerMetrics;
@@ -103,12 +106,16 @@ pub(crate) enum ResolvedBackend {
         cat: Option<usize>,
     },
     /// A bare simulated replacement policy (the §6 path, shared with
-    /// `learn` campaigns).
+    /// `learn` campaigns), optionally decorated with seeded fault injection
+    /// (the noise-robustness path).
     Policy {
         /// The policy.
         kind: PolicyKind,
         /// Its associativity.
         assoc: usize,
+        /// Fault rates plus the repetition count the engine votes with, for
+        /// `POLICY@ASSOC+noise(...)` specs.
+        noise: Option<(NoiseSpec, usize)>,
     },
 }
 
@@ -142,7 +149,10 @@ impl ResolvedSpec {
                 reps: self.reps,
                 target: self.target,
             },
-            ResolvedBackend::Policy { kind, assoc } => PolicySimBackend::config_for(*kind, *assoc),
+            ResolvedBackend::Policy { kind, assoc, noise } => match noise {
+                None => PolicySimBackend::config_for(*kind, *assoc),
+                Some((spec, reps)) => noisy_sim_config_for(*kind, *assoc, spec, *reps),
+            },
         }
     }
 }
@@ -156,14 +166,71 @@ fn parse_model(name: &str) -> Option<CpuModel> {
     }
 }
 
-/// Parses a `POLICY@ASSOC` spec against an associativity limit.
-pub(crate) fn parse_policy_spec(
-    spec: &str,
-    max_assoc: usize,
-) -> Result<(PolicyKind, usize), String> {
-    let (name, assoc) = spec
+/// Parses the `+noise(key=value,…)` suffix of a policy spec into a
+/// [`NoiseSpec`] plus the engine's repetition count.  Rates are fractions
+/// (`flip=0.05`), stored as permille; `seed` and `reps` are integers; every
+/// key is optional.
+fn parse_noise_args(args: &str) -> Result<(NoiseSpec, usize), String> {
+    let mut spec = NoiseSpec {
+        flip_permille: 0,
+        drop_permille: 0,
+        evict_permille: 0,
+        seed: 0,
+    };
+    let mut reps = DEFAULT_NOISY_REPS;
+    for part in args.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad noise argument '{part}' (expected key=value)"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let permille = || -> Result<u32, String> {
+            let rate: f64 = value
+                .parse()
+                .map_err(|_| format!("bad noise rate '{value}'"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("noise rate '{value}' outside [0, 1]"));
+            }
+            Ok((rate * 1000.0).round() as u32)
+        };
+        match key {
+            "flip" => spec.flip_permille = permille()?,
+            "drop" => spec.drop_permille = permille()?,
+            "evict" => spec.evict_permille = permille()?,
+            "seed" => {
+                spec.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad noise seed '{value}'"))?;
+            }
+            "reps" => {
+                reps = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad noise reps '{value}'"))?
+                    .max(1);
+            }
+            other => return Err(format!("unknown noise key '{other}'")),
+        }
+    }
+    Ok((spec, reps))
+}
+
+/// A parsed policy spec: the policy, its associativity, and the optional
+/// noise decoration (fault rates + engine repetition count).
+type PolicySpec = (PolicyKind, usize, Option<(NoiseSpec, usize)>);
+
+/// Parses a `POLICY@ASSOC[+noise(...)]` spec against an associativity limit.
+pub(crate) fn parse_policy_spec(spec: &str, max_assoc: usize) -> Result<PolicySpec, String> {
+    let (base, noise) = match spec.split_once("+noise(") {
+        None => (spec, None),
+        Some((base, rest)) => {
+            let args = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unterminated noise spec in '{spec}'"))?;
+            (base, Some(parse_noise_args(args)?))
+        }
+    };
+    let (name, assoc) = base
         .split_once('@')
-        .ok_or_else(|| format!("bad policy spec '{spec}' (expected POLICY@ASSOC)"))?;
+        .ok_or_else(|| format!("bad policy spec '{base}' (expected POLICY@ASSOC)"))?;
     let kind = name
         .trim()
         .parse::<PolicyKind>()
@@ -171,7 +238,7 @@ pub(crate) fn parse_policy_spec(
     let assoc: usize = assoc
         .trim()
         .parse()
-        .map_err(|_| format!("bad associativity in '{spec}'"))?;
+        .map_err(|_| format!("bad associativity in '{base}'"))?;
     if assoc == 0 || assoc > max_assoc {
         return Err(format!(
             "associativity {assoc} out of range (this server simulates policies up to {max_assoc})"
@@ -180,7 +247,7 @@ pub(crate) fn parse_policy_spec(
     if !kind.supports_associativity(assoc) {
         return Err(format!("{kind} does not support associativity {assoc}"));
     }
-    Ok((kind, assoc))
+    Ok((kind, assoc, noise))
 }
 
 pub(crate) fn resolve(spec: &SessionSpec) -> Result<ResolvedSpec, String> {
@@ -192,14 +259,18 @@ pub(crate) fn resolve_with_limits(
     max_policy_assoc: usize,
 ) -> Result<ResolvedSpec, String> {
     if let Some(policy) = &spec.policy {
-        // Policy sessions are fully described by POLICY@ASSOC: the simulation
-        // is exact (one canonical reset, no repetitions), and the hardware
-        // fields are ignored so that every client lands in the one namespace
-        // `learn` campaigns for the same policy fill.
-        let (kind, assoc) = parse_policy_spec(policy, max_policy_assoc)?;
-        let config = PolicySimBackend::config_for(kind, assoc);
+        // Policy sessions are fully described by POLICY@ASSOC (+ optional
+        // noise): the simulation is exact (one canonical reset; repetitions
+        // only when faults are injected), and the hardware fields are
+        // ignored so that every client lands in the one namespace `learn`
+        // campaigns for the same spec fill.
+        let (kind, assoc, noise) = parse_policy_spec(policy, max_policy_assoc)?;
+        let config = match &noise {
+            None => PolicySimBackend::config_for(kind, assoc),
+            Some((noise_spec, reps)) => noisy_sim_config_for(kind, assoc, noise_spec, *reps),
+        };
         return Ok(ResolvedSpec {
-            backend: ResolvedBackend::Policy { kind, assoc },
+            backend: ResolvedBackend::Policy { kind, assoc, noise },
             reset: ResetSequence::Custom(config.reset.clone()),
             reps: config.reps,
             target: config.target,
@@ -296,6 +367,7 @@ pub(crate) fn resolve_with_limits(
 enum AnyBackend {
     Hardware(Box<Backend>),
     Policy(PolicySimBackend),
+    Noisy(NoisySimBackend),
 }
 
 impl QueryBackend for AnyBackend {
@@ -303,6 +375,7 @@ impl QueryBackend for AnyBackend {
         match self {
             AnyBackend::Hardware(backend) => backend.execute(query),
             AnyBackend::Policy(backend) => backend.execute(query),
+            AnyBackend::Noisy(backend) => backend.execute(query),
         }
     }
 
@@ -310,6 +383,7 @@ impl QueryBackend for AnyBackend {
         match self {
             AnyBackend::Hardware(backend) => backend.config(),
             AnyBackend::Policy(backend) => backend.config(),
+            AnyBackend::Noisy(backend) => backend.config(),
         }
     }
 
@@ -317,6 +391,7 @@ impl QueryBackend for AnyBackend {
         match self {
             AnyBackend::Hardware(backend) => QueryBackend::associativity(backend),
             AnyBackend::Policy(backend) => backend.associativity(),
+            AnyBackend::Noisy(backend) => backend.associativity(),
         }
     }
 }
@@ -382,9 +457,16 @@ impl BackendPool {
                 }
                 AnyBackend::Hardware(Box::new(backend))
             }
-            ResolvedBackend::Policy { kind, assoc } => {
-                AnyBackend::Policy(PolicySimBackend::new(*kind, *assoc).map_err(|e| e.to_string())?)
-            }
+            ResolvedBackend::Policy { kind, assoc, noise } => match noise {
+                None => AnyBackend::Policy(
+                    PolicySimBackend::new(*kind, *assoc).map_err(|e| e.to_string())?,
+                ),
+                Some((noise_spec, reps)) => AnyBackend::Noisy(
+                    noisy_sim_backend(*kind, *assoc, *noise_spec)
+                        .map_err(|e| e.to_string())?
+                        .with_repetitions(*reps),
+                ),
+            },
         };
         // The engine shares the daemon-wide store: one memoization layer,
         // one source of hit-rate truth, across sessions, workers and learn
@@ -428,6 +510,7 @@ impl Shared {
     fn global_stats(&self) -> WireStats {
         let jobs = self.jobs.lock().expect("job table lock poisoned");
         let jobs_finished = jobs.values().filter(|j| j.status().is_terminal()).count() as u64;
+        let votes = self.store.vote_stats();
         WireStats {
             sessions_active: ServerMetrics::get(&self.metrics.sessions_active),
             sessions_total: ServerMetrics::get(&self.metrics.sessions_total),
@@ -439,6 +522,11 @@ impl Shared {
             busy_workers: ServerMetrics::get(&self.metrics.busy_workers),
             workers: self.config.workers as u64,
             store_conflicts: self.store.conflicts(),
+            votes: votes.voted,
+            vote_executions: votes.executions,
+            vote_escalations: votes.escalated,
+            vote_unsettled: votes.unsettled,
+            vote_min_margin_permille: votes.min_margin_permille,
         }
     }
 
@@ -861,9 +949,13 @@ fn handle_request(
                             "target: {} (model {}, seed {})",
                             spec.target, wire_spec.model, seed
                         ),
-                        ResolvedBackend::Policy { kind, assoc } => {
-                            format!("target: simulated policy {kind}@{assoc}")
-                        }
+                        ResolvedBackend::Policy { kind, assoc, noise } => match noise {
+                            None => format!("target: simulated policy {kind}@{assoc}"),
+                            Some((noise_spec, reps)) => format!(
+                                "target: simulated policy {kind}@{assoc} with noise \
+                                 [{noise_spec}] voted over {reps} repetitions"
+                            ),
+                        },
                     };
                     session.apply(wire_spec.clone(), spec, &shared.store);
                     Response::Done { message }
@@ -1051,36 +1143,55 @@ fn handle_repl(
 }
 
 fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
+    // The campaign's oracle runs through an engine over the daemon's shared
+    // store: every concrete query it issues lands in the same namespace
+    // `policy:` sessions (with the same noise spec) are served from.  Noisy
+    // campaigns vote: only settled majorities reach the store.
+    fn spawn_campaign<B>(
+        shared: &Arc<Shared>,
+        backend: B,
+        namespace: &str,
+        kind: PolicyKind,
+    ) -> Result<LearnJob, String>
+    where
+        B: QueryBackend + Clone + Send + 'static,
+    {
+        let engine = QueryEngine::with_store(backend, Arc::clone(&shared.store));
+        let space = shared.store.space(namespace);
+        let oracle = CacheQueryOracle::from_engine(engine).map_err(|e| e.to_string())?;
+        let setup = LearnSetup {
+            workers: shared.config.learn_workers,
+            ..LearnSetup::default()
+        };
+        Ok(polca::spawn_learn_job(
+            oracle,
+            vec![kind],
+            setup,
+            Some(space),
+        ))
+    }
+
     match parse_policy_spec(spec, shared.config.max_learn_assoc) {
-        Ok((kind, assoc)) => {
-            // The campaign's oracle runs through an engine over the daemon's
-            // shared store: every concrete query it issues lands in the same
-            // namespace `policy:` sessions are served from.
-            let backend = match PolicySimBackend::new(kind, assoc) {
-                Ok(backend) => backend,
-                Err(e) => {
-                    return Response::Error {
-                        message: e.to_string(),
-                    }
-                }
+        Ok((kind, assoc, noise)) => {
+            let job = match &noise {
+                None => PolicySimBackend::new(kind, assoc)
+                    .map_err(|e| e.to_string())
+                    .and_then(|backend| {
+                        let namespace = PolicySimBackend::config_for(kind, assoc).to_string();
+                        spawn_campaign(shared, backend, &namespace, kind)
+                    }),
+                Some((noise_spec, reps)) => noisy_sim_backend(kind, assoc, *noise_spec)
+                    .map_err(|e| e.to_string())
+                    .and_then(|backend| {
+                        let namespace =
+                            noisy_sim_config_for(kind, assoc, noise_spec, *reps).to_string();
+                        spawn_campaign(shared, backend.with_repetitions(*reps), &namespace, kind)
+                    }),
             };
-            let engine = QueryEngine::with_store(backend, Arc::clone(&shared.store));
-            let space = shared
-                .store
-                .space(&PolicySimBackend::config_for(kind, assoc).to_string());
-            let oracle = match CacheQueryOracle::from_engine(engine) {
-                Ok(oracle) => oracle,
-                Err(e) => {
-                    return Response::Error {
-                        message: e.to_string(),
-                    }
-                }
+            let job = match job {
+                Ok(job) => job,
+                Err(message) => return Response::Error { message },
             };
-            let setup = LearnSetup {
-                workers: shared.config.learn_workers,
-                ..LearnSetup::default()
-            };
-            let job = polca::spawn_learn_job(oracle, vec![kind], setup, Some(space));
             let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
             shared
                 .jobs
@@ -1286,7 +1397,8 @@ mod tests {
             resolved.backend,
             ResolvedBackend::Policy {
                 kind: PolicyKind::Plru,
-                assoc: 4
+                assoc: 4,
+                noise: None
             }
         ));
         for bad in ["PLRU", "PLRU@0", "PLRU@64", "PLRU@3", "CLAIRVOYANT@2"] {
@@ -1296,5 +1408,90 @@ mod tests {
             };
             assert!(resolve(&spec).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn noisy_policy_specs_resolve_and_validate() {
+        let spec = SessionSpec {
+            policy: Some("LRU@4+noise(flip=0.05,drop=0.01,seed=9,reps=5)".into()),
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&spec).unwrap();
+        let ResolvedBackend::Policy {
+            kind,
+            assoc,
+            noise: Some((noise, reps)),
+        } = resolved.backend
+        else {
+            panic!("noisy spec resolved to {:?}", resolved.backend);
+        };
+        assert_eq!((kind, assoc, reps), (PolicyKind::Lru, 4, 5));
+        assert_eq!(
+            noise,
+            NoiseSpec {
+                flip_permille: 50,
+                drop_permille: 10,
+                evict_permille: 0,
+                seed: 9,
+            }
+        );
+        // The engine votes with the spec's repetition count.
+        assert_eq!(resolved.reps, 5);
+        // Omitted keys default; reps defaults to the noisy default.
+        let spec = SessionSpec {
+            policy: Some("FIFO@2+noise(flip=0.1)".into()),
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&spec).unwrap();
+        assert_eq!(resolved.reps, DEFAULT_NOISY_REPS);
+
+        for bad in [
+            "LRU@4+noise(flip=0.05",
+            "LRU@4+noise(flip=2.0)",
+            "LRU@4+noise(flip=-0.1)",
+            "LRU@4+noise(warp=0.1)",
+            "LRU@4+noise(flip)",
+            "LRU@4+noise(seed=x)",
+        ] {
+            let spec = SessionSpec {
+                policy: Some(bad.into()),
+                ..SessionSpec::default()
+            };
+            assert!(resolve(&spec).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn noisy_session_configs_match_the_backends_own_namespace() {
+        // Same keystone as the clean paths: the namespace a noisy session
+        // computes must be byte-identical to what the pooled noisy engine
+        // derives from its backend, or voted answers and lookups never meet.
+        let spec = SessionSpec {
+            policy: Some("PLRU@4+noise(flip=0.05,evict=0.002,seed=3)".into()),
+            ..SessionSpec::default()
+        };
+        let resolved = resolve(&spec).unwrap();
+        let ResolvedBackend::Policy {
+            noise: Some((noise, reps)),
+            ..
+        } = &resolved.backend
+        else {
+            panic!("expected a noisy policy backend");
+        };
+        let backend = noisy_sim_backend(PolicyKind::Plru, 4, *noise)
+            .unwrap()
+            .with_repetitions(*reps);
+        assert_eq!(
+            resolved.config().to_string(),
+            backend.config().unwrap().to_string()
+        );
+        // Different noise specs are different namespaces (noise can never
+        // pollute the clean namespace).
+        let clean = resolve(&SessionSpec {
+            policy: Some("PLRU@4".into()),
+            ..SessionSpec::default()
+        })
+        .unwrap();
+        assert_ne!(resolved.config().to_string(), clean.config().to_string());
     }
 }

@@ -32,8 +32,11 @@ use crate::json::Json;
 /// Version history: 1 = the original PR 3 protocol; 2 = `policy` session
 /// specs, live `hit_rate` in job status, `store_conflicts` + per-namespace
 /// entry counts in `stats` (the additions are hard decode errors for a v1
-/// client, so the handshake must signal the change).
-pub const PROTOCOL_VERSION: u64 = 2;
+/// client, so the handshake must signal the change); 3 = noise-robustness —
+/// `+noise(...)` policy specs and the engine's vote-margin counters
+/// (`votes`, `vote_escalations`, `vote_unsettled`,
+/// `vote_min_margin_permille`) in `stats`.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,7 +79,10 @@ pub struct SessionSpec {
     /// Target a bare simulated replacement policy (`POLICY@ASSOC`, e.g.
     /// `LRU@4`) instead of a simulated machine.  When set, the hardware
     /// fields above are ignored and the session shares the query-store
-    /// namespace that `learn` campaigns for the same policy fill.
+    /// namespace that `learn` campaigns for the same policy fill.  An
+    /// optional `+noise(flip=R,drop=R,evict=R,seed=N,reps=N)` suffix (rates
+    /// as fractions, e.g. `LRU@4+noise(flip=0.05,seed=1)`) injects seeded
+    /// faults that the server-side engine absorbs by majority voting.
     pub policy: Option<String>,
 }
 
@@ -120,7 +126,9 @@ pub enum Request {
     },
     /// Start an asynchronous learning job.
     Learn {
-        /// `POLICY@ASSOC`, e.g. `LRU@2`.
+        /// `POLICY@ASSOC`, e.g. `LRU@2`, with the same optional
+        /// `+noise(...)` suffix as [`SessionSpec::policy`] for a
+        /// noise-robustness campaign.
         spec: String,
     },
     /// Poll the status of a learning job.
@@ -200,6 +208,21 @@ pub struct WireStats {
     /// Store recordings dropped because they contradicted an earlier answer
     /// or were malformed (the nondeterminism signal of §7.1).
     pub store_conflicts: u64,
+    /// Queries that went through the engine's repetition/majority vote —
+    /// session backends and learning campaigns alike (the tally lives on the
+    /// shared store).
+    pub votes: u64,
+    /// Backend executions those votes consumed (repetitions and escalations
+    /// included): `vote_executions / votes` is the effective repetition
+    /// count of the voted traffic.
+    pub vote_executions: u64,
+    /// Voted queries that needed at least one escalation round.
+    pub vote_escalations: u64,
+    /// Voted queries whose margin never settled (answered but not stored).
+    pub vote_unsettled: u64,
+    /// Worst final vote margin observed, in permille (1000 until the first
+    /// vote).
+    pub vote_min_margin_permille: u64,
 }
 
 /// One query-store namespace (a distinct backend configuration) and its
@@ -412,6 +435,14 @@ fn stats_to_json(stats: &WireStats) -> Json {
         ("busy_workers", Json::num(stats.busy_workers)),
         ("workers", Json::num(stats.workers)),
         ("store_conflicts", Json::num(stats.store_conflicts)),
+        ("votes", Json::num(stats.votes)),
+        ("vote_executions", Json::num(stats.vote_executions)),
+        ("vote_escalations", Json::num(stats.vote_escalations)),
+        ("vote_unsettled", Json::num(stats.vote_unsettled)),
+        (
+            "vote_min_margin_permille",
+            Json::num(stats.vote_min_margin_permille),
+        ),
     ])
 }
 
@@ -427,6 +458,11 @@ fn stats_from_json(value: &Json) -> Result<WireStats, ProtoError> {
         busy_workers: get_u64(value, "busy_workers")?,
         workers: get_u64(value, "workers")?,
         store_conflicts: get_u64(value, "store_conflicts")?,
+        votes: get_u64(value, "votes")?,
+        vote_executions: get_u64(value, "vote_executions")?,
+        vote_escalations: get_u64(value, "vote_escalations")?,
+        vote_unsettled: get_u64(value, "vote_unsettled")?,
+        vote_min_margin_permille: get_u64(value, "vote_min_margin_permille")?,
     })
 }
 
@@ -773,6 +809,11 @@ mod tests {
                     busy_workers: 0,
                     workers: 4,
                     store_conflicts: 2,
+                    votes: 40,
+                    vote_executions: 302,
+                    vote_escalations: 3,
+                    vote_unsettled: 1,
+                    vote_min_margin_permille: 333,
                 },
                 session: WireSessionStats {
                     queries: 10,

@@ -146,6 +146,12 @@ fn response() -> impl Strategy<Value = Response> {
         (0u64..100_000, 0u64..100_000),
         (0u64..100_000, 0u64..10, 0u64..10),
         (0u64..8, 1u64..9, 0u64..50),
+        (
+            (0u64..100_000, 0u64..1_000_000),
+            0u64..1000,
+            0u64..100,
+            0u64..=1000,
+        ),
     )
         .prop_map(
             |(
@@ -153,6 +159,12 @@ fn response() -> impl Strategy<Value = Response> {
                 (queries, store_hits),
                 (backend_queries, jobs_spawned, jobs_finished),
                 (busy_workers, workers, store_conflicts),
+                (
+                    (votes, vote_executions),
+                    vote_escalations,
+                    vote_unsettled,
+                    vote_min_margin_permille,
+                ),
             )| WireStats {
                 sessions_active,
                 sessions_total,
@@ -164,6 +176,11 @@ fn response() -> impl Strategy<Value = Response> {
                 busy_workers,
                 workers,
                 store_conflicts,
+                votes,
+                vote_executions,
+                vote_escalations,
+                vote_unsettled,
+                vote_min_margin_permille,
             },
         );
     prop_oneof![

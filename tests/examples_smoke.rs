@@ -57,6 +57,7 @@ fn run_example(name: &str, args: &[&str], stdin: Option<&str>) -> String {
 const COVERED: &[&str] = &[
     "leader_sets",
     "learn_hardware",
+    "learn_noisy",
     "learn_over_server",
     "learn_simulated",
     "mbl_repl",
@@ -97,6 +98,16 @@ fn learn_simulated_runs() {
         stdout.contains("learned machine is exactly LRU"),
         "stdout:\n{stdout}"
     );
+}
+
+#[test]
+fn learn_noisy_runs() {
+    let stdout = run_example("learn_noisy", &["LRU", "2", "50"], None);
+    assert!(
+        stdout.contains("byte-identical to the noise-free automaton"),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("zero divergences"), "stdout:\n{stdout}");
 }
 
 #[test]

@@ -240,6 +240,71 @@ fn learn_campaigns_fill_the_store_sessions_read() {
 }
 
 #[test]
+fn noisy_sessions_vote_their_way_to_the_clean_answers() {
+    // The noise-robustness path over the wire: a session targeting a
+    // fault-injecting policy backend gets answers byte-identical to the
+    // clean simulation — the daemon's engine votes server-side — and the
+    // vote-margin statistics show up in `stats`.
+    let daemon = spawn(CqdConfig::default()).unwrap();
+    let mut clean = Client::connect(daemon.addr()).unwrap();
+    clean
+        .target(&SessionSpec {
+            policy: Some("LRU@4".into()),
+            ..SessionSpec::default()
+        })
+        .unwrap();
+    let mut noisy = Client::connect(daemon.addr()).unwrap();
+    noisy
+        .target(&SessionSpec {
+            policy: Some("LRU@4+noise(flip=0.05,seed=3)".into()),
+            ..SessionSpec::default()
+        })
+        .unwrap();
+
+    for expr in EXPRESSIONS {
+        let reference = clean.query(expr).unwrap();
+        let voted = noisy.query(expr).unwrap();
+        assert_eq!(
+            render_answers(&voted),
+            render_answers(&reference),
+            "voting failed to recover the clean answers for '{expr}'"
+        );
+        // Noisy answers live in their own namespace: nothing the clean
+        // session executed can have pre-answered them.
+        assert!(voted.iter().all(|r| r.consistent));
+    }
+
+    let stats = noisy.stats().unwrap();
+    assert!(
+        stats.global.votes > 0,
+        "noisy queries must go through the vote"
+    );
+    assert!(stats.global.vote_min_margin_permille <= 1000);
+    assert_eq!(
+        stats.global.vote_unsettled, 0,
+        "5% flips must settle within the escalation budget"
+    );
+    assert!(stats
+        .namespaces
+        .iter()
+        .any(|ns| ns.name.starts_with("noisy[flip=50,") && ns.entries > 0));
+
+    // A noisy learn campaign reaches the same automaton as the clean one.
+    let clean_job = clean.learn("LRU@2").unwrap();
+    let noisy_job = clean.learn("LRU@2+noise(flip=0.05,seed=5)").unwrap();
+    let clean_done = clean.wait(clean_job).unwrap();
+    let noisy_done = clean.wait(noisy_job).unwrap();
+    assert_eq!(clean_done.state, "done");
+    assert_eq!(noisy_done.state, "done");
+    assert_eq!(noisy_done.states, clean_done.states);
+    assert_eq!(noisy_done.detail, "identified as LRU");
+
+    clean.quit().unwrap();
+    noisy.quit().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
 fn different_seeds_and_targets_do_not_share_answers() {
     let daemon = spawn(CqdConfig::default()).unwrap();
     let mut a = Client::connect(daemon.addr()).unwrap();
