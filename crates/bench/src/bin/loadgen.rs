@@ -8,10 +8,11 @@
 //! cross-session hit-rate of the shared query store.
 //!
 //! Usage:
-//!   `loadgen [--mode queries|learn-remote|noisy]
+//!   `loadgen [--mode queries|learn-remote|noisy|trace]
 //!            [--clients K] [--queries M] [--sets S] [--distinct D]
 //!            [--workers W] [--queue-depth Q] [--json PATH]
-//!            [--policy POLICY@ASSOC] [--flip RATE]`
+//!            [--policy POLICY@ASSOC] [--flip RATE]
+//!            [--accesses N] [--lines L] [--seed S]`
 //!
 //! `--mode queries` (the default) measures interactive query traffic;
 //! `--mode learn-remote` runs the same learning campaign in-process and over
@@ -20,7 +21,12 @@
 //! `--mode noisy` drives the same overlapping workload against a
 //! fault-injecting policy session (`POLICY@ASSOC+noise(flip=…)`) and against
 //! its clean twin, reporting the voting overhead and the daemon's
-//! vote-margin statistics.
+//! vote-margin statistics;
+//! `--mode trace` sweeps the daemon's `replay` endpoint — every
+//! deterministic policy × every trace generator — and then proves a whole
+//! learn-then-replay round trip: a `learn` campaign, `wait` for the machine,
+//! and a differential replay of the learned machine against its source
+//! simulator, entirely server-side.
 //!
 //! Results are printed as a table and written as JSON (default
 //! `BENCH_server.json`) for regression tracking; the learn-remote record is
@@ -28,7 +34,7 @@
 
 use std::time::Instant;
 
-use bench::{Args, TextTable};
+use bench::{merge_report, Args, TextTable};
 use cachequery::QueryEngine;
 use polca::{learn_policy, learn_simulated_policy, CacheQueryOracle, LearnSetup};
 use policies::PolicyKind;
@@ -63,34 +69,6 @@ fn percentile(sorted: &[u64], pct: usize) -> u64 {
         return 0;
     }
     sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
-}
-
-/// Writes `report` under `key` into the JSON file at `path`, preserving the
-/// other *records* (object-valued keys) an earlier run left there.
-/// Unparseable files and stale flat-format keys (pre-nesting loadgen wrote
-/// metrics at the top level) are dropped with a note, never silently.
-fn merge_report(path: &str, key: &str, report: Json) {
-    let existing = std::fs::read_to_string(path).ok();
-    let mut pairs: Vec<(String, Json)> = match existing.as_deref().map(Json::parse) {
-        None => Vec::new(),
-        Some(Ok(Json::Obj(pairs))) => pairs
-            .into_iter()
-            .filter(|(k, v)| {
-                let keep = k != key && matches!(v, Json::Obj(_));
-                if !keep && k != key {
-                    println!("note: dropping stale flat-format key '{k}' from {path}");
-                }
-                keep
-            })
-            .collect(),
-        Some(_) => {
-            println!("note: {path} did not parse as a JSON object; starting a fresh report");
-            Vec::new()
-        }
-    };
-    pairs.push((key.to_string(), report));
-    std::fs::write(path, Json::Obj(pairs).render() + "\n").expect("benchmark report is writable");
-    println!("wrote {path}");
 }
 
 /// The learn-remote mode: the same campaign in-process and over loopback.
@@ -306,6 +284,101 @@ fn run_noisy(args: &Args) {
     merge_report(json_path, "noisy", report);
 }
 
+/// The trace mode: the daemon's `replay` endpoint across every deterministic
+/// policy × generator, plus a full learn → wait → differential-replay round
+/// trip against the learned machine.
+fn run_trace(args: &Args) {
+    let accesses: u64 = args.value_or("accesses", 50_000);
+    let lines: u64 = args.value_or("lines", 256);
+    let seed: u64 = args.value_or("seed", 1);
+    let policy = args.value_of("policy").unwrap_or("LRU@2");
+    let json_path = args.value_of("json").unwrap_or("BENCH_trace.json");
+    let generators = ["sequential", "strided", "zipfian", "pointer-chase"];
+
+    println!("loadgen: mode trace, {accesses} accesses x {lines} lines per replay, seed {seed}");
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    let mut client = Client::connect(daemon.addr()).expect("daemon accepts connections");
+
+    let mut table = TextTable::new(&[
+        "policy",
+        "sequential",
+        "strided",
+        "zipfian",
+        "pointer-chase",
+    ]);
+    let mut rows = Vec::new();
+    let started = Instant::now();
+    let mut replayed = 0u64;
+    for kind in PolicyKind::ALL_DETERMINISTIC {
+        let spec = format!("{kind}@2");
+        let mut cells = vec![spec.clone()];
+        let mut rates = Vec::new();
+        for generator in generators {
+            let reply = client
+                .replay(&spec, generator, accesses, lines, seed, None)
+                .expect("replay request succeeds");
+            assert_eq!(reply.sim_hits + reply.sim_misses, reply.accesses);
+            replayed += reply.accesses;
+            let rate = reply.sim_hits as f64 / reply.accesses as f64;
+            cells.push(format!("{:.1}%", 100.0 * rate));
+            rates.push((generator, rate));
+        }
+        table.add_row(&cells);
+        rows.push((spec, rates));
+    }
+    let sweep_s = started.elapsed().as_secs_f64();
+    print!("{}", table.render());
+    println!(
+        "swept {} replays ({replayed} accesses) in {sweep_s:.3} s",
+        rows.len() * generators.len()
+    );
+
+    // The round trip the endpoint exists for: learn server-side, then replay
+    // the *learned machine* against its source simulator without the model
+    // ever leaving the daemon.
+    let job = client.learn(policy).expect("learn starts");
+    let status = client.wait(job).expect("campaign finishes");
+    assert_eq!(status.state, "done", "campaign failed: {}", status.detail);
+    let reply = client
+        .replay(policy, "zipfian", accesses, lines, seed, Some(job))
+        .expect("machine replay succeeds");
+    assert!(
+        !reply.diverged,
+        "learned {policy} diverged from its simulator: {}",
+        reply.divergence
+    );
+    assert_eq!(reply.sim_hits, reply.machine_hits);
+    println!(
+        "learned {policy} ({} states) replayed {} accesses with zero divergences",
+        reply.machine_states, reply.accesses
+    );
+
+    let report_rows: Vec<(String, Json)> = rows
+        .iter()
+        .map(|(spec, rates)| {
+            let pairs = rates
+                .iter()
+                .map(|(generator, rate)| (generator.to_string(), Json::Num(*rate)))
+                .collect();
+            (spec.clone(), Json::Obj(pairs))
+        })
+        .collect();
+    let report = Json::obj(vec![
+        ("accesses", Json::num(accesses)),
+        ("lines", Json::num(lines)),
+        ("seed", Json::num(seed)),
+        ("sweep_s", Json::Num(sweep_s)),
+        ("hit_rates", Json::Obj(report_rows)),
+        ("machine_campaign", Json::str(policy)),
+        ("machine_states", Json::num(reply.machine_states)),
+        ("machine_diverged", Json::Bool(reply.diverged)),
+    ]);
+    merge_report(json_path, "server_replay", report);
+
+    client.quit().expect("clean disconnect");
+    daemon.shutdown();
+}
+
 fn main() {
     let args = Args::from_env();
     if args.value_of("mode") == Some("learn-remote") {
@@ -314,6 +387,10 @@ fn main() {
     }
     if args.value_of("mode") == Some("noisy") {
         run_noisy(&args);
+        return;
+    }
+    if args.value_of("mode") == Some("trace") {
+        run_trace(&args);
         return;
     }
     let clients: usize = args.value_or("clients", 8);

@@ -131,6 +131,19 @@ impl LearnJob {
         }
     }
 
+    /// The learned machine, if the job has completed successfully — the
+    /// handle trace-replay consumers use to evaluate a finished campaign
+    /// without consuming the job.
+    ///
+    /// Returns `None` while the job is running and after a failure.
+    pub fn machine(&self) -> Option<policies::PolicyMealy> {
+        let outcome = self.state.outcome.lock().expect("job state lock poisoned");
+        match outcome.as_ref() {
+            Some((Ok((full, _)), _)) => Some(full.machine.clone()),
+            _ => None,
+        }
+    }
+
     /// Blocks until the job finishes and returns the full [`LearnOutcome`].
     ///
     /// # Errors
@@ -279,6 +292,20 @@ mod tests {
             }
             std::thread::sleep(Duration::from_millis(2));
         }
+        // The machine stays retrievable (non-destructively) after completion.
+        let machine = job.machine().expect("done jobs expose their machine");
+        assert_eq!(machine.num_states(), 2);
+        assert!(
+            job.machine().is_some(),
+            "machine() must not consume the job"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_expose_no_machine() {
+        let job = spawn_simulated_learn_job(PolicyKind::Plru, 3, LearnSetup::default());
+        assert!(job.status().is_terminal());
+        assert!(job.machine().is_none());
     }
 
     #[test]

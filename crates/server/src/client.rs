@@ -18,7 +18,7 @@ use mbl::{render_query, Query};
 use crate::daemon::{resolve_with_limits, ResolvedSpec};
 use crate::proto::{
     decode_response, encode_request, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
-    WireOutcome, WireSessionStats, WireStats,
+    WireOutcome, WireReplay, WireSessionStats, WireStats,
 };
 
 /// Errors surfaced by [`Client`] calls.
@@ -210,6 +210,36 @@ impl Client {
             spec: spec.to_string(),
         })? {
             Response::JobStarted { id } => Ok(id),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Replays a synthetic trace server-side against a policy simulator —
+    /// and, when `job` names a finished `learn` job, differentially against
+    /// its learned machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` response (bad
+    /// spec, unknown generator, unknown or unfinished job).
+    pub fn replay(
+        &mut self,
+        spec: &str,
+        generator: &str,
+        accesses: u64,
+        lines: u64,
+        seed: u64,
+        job: Option<u64>,
+    ) -> Result<WireReplay, ClientError> {
+        match self.roundtrip(&Request::Replay {
+            spec: spec.to_string(),
+            generator: generator.to_string(),
+            accesses,
+            lines,
+            seed,
+            job,
+        })? {
+            Response::Replay(replay) => Ok(replay),
             other => Self::unexpected(other),
         }
     }

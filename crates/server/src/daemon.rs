@@ -46,10 +46,12 @@ use polca::{
 };
 use policies::PolicyKind;
 
+use trace::{differential_replay, generate, replay_policy, GeneratorKind, TraceSpec};
+
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     decode_request, encode_response, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
-    WireOutcome, WireSessionStats, WireStats, PROTOCOL_VERSION,
+    WireOutcome, WireReplay, WireSessionStats, WireStats, PROTOCOL_VERSION,
 };
 
 /// Configuration of a daemon instance.
@@ -986,6 +988,14 @@ fn handle_request(
         }
         Request::Repl { line } => handle_repl(shared, work_tx, session, line),
         Request::Learn { spec } => handle_learn(shared, spec),
+        Request::Replay {
+            spec,
+            generator,
+            accesses,
+            lines,
+            seed,
+            job,
+        } => handle_replay(shared, spec, generator, *accesses, *lines, *seed, *job),
         Request::Job { id } => match job_status(shared, *id) {
             Some(status) => Response::JobStatus(status),
             None => Response::Error {
@@ -1203,6 +1213,126 @@ fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
         }
         Err(message) => Response::Error { message },
     }
+}
+
+/// Hard ceiling on server-side replay length: a million accesses keep a
+/// `replay` request comfortably in the low tens of milliseconds.
+const MAX_REPLAY_ACCESSES: u64 = 1_000_000;
+/// Hard ceiling on the replay working set (in cache lines).
+const MAX_REPLAY_LINES: u64 = 1 << 16;
+
+/// Serves a `replay` request: generates the trace server-side, replays it
+/// through the ground-truth simulator and — when `job` names a finished
+/// campaign — differentially through the learned machine, so a client can
+/// evaluate a learning result under traffic without ever downloading it.
+fn handle_replay(
+    shared: &Arc<Shared>,
+    spec: &str,
+    generator: &str,
+    accesses: u64,
+    lines: u64,
+    seed: u64,
+    job: Option<u64>,
+) -> Response {
+    let (kind, assoc, noise) = match parse_policy_spec(spec, shared.config.max_learn_assoc) {
+        Ok(parsed) => parsed,
+        Err(message) => return Response::Error { message },
+    };
+    if noise.is_some() {
+        return Response::Error {
+            message: "replay needs a deterministic ground truth; drop the +noise(...) suffix"
+                .to_string(),
+        };
+    }
+    let generator = match generator.parse::<GeneratorKind>() {
+        Ok(generator) => generator,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    let trace_spec = TraceSpec {
+        generator,
+        accesses: accesses.clamp(1, MAX_REPLAY_ACCESSES) as usize,
+        lines: lines.clamp(1, MAX_REPLAY_LINES) as usize,
+        seed,
+        ..TraceSpec::default()
+    };
+    // The machine is cloned out of the job table so the replay itself runs
+    // without holding the daemon-wide lock.
+    let machine = match job {
+        None => None,
+        Some(id) => {
+            let jobs = shared.jobs.lock().expect("job table lock poisoned");
+            let Some(job) = jobs.get(&id) else {
+                return Response::Error {
+                    message: format!("no such job: {id}"),
+                };
+            };
+            match job.machine() {
+                Some(machine) => Some(machine),
+                None => {
+                    return Response::Error {
+                        message: format!(
+                            "job {id} has no learned machine (still running or failed)"
+                        ),
+                    }
+                }
+            }
+        }
+    };
+    let trace = generate(&trace_spec);
+    let geometry = cache::CacheGeometry::new(assoc, 64, 1, 64);
+    let mut reply = WireReplay {
+        spec: format!("{kind}@{assoc}"),
+        generator: generator.name().to_string(),
+        accesses: 0,
+        sim_hits: 0,
+        sim_misses: 0,
+        sim_evictions: 0,
+        machine_states: 0,
+        machine_hits: 0,
+        machine_misses: 0,
+        diverged: false,
+        divergence: String::new(),
+    };
+    match machine {
+        None => {
+            let counts = match replay_policy(&trace, kind, geometry) {
+                Ok(counts) => counts,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            reply.accesses = counts.accesses;
+            reply.sim_hits = counts.hits;
+            reply.sim_misses = counts.misses;
+            reply.sim_evictions = counts.evictions;
+        }
+        Some(machine) => {
+            let report = match differential_replay(&trace, kind, geometry, &machine) {
+                Ok(report) => report,
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            };
+            reply.accesses = report.simulator.accesses;
+            reply.sim_hits = report.simulator.hits;
+            reply.sim_misses = report.simulator.misses;
+            reply.sim_evictions = report.simulator.evictions;
+            reply.machine_states = machine.num_states() as u64;
+            reply.machine_hits = report.machine.hits;
+            reply.machine_misses = report.machine.misses;
+            reply.diverged = !report.passed();
+            reply.divergence = report.divergence.map(|d| d.to_string()).unwrap_or_default();
+        }
+    }
+    Response::Replay(reply)
 }
 
 fn job_status(shared: &Arc<Shared>, id: u64) -> Option<WireJobStatus> {

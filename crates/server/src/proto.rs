@@ -16,6 +16,7 @@
 //! | `batch` | `exprs` | `batch` (groups per expression) |
 //! | `repl` | `line` (REPL command string) | `done` or `outcomes` |
 //! | `learn` | `spec` (`POLICY@ASSOC`) | `job` (id) |
+//! | `replay` | `spec`, `generator`, `accesses`, `lines`, `seed`, `job`? | `replay` |
 //! | `job` | `id` | `status` |
 //! | `wait` | `id` | `status`* … `status` (`final: true`) |
 //! | `stats` | — | `stats` (global + session + store namespaces) |
@@ -35,8 +36,10 @@ use crate::json::Json;
 /// client, so the handshake must signal the change); 3 = noise-robustness —
 /// `+noise(...)` policy specs and the engine's vote-margin counters
 /// (`votes`, `vote_escalations`, `vote_unsettled`,
-/// `vote_min_margin_permille`) in `stats`.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// `vote_min_margin_permille`) in `stats`; 4 = trace replay — the `replay`
+/// command evaluates a policy (and optionally the learned machine of a
+/// finished `learn` job) under synthetic memory traffic server-side.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,6 +133,26 @@ pub enum Request {
         /// `+noise(...)` suffix as [`SessionSpec::policy`] for a
         /// noise-robustness campaign.
         spec: String,
+    },
+    /// Replay a synthetic trace against a policy simulator — and, when
+    /// `job` names a finished learning job, differentially against its
+    /// learned machine.
+    Replay {
+        /// `POLICY@ASSOC`, e.g. `LRU@2` (noise suffixes are rejected:
+        /// replay needs a deterministic ground truth).
+        spec: String,
+        /// Trace generator name (`sequential`, `strided`, `zipfian`,
+        /// `pointer-chase`).
+        generator: String,
+        /// Number of accesses to generate (clamped server-side).
+        accesses: u64,
+        /// Working-set size in cache lines (clamped server-side).
+        lines: u64,
+        /// Generator seed.
+        seed: u64,
+        /// Id of a finished `learn` job whose machine should be replayed
+        /// differentially against the simulator.
+        job: Option<u64>,
     },
     /// Poll the status of a learning job.
     Job {
@@ -246,6 +269,34 @@ impl WireStats {
     }
 }
 
+/// Result of a server-side trace replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReplay {
+    /// The policy spec that was replayed.
+    pub spec: String,
+    /// The trace generator that produced the traffic.
+    pub generator: String,
+    /// Accesses replayed through the simulator.
+    pub accesses: u64,
+    /// Simulator hits.
+    pub sim_hits: u64,
+    /// Simulator misses.
+    pub sim_misses: u64,
+    /// Simulator evictions.
+    pub sim_evictions: u64,
+    /// States of the learned machine replayed differentially (0 when the
+    /// request named no job and only the simulator ran).
+    pub machine_states: u64,
+    /// Learned-machine hits (0 without a machine).
+    pub machine_hits: u64,
+    /// Learned-machine misses (0 without a machine).
+    pub machine_misses: u64,
+    /// Whether simulator and machine disagreed on any access.
+    pub diverged: bool,
+    /// Rendered first divergence (empty when none).
+    pub divergence: String,
+}
+
 /// Counters of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireSessionStats {
@@ -289,6 +340,8 @@ pub enum Response {
     },
     /// A learning-job status line.
     JobStatus(WireJobStatus),
+    /// Result of a `replay` request.
+    Replay(WireReplay),
     /// Metrics reply.
     Stats {
         /// Daemon-wide counters.
@@ -488,6 +541,22 @@ pub fn encode_request(request: &Request) -> String {
         Request::Learn { spec } => {
             Json::obj(vec![("cmd", Json::str("learn")), ("spec", Json::str(spec))])
         }
+        Request::Replay {
+            spec,
+            generator,
+            accesses,
+            lines,
+            seed,
+            job,
+        } => Json::obj(vec![
+            ("cmd", Json::str("replay")),
+            ("spec", Json::str(spec)),
+            ("generator", Json::str(generator)),
+            ("accesses", Json::num(*accesses)),
+            ("lines", Json::num(*lines)),
+            ("seed", Json::num(*seed)),
+            ("job", job.map_or(Json::Null, Json::num)),
+        ]),
         Request::Job { id } => Json::obj(vec![("cmd", Json::str("job")), ("id", Json::num(*id))]),
         Request::Wait { id } => Json::obj(vec![("cmd", Json::str("wait")), ("id", Json::num(*id))]),
         Request::Stats => Json::obj(vec![("cmd", Json::str("stats"))]),
@@ -532,6 +601,20 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
         "learn" => Ok(Request::Learn {
             spec: get_str(&value, "spec")?,
         }),
+        "replay" => {
+            let job = match value.get("job") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| err("'job' must be an integer"))?),
+            };
+            Ok(Request::Replay {
+                spec: get_str(&value, "spec")?,
+                generator: get_str(&value, "generator")?,
+                accesses: get_u64(&value, "accesses")?,
+                lines: get_u64(&value, "lines")?,
+                seed: get_u64(&value, "seed")?,
+                job,
+            })
+        }
         "job" => Ok(Request::Job {
             id: get_u64(&value, "id")?,
         }),
@@ -588,6 +671,20 @@ pub fn encode_response(response: &Response) -> String {
             pairs.extend(status_to_json(status));
             Json::obj(pairs)
         }
+        Response::Replay(replay) => Json::obj(vec![
+            ("resp", Json::str("replay")),
+            ("spec", Json::str(&replay.spec)),
+            ("generator", Json::str(&replay.generator)),
+            ("accesses", Json::num(replay.accesses)),
+            ("sim_hits", Json::num(replay.sim_hits)),
+            ("sim_misses", Json::num(replay.sim_misses)),
+            ("sim_evictions", Json::num(replay.sim_evictions)),
+            ("machine_states", Json::num(replay.machine_states)),
+            ("machine_hits", Json::num(replay.machine_hits)),
+            ("machine_misses", Json::num(replay.machine_misses)),
+            ("diverged", Json::Bool(replay.diverged)),
+            ("divergence", Json::str(&replay.divergence)),
+        ]),
         Response::Stats {
             global,
             session,
@@ -677,6 +774,19 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             id: get_u64(&value, "id")?,
         }),
         "status" => Ok(Response::JobStatus(status_from_json(&value)?)),
+        "replay" => Ok(Response::Replay(WireReplay {
+            spec: get_str(&value, "spec")?,
+            generator: get_str(&value, "generator")?,
+            accesses: get_u64(&value, "accesses")?,
+            sim_hits: get_u64(&value, "sim_hits")?,
+            sim_misses: get_u64(&value, "sim_misses")?,
+            sim_evictions: get_u64(&value, "sim_evictions")?,
+            machine_states: get_u64(&value, "machine_states")?,
+            machine_hits: get_u64(&value, "machine_hits")?,
+            machine_misses: get_u64(&value, "machine_misses")?,
+            diverged: get_bool(&value, "diverged")?,
+            divergence: get_str(&value, "divergence")?,
+        })),
         "stats" => {
             let global = value
                 .get("global")
@@ -744,6 +854,22 @@ mod tests {
             Request::Learn {
                 spec: "LRU@2".into(),
             },
+            Request::Replay {
+                spec: "PLRU@4".into(),
+                generator: "zipfian".into(),
+                accesses: 100_000,
+                lines: 256,
+                seed: 7,
+                job: None,
+            },
+            Request::Replay {
+                spec: "LRU@2".into(),
+                generator: "pointer-chase".into(),
+                accesses: 5000,
+                lines: 64,
+                seed: 1,
+                job: Some(2),
+            },
             Request::Job { id: 3 },
             Request::Wait { id: 9 },
             Request::Stats,
@@ -796,6 +922,32 @@ mod tests {
                 queries: 7569,
                 hit_rate: 0.75,
                 millis: 31,
+            }),
+            Response::Replay(WireReplay {
+                spec: "LRU@2".into(),
+                generator: "strided".into(),
+                accesses: 100_000,
+                sim_hits: 61_000,
+                sim_misses: 39_000,
+                sim_evictions: 39_000,
+                machine_states: 2,
+                machine_hits: 61_000,
+                machine_misses: 39_000,
+                diverged: false,
+                divergence: String::new(),
+            }),
+            Response::Replay(WireReplay {
+                spec: "MRU@4".into(),
+                generator: "sequential".into(),
+                accesses: 10,
+                sim_hits: 1,
+                sim_misses: 9,
+                sim_evictions: 9,
+                machine_states: 0,
+                machine_hits: 0,
+                machine_misses: 0,
+                diverged: true,
+                divergence: "access 3 (0xc0 in set 3): simulator Hit, machine Miss".into(),
             }),
             Response::Stats {
                 global: WireStats {

@@ -6,7 +6,8 @@ use proptest::prelude::*;
 
 use server::{
     decode_request, decode_response, encode_request, encode_response, Json, Request, Response,
-    SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireSessionStats, WireStats,
+    SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireReplay, WireSessionStats,
+    WireStats,
 };
 
 /// A string strategy that loves JSON metacharacters: quotes, backslashes,
@@ -89,6 +90,22 @@ fn request() -> impl Strategy<Value = Request> {
         proptest::collection::vec(wire_string(), 0..4).prop_map(|exprs| Request::Batch { exprs }),
         wire_string().prop_map(|line| Request::Repl { line }),
         wire_string().prop_map(|spec| Request::Learn { spec }),
+        (
+            wire_string(),
+            wire_string(),
+            (0u64..1_000_000, 0u64..100_000, 0u64..1000),
+            prop_oneof![Just(None), (0u64..100).prop_map(Some)],
+        )
+            .prop_map(|(spec, generator, (accesses, lines, seed), job)| {
+                Request::Replay {
+                    spec,
+                    generator,
+                    accesses,
+                    lines,
+                    seed,
+                    job,
+                }
+            }),
         (0u64..100).prop_map(|id| Request::Job { id }),
         (0u64..100).prop_map(|id| Request::Wait { id }),
         Just(Request::Stats),
@@ -138,6 +155,42 @@ fn job_status() -> impl Strategy<Value = WireJobStatus> {
 
 fn namespace() -> impl Strategy<Value = WireNamespace> {
     (wire_string(), 0u64..100_000).prop_map(|(name, entries)| WireNamespace { name, entries })
+}
+
+fn wire_replay() -> impl Strategy<Value = WireReplay> {
+    (
+        (wire_string(), wire_string()),
+        (
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+        ),
+        (0u64..300, 0u64..1_000_000, 0u64..1_000_000),
+        0u64..2,
+        wire_string(),
+    )
+        .prop_map(
+            |(
+                (spec, generator),
+                (accesses, sim_hits, sim_misses, sim_evictions),
+                (machine_states, machine_hits, machine_misses),
+                diverged,
+                divergence,
+            )| WireReplay {
+                spec,
+                generator,
+                accesses,
+                sim_hits,
+                sim_misses,
+                sim_evictions,
+                machine_states,
+                machine_hits,
+                machine_misses,
+                diverged: diverged == 1,
+                divergence,
+            },
+        )
 }
 
 fn response() -> impl Strategy<Value = Response> {
@@ -196,6 +249,7 @@ fn response() -> impl Strategy<Value = Response> {
             .prop_map(|groups| Response::Batch { groups }),
         (0u64..100).prop_map(|id| Response::JobStarted { id }),
         job_status().prop_map(Response::JobStatus),
+        wire_replay().prop_map(Response::Replay),
         (
             stats,
             (0u64..1000, 0u64..1000),

@@ -1,0 +1,326 @@
+//! Seeded synthetic trace generators.
+//!
+//! Every generator is a pure function of `(seed, params)`: the same
+//! [`TraceSpec`] always yields the byte-identical trace, on every platform,
+//! because the only randomness source is the vendored deterministic
+//! `StdRng`.  That property is what makes replay results — hit-rate tables,
+//! divergence reports, CI pins — reproducible from a 5-field spec instead
+//! of a gigabyte file.
+//!
+//! The four shapes cover the classic cache-evaluation corners (the same
+//! quartet the trace-driven ML-caching evaluations in PAPERS.md sweep):
+//!
+//! * **sequential** — a streaming scan over the working set; pure capacity
+//!   pressure, the thrashing workload set-dueling exists to survive.
+//! * **strided** — a constant line stride, the access pattern of column
+//!   walks and strided numerical kernels.
+//! * **zipfian** — line popularity follows a Zipf law (few hot lines, a
+//!   long cold tail), the standard model of key-value and CDN traffic.
+//! * **pointer-chase** — a seeded random Hamiltonian cycle over the working
+//!   set, the dependent-load pattern of linked-list traversals (and of
+//!   eviction-set probes).
+
+use std::fmt;
+use std::str::FromStr;
+
+use cache::PhysAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::format::Trace;
+
+/// The four synthetic workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneratorKind {
+    /// Streaming scan: line `i mod lines`.
+    Sequential,
+    /// Constant stride: line `(i * stride) mod lines`.
+    Strided,
+    /// Zipf-distributed line popularity over a seeded line permutation.
+    Zipfian,
+    /// A seeded single-cycle random permutation walked like a linked list.
+    PointerChase,
+}
+
+impl GeneratorKind {
+    /// All generators, in sweep order.
+    pub const ALL: [GeneratorKind; 4] = [
+        GeneratorKind::Sequential,
+        GeneratorKind::Strided,
+        GeneratorKind::Zipfian,
+        GeneratorKind::PointerChase,
+    ];
+
+    /// Canonical lowercase name (`sequential`, `strided`, `zipfian`,
+    /// `pointer-chase`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::Sequential => "sequential",
+            GeneratorKind::Strided => "strided",
+            GeneratorKind::Zipfian => "zipfian",
+            GeneratorKind::PointerChase => "pointer-chase",
+        }
+    }
+}
+
+impl fmt::Display for GeneratorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for an unknown generator name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownGenerator(pub String);
+
+impl fmt::Display for UnknownGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown trace generator '{}'", self.0)
+    }
+}
+
+impl std::error::Error for UnknownGenerator {}
+
+impl FromStr for GeneratorKind {
+    type Err = UnknownGenerator;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "sequential" | "seq" => Ok(GeneratorKind::Sequential),
+            "strided" | "stride" => Ok(GeneratorKind::Strided),
+            "zipfian" | "zipf" => Ok(GeneratorKind::Zipfian),
+            "pointer-chase" | "chase" => Ok(GeneratorKind::PointerChase),
+            _ => Err(UnknownGenerator(s.to_string())),
+        }
+    }
+}
+
+/// Complete parameterization of one synthetic trace.
+///
+/// Two equal specs generate byte-identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Which workload shape to generate.
+    pub generator: GeneratorKind,
+    /// Number of accesses.
+    pub accesses: usize,
+    /// Working-set size in distinct cache lines (must be positive).
+    pub lines: usize,
+    /// Line stride of the strided generator (ignored by the others).
+    pub stride: usize,
+    /// Zipf exponent `s` in permille (800 = the classic 0.8; ignored by the
+    /// non-Zipfian generators).
+    pub zipf_s_permille: u32,
+    /// RNG seed for the stochastic generators (ignored by sequential and
+    /// strided, which are deterministic even without it).
+    pub seed: u64,
+    /// Line size in bytes; consecutive working-set lines are `line_size`
+    /// apart, so they spread across consecutive cache sets.
+    pub line_size: u64,
+    /// Base physical address of working-set line 0.
+    pub base: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            generator: GeneratorKind::Sequential,
+            accesses: 10_000,
+            lines: 256,
+            stride: 3,
+            zipf_s_permille: 800,
+            seed: 1,
+            line_size: 64,
+            base: 0,
+        }
+    }
+}
+
+/// Generates the trace described by `spec`.
+///
+/// # Panics
+///
+/// Panics if `lines` is zero, if `line_size` is not a power of two, or if
+/// the working set would wrap the 2^63 address boundary (the replay engine
+/// reserves addresses with the top bit set for its priming blocks).
+pub fn generate(spec: &TraceSpec) -> Trace {
+    assert!(spec.lines > 0, "working set must have at least one line");
+    assert!(
+        spec.line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
+    let span = (spec.lines as u64).saturating_mul(spec.line_size);
+    assert!(
+        spec.base.saturating_add(span) < (1u64 << 63),
+        "working set must stay below the 2^63 priming-address boundary"
+    );
+    let addr = |line: usize| PhysAddr(spec.base + line as u64 * spec.line_size);
+    let accesses = match spec.generator {
+        GeneratorKind::Sequential => (0..spec.accesses).map(|i| addr(i % spec.lines)).collect(),
+        GeneratorKind::Strided => {
+            let stride = spec.stride.max(1);
+            (0..spec.accesses)
+                .map(|i| addr((i.wrapping_mul(stride)) % spec.lines))
+                .collect()
+        }
+        GeneratorKind::Zipfian => zipfian(spec, addr),
+        GeneratorKind::PointerChase => pointer_chase(spec, addr),
+    };
+    Trace::new(accesses)
+}
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Zipf sampling by inversion of the precomputed CDF: rank `r` has weight
+/// `1 / (r+1)^s`.  Ranks are mapped onto lines through a seeded permutation
+/// so the hot lines scatter across cache sets instead of clustering at the
+/// bottom of the working set.
+fn zipfian(spec: &TraceSpec, addr: impl Fn(usize) -> PhysAddr) -> Vec<PhysAddr> {
+    let s = spec.zipf_s_permille as f64 / 1000.0;
+    let mut cdf = Vec::with_capacity(spec.lines);
+    let mut total = 0.0f64;
+    for rank in 0..spec.lines {
+        total += 1.0 / ((rank + 1) as f64).powf(s);
+        cdf.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5a1f_5a1f_5a1f_5a1f);
+    let perm = permutation(spec.lines, &mut rng);
+    (0..spec.accesses)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            let rank = cdf.partition_point(|&c| c < u).min(spec.lines - 1);
+            addr(perm[rank])
+        })
+        .collect()
+}
+
+/// Sattolo's algorithm: a uniform random *single-cycle* permutation, so the
+/// chase visits every working-set line before repeating — the worst case
+/// for any recency-based policy once the set overflows the cache.
+fn pointer_chase(spec: &TraceSpec, addr: impl Fn(usize) -> PhysAddr) -> Vec<PhysAddr> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xc4a5_ec4a_5ec4_a5ec);
+    let mut next: Vec<usize> = (0..spec.lines).collect();
+    for i in (1..spec.lines).rev() {
+        let j = rng.gen_range(0..i);
+        next.swap(i, j);
+    }
+    let mut cursor = 0usize;
+    (0..spec.accesses)
+        .map(|_| {
+            let here = cursor;
+            cursor = next[cursor];
+            addr(here)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn spec(generator: GeneratorKind) -> TraceSpec {
+        TraceSpec {
+            generator,
+            accesses: 4096,
+            lines: 64,
+            ..TraceSpec::default()
+        }
+    }
+
+    #[test]
+    fn generators_are_pure_functions_of_the_spec() {
+        for kind in GeneratorKind::ALL {
+            let a = generate(&spec(kind));
+            let b = generate(&spec(kind));
+            assert_eq!(a, b, "{kind} is not deterministic");
+            let other_seed = generate(&TraceSpec {
+                seed: 2,
+                ..spec(kind)
+            });
+            if matches!(kind, GeneratorKind::Zipfian | GeneratorKind::PointerChase) {
+                assert_ne!(a, other_seed, "{kind} ignores its seed");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scans_the_working_set() {
+        let trace = generate(&TraceSpec {
+            accesses: 6,
+            lines: 3,
+            ..TraceSpec::default()
+        });
+        let lines: Vec<u64> = trace.accesses().iter().map(|a| a.0 / 64).collect();
+        assert_eq!(lines, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn strided_wraps_modulo_the_working_set() {
+        let trace = generate(&TraceSpec {
+            generator: GeneratorKind::Strided,
+            accesses: 5,
+            lines: 4,
+            stride: 3,
+            ..TraceSpec::default()
+        });
+        let lines: Vec<u64> = trace.accesses().iter().map(|a| a.0 / 64).collect();
+        assert_eq!(lines, vec![0, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_but_covers_the_set() {
+        let trace = generate(&spec(GeneratorKind::Zipfian));
+        let mut counts = vec![0usize; 64];
+        for a in trace.accesses() {
+            counts[(a.0 / 64) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        // The hottest line dominates the mean by a wide margin under s=0.8.
+        assert!(max > 3 * trace.len() / 64, "no skew: max={max}");
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 32);
+    }
+
+    #[test]
+    fn pointer_chase_is_a_single_cycle() {
+        let lines = 64;
+        let trace = generate(&TraceSpec {
+            generator: GeneratorKind::PointerChase,
+            accesses: lines,
+            lines,
+            ..TraceSpec::default()
+        });
+        // One full lap visits every line exactly once.
+        let distinct: HashSet<u64> = trace.accesses().iter().map(|a| a.0).collect();
+        assert_eq!(distinct.len(), lines);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in GeneratorKind::ALL {
+            assert_eq!(kind.name().parse::<GeneratorKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "ZIPF".parse::<GeneratorKind>().unwrap(),
+            GeneratorKind::Zipfian
+        );
+        assert!("fractal".parse::<GeneratorKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "priming-address boundary")]
+    fn working_sets_cannot_reach_the_priming_range() {
+        generate(&TraceSpec {
+            base: u64::MAX / 2,
+            ..TraceSpec::default()
+        });
+    }
+}

@@ -1,0 +1,53 @@
+//! Trace-driven workload replay: the scenario engine that proves learned
+//! policies on realistic traffic.
+//!
+//! The learning pipeline (`polca`) validates learned automata with
+//! membership and equivalence queries; this crate validates them the way
+//! the trace-driven caching literature does — by **replaying memory
+//! traffic** through both the learned machine and its source policy and
+//! demanding access-for-access agreement.  Three layers:
+//!
+//! * [`mod@format`] — a compact, seekable binary trace container (`CQTR`,
+//!   one fixed-width record per access) plus a line-oriented text form for
+//!   fixtures and hand-written traces;
+//! * [`mod@generate`] — seeded synthetic generators (sequential, strided,
+//!   zipfian, pointer-chase), each a pure function of its [`TraceSpec`];
+//! * [`mod@replay`] — the engines: a ground-truth policy simulator
+//!   ([`SimReplayer`]), a learned-machine executor ([`MachineReplayer`]),
+//!   the differential harness ([`differential_replay`]) and a hierarchy
+//!   replayer ([`replay_hierarchy`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cache::CacheGeometry;
+//! use policies::{policy_to_mealy, PolicyKind};
+//! use trace::{differential_replay, generate, GeneratorKind, TraceSpec};
+//!
+//! let trace = generate(&TraceSpec {
+//!     generator: GeneratorKind::Zipfian,
+//!     accesses: 5_000,
+//!     lines: 128,
+//!     ..TraceSpec::default()
+//! });
+//! let geometry = CacheGeometry::new(2, 16, 1, 64);
+//! let machine = policy_to_mealy(PolicyKind::Lru.build(2).unwrap().as_ref(), 1 << 16);
+//! let report = differential_replay(&trace, PolicyKind::Lru, geometry, &machine).unwrap();
+//! assert!(report.passed());
+//! assert_eq!(report.simulator, report.machine);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod format;
+pub mod generate;
+pub mod replay;
+
+pub use format::{Trace, TraceError, TraceReader, TraceWriter, TRACE_MAGIC, TRACE_VERSION};
+pub use generate::{generate, GeneratorKind, TraceSpec, UnknownGenerator};
+pub use replay::{
+    differential_replay, replay, replay_hierarchy, replay_policy, set_and_tag, DifferentialReport,
+    HierarchyReport, LevelCounts, MachineReplayer, ReplayCounts, ReplayDivergence, ReplayError,
+    ReplayEvent, Replayer, SimReplayer, PRIME_BASE,
+};

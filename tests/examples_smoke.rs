@@ -62,6 +62,7 @@ const COVERED: &[&str] = &[
     "learn_simulated",
     "mbl_repl",
     "quickstart",
+    "replay_trace",
     "server_client",
     "synthesize_policy",
 ];
@@ -138,6 +139,13 @@ fn learn_over_server_runs() {
         "stdout:\n{stdout}"
     );
     assert!(stdout.contains("cached: true"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn replay_trace_runs() {
+    let stdout = run_example("replay_trace", &["2000", "2", "16"], None);
+    assert!(stdout.contains("pointer-chase"), "stdout:\n{stdout}");
+    assert!(stdout.contains("zero divergences"), "stdout:\n{stdout}");
 }
 
 #[test]
