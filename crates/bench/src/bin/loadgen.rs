@@ -8,11 +8,12 @@
 //! cross-session hit-rate of the shared query store.
 //!
 //! Usage:
-//!   `loadgen [--mode queries|learn-remote|noisy|trace]
+//!   `loadgen [--mode queries|learn-remote|noisy|trace|map]
 //!            [--clients K] [--queries M] [--sets S] [--distinct D]
 //!            [--workers W] [--queue-depth Q] [--json PATH]
 //!            [--policy POLICY@ASSOC] [--flip RATE]
-//!            [--accesses N] [--lines L] [--seed S]`
+//!            [--accesses N] [--lines L] [--seed S]
+//!            [--model NAME] [--cat WAYS] [--slice I]`
 //!
 //! `--mode queries` (the default) measures interactive query traffic;
 //! `--mode learn-remote` runs the same learning campaign in-process and over
@@ -26,7 +27,11 @@
 //! deterministic policy × every trace generator — and then proves a whole
 //! learn-then-replay round trip: a `learn` campaign, `wait` for the machine,
 //! and a differential replay of the learned machine against its source
-//! simulator, entirely server-side.
+//! simulator, entirely server-side;
+//! `--mode map` runs a whole-cache cartography campaign through the daemon's
+//! `map` endpoint (leader detection, one learning campaign per leader group,
+//! a per-set policy map) and then remaps the same CPU to measure how far the
+//! shared store amortizes a repeat sweep.
 //!
 //! Results are printed as a table and written as JSON (default
 //! `BENCH_server.json`) for regression tracking; the learn-remote record is
@@ -379,6 +384,91 @@ fn run_trace(args: &Args) {
     daemon.shutdown();
 }
 
+/// The map mode: one whole-cache cartography sweep through the daemon, then
+/// a remap of the same CPU to measure the store's amortization of repeats.
+fn run_map(args: &Args) {
+    let model = args.value_of("model").unwrap_or("skylake");
+    let seed: u64 = args.value_or("seed", 99);
+    let cat: u64 = args.value_or("cat", 2);
+    let slice: u64 = args.value_or("slice", 0);
+    let sets: u64 = args.value_or("sets", 40);
+    let json_path = args.value_of("json").unwrap_or("BENCH_server.json");
+
+    println!("loadgen: mode map, {model} seed {seed} cat {cat}, slice {slice}, {sets} sets");
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    let mut client = Client::connect(daemon.addr()).expect("daemon accepts connections");
+
+    let started = Instant::now();
+    let map = client
+        .map(model, seed, Some(cat), slice, sets)
+        .expect("map campaign succeeds");
+    let sweep_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let again = client
+        .map(model, seed, Some(cat), slice, sets)
+        .expect("remap succeeds");
+    let remap_s = started.elapsed().as_secs_f64();
+    assert_eq!(again, map, "remapping the same CPU must be deterministic");
+
+    let mut table = TextTable::new(&[
+        "group",
+        "members",
+        "representative",
+        "outcome",
+        "states",
+        "queries",
+        "identified",
+    ]);
+    for group in &map.groups {
+        table.add_row(&[
+            group.class.clone(),
+            group.members.to_string(),
+            format!(
+                "set {}/{}",
+                group.representative_set, group.representative_slice
+            ),
+            group.outcome.clone(),
+            group.states.to_string(),
+            group.queries.to_string(),
+            if group.identified.is_empty() {
+                "-".into()
+            } else {
+                group.identified.clone()
+            },
+        ]);
+    }
+    print!("{}", table.render());
+    let fixed = map.sets.iter().filter(|s| s.verdict == "fixed").count();
+    let adaptive = map.sets.iter().filter(|s| s.verdict == "adaptive").count();
+    let other = map.sets.len() - fixed - adaptive;
+    // A remap re-runs leader detection (live duel probes are never cached)
+    // but serves both learning campaigns from the shared store.
+    println!(
+        "mapped {} sets ({fixed} fixed, {adaptive} adaptive followers, {other} other) \
+         in {sweep_s:.3} s; remap with store-served campaigns {remap_s:.3} s ({:.2}x)",
+        map.sets.len(),
+        sweep_s / remap_s.max(1e-9)
+    );
+
+    client.quit().expect("clean disconnect");
+    daemon.shutdown();
+
+    let report = Json::obj(vec![
+        ("model", Json::str(model)),
+        ("seed", Json::num(seed)),
+        ("cat", Json::num(cat)),
+        ("slice", Json::num(slice)),
+        ("sets", Json::num(map.sets.len() as u64)),
+        ("groups", Json::num(map.groups.len() as u64)),
+        ("fixed_sets", Json::num(fixed as u64)),
+        ("adaptive_sets", Json::num(adaptive as u64)),
+        ("sweep_s", Json::Num(sweep_s)),
+        ("remap_s", Json::Num(remap_s)),
+    ]);
+    merge_report(json_path, "map", report);
+}
+
 fn main() {
     let args = Args::from_env();
     if args.value_of("mode") == Some("learn-remote") {
@@ -391,6 +481,10 @@ fn main() {
     }
     if args.value_of("mode") == Some("trace") {
         run_trace(&args);
+        return;
+    }
+    if args.value_of("mode") == Some("map") {
+        run_map(&args);
         return;
     }
     let clients: usize = args.value_or("clients", 8);

@@ -136,6 +136,17 @@ impl SetDueling {
     pub fn psel(&self) -> i32 {
         self.psel.load(Ordering::Relaxed)
     }
+
+    /// Forces the PSEL counter to `value` (clamped to the counter's range).
+    ///
+    /// Real hardware offers no such knob; it exists so experiments can plant
+    /// a known duel state — leader-set detection must work from *any* initial
+    /// PSEL, and the cartography prober flips followers between both policies
+    /// to demonstrate their non-determinism.
+    pub fn force_psel(&self, value: i32) {
+        self.psel
+            .store(value.clamp(-self.max_abs, self.max_abs), Ordering::Relaxed);
+    }
 }
 
 /// One set of a [`DuelingCache`]: stored blocks plus *both* candidate

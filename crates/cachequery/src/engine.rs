@@ -216,6 +216,48 @@ pub struct QueryOutcome {
     pub from_cache: bool,
 }
 
+/// Accumulated statistical evidence from one engine's voting layer: how many
+/// queries were voted on, how many never settled, and the worst (closest)
+/// vote observed.
+///
+/// This is the raw material of the non-determinism detector: a consumer that
+/// sees an inconsistent outcome asks its engine for the evidence and decides
+/// whether the target is genuinely non-deterministic (many unsettled votes —
+/// an adaptive follower set, a wrong reset sequence) or merely noisy.  Like
+/// [`EngineStats`], evidence is engine-local and starts fresh in clones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteEvidence {
+    /// Concrete queries the voting layer fully voted on.
+    pub voted: u64,
+    /// Voted queries whose majority never reached the configured margin.
+    pub unsettled: u64,
+    /// The minimum vote margin observed across all voted queries, in
+    /// permille (1000 until a vote happens).
+    pub worst_margin_permille: u64,
+    /// Rendered text of the query with the worst margin (empty until a vote
+    /// happens).
+    pub worst_query: String,
+}
+
+impl Default for VoteEvidence {
+    fn default() -> Self {
+        VoteEvidence {
+            voted: 0,
+            unsettled: 0,
+            worst_margin_permille: 1000,
+            worst_query: String::new(),
+        }
+    }
+}
+
+impl VoteEvidence {
+    /// Fraction of voted queries that never settled, in permille (0 when
+    /// nothing was voted on).
+    pub fn disagreement_permille(&self) -> u64 {
+        (self.unsettled * 1000).checked_div(self.voted).unwrap_or(0)
+    }
+}
+
 /// Work counters of one engine instance (not shared between clones — the
 /// underlying [`QueryStore`] keeps the shared truth).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -251,6 +293,7 @@ pub struct QueryEngine<B> {
     memoize: bool,
     voting: VoteConfig,
     stats: EngineStats,
+    evidence: VoteEvidence,
 }
 
 impl<B: Clone> Clone for QueryEngine<B> {
@@ -262,6 +305,7 @@ impl<B: Clone> Clone for QueryEngine<B> {
             memoize: self.memoize,
             voting: self.voting,
             stats: EngineStats::default(),
+            evidence: VoteEvidence::default(),
         }
     }
 }
@@ -282,6 +326,7 @@ impl<B: QueryBackend> QueryEngine<B> {
             memoize: true,
             voting: VoteConfig::default(),
             stats: EngineStats::default(),
+            evidence: VoteEvidence::default(),
         }
     }
 
@@ -339,6 +384,11 @@ impl<B: QueryBackend> QueryEngine<B> {
     /// This engine's local work counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Accumulated voting evidence of this engine (see [`VoteEvidence`]).
+    pub fn vote_evidence(&self) -> &VoteEvidence {
+        &self.evidence
     }
 
     fn refresh_space(&mut self) -> Result<&(QueryConfig, StoreSpace), BackendError> {
@@ -539,20 +589,27 @@ impl<B: QueryBackend> QueryEngine<B> {
             round_reps = total_reps;
         }
 
-        Ok(tallies
-            .into_iter()
-            .map(|tally| {
-                let margin = tally.margin_permille();
-                let settled = tally.well_formed && margin >= u64::from(voting.margin_permille);
-                self.store.record_vote(
-                    margin,
-                    u64::from(tally.reps),
-                    u64::from(tally.reps) > reps as u64,
-                    settled,
-                );
-                (tally.majority(), settled)
-            })
-            .collect())
+        let mut results = Vec::with_capacity(queries.len());
+        for (query, tally) in queries.iter().zip(tallies) {
+            let margin = tally.margin_permille();
+            let settled = tally.well_formed && margin >= u64::from(voting.margin_permille);
+            self.store.record_vote(
+                margin,
+                u64::from(tally.reps),
+                u64::from(tally.reps) > reps as u64,
+                settled,
+            );
+            self.evidence.voted += 1;
+            if !settled {
+                self.evidence.unsettled += 1;
+            }
+            if margin < self.evidence.worst_margin_permille || self.evidence.voted == 1 {
+                self.evidence.worst_margin_permille = margin;
+                self.evidence.worst_query = render_query(query);
+            }
+            results.push((tally.majority(), settled));
+        }
+        Ok(results)
     }
 
     /// Expands an MBL expression for the backend's associativity and runs

@@ -60,6 +60,15 @@ impl LeaderReport {
             .collect()
     }
 
+    /// Sets classified as alternate (thrash-resistant) leaders.
+    pub fn thrash_resistant(&self) -> Vec<(usize, usize)> {
+        self.sets
+            .iter()
+            .filter(|s| s.class == LeaderClass::ThrashResistant)
+            .map(|s| (s.set, s.slice))
+            .collect()
+    }
+
     /// Sets classified as followers.
     pub fn adaptive(&self) -> Vec<(usize, usize)> {
         self.sets
@@ -67,6 +76,48 @@ impl LeaderReport {
             .filter(|s| s.class == LeaderClass::Adaptive)
             .map(|s| (s.set, s.slice))
             .collect()
+    }
+
+    /// The classification of `(set, slice)`, if it was a candidate.
+    pub fn class_of(&self, set: usize, slice: usize) -> Option<LeaderClass> {
+        self.sets
+            .iter()
+            .find(|s| s.set == set && s.slice == slice)
+            .map(|s| s.class)
+    }
+}
+
+/// Tuning of [`detect_leader_sets_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderDetectConfig {
+    /// Extra rounds of thrashing the phase-1 "vulnerable" bucket between the
+    /// two measurement phases, driving the duel towards the thrash-resistant
+    /// policy (primary leaders vote with every miss).
+    pub extra_duel_rounds: usize,
+    /// Rounds of the *down-drive* disambiguation: when the duel starts out
+    /// favouring the thrash-resistant policy, followers are indistinguishable
+    /// from alternate leaders in the two main phases (neither thrashes).
+    /// Thrashing the resistant bucket makes its alternate leaders vote the
+    /// duel back towards the thrash-vulnerable policy, after which a final
+    /// re-measurement exposes the followers.  `0` skips the phase (the
+    /// pre-existing behaviour, sufficient when the duel starts neutral).
+    pub down_drive_rounds: usize,
+    /// Rounds of the *up-drive* disambiguation, the mirror image of the
+    /// down-drive: a follower measured right after an alternate leader (whose
+    /// probe misses vote the duel down) can thrash in both main phases and
+    /// masquerade as a primary leader.  Thrashing the vulnerable bucket makes
+    /// its primary leaders vote the duel up, after which a re-measurement of
+    /// the bucket exposes such followers.  `0` skips the phase.
+    pub up_drive_rounds: usize,
+}
+
+impl Default for LeaderDetectConfig {
+    fn default() -> Self {
+        LeaderDetectConfig {
+            extra_duel_rounds: 2,
+            down_drive_rounds: 4,
+            up_drive_rounds: 4,
+        }
     }
 }
 
@@ -129,6 +180,32 @@ pub fn detect_leader_sets(
     candidates: &[(usize, usize)],
     extra_duel_rounds: usize,
 ) -> Result<LeaderReport, BackendError> {
+    detect_leader_sets_with(
+        cq,
+        level,
+        candidates,
+        &LeaderDetectConfig {
+            extra_duel_rounds,
+            down_drive_rounds: 0,
+            up_drive_rounds: 0,
+        },
+    )
+}
+
+/// [`detect_leader_sets`] with explicit tuning — in particular the
+/// *down-drive* disambiguation phase that makes detection correct from an
+/// arbitrary initial duel (PSEL) state, which is what the cartography
+/// campaign relies on.
+///
+/// # Errors
+///
+/// Propagates backend errors (invalid sets, address-selection failures).
+pub fn detect_leader_sets_with(
+    cq: &mut CacheQuery,
+    level: LevelId,
+    candidates: &[(usize, usize)],
+    config: &LeaderDetectConfig,
+) -> Result<LeaderReport, BackendError> {
     // Response caching would make phase 2 return phase-1 answers.
     cq.enable_cache(false);
 
@@ -140,12 +217,11 @@ pub fn detect_leader_sets(
     // Drive the duel further towards the thrash-resistant policy by thrashing
     // the candidates that looked vulnerable in phase 1 (leaders among them
     // vote with every miss).
-    for round in 0..extra_duel_rounds {
+    for _round in 0..config.extra_duel_rounds {
         for (i, &(set, slice)) in candidates.iter().enumerate() {
             if initial[i] >= THRASH_THRESHOLD {
                 let _ = thrash_rate(cq, Target::new(level, set, slice))?;
             }
-            let _ = round;
         }
     }
 
@@ -164,6 +240,70 @@ pub fn detect_leader_sets(
             miss_rate_initial: initial[i],
             miss_rate_after_duel: after,
         });
+    }
+
+    // Down-drive disambiguation: a duel that already favoured the
+    // thrash-resistant policy when phase 1 ran makes followers look exactly
+    // like alternate leaders (neither bucket ever thrashed).  Thrash the
+    // resistant bucket — only its alternate leaders vote, pushing the duel
+    // back towards the thrash-vulnerable policy — then re-measure it: sets
+    // that now thrash were following the duel all along.
+    if config.down_drive_rounds > 0 {
+        let resistant: Vec<usize> = sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.class == LeaderClass::ThrashResistant)
+            .map(|(i, _)| i)
+            .collect();
+        if !resistant.is_empty() {
+            for _round in 0..config.down_drive_rounds {
+                for &i in &resistant {
+                    let info = &sets[i];
+                    let _ = thrash_rate(cq, Target::new(level, info.set, info.slice))?;
+                }
+            }
+            for &i in &resistant {
+                let (set, slice) = (sets[i].set, sets[i].slice);
+                let rate = thrash_rate(cq, Target::new(level, set, slice))?;
+                if rate >= THRASH_THRESHOLD {
+                    sets[i].class = LeaderClass::Adaptive;
+                    sets[i].miss_rate_after_duel = rate;
+                }
+            }
+        }
+    }
+
+    // Up-drive disambiguation, the mirror image: a follower whose two main
+    // measurements both ran while the duel happened to favour the
+    // thrash-vulnerable policy (e.g. right after an alternate leader's probe
+    // voted the duel down) thrashes twice and masquerades as a primary
+    // leader.  Thrash the vulnerable bucket — its primary leaders vote the
+    // duel up with every miss — then re-measure it: sets that now resist
+    // were following the duel all along.  The re-measurement itself is
+    // stable, because no set of the vulnerable bucket votes downwards.
+    if config.up_drive_rounds > 0 {
+        let vulnerable: Vec<usize> = sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.class == LeaderClass::ThrashVulnerable)
+            .map(|(i, _)| i)
+            .collect();
+        if !vulnerable.is_empty() {
+            for _round in 0..config.up_drive_rounds {
+                for &i in &vulnerable {
+                    let info = &sets[i];
+                    let _ = thrash_rate(cq, Target::new(level, info.set, info.slice))?;
+                }
+            }
+            for &i in &vulnerable {
+                let (set, slice) = (sets[i].set, sets[i].slice);
+                let rate = thrash_rate(cq, Target::new(level, set, slice))?;
+                if rate < THRASH_THRESHOLD {
+                    sets[i].class = LeaderClass::Adaptive;
+                    sets[i].miss_rate_after_duel = rate;
+                }
+            }
+        }
     }
 
     cq.enable_cache(true);

@@ -55,9 +55,14 @@ mod reset;
 mod store;
 
 pub use backend::{Backend, BackendError, Target};
-pub use engine::{EngineStats, QueryBackend, QueryConfig, QueryEngine, QueryOutcome, VoteConfig};
+pub use engine::{
+    EngineStats, QueryBackend, QueryConfig, QueryEngine, QueryOutcome, VoteConfig, VoteEvidence,
+};
 pub use frontend::{CacheQuery, QueryStats};
-pub use leader::{detect_leader_sets, LeaderClass, LeaderReport, LeaderSetInfo};
+pub use leader::{
+    detect_leader_sets, detect_leader_sets_with, LeaderClass, LeaderDetectConfig, LeaderReport,
+    LeaderSetInfo,
+};
 pub use noise::{NoiseSpec, NoiseStats, NoisyBackend, DEFAULT_NOISY_REPS};
 pub use repl::{execute_command, parse_command, process_command, Command, ReplSession, HELP_TEXT};
 pub use reset::ResetSequence;

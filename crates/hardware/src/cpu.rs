@@ -100,7 +100,18 @@ impl SimulatedCpu {
     /// Creates a simulated CPU of the given model; all pseudo-random aspects
     /// (page-frame allocation, noise, bimodal insertions) derive from `seed`.
     pub fn new(model: CpuModel, seed: u64) -> Self {
-        let spec = model.spec();
+        Self::with_spec(model, model.spec(), seed)
+    }
+
+    /// Creates a simulated CPU from an explicit specification instead of the
+    /// model's canonical one.
+    ///
+    /// `model` is kept only as the machine's nameplate (display, wire
+    /// protocol, memoization namespaces); geometry and policies come from
+    /// `spec`.  This is the experimenter's knob: leader-set detection and
+    /// cartography tests plant small adaptive levels with known role layouts
+    /// and verify the planted layout is recovered.
+    pub fn with_spec(model: CpuModel, spec: CpuSpec, seed: u64) -> Self {
         let (hierarchy, dueling) = build_hierarchy(&spec, None, seed);
         SimulatedCpu {
             model,
@@ -279,6 +290,18 @@ impl SimulatedCpu {
             Some(d) => d.role(flat_set),
             None => DuelingRole::Follower,
         }
+    }
+
+    /// A handle on the L3 set-dueling controller, if the model's L3 is
+    /// adaptive.  The handle shares the live PSEL counter (cloning a
+    /// [`SetDueling`] shares its `Arc`), so experiments can observe — or,
+    /// via [`SetDueling::force_psel`], plant — the duel state of the running
+    /// machine.
+    ///
+    /// Note that [`SimulatedCpu::apply_cat`] rebuilds the hierarchy and with
+    /// it the controller: handles taken before a CAT change go stale.
+    pub fn l3_dueling(&self) -> Option<SetDueling> {
+        self.dueling.clone()
     }
 
     /// Read-only view of the cache hierarchy (used by white-box tests).

@@ -77,7 +77,9 @@ mod wmethod;
 pub use cache::{CacheVerdict, QueryCache};
 pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
 pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnProgress, LearnStats};
-pub use oracle::{CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, OracleError};
+pub use oracle::{
+    CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, NonDeterminism, OracleError,
+};
 pub use pool::{OracleFactory, QueryPool, SuiteOutcome, WORKERS_ENV};
 pub use wmethod::{
     characterization_set, state_cover, transition_cover, w_method_suite, w_method_suite_iter,

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use automata::Mealy;
 
-use crate::oracle::{EquivalenceOracle, OracleError};
+use crate::oracle::{EquivalenceOracle, NonDeterminism, OracleError};
 use crate::pool::{OracleFactory, QueryPool};
 use crate::table::ObservationTable;
 
@@ -133,6 +133,12 @@ pub enum LearnError {
     /// counterexample (this indicates a non-deterministic system under
     /// learning, cf. the reset-sequence discussion in §7.1).
     SpuriousCounterexample,
+    /// The system under learning was *statistically detected* to be
+    /// non-deterministic: repeated executions of the same query kept
+    /// disagreeing past the voting margin, so the run aborted early with
+    /// evidence instead of diverging on an unlearnable target (an adaptive
+    /// follower set, a wrong reset sequence).
+    NotDeterministic(NonDeterminism),
 }
 
 impl fmt::Display for LearnError {
@@ -148,6 +154,10 @@ impl fmt::Display for LearnError {
                 "equivalence oracle returned a spurious counterexample; \
                  the system under learning is probably non-deterministic"
             ),
+            LearnError::NotDeterministic(evidence) => write!(
+                f,
+                "the system under learning is not deterministic: {evidence}"
+            ),
         }
     }
 }
@@ -156,7 +166,10 @@ impl std::error::Error for LearnError {}
 
 impl From<OracleError> for LearnError {
     fn from(e: OracleError) -> Self {
-        LearnError::Oracle(e)
+        match e.non_determinism {
+            Some(evidence) => LearnError::NotDeterministic(evidence),
+            None => LearnError::Oracle(e),
+        }
     }
 }
 

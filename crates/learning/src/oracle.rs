@@ -9,12 +9,58 @@ use automata::Mealy;
 use crate::cache::QueryCache;
 use crate::pool::QueryPool;
 
+/// Statistical evidence that the system under learning is not a
+/// deterministic machine.
+///
+/// Produced by oracles that execute every query several times and vote
+/// (the engine's 500‰ majority-margin rule): when repeated executions of the
+/// same query keep disagreeing, the problem is not noise to be voted away
+/// but genuine non-determinism — on hardware, typically an adaptive follower
+/// set or a wrong reset sequence.  All rates are permille integers so the
+/// evidence survives wire protocols without float round-tripping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonDeterminism {
+    /// Queries whose repeated executions never settled into a majority,
+    /// per-mille of all voted queries (the disagreement rate).
+    pub disagreement_permille: u64,
+    /// The vote margin (per-mille) of the worst query observed — how far the
+    /// closest vote was from unanimity (1000‰ = all repetitions agreed).
+    pub worst_margin_permille: u64,
+    /// Rendered text of the worst (lowest-margin) query.
+    pub worst_query: String,
+    /// The margin threshold (per-mille) a majority had to clear to settle.
+    pub required_margin_permille: u64,
+    /// Queries that were voted on in total.
+    pub voted_queries: u64,
+    /// Queries that never settled.
+    pub unsettled_queries: u64,
+}
+
+impl fmt::Display for NonDeterminism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} voted queries never settled ({}‰ disagreement; worst query '{}' at {}‰ \
+             margin, {}‰ required)",
+            self.unsettled_queries,
+            self.voted_queries,
+            self.disagreement_permille,
+            self.worst_query,
+            self.worst_margin_permille,
+            self.required_margin_permille,
+        )
+    }
+}
+
 /// Error raised by an oracle (e.g. a hardware backend failure or detected
 /// nondeterminism in the system under learning).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleError {
     /// Human-readable description.
     pub message: String,
+    /// Statistical evidence attached when the failure is detected
+    /// non-determinism rather than a plain backend fault.
+    pub non_determinism: Option<NonDeterminism>,
 }
 
 impl OracleError {
@@ -22,6 +68,15 @@ impl OracleError {
     pub fn new(message: impl Into<String>) -> Self {
         OracleError {
             message: message.into(),
+            non_determinism: None,
+        }
+    }
+
+    /// Creates an error carrying statistical non-determinism evidence.
+    pub fn not_deterministic(message: impl Into<String>, evidence: NonDeterminism) -> Self {
+        OracleError {
+            message: message.into(),
+            non_determinism: Some(evidence),
         }
     }
 }

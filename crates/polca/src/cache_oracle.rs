@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use cache::{Block, CacheSet, HitMiss};
 use cachequery::{Backend, CacheQuery, QueryBackend, QueryEngine, Target};
-use learning::OracleError;
+use learning::{NonDeterminism, OracleError};
 use mbl::{BlockId, MemOp, Query};
 use policies::PolicyKind;
 
@@ -347,11 +347,31 @@ impl<B: QueryBackend> CacheOracle for CacheQueryOracle<B> {
             .run(&query)
             .map_err(|e| OracleError::new(e.to_string()))?;
         if !outcome.consistent {
-            return Err(OracleError::new(format!(
+            let message = format!(
                 "inconsistent measurements for query '{}': the cache set behaves \
                  non-deterministically (wrong reset sequence or adaptive policy)",
                 outcome.rendered
-            )));
+            );
+            // With voting enabled the engine has been tallying margins; turn
+            // its evidence into the statistical non-determinism verdict the
+            // learner aborts with (instead of retrying a hopeless target).
+            let evidence = self.engine.vote_evidence();
+            if evidence.unsettled > 0 {
+                return Err(OracleError::not_deterministic(
+                    message,
+                    NonDeterminism {
+                        disagreement_permille: evidence.disagreement_permille(),
+                        worst_margin_permille: evidence.worst_margin_permille,
+                        worst_query: evidence.worst_query.clone(),
+                        required_margin_permille: u64::from(
+                            self.engine.vote_config().margin_permille,
+                        ),
+                        voted_queries: evidence.voted,
+                        unsettled_queries: evidence.unsettled,
+                    },
+                ));
+            }
+            return Err(OracleError::new(message));
         }
         outcome
             .outcomes

@@ -1,0 +1,271 @@
+//! A [`QueryBackend`] that drives a policy *through* a two-level inclusive
+//! hierarchy instead of a bare cache set.
+//!
+//! The §7 hardware path never talks to an isolated cache set: every access
+//! traverses the full hierarchy, and an inclusive outer level can evict —
+//! and thereby back-invalidate — blocks the learner believes are resident in
+//! the level under study.  CacheQuery's answer on real silicon is *cache
+//! filtering*: pick congruent addresses that collide in the target set but
+//! spread across the other levels, so the interference never fires.
+//!
+//! [`HierarchyBackend`] reproduces that situation in miniature, end to end:
+//! the policy under learning governs a single-set L1, an inclusive L2 sits
+//! behind it, and every query flows through [`cache::Hierarchy::access`] —
+//! back-invalidation, fill-on-miss and all.  Block `i` is mapped to physical
+//! line `i`, which is exactly the filtered placement: all blocks collide in
+//! the single L1 set while landing in distinct L2 sets, so the inclusive L2
+//! (whose capacity the backend checks per query) never evicts a live block.
+//! Learning through this backend must therefore produce automata
+//! byte-identical to the bare [`PolicySimBackend`](crate::PolicySimBackend)
+//! runs — which `tests/learn_hierarchy.rs` pins.
+
+use cache::{
+    Block, CacheGeometry, CacheLevel, CacheSet, Hierarchy, HierarchyConfig, HitMiss, LevelConfig,
+    LevelId, PhysAddr,
+};
+use cachequery::{BackendError, QueryConfig, Target};
+use mbl::{Query, Tag};
+use policies::{PolicyError, PolicyKind};
+
+/// Number of sets of the interfering L2.
+const L2_SETS: usize = 64;
+/// Associativity of the interfering L2.
+const L2_ASSOC: usize = 8;
+/// Line size shared by both levels.
+const LINE: u64 = 64;
+
+/// A deterministic two-level backend: the policy under learning runs a
+/// single-set L1 with an inclusive LRU L2 behind it.
+///
+/// Every query starts from the canonical initial state `cc0` (block `i`
+/// occupies L1 line `i`), executes through the full hierarchy, and profiles
+/// accesses at L1.  Execution is exact, so the memoization namespace is
+/// pinned to `reset=cc0 reps=1`, like the bare simulation's.
+#[derive(Debug, Clone)]
+pub struct HierarchyBackend {
+    kind: PolicyKind,
+    associativity: usize,
+    template: Hierarchy,
+}
+
+impl HierarchyBackend {
+    /// Creates the backend for `kind` at `associativity`, with the canonical
+    /// initial L1 content planted and an empty inclusive L2 behind it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy does not support the associativity.
+    pub fn new(kind: PolicyKind, associativity: usize) -> Result<Self, PolicyError> {
+        // Validate the associativity before building anything.
+        let policy = kind.build(associativity)?;
+        let l1 = CacheLevel::new(
+            LevelConfig {
+                name: "L1".to_string(),
+                geometry: CacheGeometry::new(associativity, 1, 1, LINE),
+                inclusive: false,
+            },
+            |_| kind.build(associativity).expect("validated above"),
+        );
+        let l2 = CacheLevel::new(
+            LevelConfig {
+                name: "L2".to_string(),
+                geometry: CacheGeometry::new(L2_ASSOC, L2_SETS, 1, LINE),
+                inclusive: true,
+            },
+            |_| {
+                PolicyKind::Lru
+                    .build(L2_ASSOC)
+                    .expect("LRU supports every associativity")
+            },
+        );
+        let mut template = Hierarchy::new(HierarchyConfig {
+            levels: vec![l1, l2],
+        });
+        // Plant cc0: block `i` in L1 line `i`, with the policy in its initial
+        // state — the exact state `CacheSet::filled` gives the bare
+        // simulation, so the two learning paths are state-identical.  The L2
+        // starts empty and fills on first touch; since it never evicts under
+        // the filtered placement, its content cannot influence L1 outcomes.
+        let blocks = (0..associativity).map(|i| Block::new(Self::addr_of(i as u32).0));
+        *template.level_mut(LevelId::L1).set_mut(0) = CacheSet::filled(policy, blocks);
+        Ok(HierarchyBackend {
+            kind,
+            associativity,
+            template,
+        })
+    }
+
+    /// The simulated L1 policy.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// The filtered placement: abstract block `b` lives at physical line `b`.
+    /// With a single L1 set, every block is L1-congruent; with [`L2_SETS`]
+    /// L2 sets, blocks spread across the L2.
+    fn addr_of(block: u32) -> PhysAddr {
+        PhysAddr(u64::from(block) * LINE)
+    }
+
+    /// The memoization namespace of a hierarchy-filtered `kind @
+    /// associativity` run — distinct from the bare simulation's, so the two
+    /// paths never serve each other's answers even on a shared store.
+    pub fn config_for(kind: PolicyKind, associativity: usize) -> QueryConfig {
+        QueryConfig {
+            backend: format!("hier:{kind}@{associativity}+L2:{L2_SETS}x{L2_ASSOC}"),
+            reset: "cc0".to_string(),
+            reps: 1,
+            target: Target::new(LevelId::L1, 0, 0),
+        }
+    }
+
+    /// Checks that the query's blocks keep every L2 set within its
+    /// associativity, i.e. that the placement filters out all inclusive-L2
+    /// interference.  A query that would overflow an L2 set could trigger a
+    /// back-invalidation of a live L1 line, and its L1 outcomes would no
+    /// longer be those of the bare policy.
+    fn check_filtered(&self, query: &Query) -> Result<(), BackendError> {
+        let mut per_set: Vec<Vec<u32>> = vec![Vec::new(); L2_SETS];
+        for op in query {
+            let set = op.block.0 as usize % L2_SETS;
+            if !per_set[set].contains(&op.block.0) {
+                per_set[set].push(op.block.0);
+            }
+        }
+        let worst = per_set.iter().map(Vec::len).max().unwrap_or(0);
+        if worst > L2_ASSOC {
+            return Err(BackendError::Service(format!(
+                "query uses {worst} distinct blocks congruent in one L2 set \
+                 (associativity {L2_ASSOC}): cache filtering cannot rule out \
+                 inclusive-L2 interference"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl cachequery::QueryBackend for HierarchyBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        self.check_filtered(query)?;
+        let mut hierarchy = self.template.clone();
+        let mut outcomes = Vec::new();
+        for op in query {
+            let addr = Self::addr_of(op.block.0);
+            match op.tag {
+                Some(Tag::Invalidate) => {
+                    hierarchy.flush(addr);
+                }
+                tag => {
+                    let outcome = hierarchy.access(addr);
+                    if tag == Some(Tag::Profile) {
+                        outcomes.push(
+                            outcome
+                                .at(LevelId::L1)
+                                .expect("L1 is consulted by every access"),
+                        );
+                    }
+                }
+            }
+        }
+        Ok((outcomes, true))
+    }
+
+    fn config(&self) -> Result<QueryConfig, BackendError> {
+        Ok(Self::config_for(self.kind, self.associativity))
+    }
+
+    fn associativity(&self) -> Result<usize, BackendError> {
+        Ok(self.associativity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicySimBackend;
+    use cachequery::{QueryBackend, QueryEngine};
+    use mbl::expand_query;
+
+    fn concrete(mbl: &str, assoc: usize) -> Query {
+        expand_query(mbl, assoc).unwrap().pop().unwrap()
+    }
+
+    #[test]
+    fn figure_1_traces_replay_exactly() {
+        let mut backend = HierarchyBackend::new(PolicyKind::Lru, 2).unwrap();
+        let (outcomes, consistent) = backend.execute(&concrete("C B? A?", 2)).unwrap();
+        assert!(consistent);
+        assert_eq!(outcomes, vec![HitMiss::Hit, HitMiss::Miss]);
+    }
+
+    #[test]
+    fn every_query_starts_from_cc0() {
+        let mut backend = HierarchyBackend::new(PolicyKind::Fifo, 4).unwrap();
+        let q = concrete("X A?", 4);
+        let first = backend.execute(&q).unwrap();
+        backend.execute(&concrete("X Y Z _?", 4)).unwrap();
+        assert_eq!(backend.execute(&q).unwrap(), first);
+    }
+
+    #[test]
+    fn l1_outcomes_match_the_bare_simulation() {
+        // The whole point: with the filtered placement, the hierarchy is
+        // invisible — profiled L1 outcomes equal the bare policy set's.
+        for kind in [PolicyKind::Lru, PolicyKind::Plru, PolicyKind::SrripHp] {
+            let mut hier = HierarchyBackend::new(kind, 4).unwrap();
+            let mut bare = PolicySimBackend::new(kind, 4).unwrap();
+            for mblq in ["@ X _?", "A B X Y A? B? C?", "A! A? B C D E A?"] {
+                for q in expand_query(mblq, 4).unwrap() {
+                    assert_eq!(
+                        hier.execute(&q).unwrap(),
+                        bare.execute(&q).unwrap(),
+                        "{kind} diverged on {mblq}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn an_l2_resident_block_still_misses_at_l1() {
+        // Evict block A from the 2-way LRU L1; it stays in the (inclusive)
+        // L2, so the hierarchy serves the re-access from L2 — but at L1 it
+        // is a miss, exactly like the bare set reports.
+        let mut backend = HierarchyBackend::new(PolicyKind::Lru, 2).unwrap();
+        let (outcomes, _) = backend.execute(&concrete("C D A?", 2)).unwrap();
+        assert_eq!(outcomes, vec![HitMiss::Miss]);
+    }
+
+    #[test]
+    fn overflowing_an_l2_set_is_refused() {
+        let mut backend = HierarchyBackend::new(PolicyKind::Lru, 2).unwrap();
+        // Blocks 0, 64, 128, ... are all congruent in L2 set 0.
+        let query: Query = (0..=L2_ASSOC as u32)
+            .map(|i| mbl::MemOp::access(mbl::BlockId(i * L2_SETS as u32)))
+            .collect();
+        assert!(matches!(
+            backend.execute(&query),
+            Err(BackendError::Service(_))
+        ));
+    }
+
+    #[test]
+    fn engines_memoize_hierarchy_simulations() {
+        let mut engine = QueryEngine::new(HierarchyBackend::new(PolicyKind::Plru, 4).unwrap());
+        let results = engine.query_mbl("@ X _?").unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(engine
+            .query_mbl("@ X _?")
+            .unwrap()
+            .iter()
+            .all(|r| r.from_cache));
+    }
+
+    #[test]
+    fn the_namespace_is_distinct_from_the_bare_simulation() {
+        let backend = HierarchyBackend::new(PolicyKind::Lru, 4).unwrap();
+        let config = QueryBackend::config(&backend).unwrap();
+        assert_eq!(config, HierarchyBackend::config_for(PolicyKind::Lru, 4));
+        assert_ne!(config, PolicySimBackend::config_for(PolicyKind::Lru, 4));
+    }
+}

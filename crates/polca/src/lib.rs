@@ -62,7 +62,9 @@
 #![deny(missing_docs)]
 
 mod cache_oracle;
+mod cartography;
 mod conformance;
+mod hierarchy_backend;
 mod identify;
 mod job;
 mod membership;
@@ -72,15 +74,19 @@ mod sim_backend;
 pub use cache_oracle::{
     CacheOracle, CacheQueryOracle, CacheSession, ReplaySession, SimulatedCacheOracle,
 };
+pub use cartography::{
+    map_cache, CacheMap, GroupOutcome, GroupReport, MapConfig, SetEntry, SetVerdict,
+};
 pub use conformance::{
     conformance_cases, conformance_walk, exact_learn_setup, ConformanceDivergence,
     ConformanceReport,
 };
+pub use hierarchy_backend::HierarchyBackend;
 pub use identify::{identify_policy, LinePermutation};
 pub use job::{spawn_learn_job, spawn_simulated_learn_job, JobResult, JobStatus, LearnJob};
 pub use membership::PolcaOracle;
 pub use pipeline::{
-    learn_hardware_policy, learn_noisy_policy, learn_policy, learn_simulated_policy,
-    HardwareTarget, LearnOutcome, LearnSetup,
+    learn_hardware_policy, learn_hierarchy_policy, learn_noisy_policy, learn_policy,
+    learn_simulated_policy, HardwareTarget, LearnOutcome, LearnSetup,
 };
 pub use sim_backend::{noisy_sim_backend, noisy_sim_config_for, NoisySimBackend, PolicySimBackend};

@@ -160,6 +160,32 @@ pub fn learn_noisy_policy(
     learn_policy(oracle, setup)
 }
 
+/// Learns a named policy through a two-level inclusive hierarchy
+/// ([`HierarchyBackend`](crate::HierarchyBackend)): the cache-filtering form
+/// of [`learn_simulated_policy`].
+///
+/// Every probe traverses the full [`cache::Hierarchy`] — the policy under
+/// learning governs a single-set L1 with an inclusive L2 interposed — yet
+/// the filtered block placement keeps the L2 from ever evicting a live
+/// block, so the learned automaton is byte-identical to the bare-policy run
+/// (which `tests/learn_hierarchy.rs` pins).
+///
+/// # Errors
+///
+/// Returns an error if the policy does not support the associativity or if
+/// learning fails.
+pub fn learn_hierarchy_policy(
+    kind: PolicyKind,
+    associativity: usize,
+    setup: &LearnSetup,
+) -> Result<LearnOutcome, LearnError> {
+    let backend = crate::HierarchyBackend::new(kind, associativity)
+        .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
+    let engine = cachequery::QueryEngine::new(backend);
+    let oracle = CacheQueryOracle::from_engine(engine).map_err(LearnError::Oracle)?;
+    learn_policy(oracle, setup)
+}
+
 /// Configuration of a hardware learning run (§7).
 #[derive(Debug, Clone)]
 pub struct HardwareTarget {

@@ -17,8 +17,8 @@ use mbl::{render_query, Query};
 
 use crate::daemon::{resolve_with_limits, ResolvedSpec};
 use crate::proto::{
-    decode_response, encode_request, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
-    WireOutcome, WireReplay, WireSessionStats, WireStats,
+    decode_response, encode_request, Request, Response, SessionSpec, WireCacheMap, WireJobStatus,
+    WireNamespace, WireOutcome, WireReplay, WireSessionStats, WireStats,
 };
 
 /// Errors surfaced by [`Client`] calls.
@@ -240,6 +240,35 @@ impl Client {
             job,
         })? {
             Response::Replay(replay) => Ok(replay),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Maps the first `sets` sets of a simulated CPU's last-level cache
+    /// server-side: leader detection, per-group learning through the
+    /// daemon's shared store, follower flip probes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` response (unknown
+    /// model, CAT out of range, associativity over the server's learning
+    /// limit).
+    pub fn map(
+        &mut self,
+        model: &str,
+        seed: u64,
+        cat: Option<u64>,
+        slice: u64,
+        sets: u64,
+    ) -> Result<WireCacheMap, ClientError> {
+        match self.roundtrip(&Request::Map {
+            model: model.to_string(),
+            seed,
+            cat,
+            slice,
+            sets,
+        })? {
+            Response::Map(map) => Ok(map),
             other => Self::unexpected(other),
         }
     }

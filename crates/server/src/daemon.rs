@@ -41,8 +41,8 @@ use cachequery::{
 use hardware::{CpuModel, SimulatedCpu};
 use mbl::{expand_query, render_query, Query};
 use polca::{
-    noisy_sim_backend, noisy_sim_config_for, CacheQueryOracle, JobStatus, LearnJob, LearnSetup,
-    NoisySimBackend, PolicySimBackend,
+    map_cache, noisy_sim_backend, noisy_sim_config_for, CacheMap, CacheQueryOracle, GroupOutcome,
+    JobStatus, LearnJob, LearnSetup, MapConfig, NoisySimBackend, PolicySimBackend, SetVerdict,
 };
 use policies::PolicyKind;
 
@@ -50,8 +50,9 @@ use trace::{differential_replay, generate, replay_policy, GeneratorKind, TraceSp
 
 use crate::metrics::ServerMetrics;
 use crate::proto::{
-    decode_request, encode_response, Request, Response, SessionSpec, WireJobStatus, WireNamespace,
-    WireOutcome, WireReplay, WireSessionStats, WireStats, PROTOCOL_VERSION,
+    decode_request, encode_response, Request, Response, SessionSpec, WireCacheMap, WireJobStatus,
+    WireMapGroup, WireMapSet, WireNamespace, WireOutcome, WireReplay, WireSessionStats, WireStats,
+    PROTOCOL_VERSION,
 };
 
 /// Configuration of a daemon instance.
@@ -996,6 +997,13 @@ fn handle_request(
             seed,
             job,
         } => handle_replay(shared, spec, generator, *accesses, *lines, *seed, *job),
+        Request::Map {
+            model,
+            seed,
+            cat,
+            slice,
+            sets,
+        } => handle_map(shared, model, *seed, *cat, *slice, *sets),
         Request::Job { id } => match job_status(shared, *id) {
             Some(status) => Response::JobStatus(status),
             None => Response::Error {
@@ -1333,6 +1341,198 @@ fn handle_replay(
         }
     }
     Response::Replay(reply)
+}
+
+/// Hard ceiling on the number of sets one `map` request may sweep.  Leader
+/// detection costs a few tens of milliseconds per set, so the cap keeps a
+/// synchronous map request in single-digit seconds.
+const MAX_MAP_SETS: u64 = 128;
+/// Time budget for each leader group's learning campaign, so an unexpected
+/// policy fails the request instead of wedging the session thread.
+const MAP_LEARN_BUDGET: Duration = Duration::from_secs(120);
+/// State bound for each leader group's learning campaign.
+const MAP_MAX_STATES: usize = 4096;
+
+fn map_class(class: cachequery::LeaderClass) -> String {
+    match class {
+        cachequery::LeaderClass::ThrashVulnerable => "thrash-vulnerable",
+        cachequery::LeaderClass::ThrashResistant => "thrash-resistant",
+        cachequery::LeaderClass::Adaptive => "adaptive",
+    }
+    .to_string()
+}
+
+fn wire_map(map: &CacheMap) -> WireCacheMap {
+    let groups = map
+        .groups
+        .iter()
+        .map(|group| {
+            let mut wire = WireMapGroup {
+                class: map_class(group.class),
+                members: group.members.len() as u64,
+                representative_set: group.representative.0 as u64,
+                representative_slice: group.representative.1 as u64,
+                namespace: group.namespace.clone(),
+                outcome: String::new(),
+                states: 0,
+                queries: 0,
+                identified: String::new(),
+                disagreement_permille: 0,
+                detail: String::new(),
+            };
+            match &group.outcome {
+                GroupOutcome::Learned {
+                    states,
+                    membership_queries,
+                    identified,
+                } => {
+                    wire.outcome = "learned".to_string();
+                    wire.states = *states;
+                    wire.queries = *membership_queries;
+                    wire.identified = identified.clone().unwrap_or_default();
+                }
+                GroupOutcome::NotDeterministic { evidence } => {
+                    wire.outcome = "not-deterministic".to_string();
+                    wire.queries = evidence.voted_queries;
+                    wire.disagreement_permille = evidence.disagreement_permille;
+                    wire.detail = evidence.to_string();
+                }
+                GroupOutcome::Failed { error } => {
+                    wire.outcome = "failed".to_string();
+                    wire.detail = error.clone();
+                }
+            }
+            wire
+        })
+        .collect();
+    let sets = map
+        .sets
+        .iter()
+        .map(|entry| {
+            let mut wire = WireMapSet {
+                set: entry.set as u64,
+                slice: entry.slice as u64,
+                class: map_class(entry.class),
+                verdict: String::new(),
+                policy: String::new(),
+                states: 0,
+                disagreement_permille: 0,
+                detail: String::new(),
+            };
+            match &entry.verdict {
+                SetVerdict::Fixed { policy, states } => {
+                    wire.verdict = "fixed".to_string();
+                    wire.policy = policy.clone().unwrap_or_default();
+                    wire.states = *states;
+                }
+                SetVerdict::FixedNonDeterministic {
+                    disagreement_permille,
+                } => {
+                    wire.verdict = "fixed-nondet".to_string();
+                    wire.disagreement_permille = *disagreement_permille;
+                }
+                SetVerdict::AdaptiveFollower {
+                    disagreement_permille,
+                } => {
+                    wire.verdict = "adaptive".to_string();
+                    wire.disagreement_permille = *disagreement_permille;
+                }
+                SetVerdict::Unmapped { error } => {
+                    wire.verdict = "unmapped".to_string();
+                    wire.detail = error.clone();
+                }
+            }
+            wire
+        })
+        .collect();
+    WireCacheMap {
+        model: map.model.clone(),
+        level: map.level.to_string(),
+        cat: map.cat_ways.map(|ways| ways as u64),
+        groups,
+        sets,
+    }
+}
+
+/// Serves a `map` request: sweeps the first `sets` sets of the model's L3
+/// server-side — leader detection, one learning campaign per leader group
+/// through the daemon's shared store (so remapping the same CPU re-serves
+/// the campaigns from memo), follower flip probes — and returns the per-set
+/// policy map.  Synchronous, like `replay`: the campaign is seconds-scale
+/// under the CAT restriction the associativity limit enforces.
+fn handle_map(
+    shared: &Arc<Shared>,
+    model: &str,
+    seed: u64,
+    cat: Option<u64>,
+    slice: u64,
+    sets: u64,
+) -> Response {
+    let Some(model) = parse_model(model) else {
+        return Response::Error {
+            message: format!("unknown CPU model '{model}' (haswell|skylake|kabylake)"),
+        };
+    };
+    let cpu_spec = model.spec();
+    let geometry = cpu_spec
+        .level(LevelId::L3)
+        .expect("all modelled CPUs have an L3")
+        .geometry;
+    let cat_ways = match cat {
+        None => None,
+        Some(ways) => {
+            if !cpu_spec.supports_cat {
+                return Response::Error {
+                    message: format!("{} does not support Intel CAT", cpu_spec.name),
+                };
+            }
+            if ways == 0 || ways as usize > geometry.associativity {
+                return Response::Error {
+                    message: format!(
+                        "CAT ways {ways} out of range (L3 has {} ways)",
+                        geometry.associativity
+                    ),
+                };
+            }
+            Some(ways as usize)
+        }
+    };
+    // The leader groups are learned at the effective associativity; hold it
+    // to the same ceiling as `learn` so a map request cannot smuggle in a
+    // campaign the server would refuse as a job.
+    let assoc = cat_ways.unwrap_or(geometry.associativity);
+    if assoc > shared.config.max_learn_assoc {
+        return Response::Error {
+            message: format!(
+                "mapping at associativity {assoc} exceeds this server's learning limit {}; \
+                 restrict the L3 with 'cat'",
+                shared.config.max_learn_assoc
+            ),
+        };
+    }
+    if slice as usize >= geometry.slices {
+        return Response::Error {
+            message: format!(
+                "slice {slice} out of range (L3 has {} slices)",
+                geometry.slices
+            ),
+        };
+    }
+    let count = sets.clamp(1, MAX_MAP_SETS.min(geometry.sets_per_slice as u64)) as usize;
+    let mut config = MapConfig::new(model, seed, (0..count).collect());
+    config.slice = slice as usize;
+    config.cat_ways = cat_ways;
+    config.setup.max_states = MAP_MAX_STATES;
+    config.setup.time_budget = Some(MAP_LEARN_BUDGET);
+    // One worker keeps campaigns over randomized policies deterministic
+    // (fixed query order), and keeps map requests from starving the pool.
+    config.setup.workers = 1;
+    match map_cache(&config, Arc::clone(&shared.store)) {
+        Ok(map) => Response::Map(wire_map(&map)),
+        Err(error) => Response::Error {
+            message: error.to_string(),
+        },
+    }
 }
 
 fn job_status(shared: &Arc<Shared>, id: u64) -> Option<WireJobStatus> {

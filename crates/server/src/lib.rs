@@ -70,6 +70,6 @@ pub use daemon::{spawn, CqdConfig, CqdHandle};
 pub use json::{Json, JsonError};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, ProtoError, Request,
-    Response, SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireReplay, WireSessionStats,
-    WireStats, PROTOCOL_VERSION,
+    Response, SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireNamespace,
+    WireOutcome, WireReplay, WireSessionStats, WireStats, PROTOCOL_VERSION,
 };

@@ -17,6 +17,7 @@
 //! | `repl` | `line` (REPL command string) | `done` or `outcomes` |
 //! | `learn` | `spec` (`POLICY@ASSOC`) | `job` (id) |
 //! | `replay` | `spec`, `generator`, `accesses`, `lines`, `seed`, `job`? | `replay` |
+//! | `map` | `model`, `seed`, `cat`?, `slice`, `sets` | `map` (the per-set cache map) |
 //! | `job` | `id` | `status` |
 //! | `wait` | `id` | `status`* … `status` (`final: true`) |
 //! | `stats` | — | `stats` (global + session + store namespaces) |
@@ -38,8 +39,12 @@ use crate::json::Json;
 /// (`votes`, `vote_escalations`, `vote_unsettled`,
 /// `vote_min_margin_permille`) in `stats`; 4 = trace replay — the `replay`
 /// command evaluates a policy (and optionally the learned machine of a
-/// finished `learn` job) under synthetic memory traffic server-side.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// finished `learn` job) under synthetic memory traffic server-side; 5 =
+/// cartography — the `map` command sweeps the sets of a simulated adaptive
+/// last-level cache server-side (leader detection, per-group learning
+/// through the shared store, follower flip probes) and returns the per-set
+/// policy map.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +158,29 @@ pub enum Request {
         /// Id of a finished `learn` job whose machine should be replayed
         /// differentially against the simulator.
         job: Option<u64>,
+    },
+    /// Map the sets of a simulated adaptive last-level cache server-side:
+    /// classify every set (leader detection), learn each leader group's
+    /// policy through the shared store, and flip-probe every follower for
+    /// statistical evidence of adaptivity.
+    ///
+    /// The sweep should cover leaders of *both* duel classes (on the
+    /// Skylake-like layout, ≥ 34 sets): the disambiguation drives work by
+    /// making leaders vote the duel in a known direction, so a sweep that
+    /// excludes every leader of one class cannot separate followers from
+    /// leaders of the resident polarity — exactly like the published
+    /// experiment, which sweeps the whole cache.
+    Map {
+        /// CPU model name (`haswell`, `skylake`, `kabylake`).
+        model: String,
+        /// Seed of the simulated machine.
+        seed: u64,
+        /// Intel CAT restriction of the last-level cache, if any.
+        cat: Option<u64>,
+        /// The slice whose sets are mapped.
+        slice: u64,
+        /// Number of sets to map, starting at index 0 (clamped server-side).
+        sets: u64,
     },
     /// Poll the status of a learning job.
     Job {
@@ -297,6 +325,72 @@ pub struct WireReplay {
     pub divergence: String,
 }
 
+/// One leader group of a `map` response: its class, the set the campaign
+/// learned, and the learning outcome in flat wire form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMapGroup {
+    /// Detection class (`thrash-vulnerable` or `thrash-resistant`).
+    pub class: String,
+    /// Number of sets in the group.
+    pub members: u64,
+    /// Set index of the learned representative.
+    pub representative_set: u64,
+    /// Slice index of the learned representative.
+    pub representative_slice: u64,
+    /// The query-store namespace the campaign filled (the dedupe key).
+    pub namespace: String,
+    /// Outcome kind (`learned`, `not-deterministic` or `failed`).
+    pub outcome: String,
+    /// States of the learned automaton (0 unless `learned`).
+    pub states: u64,
+    /// Membership queries the campaign issued (0 unless `learned`).
+    pub queries: u64,
+    /// Library policy the automaton was identified as (empty if none).
+    pub identified: String,
+    /// Statistical disagreement in permille (0 unless `not-deterministic`).
+    pub disagreement_permille: u64,
+    /// Human-readable detail: the non-determinism evidence or the error.
+    pub detail: String,
+}
+
+/// One mapped set of a `map` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMapSet {
+    /// Set index within the slice.
+    pub set: u64,
+    /// Slice index.
+    pub slice: u64,
+    /// Detection class (`thrash-vulnerable`, `thrash-resistant` or
+    /// `adaptive`).
+    pub class: String,
+    /// Verdict kind (`fixed`, `fixed-nondet`, `adaptive` or `unmapped`).
+    pub verdict: String,
+    /// Identified policy of a `fixed` set (empty if unidentified).
+    pub policy: String,
+    /// States of a `fixed` set's learned automaton (0 otherwise).
+    pub states: u64,
+    /// Statistical evidence in permille: vote disagreement for
+    /// `fixed-nondet`, flip-probe disagreement for `adaptive` (0 otherwise).
+    pub disagreement_permille: u64,
+    /// The rendered error of an `unmapped` set (empty otherwise).
+    pub detail: String,
+}
+
+/// The complete cache map returned by a `map` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCacheMap {
+    /// Short name of the mapped CPU model.
+    pub model: String,
+    /// The mapped cache level (`L3`).
+    pub level: String,
+    /// CAT restriction in effect during the campaign, if any.
+    pub cat: Option<u64>,
+    /// Per-group learning outcomes.
+    pub groups: Vec<WireMapGroup>,
+    /// One entry per mapped set.
+    pub sets: Vec<WireMapSet>,
+}
+
 /// Counters of one session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireSessionStats {
@@ -342,6 +436,8 @@ pub enum Response {
     JobStatus(WireJobStatus),
     /// Result of a `replay` request.
     Replay(WireReplay),
+    /// Result of a `map` request.
+    Map(WireCacheMap),
     /// Metrics reply.
     Stats {
         /// Daemon-wide counters.
@@ -476,6 +572,73 @@ fn status_from_json(value: &Json) -> Result<WireJobStatus, ProtoError> {
     })
 }
 
+fn map_group_to_json(group: &WireMapGroup) -> Json {
+    Json::obj(vec![
+        ("class", Json::str(&group.class)),
+        ("members", Json::num(group.members)),
+        ("representative_set", Json::num(group.representative_set)),
+        (
+            "representative_slice",
+            Json::num(group.representative_slice),
+        ),
+        ("namespace", Json::str(&group.namespace)),
+        ("outcome", Json::str(&group.outcome)),
+        ("states", Json::num(group.states)),
+        ("queries", Json::num(group.queries)),
+        ("identified", Json::str(&group.identified)),
+        (
+            "disagreement_permille",
+            Json::num(group.disagreement_permille),
+        ),
+        ("detail", Json::str(&group.detail)),
+    ])
+}
+
+fn map_group_from_json(value: &Json) -> Result<WireMapGroup, ProtoError> {
+    Ok(WireMapGroup {
+        class: get_str(value, "class")?,
+        members: get_u64(value, "members")?,
+        representative_set: get_u64(value, "representative_set")?,
+        representative_slice: get_u64(value, "representative_slice")?,
+        namespace: get_str(value, "namespace")?,
+        outcome: get_str(value, "outcome")?,
+        states: get_u64(value, "states")?,
+        queries: get_u64(value, "queries")?,
+        identified: get_str(value, "identified")?,
+        disagreement_permille: get_u64(value, "disagreement_permille")?,
+        detail: get_str(value, "detail")?,
+    })
+}
+
+fn map_set_to_json(set: &WireMapSet) -> Json {
+    Json::obj(vec![
+        ("set", Json::num(set.set)),
+        ("slice", Json::num(set.slice)),
+        ("class", Json::str(&set.class)),
+        ("verdict", Json::str(&set.verdict)),
+        ("policy", Json::str(&set.policy)),
+        ("states", Json::num(set.states)),
+        (
+            "disagreement_permille",
+            Json::num(set.disagreement_permille),
+        ),
+        ("detail", Json::str(&set.detail)),
+    ])
+}
+
+fn map_set_from_json(value: &Json) -> Result<WireMapSet, ProtoError> {
+    Ok(WireMapSet {
+        set: get_u64(value, "set")?,
+        slice: get_u64(value, "slice")?,
+        class: get_str(value, "class")?,
+        verdict: get_str(value, "verdict")?,
+        policy: get_str(value, "policy")?,
+        states: get_u64(value, "states")?,
+        disagreement_permille: get_u64(value, "disagreement_permille")?,
+        detail: get_str(value, "detail")?,
+    })
+}
+
 fn stats_to_json(stats: &WireStats) -> Json {
     Json::obj(vec![
         ("sessions_active", Json::num(stats.sessions_active)),
@@ -557,6 +720,20 @@ pub fn encode_request(request: &Request) -> String {
             ("seed", Json::num(*seed)),
             ("job", job.map_or(Json::Null, Json::num)),
         ]),
+        Request::Map {
+            model,
+            seed,
+            cat,
+            slice,
+            sets,
+        } => Json::obj(vec![
+            ("cmd", Json::str("map")),
+            ("model", Json::str(model)),
+            ("seed", Json::num(*seed)),
+            ("cat", cat.map_or(Json::Null, Json::num)),
+            ("slice", Json::num(*slice)),
+            ("sets", Json::num(*sets)),
+        ]),
         Request::Job { id } => Json::obj(vec![("cmd", Json::str("job")), ("id", Json::num(*id))]),
         Request::Wait { id } => Json::obj(vec![("cmd", Json::str("wait")), ("id", Json::num(*id))]),
         Request::Stats => Json::obj(vec![("cmd", Json::str("stats"))]),
@@ -613,6 +790,19 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
                 lines: get_u64(&value, "lines")?,
                 seed: get_u64(&value, "seed")?,
                 job,
+            })
+        }
+        "map" => {
+            let cat = match value.get("cat") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| err("'cat' must be an integer"))?),
+            };
+            Ok(Request::Map {
+                model: get_str(&value, "model")?,
+                seed: get_u64(&value, "seed")?,
+                cat,
+                slice: get_u64(&value, "slice")?,
+                sets: get_u64(&value, "sets")?,
             })
         }
         "job" => Ok(Request::Job {
@@ -684,6 +874,20 @@ pub fn encode_response(response: &Response) -> String {
             ("machine_misses", Json::num(replay.machine_misses)),
             ("diverged", Json::Bool(replay.diverged)),
             ("divergence", Json::str(&replay.divergence)),
+        ]),
+        Response::Map(map) => Json::obj(vec![
+            ("resp", Json::str("map")),
+            ("model", Json::str(&map.model)),
+            ("level", Json::str(&map.level)),
+            ("cat", map.cat.map_or(Json::Null, Json::num)),
+            (
+                "groups",
+                Json::Arr(map.groups.iter().map(map_group_to_json).collect()),
+            ),
+            (
+                "sets",
+                Json::Arr(map.sets.iter().map(map_set_to_json).collect()),
+            ),
         ]),
         Response::Stats {
             global,
@@ -787,6 +991,33 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
             diverged: get_bool(&value, "diverged")?,
             divergence: get_str(&value, "divergence")?,
         })),
+        "map" => {
+            let cat = match value.get("cat") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| err("'cat' must be an integer"))?),
+            };
+            let groups = value
+                .get("groups")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'groups'"))?
+                .iter()
+                .map(map_group_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            let sets = value
+                .get("sets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'sets'"))?
+                .iter()
+                .map(map_set_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::Map(WireCacheMap {
+                model: get_str(&value, "model")?,
+                level: get_str(&value, "level")?,
+                cat,
+                groups,
+                sets,
+            }))
+        }
         "stats" => {
             let global = value
                 .get("global")
@@ -870,6 +1101,20 @@ mod tests {
                 seed: 1,
                 job: Some(2),
             },
+            Request::Map {
+                model: "skylake".into(),
+                seed: 99,
+                cat: Some(2),
+                slice: 0,
+                sets: 48,
+            },
+            Request::Map {
+                model: "haswell".into(),
+                seed: 7,
+                cat: None,
+                slice: 1,
+                sets: 8,
+            },
             Request::Job { id: 3 },
             Request::Wait { id: 9 },
             Request::Stats,
@@ -948,6 +1193,53 @@ mod tests {
                 machine_misses: 0,
                 diverged: true,
                 divergence: "access 3 (0xc0 in set 3): simulator Hit, machine Miss".into(),
+            }),
+            Response::Map(WireCacheMap {
+                model: "skylake".into(),
+                level: "L3".into(),
+                cat: Some(2),
+                groups: vec![WireMapGroup {
+                    class: "thrash-vulnerable".into(),
+                    members: 2,
+                    representative_set: 0,
+                    representative_slice: 0,
+                    namespace: "skylake seed=99 cat=2 reset=F+R reps=5 L3 set=0 slice=0".into(),
+                    outcome: "learned".into(),
+                    states: 7,
+                    queries: 641,
+                    identified: "New2".into(),
+                    disagreement_permille: 0,
+                    detail: String::new(),
+                }],
+                sets: vec![
+                    WireMapSet {
+                        set: 0,
+                        slice: 0,
+                        class: "thrash-vulnerable".into(),
+                        verdict: "fixed".into(),
+                        policy: "New2".into(),
+                        states: 7,
+                        disagreement_permille: 0,
+                        detail: String::new(),
+                    },
+                    WireMapSet {
+                        set: 5,
+                        slice: 0,
+                        class: "adaptive".into(),
+                        verdict: "adaptive".into(),
+                        policy: String::new(),
+                        states: 0,
+                        disagreement_permille: 333,
+                        detail: "flip probe disagreed".into(),
+                    },
+                ],
+            }),
+            Response::Map(WireCacheMap {
+                model: "haswell".into(),
+                level: "L3".into(),
+                cat: None,
+                groups: vec![],
+                sets: vec![],
             }),
             Response::Stats {
                 global: WireStats {

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use server::{
     decode_request, decode_response, encode_request, encode_response, Json, Request, Response,
-    SessionSpec, WireJobStatus, WireNamespace, WireOutcome, WireReplay, WireSessionStats,
-    WireStats,
+    SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireNamespace, WireOutcome,
+    WireReplay, WireSessionStats, WireStats,
 };
 
 /// A string strategy that loves JSON metacharacters: quotes, backslashes,
@@ -106,6 +106,20 @@ fn request() -> impl Strategy<Value = Request> {
                     job,
                 }
             }),
+        (
+            wire_string(),
+            0u64..1000,
+            prop_oneof![Just(None), (1u64..16).prop_map(Some)],
+            0u64..8,
+            0u64..4096,
+        )
+            .prop_map(|(model, seed, cat, slice, sets)| Request::Map {
+                model,
+                seed,
+                cat,
+                slice,
+                sets,
+            }),
         (0u64..100).prop_map(|id| Request::Job { id }),
         (0u64..100).prop_map(|id| Request::Wait { id }),
         Just(Request::Stats),
@@ -193,6 +207,96 @@ fn wire_replay() -> impl Strategy<Value = WireReplay> {
         )
 }
 
+fn map_group() -> impl Strategy<Value = WireMapGroup> {
+    (
+        (
+            prop_oneof![
+                Just("thrash-vulnerable".to_string()),
+                Just("thrash-resistant".to_string()),
+                wire_string(),
+            ],
+            0u64..100,
+            0u64..4096,
+            0u64..8,
+        ),
+        wire_string(),
+        prop_oneof![
+            Just("learned".to_string()),
+            Just("not-deterministic".to_string()),
+            Just("failed".to_string()),
+        ],
+        (0u64..1000, 0u64..1_000_000),
+        (wire_string(), 0u64..=1000, wire_string()),
+    )
+        .prop_map(
+            |(
+                (class, members, representative_set, representative_slice),
+                namespace,
+                outcome,
+                (states, queries),
+                (identified, disagreement_permille, detail),
+            )| WireMapGroup {
+                class,
+                members,
+                representative_set,
+                representative_slice,
+                namespace,
+                outcome,
+                states,
+                queries,
+                identified,
+                disagreement_permille,
+                detail,
+            },
+        )
+}
+
+fn map_set() -> impl Strategy<Value = WireMapSet> {
+    (
+        (0u64..4096, 0u64..8),
+        prop_oneof![Just("adaptive".to_string()), wire_string()],
+        prop_oneof![
+            Just("fixed".to_string()),
+            Just("fixed-nondet".to_string()),
+            Just("adaptive".to_string()),
+            Just("unmapped".to_string()),
+        ],
+        (wire_string(), 0u64..1000, 0u64..=1000),
+        wire_string(),
+    )
+        .prop_map(
+            |((set, slice), class, verdict, (policy, states, disagreement_permille), detail)| {
+                WireMapSet {
+                    set,
+                    slice,
+                    class,
+                    verdict,
+                    policy,
+                    states,
+                    disagreement_permille,
+                    detail,
+                }
+            },
+        )
+}
+
+fn cache_map() -> impl Strategy<Value = WireCacheMap> {
+    (
+        wire_string(),
+        prop_oneof![Just("L3".to_string()), wire_string()],
+        prop_oneof![Just(None), (1u64..16).prop_map(Some)],
+        proptest::collection::vec(map_group(), 0..3),
+        proptest::collection::vec(map_set(), 0..5),
+    )
+        .prop_map(|(model, level, cat, groups, sets)| WireCacheMap {
+            model,
+            level,
+            cat,
+            groups,
+            sets,
+        })
+}
+
 fn response() -> impl Strategy<Value = Response> {
     let stats = (
         (0u64..10, 0u64..100),
@@ -250,6 +354,7 @@ fn response() -> impl Strategy<Value = Response> {
         (0u64..100).prop_map(|id| Response::JobStarted { id }),
         job_status().prop_map(Response::JobStatus),
         wire_replay().prop_map(Response::Replay),
+        cache_map().prop_map(Response::Map),
         (
             stats,
             (0u64..1000, 0u64..1000),
