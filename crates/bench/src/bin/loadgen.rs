@@ -69,11 +69,21 @@ fn expression(i: u64) -> String {
     format!("{} {} {} {}?", name(a), name(b), name(c), name(a))
 }
 
-fn percentile(sorted: &[u64], pct: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+/// Times one request and records its latency (in nanoseconds) into the
+/// shared histogram.  Every mode funnels its per-request latencies through
+/// here, so the p50/p99 columns below mean the same thing everywhere.
+fn timed<T>(latency: &obs::Histogram, run: impl FnOnce() -> T) -> T {
+    let begin = Instant::now();
+    let out = run();
+    latency.record(begin.elapsed().as_nanos() as u64);
+    out
+}
+
+/// The shared latency summary: (p50, p99) in microseconds, straight from the
+/// log-linear histogram — no sorted vector of every sample needed.
+fn latency_us(latency: &obs::Histogram) -> (f64, f64) {
+    let snapshot = latency.snapshot();
+    (snapshot.p50 as f64 / 1000.0, snapshot.p99 as f64 / 1000.0)
 }
 
 /// The learn-remote mode: the same campaign in-process and over loopback.
@@ -312,6 +322,7 @@ fn run_trace(args: &Args) {
         "pointer-chase",
     ]);
     let mut rows = Vec::new();
+    let latency = obs::Histogram::new();
     let started = Instant::now();
     let mut replayed = 0u64;
     for kind in PolicyKind::ALL_DETERMINISTIC {
@@ -319,9 +330,10 @@ fn run_trace(args: &Args) {
         let mut cells = vec![spec.clone()];
         let mut rates = Vec::new();
         for generator in generators {
-            let reply = client
-                .replay(&spec, generator, accesses, lines, seed, None)
-                .expect("replay request succeeds");
+            let reply = timed(&latency, || {
+                client.replay(&spec, generator, accesses, lines, seed, None)
+            })
+            .expect("replay request succeeds");
             assert_eq!(reply.sim_hits + reply.sim_misses, reply.accesses);
             replayed += reply.accesses;
             let rate = reply.sim_hits as f64 / reply.accesses as f64;
@@ -332,9 +344,11 @@ fn run_trace(args: &Args) {
         rows.push((spec, rates));
     }
     let sweep_s = started.elapsed().as_secs_f64();
+    let (p50_us, p99_us) = latency_us(&latency);
     print!("{}", table.render());
     println!(
-        "swept {} replays ({replayed} accesses) in {sweep_s:.3} s",
+        "swept {} replays ({replayed} accesses) in {sweep_s:.3} s \
+         (per-request p50 {p50_us:.1} us, p99 {p99_us:.1} us)",
         rows.len() * generators.len()
     );
 
@@ -373,6 +387,8 @@ fn run_trace(args: &Args) {
         ("lines", Json::num(lines)),
         ("seed", Json::num(seed)),
         ("sweep_s", Json::Num(sweep_s)),
+        ("p50_us", Json::Num(p50_us)),
+        ("p99_us", Json::Num(p99_us)),
         ("hit_rates", Json::Obj(report_rows)),
         ("machine_campaign", Json::str(policy)),
         ("machine_states", Json::num(reply.machine_states)),
@@ -398,18 +414,18 @@ fn run_map(args: &Args) {
     let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
     let mut client = Client::connect(daemon.addr()).expect("daemon accepts connections");
 
+    let latency = obs::Histogram::new();
     let started = Instant::now();
-    let map = client
-        .map(model, seed, Some(cat), slice, sets)
+    let map = timed(&latency, || client.map(model, seed, Some(cat), slice, sets))
         .expect("map campaign succeeds");
     let sweep_s = started.elapsed().as_secs_f64();
 
     let started = Instant::now();
-    let again = client
-        .map(model, seed, Some(cat), slice, sets)
+    let again = timed(&latency, || client.map(model, seed, Some(cat), slice, sets))
         .expect("remap succeeds");
     let remap_s = started.elapsed().as_secs_f64();
     assert_eq!(again, map, "remapping the same CPU must be deterministic");
+    let (p50_us, p99_us) = latency_us(&latency);
 
     let mut table = TextTable::new(&[
         "group",
@@ -446,7 +462,8 @@ fn run_map(args: &Args) {
     // but serves both learning campaigns from the shared store.
     println!(
         "mapped {} sets ({fixed} fixed, {adaptive} adaptive followers, {other} other) \
-         in {sweep_s:.3} s; remap with store-served campaigns {remap_s:.3} s ({:.2}x)",
+         in {sweep_s:.3} s; remap with store-served campaigns {remap_s:.3} s ({:.2}x); \
+         per-request p50 {p50_us:.1} us, p99 {p99_us:.1} us",
         map.sets.len(),
         sweep_s / remap_s.max(1e-9)
     );
@@ -465,6 +482,8 @@ fn run_map(args: &Args) {
         ("adaptive_sets", Json::num(adaptive as u64)),
         ("sweep_s", Json::Num(sweep_s)),
         ("remap_s", Json::Num(remap_s)),
+        ("p50_us", Json::Num(p50_us)),
+        ("p99_us", Json::Num(p99_us)),
     ]);
     merge_report(json_path, "map", report);
 }
@@ -507,10 +526,14 @@ fn main() {
          {distinct} distinct expressions per set, {workers} workers"
     );
 
+    // One lock-free histogram shared by every client thread: quantiles come
+    // out without ever materializing (or sorting) the per-sample vector.
+    let latency = obs::Histogram::new();
     let started = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|client_index| {
+                let latency = &latency;
                 scope.spawn(move || {
                     let mut client = Client::connect(addr).expect("daemon accepts connections");
                     let set = (client_index as u64) % sets;
@@ -521,31 +544,25 @@ fn main() {
                         })
                         .expect("valid target");
                     let mut rng = Rng(0x9e37_79b9_7f4a_7c15 ^ (client_index as u64 + 1));
-                    let mut latencies = Vec::with_capacity(queries);
                     for _ in 0..queries {
                         let expr = expression(rng.next() % distinct);
-                        let begin = Instant::now();
-                        let results = client.query(&expr).expect("well-formed MBL");
-                        latencies.push(begin.elapsed().as_nanos() as u64);
+                        let results =
+                            timed(latency, || client.query(&expr)).expect("well-formed MBL");
                         assert_eq!(results.len(), 1, "pool expressions expand to one query");
                     }
                     client.quit().expect("clean disconnect");
-                    latencies
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+        for handle in handles {
+            handle.join().expect("client thread");
+        }
     });
     let elapsed = started.elapsed();
 
-    let total = latencies.len();
-    latencies.sort_unstable();
+    let total = latency.count() as usize;
     let throughput = total as f64 / elapsed.as_secs_f64();
-    let p50_us = percentile(&latencies, 50) as f64 / 1000.0;
-    let p99_us = percentile(&latencies, 99) as f64 / 1000.0;
+    let (p50_us, p99_us) = latency_us(&latency);
     let hit_rate = daemon.store_hit_rate();
 
     let mut table = TextTable::new(&[

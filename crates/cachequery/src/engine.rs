@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use cache::HitMiss;
 use mbl::{expand_query, render_query, Query};
+use obs::{FieldValue, Recorder};
 
 use crate::backend::{BackendError, Target};
 use crate::store::{QueryStore, StoreSpace};
@@ -294,6 +295,10 @@ pub struct QueryEngine<B> {
     voting: VoteConfig,
     stats: EngineStats,
     evidence: VoteEvidence,
+    /// Optional span recorder (see [`QueryEngine::set_recorder`]).  Shared by
+    /// clones, like the store: a per-worker engine traces into the same
+    /// timeline as its siblings.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl<B: Clone> Clone for QueryEngine<B> {
@@ -306,6 +311,7 @@ impl<B: Clone> Clone for QueryEngine<B> {
             voting: self.voting,
             stats: EngineStats::default(),
             evidence: VoteEvidence::default(),
+            recorder: self.recorder.clone(),
         }
     }
 }
@@ -327,6 +333,7 @@ impl<B: QueryBackend> QueryEngine<B> {
             voting: VoteConfig::default(),
             stats: EngineStats::default(),
             evidence: VoteEvidence::default(),
+            recorder: None,
         }
     }
 
@@ -381,6 +388,21 @@ impl<B: QueryBackend> QueryEngine<B> {
         self.voting
     }
 
+    /// Attaches (or detaches, with `None`) a span recorder.  While attached,
+    /// every batch through [`QueryEngine::run_many`] emits an
+    /// `engine.run_many` span carrying its store-hit / backend-execution
+    /// split, and every voting round that escalates emits an
+    /// `engine.vote_escalation` event under that span — the query-path side
+    /// of the workspace-wide tracing story.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The recorder this engine emits spans into, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// This engine's local work counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
@@ -430,6 +452,11 @@ impl<B: QueryBackend> QueryEngine<B> {
         } else {
             None
         };
+        // The Arc is cloned so the span borrows a local recorder, leaving
+        // `self` free for the mutable backend call below.
+        let recorder = self.recorder.clone();
+        let mut span = obs::maybe_span(recorder.as_deref(), "engine.run_many");
+        let parent = span.as_ref().map(obs::Span::id);
         self.stats.queries += queries.len() as u64;
 
         let mut results: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
@@ -453,9 +480,15 @@ impl<B: QueryBackend> QueryEngine<B> {
             }
         }
 
+        if let Some(span) = span.as_mut() {
+            span.set("queries", queries.len() as u64);
+            span.set("store_hits", (queries.len() - missing.len()) as u64);
+            span.set("backend", missing.len() as u64);
+        }
+
         if !missing.is_empty() {
             let to_run: Vec<Query> = missing.iter().map(|&i| queries[i].clone()).collect();
-            let executed = self.execute_voted(&to_run)?;
+            let executed = self.execute_voted(&to_run, parent)?;
             self.stats.backend_queries += executed.len() as u64;
             for (&index, (outcomes, consistent)) in missing.iter().zip(executed) {
                 if let Some(space) = &space {
@@ -488,6 +521,7 @@ impl<B: QueryBackend> QueryEngine<B> {
     fn execute_voted(
         &mut self,
         queries: &[Query],
+        parent: Option<u64>,
     ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
         let voting = self.voting;
         let reps = self.backend.config()?.reps;
@@ -585,6 +619,16 @@ impl<B: QueryBackend> QueryEngine<B> {
             });
             if pending.is_empty() || round == max_rounds {
                 break;
+            }
+            if let Some(recorder) = self.recorder.as_deref() {
+                recorder.event(
+                    "engine.vote_escalation",
+                    parent,
+                    &[
+                        ("round", FieldValue::U64(u64::from(round))),
+                        ("pending", FieldValue::U64(pending.len() as u64)),
+                    ],
+                );
             }
             round_reps = total_reps;
         }
@@ -753,6 +797,81 @@ mod tests {
         assert_eq!(engine.backend().executed, 4);
         // Prefix sharing: "@ X" is a shared prefix of all four expansions.
         assert!(engine.store().entries() > 0);
+    }
+
+    #[test]
+    fn recorder_traces_batches_and_store_hits() {
+        let sink = Arc::new(obs::RingSink::new(64));
+        let mut engine = QueryEngine::new(ParityBackend::new());
+        engine.set_recorder(Some(Arc::new(Recorder::new(sink.clone()))));
+        let q = concrete("A? B?");
+        engine.run(&q).unwrap();
+        engine.run(&q).unwrap();
+        let lines = sink.drain();
+        assert_eq!(lines.len(), 2, "one span per batch");
+        assert!(lines[0].contains("\"name\":\"engine.run_many\""));
+        assert!(lines[0].contains("\"store_hits\":0"));
+        assert!(lines[0].contains("\"backend\":1"));
+        assert!(lines[1].contains("\"store_hits\":1"));
+        assert!(lines[1].contains("\"backend\":0"));
+    }
+
+    #[test]
+    fn vote_escalations_emit_events_under_the_batch_span() {
+        /// A fair coin: alternates miss/hit per raw execution, so a majority
+        /// vote never reaches any margin and every round escalates.
+        #[derive(Debug, Clone)]
+        struct FlakyBackend {
+            calls: u64,
+        }
+        impl QueryBackend for FlakyBackend {
+            fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+                self.calls += 1;
+                let outcome = if self.calls.is_multiple_of(2) {
+                    HitMiss::Hit
+                } else {
+                    HitMiss::Miss
+                };
+                let outcomes = query
+                    .iter()
+                    .filter(|op| op.tag == Some(mbl::Tag::Profile))
+                    .map(|_| outcome)
+                    .collect();
+                Ok((outcomes, true))
+            }
+            fn config(&self) -> Result<QueryConfig, BackendError> {
+                Ok(QueryConfig {
+                    backend: "flaky".to_string(),
+                    reset: "none".to_string(),
+                    reps: 2,
+                    target: Target::new(LevelId::L1, 0, 0),
+                })
+            }
+            fn associativity(&self) -> Result<usize, BackendError> {
+                Ok(4)
+            }
+        }
+
+        let sink = Arc::new(obs::RingSink::new(64));
+        let mut engine = QueryEngine::new(FlakyBackend { calls: 0 });
+        engine.set_recorder(Some(Arc::new(Recorder::new(sink.clone()))));
+        engine.set_vote_config(VoteConfig {
+            enabled: true,
+            margin_permille: 500,
+            max_rounds: 2,
+        });
+        let outcome = engine.run(&concrete("A?")).unwrap();
+        assert!(!outcome.consistent, "a fair coin never settles");
+        let lines = sink.drain();
+        let escalations: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"name\":\"engine.vote_escalation\""))
+            .collect();
+        assert_eq!(escalations.len(), 1, "max_rounds=2 escalates exactly once");
+        assert!(escalations[0].contains("\"round\":1"));
+        assert!(escalations[0].contains("\"pending\":1"));
+        // The batch span was opened first (id 1); the event nests under it.
+        assert!(escalations[0].contains("\"parent\":1"));
     }
 
     #[test]

@@ -121,6 +121,12 @@ impl StoreSpace {
         self.trie.entries()
     }
 
+    /// Estimated heap footprint of this namespace's trie, in bytes (see
+    /// [`learning::QueryCache::approx_bytes`]).
+    pub fn approx_bytes(&self) -> u64 {
+        self.trie.approx_bytes()
+    }
+
     /// Fraction of this namespace's lookups served from memory.
     pub fn hit_rate(&self) -> f64 {
         let (hits, misses) = (self.hits(), self.misses());
@@ -332,15 +338,33 @@ impl QueryStore {
     /// Every namespace with its entry (trie node) count, sorted by name —
     /// the per-namespace breakdown the `cqd` `stats` command reports.
     pub fn namespace_entries(&self) -> Vec<(String, u64)> {
-        let mut entries: Vec<(String, u64)> = self
+        self.namespace_usage()
+            .into_iter()
+            .map(|(name, entries, _)| (name, entries))
+            .collect()
+    }
+
+    /// Every namespace with its entry count *and* estimated byte footprint,
+    /// sorted by name: `(namespace, entries, approx_bytes)`.  The byte figure
+    /// is the trie's estimated heap usage (see
+    /// [`learning::QueryCache::approx_bytes`]) — what `cqd stats` reports so
+    /// operators can see which backend configuration is eating the memory.
+    pub fn namespace_usage(&self) -> Vec<(String, u64, u64)> {
+        let mut entries: Vec<(String, u64, u64)> = self
             .spaces
             .read()
             .expect("store lock poisoned")
             .iter()
-            .map(|(name, space)| (name.clone(), space.entries()))
+            .map(|(name, space)| (name.clone(), space.entries(), space.approx_bytes()))
             .collect();
         entries.sort();
         entries
+    }
+
+    /// Estimated heap footprint of the whole store, in bytes (sum over
+    /// namespaces).
+    pub fn approx_bytes(&self) -> u64 {
+        self.fold(|s| s.approx_bytes())
     }
 
     /// Fraction of lookups served from memory.
@@ -493,6 +517,22 @@ mod tests {
             store.namespace_entries(),
             vec![(NS.to_string(), 3), (NS2.to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn namespace_usage_reports_byte_estimates() {
+        let store = QueryStore::new();
+        store.record(NS, &concrete("A B A?"), &[HitMiss::Hit], true);
+        store.record(NS2, &concrete("A?"), &[HitMiss::Miss], true);
+        let usage = store.namespace_usage();
+        assert_eq!(usage.len(), 2);
+        for (name, entries, bytes) in &usage {
+            assert!(*entries > 0, "{name} has entries");
+            assert!(*bytes > 0, "{name} has a byte estimate");
+        }
+        // The bigger namespace costs more bytes, and the total folds exactly.
+        assert!(usage[0].2 > usage[1].2, "3-node trie outweighs 1-node trie");
+        assert_eq!(store.approx_bytes(), usage[0].2 + usage[1].2);
     }
 
     #[test]

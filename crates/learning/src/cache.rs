@@ -269,6 +269,23 @@ where
         result
     }
 
+    /// Estimated heap footprint of the trie, in bytes: the node arena plus
+    /// the capacity of every child edge list.  An estimate — allocator
+    /// headers and the fixed cost of the lock and counters are not included
+    /// — but it tracks growth faithfully, which is what capacity planning
+    /// (the `cqd` per-namespace store report) needs.
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let trie = self.trie.read().expect("query cache lock poisoned");
+        let edge = size_of::<(I, u32)>();
+        let mut bytes = trie.nodes.capacity() * size_of::<Node<I, O>>();
+        bytes += trie.roots.capacity() * edge;
+        for node in &trie.nodes {
+            bytes += node.children.capacity() * edge;
+        }
+        bytes as u64
+    }
+
     /// Number of trie nodes, i.e. distinct cached prefixes.
     pub fn entries(&self) -> u64 {
         self.trie
@@ -392,6 +409,19 @@ mod tests {
             copy.record(&word, &outputs).unwrap();
         }
         assert_eq!(copy.entries(), cache.entries());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_the_trie() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        assert_eq!(cache.approx_bytes(), 0);
+        cache.record(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        let small = cache.approx_bytes();
+        assert!(small > 0);
+        for i in 100..132u8 {
+            cache.record(&[1, 2, i], &[10, 20, i]).unwrap();
+        }
+        assert!(cache.approx_bytes() > small);
     }
 
     #[test]

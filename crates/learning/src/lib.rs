@@ -76,7 +76,10 @@ mod wmethod;
 
 pub use cache::{CacheVerdict, QueryCache};
 pub use equivalence::{RandomWalkOracle, WMethodOracle, WpMethodOracle};
-pub use lstar::{learn_mealy, LearnError, LearnOptions, LearnProgress, LearnStats};
+pub use lstar::{
+    learn_mealy, LearnError, LearnOptions, LearnPhase, LearnPhases, LearnProgress, LearnStats,
+    PhaseStats,
+};
 pub use oracle::{
     CachedOracle, EquivalenceOracle, MealyOracle, MembershipOracle, NonDeterminism, OracleError,
 };

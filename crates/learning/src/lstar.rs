@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use automata::Mealy;
+use obs::Recorder;
 
 use crate::oracle::{EquivalenceOracle, NonDeterminism, OracleError};
 use crate::pool::{OracleFactory, QueryPool};
@@ -66,6 +67,11 @@ pub struct LearnOptions {
     /// (table closure / equivalence query).  `None` (the default) costs
     /// nothing.
     pub progress: Option<Arc<LearnProgress>>,
+    /// Optional span recorder: when present, every phase region (table fill,
+    /// closure, equivalence, identification) is emitted as a child span of
+    /// one `lstar.learn` root span, with its membership-query delta attached.
+    /// `None` (the default) costs one predictable branch per phase.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for LearnOptions {
@@ -76,7 +82,154 @@ impl Default for LearnOptions {
             workers: 0,
             memoize: true,
             progress: None,
+            recorder: None,
         }
+    }
+}
+
+/// The four query-issuing phases of the learner loop, in paper terms:
+/// observation-table filling (§5 `fillTable`), closure (promoting unclosed
+/// rows), equivalence (conformance testing the hypothesis, §3.3), and
+/// identification (Rivest–Schapire counterexample analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LearnPhase {
+    /// Filling observation-table cells (initial fill and post-suffix
+    /// refills).
+    TableFill,
+    /// Closing the table: promoting unclosed rows and filling what that
+    /// opens up.
+    Closure,
+    /// Equivalence queries: running the conformance suite against the
+    /// hypothesis.
+    Equivalence,
+    /// Counterexample identification: replaying the counterexample and the
+    /// Rivest–Schapire binary search for a distinguishing suffix.
+    Identification,
+}
+
+impl LearnPhase {
+    /// Every phase, in loop order.
+    pub const ALL: [LearnPhase; 4] = [
+        LearnPhase::TableFill,
+        LearnPhase::Closure,
+        LearnPhase::Equivalence,
+        LearnPhase::Identification,
+    ];
+
+    /// Stable snake_case name (used in profiles and wire formats).
+    pub fn name(self) -> &'static str {
+        match self {
+            LearnPhase::TableFill => "table_fill",
+            LearnPhase::Closure => "closure",
+            LearnPhase::Equivalence => "equivalence",
+            LearnPhase::Identification => "identification",
+        }
+    }
+
+    /// Span name emitted when tracing is on.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            LearnPhase::TableFill => "lstar.table_fill",
+            LearnPhase::Closure => "lstar.closure",
+            LearnPhase::Equivalence => "lstar.equivalence",
+            LearnPhase::Identification => "lstar.identification",
+        }
+    }
+}
+
+/// Accumulated cost of one [`LearnPhase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Membership queries issued during the phase (cache hits included).
+    pub queries: u64,
+    /// Wall-clock time spent in the phase.
+    pub duration: Duration,
+}
+
+/// Per-phase breakdown of a learning run.
+///
+/// The regions partition the learner loop: every membership query the run
+/// issues lands in exactly one phase, so
+/// [`total_queries`](LearnPhases::total_queries) equals
+/// [`LearnStats::membership_queries`] exactly (pinned by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LearnPhases {
+    /// Observation-table fills.
+    pub table_fill: PhaseStats,
+    /// Table closure.
+    pub closure: PhaseStats,
+    /// Equivalence queries.
+    pub equivalence: PhaseStats,
+    /// Counterexample identification.
+    pub identification: PhaseStats,
+}
+
+impl LearnPhases {
+    /// The accumulator for `phase`.
+    pub fn get(&self, phase: LearnPhase) -> PhaseStats {
+        match phase {
+            LearnPhase::TableFill => self.table_fill,
+            LearnPhase::Closure => self.closure,
+            LearnPhase::Equivalence => self.equivalence,
+            LearnPhase::Identification => self.identification,
+        }
+    }
+
+    fn slot_mut(&mut self, phase: LearnPhase) -> &mut PhaseStats {
+        match phase {
+            LearnPhase::TableFill => &mut self.table_fill,
+            LearnPhase::Closure => &mut self.closure,
+            LearnPhase::Equivalence => &mut self.equivalence,
+            LearnPhase::Identification => &mut self.identification,
+        }
+    }
+
+    /// Membership queries summed over all phases (equals
+    /// [`LearnStats::membership_queries`]).
+    pub fn total_queries(&self) -> u64 {
+        LearnPhase::ALL.iter().map(|&p| self.get(p).queries).sum()
+    }
+
+    /// Wall-clock summed over all phases (a lower bound on
+    /// [`LearnStats::duration`]: hypothesis construction runs between
+    /// regions).
+    pub fn total_duration(&self) -> Duration {
+        LearnPhase::ALL.iter().map(|&p| self.get(p).duration).sum()
+    }
+}
+
+/// Scoped accounting for one phase region: membership-query delta from the
+/// pool plus wall-clock, folded into [`LearnPhases`] — and, when tracing, a
+/// child span of the run's root span carrying the query count.
+struct PhaseRegion<'r> {
+    span: Option<obs::Span<'r>>,
+    start: Instant,
+    queries_before: u64,
+}
+
+impl<'r> PhaseRegion<'r> {
+    fn begin(
+        recorder: Option<&'r Recorder>,
+        root: Option<u64>,
+        phase: LearnPhase,
+        queries_before: u64,
+    ) -> Self {
+        PhaseRegion {
+            span: recorder.map(|r| r.span_with_parent(phase.span_name(), root)),
+            start: Instant::now(),
+            queries_before,
+        }
+    }
+
+    fn end(mut self, phases: &mut LearnPhases, phase: LearnPhase, queries_after: u64) {
+        let queries = queries_after - self.queries_before;
+        let slot = phases.slot_mut(phase);
+        slot.queries += queries;
+        slot.duration += self.start.elapsed();
+        if let Some(span) = &mut self.span {
+            span.set("queries", queries);
+        }
+        // Dropping `self` emits the span record, if any.
     }
 }
 
@@ -104,6 +257,9 @@ pub struct LearnStats {
     pub suffixes: usize,
     /// Wall-clock learning time.
     pub duration: Duration,
+    /// Per-phase breakdown: every membership query lands in exactly one
+    /// phase, so `phases.total_queries() == membership_queries`.
+    pub phases: LearnPhases,
 }
 
 impl LearnStats {
@@ -200,7 +356,19 @@ where
     let mut stats = LearnStats::default();
     let mut pool = QueryPool::new(factory, options.workers, options.memoize);
     let mut table = ObservationTable::new(inputs);
+    let recorder = options.recorder.as_deref();
+    let root = recorder.map(|r| r.span("lstar.learn"));
+    let root_id = root.as_ref().map(obs::Span::id);
+    let mut phases = LearnPhases::default();
+
+    let region = PhaseRegion::begin(
+        recorder,
+        root_id,
+        LearnPhase::TableFill,
+        pool.queries_answered(),
+    );
     table.fill(&mut pool)?;
+    region.end(&mut phases, LearnPhase::TableFill, pool.queries_answered());
 
     let result = loop {
         if let Some(budget) = options.time_budget {
@@ -210,6 +378,12 @@ where
         }
 
         // Close the table.
+        let region = PhaseRegion::begin(
+            recorder,
+            root_id,
+            LearnPhase::Closure,
+            pool.queries_answered(),
+        );
         while let Some(witness) = table.find_unclosed() {
             table.promote(witness);
             if table.short_prefixes().len() > options.max_states {
@@ -217,6 +391,7 @@ where
             }
             table.fill(&mut pool)?;
         }
+        region.end(&mut phases, LearnPhase::Closure, pool.queries_answered());
 
         let (hypothesis, access) = table.hypothesis();
         if let Some(progress) = &options.progress {
@@ -225,7 +400,19 @@ where
 
         // Ask for a counterexample.
         stats.equivalence_queries += 1;
-        let Some(counterexample) = equivalence.find_counterexample(&mut pool, &hypothesis)? else {
+        let region = PhaseRegion::begin(
+            recorder,
+            root_id,
+            LearnPhase::Equivalence,
+            pool.queries_answered(),
+        );
+        let counterexample = equivalence.find_counterexample(&mut pool, &hypothesis)?;
+        region.end(
+            &mut phases,
+            LearnPhase::Equivalence,
+            pool.queries_answered(),
+        );
+        let Some(counterexample) = counterexample else {
             break hypothesis;
         };
         stats.counterexamples += 1;
@@ -237,9 +424,20 @@ where
         let mut current_hypothesis = hypothesis;
         let mut current_access = access;
         loop {
+            let region = PhaseRegion::begin(
+                recorder,
+                root_id,
+                LearnPhase::Identification,
+                pool.queries_answered(),
+            );
             let actual = pool.query_word(&counterexample)?;
             let predicted = current_hypothesis.output_word(counterexample.iter());
             if actual == predicted {
+                region.end(
+                    &mut phases,
+                    LearnPhase::Identification,
+                    pool.queries_answered(),
+                );
                 break;
             }
             let suffix = find_distinguishing_suffix(
@@ -248,12 +446,30 @@ where
                 &current_access,
                 &counterexample,
             )?;
+            region.end(
+                &mut phases,
+                LearnPhase::Identification,
+                pool.queries_answered(),
+            );
             if !table.add_suffix(suffix) {
                 // The suffix was already present: adding it cannot refine the
                 // table, so the system is answering inconsistently.
                 return Err(LearnError::SpuriousCounterexample);
             }
+            let region = PhaseRegion::begin(
+                recorder,
+                root_id,
+                LearnPhase::TableFill,
+                pool.queries_answered(),
+            );
             table.fill(&mut pool)?;
+            region.end(&mut phases, LearnPhase::TableFill, pool.queries_answered());
+            let region = PhaseRegion::begin(
+                recorder,
+                root_id,
+                LearnPhase::Closure,
+                pool.queries_answered(),
+            );
             while let Some(witness) = table.find_unclosed() {
                 table.promote(witness);
                 if table.short_prefixes().len() > options.max_states {
@@ -261,6 +477,7 @@ where
                 }
                 table.fill(&mut pool)?;
             }
+            region.end(&mut phases, LearnPhase::Closure, pool.queries_answered());
             let (h, a) = table.hypothesis();
             current_hypothesis = h;
             current_access = a;
@@ -270,6 +487,7 @@ where
     if let Some(progress) = &options.progress {
         progress.record(result.num_states() as u64, pool.queries_answered());
     }
+    stats.phases = phases;
     stats.membership_queries = pool.queries_answered();
     stats.cache_hits = pool.cache_hits();
     stats.cache_misses = pool.cache_misses();
@@ -465,6 +683,60 @@ mod tests {
         assert!(stats.cache_hit_rate() > 0.0 && stats.cache_hit_rate() < 1.0);
         assert!(stats.conformance_tests > 0);
         assert!(stats.equivalence_shards >= stats.equivalence_queries);
+        // The phase regions partition the loop: per-phase query counts sum
+        // exactly to the central total, and every phase did real work on a
+        // multi-round learn.
+        assert_eq!(stats.phases.total_queries(), stats.membership_queries);
+        assert!(stats.phases.table_fill.queries > 0);
+        assert!(stats.phases.equivalence.queries > 0);
+        assert!(stats.phases.identification.queries > 0);
+        assert!(stats.phases.total_duration() <= stats.duration);
+    }
+
+    #[test]
+    fn recorder_emits_nested_phase_spans() {
+        use obs::RingSink;
+        let target = counter(4);
+        let teacher = target.clone();
+        let factory = move || MealyOracle::new(teacher.clone());
+        let mut eq = WpMethodOracle::new(4);
+        let sink = Arc::new(RingSink::new(4096));
+        let recorder = Arc::new(Recorder::new(sink.clone()));
+        let (_, stats) = learn_mealy(
+            target.inputs().to_vec(),
+            &factory,
+            &mut eq,
+            LearnOptions {
+                recorder: Some(recorder),
+                ..LearnOptions::default()
+            },
+        )
+        .unwrap();
+        let lines = sink.drain();
+        assert_eq!(sink.dropped(), 0, "ring clipped the trace");
+        // Exactly one root span, named lstar.learn, emitted last.
+        let roots: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("\"parent\":null"))
+            .collect();
+        assert_eq!(roots.len(), 1);
+        assert!(roots[0].contains("\"name\":\"lstar.learn\""));
+        assert!(lines.last().unwrap().contains("\"name\":\"lstar.learn\""));
+        // Every phase of a multi-round learn shows up as a child span.
+        for phase in LearnPhase::ALL {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.contains(&format!("\"name\":\"{}\"", phase.span_name()))),
+                "no span for {}",
+                phase.name()
+            );
+        }
+        // Phase spans carry the query delta that the profile accumulated.
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"fields\":{\"queries\":") && !l.contains("\"queries\":0}")));
+        assert!(stats.phases.total_queries() > 0);
     }
 
     #[test]

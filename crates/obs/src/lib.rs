@@ -1,0 +1,60 @@
+//! Workspace-wide observability: metrics, histograms and span tracing.
+//!
+//! Learning replacement policies is a measurement problem twice over: the
+//! paper's §7 evaluation hinges on knowing *where queries go* — how many
+//! membership queries each L* phase issues, what the memoizing store
+//! absorbs, where wall-clock time is spent — and any performance claim
+//! about the query path itself needs latency distributions, not averages.
+//! This crate is the one shared answer, kept deliberately `std`-only so
+//! every other crate (the learner, the query engine, the daemon, the
+//! benchmarks) can depend on it without cycles.
+//!
+//! Three layers:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`], [`Registry`]) —
+//!   atomic instruments whose hot paths are lock-free; the registry names
+//!   them and renders a Prometheus-style text exposition.  Gauges saturate
+//!   at zero instead of wrapping, so a decrement on an early-return path is
+//!   a bounded accounting error, never a `u64::MAX` lie.
+//! * **Tracing** ([`Recorder`], [`Span`], [`EventSink`]) — RAII span guards
+//!   emitting one JSONL record per span (`ts_ns`, `span_id`, `parent`,
+//!   `name`, `dur_ns`, `fields`) into a pluggable sink: a bounded,
+//!   drop-counting [`RingSink`] for in-memory capture or a [`WriterSink`]
+//!   for `--trace-log` files.  Instrumented code holds an
+//!   `Option<&Recorder>` (or `Option<Arc<Recorder>>`); the disabled path
+//!   is a single always-`None` branch.
+//! * **Quantiles** — the [`Histogram`] is log-linear (32 sub-buckets per
+//!   octave, ≤ 3.2 % relative bucket width), mergeable, and extracts
+//!   p50/p90/p99/max without retaining samples — replacing the
+//!   sort-the-whole-vector percentile code the benchmarks used to carry.
+//!
+//! # Example
+//!
+//! ```
+//! use obs::{Recorder, Registry, RingSink};
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::new();
+//! let latency = registry.histogram("request_ns");
+//! latency.record(1_250);
+//! latency.record(980_000);
+//! assert_eq!(latency.count(), 2);
+//! assert!(registry.render_prometheus().contains("request_ns_count 2"));
+//!
+//! let sink = Arc::new(RingSink::new(128));
+//! let recorder = Recorder::new(sink.clone());
+//! {
+//!     let mut span = recorder.span("request");
+//!     span.set("cmd", "query");
+//! } // drop emits one JSONL record
+//! assert_eq!(sink.drain().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, MetricKind, MetricSnapshot, Registry};
+pub use trace::{maybe_span, EventSink, FieldValue, Recorder, RingSink, Span, WriterSink};

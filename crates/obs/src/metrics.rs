@@ -1,0 +1,624 @@
+//! Lock-free metric instruments and the named registry over them.
+//!
+//! Counters, gauges and histograms are plain atomics: recording is a handful
+//! of relaxed RMW operations, safe to call from any thread, with no lock on
+//! the hot path.  The [`Registry`] maps stable names to instruments behind a
+//! read-write lock that is only taken at registration and scrape time —
+//! callers cache the returned `Arc` handles and never touch the map again.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Exact buckets for values below this bound (one bucket per value).
+const LINEAR_MAX: u64 = 32;
+
+/// Sub-buckets per power-of-two octave above [`LINEAR_MAX`]: 32 sub-buckets
+/// give a worst-case relative bucket width of 1/32 ≈ 3.2 %.
+const SUB_BITS: u32 = 5;
+
+/// Total bucket count: 32 exact buckets + 59 octaves (exponents 5..=63) of
+/// 32 sub-buckets each.
+const NUM_BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * (1 << SUB_BITS);
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: goes up and down, **saturating at zero** on the way down.
+///
+/// Saturation turns an unbalanced decrement (e.g. on an early-return path
+/// that never executed the matching increment) into a bounded accounting
+/// error instead of a wrap to `u64::MAX` — a live metric that reads
+/// 18 quintillion busy workers is strictly worse than one that briefly
+/// reads zero.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        // CAS loop: a plain `fetch_sub` would wrap past zero.
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Overwrites the value (used for gauges mirrored from another source of
+    /// truth at scrape time).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A mergeable log-linear histogram over `u64` samples (nanoseconds, counts).
+///
+/// Values below 32 get one exact bucket each; above that, every power-of-two
+/// octave is split into 32 sub-buckets, so any bucket's width is at most
+/// 1/32 ≈ 3.2 % of its lower bound.  Recording is three relaxed atomic adds
+/// plus two atomic min/max — no allocation, no lock, no retained samples —
+/// and two histograms merge by adding their bucket arrays, which makes
+/// per-thread histograms plus a final merge exact.
+///
+/// Quantile extraction returns the *upper bound* of the bucket holding the
+/// rank-⌈qN⌉ sample, i.e. a value at most 3.2 % above the true quantile (and
+/// exact below 32).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for a sample value.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = (v >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+    LINEAR_MAX as usize + ((exp - SUB_BITS) as usize) * (1 << SUB_BITS) + sub as usize
+}
+
+/// Inclusive `(lo, hi)` value range of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_MAX as usize {
+        return (index as u64, index as u64);
+    }
+    let off = (index - LINEAR_MAX as usize) as u32;
+    let exp = off / (1 << SUB_BITS) + SUB_BITS;
+    let sub = u64::from(off % (1 << SUB_BITS));
+    let lo = (1u64 << exp) + (sub << (exp - SUB_BITS));
+    let width = 1u64 << (exp - SUB_BITS);
+    (lo, lo + (width - 1))
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples: the upper
+    /// bound of the bucket holding the rank-⌈qN⌉ sample, 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(index).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+
+    /// Inclusive `(lo, hi)` bounds of the bucket a value falls into — the
+    /// resolution contract tests and docs rely on.
+    pub fn bucket_bounds_of(v: u64) -> (u64, u64) {
+        bucket_bounds(bucket_index(v))
+    }
+
+    /// Adds every sample of `other` into `self` (exact: bucket arrays,
+    /// counts and sums are integers).  Merging is commutative and
+    /// associative, so per-thread histograms fold into one in any order.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// One consistent-enough view of the histogram (individual fields are
+    /// read with relaxed loads; concurrent recording may skew them by the
+    /// in-flight samples).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// What kind of instrument a registry entry is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log-linear histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus type name (histograms are exposed as summaries: quantiles
+    /// are pre-extracted server-side instead of shipping 1920 buckets).
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "summary",
+        }
+    }
+}
+
+/// One named metric captured at scrape time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// Current value (counters and gauges; a histogram's sample count).
+    pub value: u64,
+    /// Distribution summary, for histograms.
+    pub histogram: Option<HistSnapshot>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A named collection of instruments with a Prometheus-style exposition.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name and return shared
+/// handles; callers keep the `Arc` and record through it without ever
+/// re-entering the registry.  Names are code-controlled identifiers
+/// (`[a-z0-9_]`), rendered verbatim.
+///
+/// Requesting an existing name as a *different* kind panics: that is a
+/// programming error (two call sites disagreeing about what a metric is),
+/// not a runtime condition to limp through.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(metric) = self.metrics.read().expect("registry poisoned").get(name) {
+            return metric.clone();
+        }
+        let mut map = self.metrics.write().expect("registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' is a {:?}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {:?}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' is a {:?}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Captures every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.read().expect("registry poisoned");
+        map.iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => MetricSnapshot {
+                    name: name.clone(),
+                    kind: MetricKind::Counter,
+                    value: c.get(),
+                    histogram: None,
+                },
+                Metric::Gauge(g) => MetricSnapshot {
+                    name: name.clone(),
+                    kind: MetricKind::Gauge,
+                    value: g.get(),
+                    histogram: None,
+                },
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    MetricSnapshot {
+                        name: name.clone(),
+                        kind: MetricKind::Histogram,
+                        value: snap.count,
+                        histogram: Some(snap),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the Prometheus text exposition format: counters and gauges as
+    /// single samples, histograms as summaries (`{quantile="…"}` samples plus
+    /// `_sum`/`_count`/`_max`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for metric in self.snapshot() {
+            let name = &metric.name;
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind.prometheus_type());
+            match metric.histogram {
+                None => {
+                    let _ = writeln!(out, "{name} {}", metric.value);
+                }
+                Some(h) => {
+                    let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", h.p50);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", h.p90);
+                    let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", h.p99);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    let _ = writeln!(out, "# TYPE {name}_max gauge");
+                    let _ = writeln!(out, "{name}_max {}", h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn gauges_saturate_instead_of_wrapping() {
+        let g = Gauge::new();
+        g.inc();
+        g.dec();
+        g.dec(); // the early-return double-decrement that used to wrap
+        assert_eq!(g.get(), 0);
+        g.add(3);
+        g.sub(10);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_self_consistent() {
+        // Indices are monotone in the value, bounds contain the value, and
+        // the relative width never exceeds 1/32.
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| {
+                [0u64, 1, 3]
+                    .into_iter()
+                    .map(move |delta| (1u64 << shift).saturating_add(delta))
+            })
+            .collect();
+        values.sort_unstable();
+        let mut previous = 0usize;
+        for v in values {
+            let index = bucket_index(v);
+            assert!(index >= previous, "index not monotone at {v}");
+            previous = index;
+            let (lo, hi) = bucket_bounds(index);
+            assert!(lo <= v && v <= hi, "bounds ({lo},{hi}) miss {v}");
+            if lo >= LINEAR_MAX {
+                assert!(hi - lo <= lo / 32, "bucket too wide at {v}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.sum(), 37);
+    }
+
+    #[test]
+    fn quantiles_stay_within_bucket_resolution() {
+        let h = Histogram::new();
+        let mut samples: Vec<u64> = (0..1000).map(|i| i * i * 37 + 11).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for (q, rank) in [(0.5, 499usize), (0.9, 899), (0.99, 989)] {
+            let exact = samples[rank];
+            let approx = h.quantile(q);
+            let (lo, hi) = Histogram::bucket_bounds_of(approx);
+            assert!(
+                lo <= exact && exact <= hi,
+                "q={q}: {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_exactly() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            a.record(v);
+        }
+        for v in [2u64, 100, 1 << 40] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 1 + 100 + 10_000 + 2 + 100 + (1 << 40));
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1 << 40);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        r.counter("queries").add(2);
+        r.counter("queries").add(3);
+        assert_eq!(r.counter("queries").get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("queries");
+        r.gauge("queries");
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_kind() {
+        let r = Registry::new();
+        r.counter("queries").add(7);
+        r.gauge("busy").set(2);
+        r.histogram("request_ns").record(1000);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE queries counter"));
+        assert!(text.contains("queries 7"));
+        assert!(text.contains("# TYPE busy gauge"));
+        assert!(text.contains("busy 2"));
+        assert!(text.contains("# TYPE request_ns summary"));
+        assert!(text.contains("request_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("request_ns_count 1"));
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        // The satellite smoke: 8 threads x 10k increments each, exact totals
+        // on a counter, a gauge and a histogram.
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let r = Arc::clone(&r);
+            handles.push(thread::spawn(move || {
+                let c = r.counter("hits");
+                let g = r.gauge("active");
+                let h = r.histogram("lat");
+                for i in 0..10_000u64 {
+                    c.inc();
+                    g.inc();
+                    h.record(t * 10_000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter("hits").get(), 80_000);
+        assert_eq!(r.gauge("active").get(), 80_000);
+        let h = r.histogram("lat");
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 79_999);
+        // Quantile walks see exactly the recorded mass.
+        assert!(h.quantile(1.0) >= 79_999);
+    }
+}

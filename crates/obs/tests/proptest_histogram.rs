@@ -1,0 +1,111 @@
+//! Property-based tests for the log-linear histogram: merge associativity,
+//! bucket monotonicity, and quantile bounds against an exact sorted
+//! reference on up to 4096 samples.
+
+use proptest::prelude::*;
+
+use obs::Histogram;
+
+/// Samples spanning the whole u64 range, biased toward latency-shaped
+/// values (small counts, microsecond..second nanosecond magnitudes).
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        1_000u64..1_000_000,
+        1_000_000u64..10_000_000_000,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        0u64..=u64::MAX,
+    ]
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// Merging is associative (and bucket-exact): (a ⊕ b) ⊕ c and
+    /// a ⊕ (b ⊕ c) agree on every observable.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample(), 0..64),
+        b in proptest::collection::vec(sample(), 0..64),
+        c in proptest::collection::vec(sample(), 0..64),
+    ) {
+        let left = hist_of(&a);
+        let bc = hist_of(&b);
+        left.merge_from(&bc);
+        left.merge_from(&hist_of(&c));
+
+        let right = hist_of(&a);
+        let inner = hist_of(&b);
+        inner.merge_from(&hist_of(&c));
+        right.merge_from(&inner);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+    }
+
+    /// Bucket bounds are monotone and tight: larger values never land in
+    /// earlier buckets, every value is inside its bucket, and the bucket is
+    /// never wider than 1/32 of its lower bound.
+    #[test]
+    fn buckets_are_monotone_and_contain_their_values(
+        values in proptest::collection::vec(sample(), 1..128),
+    ) {
+        let mut values = values;
+        values.sort_unstable();
+        let mut previous_hi = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            let (lo, hi) = Histogram::bucket_bounds_of(v);
+            prop_assert!(lo <= v && v <= hi, "({lo},{hi}) misses {v}");
+            if i > 0 {
+                // Monotone: this bucket ends at or after the previous one.
+                prop_assert!(hi >= previous_hi, "bucket order broken at {v}");
+            }
+            previous_hi = hi;
+            if lo >= 32 {
+                prop_assert!(hi - lo < lo / 32 + 1, "bucket too wide at {v}");
+            } else {
+                prop_assert_eq!(lo, hi, "small values must be exact");
+            }
+        }
+    }
+
+    /// Every quantile answer shares a bucket with the exact answer computed
+    /// from the fully sorted sample vector (the code path the histogram
+    /// replaced), for up to 4096 samples.
+    #[test]
+    fn quantiles_bound_the_exact_reference(
+        samples in proptest::collection::vec(sample(), 1..4096),
+    ) {
+        let mut samples = samples;
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        let n = samples.len();
+        for q in [0.0f64, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q);
+            let (lo, hi) = Histogram::bucket_bounds_of(approx);
+            prop_assert!(
+                lo <= exact && exact <= hi,
+                "q={}: approx {} [{}..{}] vs exact {}", q, approx, lo, hi, exact
+            );
+            // The reported value is the bucket's upper bound: never below
+            // the true quantile, and at most one bucket width above it.
+            prop_assert!(approx >= exact);
+        }
+        prop_assert_eq!(h.count() as usize, n);
+        prop_assert_eq!(h.max(), *samples.last().unwrap());
+        prop_assert_eq!(h.min(), samples[0]);
+    }
+}

@@ -312,6 +312,12 @@ impl<B: QueryBackend> CacheQueryOracle<B> {
         &self.engine
     }
 
+    /// Mutable access to the wrapped engine (e.g. to attach a span recorder
+    /// or adjust the vote configuration before learning starts).
+    pub fn engine_mut(&mut self) -> &mut QueryEngine<B> {
+        &mut self.engine
+    }
+
     /// Consumes the oracle and returns the wrapped engine.
     pub fn into_engine(self) -> QueryEngine<B> {
         self.engine

@@ -285,6 +285,12 @@ fn learn_group(
 /// sets, address-selection failures).  Per-group learning failures are
 /// reported in the map, not as errors.
 pub fn map_cache(config: &MapConfig, store: Arc<QueryStore>) -> Result<CacheMap, BackendError> {
+    let recorder = config.setup.recorder.clone();
+    let mut root = obs::maybe_span(recorder.as_deref(), "polca.map_cache");
+    if let Some(span) = root.as_mut() {
+        span.set("sets", config.sets.len() as u64);
+        span.set("model", config.model.short_name());
+    }
     let cpu = SimulatedCpu::new(config.model, config.seed);
     let mut cq = CacheQuery::with_store(cpu, Arc::clone(&store));
     if let Some(ways) = config.cat_ways {
@@ -295,7 +301,9 @@ pub fn map_cache(config: &MapConfig, store: Arc<QueryStore>) -> Result<CacheMap,
     let dueling = cq.backend().cpu().l3_dueling();
 
     let candidates: Vec<(usize, usize)> = config.sets.iter().map(|&s| (s, config.slice)).collect();
+    let detect_span = root.as_ref().map(|r| r.child("polca.detect_leaders"));
     let report = detect_leader_sets_with(&mut cq, LevelId::L3, &candidates, &config.detect)?;
+    drop(detect_span);
 
     // Phase 2: one learning campaign per leader group.
     let mut groups = Vec::new();
@@ -309,7 +317,14 @@ pub fn map_cache(config: &MapConfig, store: Arc<QueryStore>) -> Result<CacheMap,
         let Some(&representative) = members.first() else {
             continue;
         };
+        let mut group_span = root.as_ref().map(|r| r.child("polca.learn_group"));
+        if let Some(span) = group_span.as_mut() {
+            span.set("class", format!("{class:?}"));
+            span.set("set", representative.0 as u64);
+            span.set("members", members.len() as u64);
+        }
         let (namespace, outcome) = learn_group(config, representative, &store);
+        drop(group_span);
         groups.push(GroupReport {
             class,
             members,
@@ -325,6 +340,10 @@ pub fn map_cache(config: &MapConfig, store: Arc<QueryStore>) -> Result<CacheMap,
     let mut follower_evidence: Vec<((usize, usize), u64)> = Vec::new();
     let followers = report.adaptive();
     if !followers.is_empty() {
+        let mut probe_span = root.as_ref().map(|r| r.child("polca.flip_probes"));
+        if let Some(span) = probe_span.as_mut() {
+            span.set("followers", followers.len() as u64);
+        }
         cq.enable_cache(false);
         let probe = flip_probe(cq.associativity().unwrap_or(4).max(1));
         for &(set, slice) in &followers {

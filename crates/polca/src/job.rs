@@ -23,7 +23,7 @@ use learning::LearnProgress;
 use policies::PolicyKind;
 
 use crate::cache_oracle::{CacheOracle, SimulatedCacheOracle};
-use crate::pipeline::{learn_policy, LearnOutcome, LearnSetup};
+use crate::pipeline::{learn_policy, CampaignProfile, LearnOutcome, LearnSetup};
 
 /// Final result of a finished learning job, reduced to the plain facts a
 /// status protocol wants to report.
@@ -39,6 +39,9 @@ pub struct JobResult {
     /// Name of the reference policy the learned machine was identified as
     /// (up to line renaming), if any.
     pub identified: Option<String>,
+    /// Per-phase query/duration breakdown of the campaign (its query counts
+    /// sum exactly to [`JobResult::membership_queries`]).
+    pub profile: CampaignProfile,
 }
 
 /// One point-in-time view of a job.
@@ -212,19 +215,23 @@ where
     });
     let associativity = cache.associativity();
     let thread_state = Arc::clone(&state);
+    let recorder = setup.recorder.clone();
     let handle = thread::Builder::new()
         .name(format!("learn-{associativity}"))
         .spawn(move || {
             let result = learn_policy(cache, &setup)
                 .map(|outcome| {
+                    let identify_span = obs::maybe_span(recorder.as_deref(), "polca.identify");
                     let identified =
                         crate::identify_policy(&outcome.machine, associativity, &candidates)
                             .map(|(found, _)| found.to_string());
+                    drop(identify_span);
                     let summary = JobResult {
                         states: outcome.machine.num_states(),
                         membership_queries: outcome.stats.membership_queries,
                         cache_hit_rate: outcome.stats.cache_hit_rate(),
                         identified,
+                        profile: outcome.profile.clone(),
                     };
                     (outcome, summary)
                 })
@@ -285,6 +292,11 @@ mod tests {
                         assert_eq!(result.states, 2);
                         assert!(result.membership_queries > 0);
                         assert_eq!(result.identified.as_deref(), Some("LRU"));
+                        assert_eq!(
+                            result.profile.total_queries(),
+                            result.membership_queries,
+                            "the campaign profile partitions the run exactly"
+                        );
                     }
                     other => panic!("unexpected terminal status: {other:?}"),
                 }

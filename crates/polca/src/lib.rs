@@ -87,6 +87,7 @@ pub use job::{spawn_learn_job, spawn_simulated_learn_job, JobResult, JobStatus, 
 pub use membership::PolcaOracle;
 pub use pipeline::{
     learn_hardware_policy, learn_hierarchy_policy, learn_noisy_policy, learn_policy,
-    learn_simulated_policy, HardwareTarget, LearnOutcome, LearnSetup,
+    learn_simulated_policy, CampaignProfile, HardwareTarget, LearnOutcome, LearnSetup,
+    PhaseProfile,
 };
 pub use sim_backend::{noisy_sim_backend, noisy_sim_config_for, NoisySimBackend, PolicySimBackend};

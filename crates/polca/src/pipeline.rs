@@ -9,7 +9,10 @@ use automata::minimize;
 use cache::LevelId;
 use cachequery::{CacheQuery, ResetSequence, Target};
 use hardware::{CpuModel, SimulatedCpu};
-use learning::{learn_mealy, LearnError, LearnOptions, LearnProgress, LearnStats, WpMethodOracle};
+use learning::{
+    learn_mealy, LearnError, LearnOptions, LearnPhase, LearnProgress, LearnStats, WpMethodOracle,
+};
+use obs::Recorder;
 use policies::{policy_alphabet, PolicyKind, PolicyMealy};
 
 use crate::cache_oracle::{CacheOracle, CacheQueryOracle, SimulatedCacheOracle};
@@ -38,6 +41,11 @@ pub struct LearnSetup {
     /// updated once per hypothesis round — the job layer polls these while a
     /// run is in flight.
     pub progress: Option<Arc<LearnProgress>>,
+    /// Optional span recorder: the learner emits its per-phase spans into it
+    /// (see [`learning::LearnOptions::recorder`]), and engine-backed
+    /// pipelines attach it to their [`cachequery::QueryEngine`] so the batch
+    /// and vote-escalation spans land in the same timeline.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for LearnSetup {
@@ -49,6 +57,7 @@ impl Default for LearnSetup {
             workers: 0,
             memoize: true,
             progress: None,
+            recorder: None,
         }
     }
 }
@@ -62,7 +71,62 @@ impl LearnSetup {
             workers: self.workers,
             memoize: self.memoize,
             progress: self.progress.clone(),
+            recorder: self.recorder.clone(),
         }
+    }
+}
+
+/// One L* phase of a campaign, reduced to the plain facts a status protocol
+/// reports: its name, the membership queries it issued, and its wall-clock
+/// share.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Phase name (`table_fill`, `closure`, `equivalence`, `identification`).
+    pub name: String,
+    /// Membership queries attributed to this phase.
+    pub queries: u64,
+    /// Wall-clock time spent in this phase, in milliseconds.
+    pub millis: u64,
+}
+
+/// The per-phase profile of one learning campaign: where the membership
+/// queries and the wall-clock time went, phase by phase (§5's learner loop).
+///
+/// Phase attribution is exact — the learner's regions partition its whole
+/// loop — so [`CampaignProfile::total_queries`] equals the campaign's
+/// [`LearnStats::membership_queries`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignProfile {
+    /// One entry per L* phase, in [`LearnPhase::ALL`] order.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl CampaignProfile {
+    /// Builds the profile from a finished run's statistics.
+    pub fn from_stats(stats: &LearnStats) -> Self {
+        CampaignProfile {
+            phases: LearnPhase::ALL
+                .iter()
+                .map(|&phase| {
+                    let s = stats.phases.get(phase);
+                    PhaseProfile {
+                        name: phase.name().to_string(),
+                        queries: s.queries,
+                        millis: s.duration.as_millis() as u64,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Membership queries summed over all phases (equals the run's total).
+    pub fn total_queries(&self) -> u64 {
+        self.phases.iter().map(|p| p.queries).sum()
+    }
+
+    /// The profile entry for `name`, if present.
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.name == name)
     }
 }
 
@@ -79,6 +143,10 @@ pub struct LearnOutcome {
     pub cache_probes: u64,
     /// Individual block accesses issued by Polca across all workers.
     pub block_accesses: u64,
+    /// Per-phase query/duration breakdown of the run (derived from
+    /// [`LearnStats::phases`]; its query counts sum to
+    /// [`LearnStats::membership_queries`] exactly).
+    pub profile: CampaignProfile,
 }
 
 /// Learns the replacement policy of an arbitrary [`CacheOracle`].
@@ -104,11 +172,13 @@ where
     let factory = move || PolcaOracle::new(cache.clone());
     let mut equivalence = WpMethodOracle::new(setup.conformance_depth);
     let (machine, stats) = learn_mealy(alphabet, &factory, &mut equivalence, setup.options())?;
+    let profile = CampaignProfile::from_stats(&stats);
     Ok(LearnOutcome {
         machine: minimize(&machine),
         stats,
         cache_probes: stats_handle.probes(),
         block_accesses: stats_handle.block_accesses(),
+        profile,
     })
 }
 
@@ -156,6 +226,7 @@ pub fn learn_noisy_policy(
         .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
     let mut engine = cachequery::QueryEngine::new(backend);
     engine.set_vote_config(voting);
+    engine.set_recorder(setup.recorder.clone());
     let oracle = CacheQueryOracle::from_engine(engine).map_err(LearnError::Oracle)?;
     learn_policy(oracle, setup)
 }
@@ -181,7 +252,8 @@ pub fn learn_hierarchy_policy(
 ) -> Result<LearnOutcome, LearnError> {
     let backend = crate::HierarchyBackend::new(kind, associativity)
         .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
-    let engine = cachequery::QueryEngine::new(backend);
+    let mut engine = cachequery::QueryEngine::new(backend);
+    engine.set_recorder(setup.recorder.clone());
     let oracle = CacheQueryOracle::from_engine(engine).map_err(LearnError::Oracle)?;
     learn_policy(oracle, setup)
 }
@@ -228,7 +300,8 @@ pub fn learn_hardware_policy(
     }
     tool.set_target(hardware.target)
         .map_err(|e| LearnError::Oracle(learning::OracleError::new(e.to_string())))?;
-    let oracle = CacheQueryOracle::new(tool).map_err(LearnError::Oracle)?;
+    let mut oracle = CacheQueryOracle::new(tool).map_err(LearnError::Oracle)?;
+    oracle.engine_mut().set_recorder(setup.recorder.clone());
     learn_policy(oracle, setup)
 }
 
@@ -287,6 +360,20 @@ mod tests {
                 "{kind} mislearned"
             );
         }
+    }
+
+    #[test]
+    fn campaign_profile_query_counts_sum_to_the_run_total() {
+        let outcome = learn_simulated_policy(PolicyKind::Lru, 4, &LearnSetup::default()).unwrap();
+        assert_eq!(
+            outcome.profile.total_queries(),
+            outcome.stats.membership_queries,
+            "phase attribution must partition the run exactly"
+        );
+        assert_eq!(outcome.profile.phases.len(), 4);
+        assert!(outcome.profile.phase("table_fill").unwrap().queries > 0);
+        assert!(outcome.profile.phase("equivalence").unwrap().queries > 0);
+        assert!(outcome.profile.phase("no_such_phase").is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Standalone `cqd` daemon.
 //!
-//! Usage: `cqd [--addr HOST:PORT] [--workers N] [--queue-depth N]`
+//! Usage: `cqd [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//! [--trace-log PATH]`
 //!
 //! Runs until killed (or until stdin reaches EOF when `--until-eof` is
 //! given, which is how the smoke tests drive a bounded run).
@@ -25,6 +26,9 @@ fn main() {
     }
     if let Some(depth) = value_of(&args, "--queue-depth").and_then(|v| v.parse().ok()) {
         config.queue_depth = depth;
+    }
+    if let Some(path) = value_of(&args, "--trace-log") {
+        config.trace_log = Some(path.into());
     }
     let until_eof = args.iter().any(|a| a == "--until-eof");
 

@@ -18,7 +18,7 @@ use mbl::{render_query, Query};
 use crate::daemon::{resolve_with_limits, ResolvedSpec};
 use crate::proto::{
     decode_response, encode_request, Request, Response, SessionSpec, WireCacheMap, WireJobStatus,
-    WireNamespace, WireOutcome, WireReplay, WireSessionStats, WireStats,
+    WireMetric, WireNamespace, WireOutcome, WireReplay, WireSessionStats, WireStats,
 };
 
 /// Errors surfaced by [`Client`] calls.
@@ -337,6 +337,19 @@ impl Client {
                 session,
                 namespaces,
             }),
+            other => Self::unexpected(other),
+        }
+    }
+
+    /// Scrapes the daemon's metrics registry: the Prometheus-style text
+    /// exposition plus the same metrics as typed snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or protocol errors.
+    pub fn metrics(&mut self) -> Result<(String, Vec<WireMetric>), ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { text, metrics } => Ok((text, metrics)),
             other => Self::unexpected(other),
         }
     }

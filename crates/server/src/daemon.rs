@@ -27,11 +27,12 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cache::{HitMiss, LevelId};
 use cachequery::{
@@ -40,6 +41,7 @@ use cachequery::{
 };
 use hardware::{CpuModel, SimulatedCpu};
 use mbl::{expand_query, render_query, Query};
+use obs::{MetricKind, Recorder, WriterSink};
 use polca::{
     map_cache, noisy_sim_backend, noisy_sim_config_for, CacheMap, CacheQueryOracle, GroupOutcome,
     JobStatus, LearnJob, LearnSetup, MapConfig, NoisySimBackend, PolicySimBackend, SetVerdict,
@@ -51,8 +53,8 @@ use trace::{differential_replay, generate, replay_policy, GeneratorKind, TraceSp
 use crate::metrics::ServerMetrics;
 use crate::proto::{
     decode_request, encode_response, Request, Response, SessionSpec, WireCacheMap, WireJobStatus,
-    WireMapGroup, WireMapSet, WireNamespace, WireOutcome, WireReplay, WireSessionStats, WireStats,
-    PROTOCOL_VERSION,
+    WireMapGroup, WireMapSet, WireMetric, WireNamespace, WireOutcome, WirePhase, WireReplay,
+    WireSessionStats, WireStats, PROTOCOL_VERSION,
 };
 
 /// Configuration of a daemon instance.
@@ -73,6 +75,10 @@ pub struct CqdConfig {
     pub max_learn_assoc: usize,
     /// Largest number of concrete queries one MBL expression may expand to.
     pub max_expansions: usize,
+    /// When set, the daemon appends structured span events (one JSON object
+    /// per line) covering request handling, engine batches and learning
+    /// campaigns to this file.
+    pub trace_log: Option<PathBuf>,
 }
 
 impl Default for CqdConfig {
@@ -84,6 +90,7 @@ impl Default for CqdConfig {
             learn_workers: 1,
             max_learn_assoc: 4,
             max_expansions: 4096,
+            trace_log: None,
         }
     }
 }
@@ -445,6 +452,7 @@ impl BackendPool {
         &self,
         spec: &ResolvedSpec,
         store: &Arc<QueryStore>,
+        recorder: &Option<Arc<Recorder>>,
     ) -> Result<Arc<Mutex<PooledBackend>>, String> {
         let key = spec.backend.clone();
         let mut instances = self.instances.lock().expect("pool lock poisoned");
@@ -474,7 +482,8 @@ impl BackendPool {
         // The engine shares the daemon-wide store: one memoization layer,
         // one source of hit-rate truth, across sessions, workers and learn
         // jobs alike.
-        let engine = QueryEngine::with_store(backend, Arc::clone(store));
+        let mut engine = QueryEngine::with_store(backend, Arc::clone(store));
+        engine.set_recorder(recorder.clone());
         let instance = Arc::new(Mutex::new(PooledBackend {
             engine,
             applied: None,
@@ -502,6 +511,11 @@ struct Shared {
     config: CqdConfig,
     store: Arc<QueryStore>,
     metrics: ServerMetrics,
+    /// Structured span tracing, present only when the daemon was configured
+    /// with a trace log.  Every query path (sessions, workers, learning
+    /// campaigns) hangs its spans off this one recorder.
+    recorder: Option<Arc<Recorder>>,
+    started: Instant,
     pool: BackendPool,
     jobs: Mutex<HashMap<u64, LearnJob>>,
     next_job_id: AtomicU64,
@@ -514,15 +528,20 @@ impl Shared {
         let jobs = self.jobs.lock().expect("job table lock poisoned");
         let jobs_finished = jobs.values().filter(|j| j.status().is_terminal()).count() as u64;
         let votes = self.store.vote_stats();
+        let latency = self.metrics.request_ns.snapshot();
         WireStats {
-            sessions_active: ServerMetrics::get(&self.metrics.sessions_active),
-            sessions_total: ServerMetrics::get(&self.metrics.sessions_total),
-            queries: ServerMetrics::get(&self.metrics.queries),
-            store_hits: ServerMetrics::get(&self.metrics.store_hits),
-            backend_queries: ServerMetrics::get(&self.metrics.backend_queries),
-            jobs_spawned: ServerMetrics::get(&self.metrics.jobs_spawned),
+            sessions_active: self.metrics.sessions_active.get(),
+            sessions_total: self.metrics.sessions_total.get(),
+            queries: self.metrics.queries.get(),
+            store_hits: self.metrics.store_hits.get(),
+            backend_queries: self.metrics.backend_queries.get(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            request_p50_ns: latency.p50,
+            request_p99_ns: latency.p99,
+            request_max_ns: latency.max,
+            jobs_spawned: self.metrics.jobs_spawned.get(),
             jobs_finished,
-            busy_workers: ServerMetrics::get(&self.metrics.busy_workers),
+            busy_workers: self.metrics.busy_workers.get(),
             workers: self.config.workers as u64,
             store_conflicts: self.store.conflicts(),
             votes: votes.voted,
@@ -535,10 +554,56 @@ impl Shared {
 
     fn namespace_stats(&self) -> Vec<WireNamespace> {
         self.store
-            .namespace_entries()
+            .namespace_usage()
             .into_iter()
-            .map(|(name, entries)| WireNamespace { name, entries })
+            .map(|(name, entries, bytes)| WireNamespace {
+                name,
+                entries,
+                bytes,
+            })
             .collect()
+    }
+
+    /// Scrapes the metrics registry.  Quantities owned by other subsystems
+    /// (the store's vote statistics and conflict count) are mirrored into
+    /// gauges at scrape time, so one response covers the whole daemon.
+    fn metrics_response(&self) -> Response {
+        let registry = &self.metrics.registry;
+        let votes = self.store.vote_stats();
+        registry
+            .gauge("cqd_store_conflicts")
+            .set(self.store.conflicts());
+        registry.gauge("cqd_votes").set(votes.voted);
+        registry.gauge("cqd_vote_executions").set(votes.executions);
+        registry.gauge("cqd_vote_escalations").set(votes.escalated);
+        registry.gauge("cqd_vote_unsettled").set(votes.unsettled);
+        let metrics = registry
+            .snapshot()
+            .into_iter()
+            .map(|m| {
+                let h = m.histogram.unwrap_or_default();
+                WireMetric {
+                    name: m.name,
+                    kind: match m.kind {
+                        MetricKind::Counter => "counter",
+                        MetricKind::Gauge => "gauge",
+                        MetricKind::Histogram => "histogram",
+                    }
+                    .to_string(),
+                    value: m.value,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    p50: h.p50,
+                    p90: h.p90,
+                    p99: h.p99,
+                }
+            })
+            .collect();
+        Response::Metrics {
+            text: registry.render_prometheus(),
+            metrics,
+        }
     }
 }
 
@@ -617,6 +682,11 @@ impl CqdHandle {
         for job in jobs {
             let _ = job.join();
         }
+        // Everything that could emit has joined; push buffered span events
+        // out to the trace log.
+        if let Some(recorder) = &self.shared.recorder {
+            recorder.flush();
+        }
     }
 }
 
@@ -636,10 +706,20 @@ pub fn spawn(config: CqdConfig) -> std::io::Result<CqdHandle> {
     let addr = listener.local_addr()?;
     let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(config.queue_depth.max(1));
     let work_rx = Arc::new(Mutex::new(work_rx));
+    let recorder = match &config.trace_log {
+        None => None,
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            let sink = Arc::new(WriterSink::new(Box::new(std::io::BufWriter::new(file))));
+            Some(Arc::new(Recorder::new(sink)))
+        }
+    };
     let shared = Arc::new(Shared {
         config: config.clone(),
         store: Arc::new(QueryStore::new()),
         metrics: ServerMetrics::default(),
+        recorder,
+        started: Instant::now(),
         pool: BackendPool::default(),
         jobs: Mutex::new(HashMap::new()),
         next_job_id: AtomicU64::new(1),
@@ -681,15 +761,15 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, work_tx: &SyncSender
             break;
         }
         let Ok(stream) = stream else { continue };
-        ServerMetrics::add(&shared.metrics.sessions_total, 1);
-        ServerMetrics::add(&shared.metrics.sessions_active, 1);
+        shared.metrics.sessions_total.inc();
+        shared.metrics.sessions_active.inc();
         let session_shared = Arc::clone(shared);
         let session_tx = work_tx.clone();
         let handle = thread::Builder::new()
             .name("cqd-session".to_string())
             .spawn(move || {
                 session_loop(stream, &session_shared, &session_tx);
-                ServerMetrics::sub(&session_shared.metrics.sessions_active, 1);
+                session_shared.metrics.sessions_active.dec();
             })
             .expect("spawning a session thread cannot fail");
         let mut sessions = shared.sessions.lock().expect("session list poisoned");
@@ -707,9 +787,9 @@ fn worker_loop(shared: &Arc<Shared>, work_rx: &Arc<Mutex<Receiver<WorkItem>>>) {
             receiver.recv()
         };
         let Ok(item) = item else { break };
-        ServerMetrics::add(&shared.metrics.busy_workers, 1);
+        shared.metrics.busy_workers.inc();
         let outcome = execute_item(shared, &item);
-        ServerMetrics::sub(&shared.metrics.busy_workers, 1);
+        shared.metrics.busy_workers.dec();
         // A dropped receiver just means the session went away mid-request.
         let _ = item.reply.send(outcome);
     }
@@ -750,7 +830,9 @@ fn execute_item(
     if missing.is_empty() {
         return Ok(results);
     }
-    let instance = shared.pool.instance(&item.spec, &shared.store)?;
+    let instance = shared
+        .pool
+        .instance(&item.spec, &shared.store, &shared.recorder)?;
     let mut backend = match instance.lock() {
         Ok(guard) => guard,
         // A poisoned backend is safe to reuse: every query starts with the
@@ -768,7 +850,7 @@ fn execute_item(
         .map_err(|e| e.to_string())?;
     for ((index, _), outcome) in missing.iter().zip(outcomes) {
         if !outcome.from_cache {
-            ServerMetrics::add(&shared.metrics.backend_queries, 1);
+            shared.metrics.backend_queries.inc();
         }
         results.push((
             *index,
@@ -847,7 +929,22 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>, work_tx: &SyncSender<Wo
                 let quit = match decode_request(&request) {
                     Ok(request) => {
                         let quit = matches!(request, Request::Quit);
-                        if !handle_request(shared, work_tx, &mut session, &request, &mut writer) {
+                        // The span clones the recorder Arc so it borrows a
+                        // local, not `shared`.
+                        let recorder = shared.recorder.clone();
+                        let mut span = obs::maybe_span(recorder.as_deref(), "cqd.request");
+                        if let Some(span) = span.as_mut() {
+                            span.set("cmd", request_name(&request));
+                        }
+                        let started = Instant::now();
+                        let ok =
+                            handle_request(shared, work_tx, &mut session, &request, &mut writer);
+                        shared
+                            .metrics
+                            .request_ns
+                            .record(started.elapsed().as_nanos() as u64);
+                        drop(span);
+                        if !ok {
                             break;
                         }
                         quit
@@ -874,6 +971,25 @@ fn session_loop(stream: TcpStream, shared: &Arc<Shared>, work_tx: &SyncSender<Wo
             }
             Err(_) => break,
         }
+    }
+}
+
+/// The span label of a request, for the `cqd.request` trace field.
+fn request_name(request: &Request) -> &'static str {
+    match request {
+        Request::Hello => "hello",
+        Request::Target(_) => "target",
+        Request::Query { .. } => "query",
+        Request::Batch { .. } => "batch",
+        Request::Repl { .. } => "repl",
+        Request::Learn { .. } => "learn",
+        Request::Replay { .. } => "replay",
+        Request::Map { .. } => "map",
+        Request::Job { .. } => "job",
+        Request::Wait { .. } => "wait",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Quit => "quit",
     }
 }
 
@@ -1016,6 +1132,7 @@ fn handle_request(
             session: session.stats,
             namespaces: shared.namespace_stats(),
         },
+        Request::Metrics => shared.metrics_response(),
         Request::Quit => Response::Bye,
     };
     write_response(writer, &response).is_ok()
@@ -1075,8 +1192,8 @@ fn run_mbl(
     let hits = results.iter().filter(|r| r.cached).count() as u64;
     session.stats.queries += results.len() as u64;
     session.stats.store_hits += hits;
-    ServerMetrics::add(&shared.metrics.queries, results.len() as u64);
-    ServerMetrics::add(&shared.metrics.store_hits, hits);
+    shared.metrics.queries.add(results.len() as u64);
+    shared.metrics.store_hits.add(hits);
     Ok(results)
 }
 
@@ -1174,11 +1291,13 @@ fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
     where
         B: QueryBackend + Clone + Send + 'static,
     {
-        let engine = QueryEngine::with_store(backend, Arc::clone(&shared.store));
+        let mut engine = QueryEngine::with_store(backend, Arc::clone(&shared.store));
+        engine.set_recorder(shared.recorder.clone());
         let space = shared.store.space(namespace);
         let oracle = CacheQueryOracle::from_engine(engine).map_err(|e| e.to_string())?;
         let setup = LearnSetup {
             workers: shared.config.learn_workers,
+            recorder: shared.recorder.clone(),
             ..LearnSetup::default()
         };
         Ok(polca::spawn_learn_job(
@@ -1216,7 +1335,7 @@ fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
                 .lock()
                 .expect("job table lock poisoned")
                 .insert(id, job);
-            ServerMetrics::add(&shared.metrics.jobs_spawned, 1);
+            shared.metrics.jobs_spawned.inc();
             Response::JobStarted { id }
         }
         Err(message) => Response::Error { message },
@@ -1527,6 +1646,7 @@ fn handle_map(
     // One worker keeps campaigns over randomized policies deterministic
     // (fixed query order), and keeps map requests from starving the pool.
     config.setup.workers = 1;
+    config.setup.recorder = shared.recorder.clone();
     match map_cache(&config, Arc::clone(&shared.store)) {
         Ok(map) => Response::Map(wire_map(&map)),
         Err(error) => Response::Error {
@@ -1557,6 +1677,7 @@ fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
             queries: *membership_queries,
             hit_rate: *store_hit_rate,
             millis: elapsed.as_millis() as u64,
+            phases: Vec::new(),
         },
         JobStatus::Done { result, elapsed } => WireJobStatus {
             id,
@@ -1570,6 +1691,16 @@ fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
             queries: result.membership_queries,
             hit_rate: result.cache_hit_rate,
             millis: elapsed.as_millis() as u64,
+            phases: result
+                .profile
+                .phases
+                .iter()
+                .map(|p| WirePhase {
+                    name: p.name.clone(),
+                    queries: p.queries,
+                    millis: p.millis,
+                })
+                .collect(),
         },
         JobStatus::Failed { error, elapsed } => WireJobStatus {
             id,
@@ -1580,6 +1711,7 @@ fn wire_status(id: u64, status: &JobStatus) -> WireJobStatus {
             queries: 0,
             hit_rate: 0.0,
             millis: elapsed.as_millis() as u64,
+            phases: Vec::new(),
         },
     }
 }

@@ -68,8 +68,10 @@ pub use cachequery::{QueryStore, StoreSpace};
 pub use client::{Client, ClientError, RemoteBackend, ServerInfo, ServerStats};
 pub use daemon::{spawn, CqdConfig, CqdHandle};
 pub use json::{Json, JsonError};
+pub use metrics::ServerMetrics;
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, ProtoError, Request,
-    Response, SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireNamespace,
-    WireOutcome, WireReplay, WireSessionStats, WireStats, PROTOCOL_VERSION,
+    Response, SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireMetric,
+    WireNamespace, WireOutcome, WirePhase, WireReplay, WireSessionStats, WireStats,
+    PROTOCOL_VERSION,
 };

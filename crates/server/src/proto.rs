@@ -21,6 +21,7 @@
 //! | `job` | `id` | `status` |
 //! | `wait` | `id` | `status`* … `status` (`final: true`) |
 //! | `stats` | — | `stats` (global + session + store namespaces) |
+//! | `metrics` | — | `metrics` (Prometheus text + typed snapshots) |
 //! | `quit` | — | `bye` |
 //!
 //! Any request can instead produce an `error` response.
@@ -43,8 +44,12 @@ use crate::json::Json;
 /// cartography — the `map` command sweeps the sets of a simulated adaptive
 /// last-level cache server-side (leader detection, per-group learning
 /// through the shared store, follower flip probes) and returns the per-set
-/// policy map.
-pub const PROTOCOL_VERSION: u64 = 5;
+/// policy map; 6 = observability — the `metrics` command exposes the
+/// daemon's metrics registry (Prometheus-style text plus typed snapshots),
+/// `stats` gains `uptime_ms`, request-latency quantiles and per-namespace
+/// store byte estimates, and job status lines carry the campaign's
+/// per-phase query/duration profile.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,6 +199,9 @@ pub enum Request {
     },
     /// Global and per-session metrics.
     Stats,
+    /// The daemon's metrics registry: Prometheus-style text plus typed
+    /// snapshots of every counter, gauge and latency histogram.
+    Metrics,
     /// Close the session.
     Quit,
 }
@@ -209,6 +217,46 @@ pub struct WireOutcome {
     pub consistent: bool,
     /// Whether the answer came from the shared cross-session store.
     pub cached: bool,
+}
+
+/// One L* phase of a learning campaign, as reported with a terminal job
+/// status: its name, the membership queries it issued, and its wall-clock
+/// share in milliseconds.  The query counts of a status line's phases sum
+/// exactly to its `queries` total (the learner's phase regions partition the
+/// run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePhase {
+    /// Phase name (`table_fill`, `closure`, `equivalence`,
+    /// `identification`).
+    pub name: String,
+    /// Membership queries attributed to the phase.
+    pub queries: u64,
+    /// Wall-clock milliseconds spent in the phase.
+    pub millis: u64,
+}
+
+/// One metric of the daemon's registry, in flat typed form (the structured
+/// counterpart of the Prometheus text a `metrics` response also carries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMetric {
+    /// Metric name (e.g. `cqd_request_ns`).
+    pub name: String,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// Counter/gauge value; for histograms, the sample count.
+    pub value: u64,
+    /// Sum of recorded samples (histograms only; 0 otherwise).
+    pub sum: u64,
+    /// Smallest recorded sample (histograms only; 0 otherwise).
+    pub min: u64,
+    /// Largest recorded sample (histograms only; 0 otherwise).
+    pub max: u64,
+    /// Median estimate (histograms only; 0 otherwise).
+    pub p50: u64,
+    /// 90th-percentile estimate (histograms only; 0 otherwise).
+    pub p90: u64,
+    /// 99th-percentile estimate (histograms only; 0 otherwise).
+    pub p99: u64,
 }
 
 /// Status snapshot of a learning job.
@@ -232,6 +280,9 @@ pub struct WireJobStatus {
     pub hit_rate: f64,
     /// Wall-clock milliseconds since the job started.
     pub millis: u64,
+    /// Per-phase query/duration breakdown of the campaign (populated on
+    /// `done` status lines; empty while running and on failures).
+    pub phases: Vec<WirePhase>,
 }
 
 /// Global daemon counters.
@@ -274,6 +325,15 @@ pub struct WireStats {
     /// Worst final vote margin observed, in permille (1000 until the first
     /// vote).
     pub vote_min_margin_permille: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Median request-handling latency, in nanoseconds (0 until the first
+    /// request is served).
+    pub request_p50_ns: u64,
+    /// 99th-percentile request-handling latency, in nanoseconds.
+    pub request_p99_ns: u64,
+    /// Worst request-handling latency observed, in nanoseconds.
+    pub request_max_ns: u64,
 }
 
 /// One query-store namespace (a distinct backend configuration) and its
@@ -284,6 +344,8 @@ pub struct WireNamespace {
     pub name: String,
     /// Cached access prefixes (trie nodes) in the namespace.
     pub entries: u64,
+    /// Estimated heap footprint of the namespace's trie, in bytes.
+    pub bytes: u64,
 }
 
 impl WireStats {
@@ -447,6 +509,13 @@ pub enum Response {
         /// Per-namespace entry counts of the shared query store.
         namespaces: Vec<WireNamespace>,
     },
+    /// The daemon's metrics registry.
+    Metrics {
+        /// Prometheus-style text exposition of every metric.
+        text: String,
+        /// Typed snapshots of the same metrics, sorted by name.
+        metrics: Vec<WireMetric>,
+    },
     /// The request failed.
     Error {
         /// Why.
@@ -556,10 +625,39 @@ fn status_to_json(status: &WireJobStatus) -> Vec<(&'static str, Json)> {
         ("queries", Json::num(status.queries)),
         ("hit_rate", Json::Num(status.hit_rate)),
         ("millis", Json::num(status.millis)),
+        (
+            "phases",
+            Json::Arr(
+                status
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::str(&p.name)),
+                            ("queries", Json::num(p.queries)),
+                            ("millis", Json::num(p.millis)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ]
 }
 
 fn status_from_json(value: &Json) -> Result<WireJobStatus, ProtoError> {
+    let phases = value
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("missing array field 'phases'"))?
+        .iter()
+        .map(|p| {
+            Ok(WirePhase {
+                name: get_str(p, "name")?,
+                queries: get_u64(p, "queries")?,
+                millis: get_u64(p, "millis")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ProtoError>>()?;
     Ok(WireJobStatus {
         id: get_u64(value, "id")?,
         state: get_str(value, "state")?,
@@ -569,6 +667,35 @@ fn status_from_json(value: &Json) -> Result<WireJobStatus, ProtoError> {
         queries: get_u64(value, "queries")?,
         hit_rate: get_f64(value, "hit_rate")?,
         millis: get_u64(value, "millis")?,
+        phases,
+    })
+}
+
+fn metric_to_json(metric: &WireMetric) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&metric.name)),
+        ("kind", Json::str(&metric.kind)),
+        ("value", Json::num(metric.value)),
+        ("sum", Json::num(metric.sum)),
+        ("min", Json::num(metric.min)),
+        ("max", Json::num(metric.max)),
+        ("p50", Json::num(metric.p50)),
+        ("p90", Json::num(metric.p90)),
+        ("p99", Json::num(metric.p99)),
+    ])
+}
+
+fn metric_from_json(value: &Json) -> Result<WireMetric, ProtoError> {
+    Ok(WireMetric {
+        name: get_str(value, "name")?,
+        kind: get_str(value, "kind")?,
+        value: get_u64(value, "value")?,
+        sum: get_u64(value, "sum")?,
+        min: get_u64(value, "min")?,
+        max: get_u64(value, "max")?,
+        p50: get_u64(value, "p50")?,
+        p90: get_u64(value, "p90")?,
+        p99: get_u64(value, "p99")?,
     })
 }
 
@@ -646,6 +773,10 @@ fn stats_to_json(stats: &WireStats) -> Json {
         ("queries", Json::num(stats.queries)),
         ("store_hits", Json::num(stats.store_hits)),
         ("backend_queries", Json::num(stats.backend_queries)),
+        ("uptime_ms", Json::num(stats.uptime_ms)),
+        ("request_p50_ns", Json::num(stats.request_p50_ns)),
+        ("request_p99_ns", Json::num(stats.request_p99_ns)),
+        ("request_max_ns", Json::num(stats.request_max_ns)),
         ("jobs_spawned", Json::num(stats.jobs_spawned)),
         ("jobs_finished", Json::num(stats.jobs_finished)),
         ("busy_workers", Json::num(stats.busy_workers)),
@@ -669,6 +800,10 @@ fn stats_from_json(value: &Json) -> Result<WireStats, ProtoError> {
         queries: get_u64(value, "queries")?,
         store_hits: get_u64(value, "store_hits")?,
         backend_queries: get_u64(value, "backend_queries")?,
+        uptime_ms: get_u64(value, "uptime_ms")?,
+        request_p50_ns: get_u64(value, "request_p50_ns")?,
+        request_p99_ns: get_u64(value, "request_p99_ns")?,
+        request_max_ns: get_u64(value, "request_max_ns")?,
         jobs_spawned: get_u64(value, "jobs_spawned")?,
         jobs_finished: get_u64(value, "jobs_finished")?,
         busy_workers: get_u64(value, "busy_workers")?,
@@ -737,6 +872,7 @@ pub fn encode_request(request: &Request) -> String {
         Request::Job { id } => Json::obj(vec![("cmd", Json::str("job")), ("id", Json::num(*id))]),
         Request::Wait { id } => Json::obj(vec![("cmd", Json::str("wait")), ("id", Json::num(*id))]),
         Request::Stats => Json::obj(vec![("cmd", Json::str("stats"))]),
+        Request::Metrics => Json::obj(vec![("cmd", Json::str("metrics"))]),
         Request::Quit => Json::obj(vec![("cmd", Json::str("quit"))]),
     };
     json.render()
@@ -812,6 +948,7 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
             id: get_u64(&value, "id")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "quit" => Ok(Request::Quit),
         other => Err(err(format!("unknown command '{other}'"))),
     }
@@ -912,10 +1049,19 @@ pub fn encode_response(response: &Response) -> String {
                             Json::obj(vec![
                                 ("name", Json::str(&ns.name)),
                                 ("entries", Json::num(ns.entries)),
+                                ("bytes", Json::num(ns.bytes)),
                             ])
                         })
                         .collect(),
                 ),
+            ),
+        ]),
+        Response::Metrics { text, metrics } => Json::obj(vec![
+            ("resp", Json::str("metrics")),
+            ("text", Json::str(text)),
+            (
+                "metrics",
+                Json::Arr(metrics.iter().map(metric_to_json).collect()),
             ),
         ]),
         Response::Error { message } => Json::obj(vec![
@@ -1034,6 +1180,7 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
                     Ok(WireNamespace {
                         name: get_str(ns, "name")?,
                         entries: get_u64(ns, "entries")?,
+                        bytes: get_u64(ns, "bytes")?,
                     })
                 })
                 .collect::<Result<Vec<_>, ProtoError>>()?;
@@ -1044,6 +1191,19 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
                     store_hits: get_u64(session, "store_hits")?,
                 },
                 namespaces,
+            })
+        }
+        "metrics" => {
+            let metrics = value
+                .get("metrics")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("missing array field 'metrics'"))?
+                .iter()
+                .map(metric_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::Metrics {
+                text: get_str(&value, "text")?,
+                metrics,
             })
         }
         "error" => Ok(Response::Error {
@@ -1118,6 +1278,7 @@ mod tests {
             Request::Job { id: 3 },
             Request::Wait { id: 9 },
             Request::Stats,
+            Request::Metrics,
             Request::Quit,
         ];
         for request in requests {
@@ -1167,6 +1328,29 @@ mod tests {
                 queries: 7569,
                 hit_rate: 0.75,
                 millis: 31,
+                phases: vec![
+                    WirePhase {
+                        name: "table_fill".into(),
+                        queries: 5000,
+                        millis: 20,
+                    },
+                    WirePhase {
+                        name: "equivalence".into(),
+                        queries: 2569,
+                        millis: 11,
+                    },
+                ],
+            }),
+            Response::JobStatus(WireJobStatus {
+                id: 2,
+                state: "running".into(),
+                detail: "closing table".into(),
+                finished: false,
+                states: 0,
+                queries: 120,
+                hit_rate: 0.0,
+                millis: 2,
+                phases: vec![],
             }),
             Response::Replay(WireReplay {
                 spec: "LRU@2".into(),
@@ -1248,6 +1432,10 @@ mod tests {
                     queries: 100,
                     store_hits: 60,
                     backend_queries: 40,
+                    uptime_ms: 12_345,
+                    request_p50_ns: 8_000,
+                    request_p99_ns: 95_000,
+                    request_max_ns: 120_000,
                     jobs_spawned: 1,
                     jobs_finished: 1,
                     busy_workers: 0,
@@ -1267,10 +1455,39 @@ mod tests {
                     WireNamespace {
                         name: "skylake seed=7 cat=- reset=F+R reps=3 L1 set=0 slice=0".into(),
                         entries: 40,
+                        bytes: 2048,
                     },
                     WireNamespace {
                         name: "policy:LRU@4 reset=cc0 reps=1 L1 set=0 slice=0".into(),
                         entries: 7,
+                        bytes: 384,
+                    },
+                ],
+            },
+            Response::Metrics {
+                text: "# TYPE cqd_queries_total counter\ncqd_queries_total 100\n".into(),
+                metrics: vec![
+                    WireMetric {
+                        name: "cqd_queries_total".into(),
+                        kind: "counter".into(),
+                        value: 100,
+                        sum: 0,
+                        min: 0,
+                        max: 0,
+                        p50: 0,
+                        p90: 0,
+                        p99: 0,
+                    },
+                    WireMetric {
+                        name: "cqd_request_ns".into(),
+                        kind: "histogram".into(),
+                        value: 12,
+                        sum: 96_000,
+                        min: 4_000,
+                        max: 20_000,
+                        p50: 8_000,
+                        p90: 18_000,
+                        p99: 20_000,
                     },
                 ],
             },

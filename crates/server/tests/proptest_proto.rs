@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use server::{
     decode_request, decode_response, encode_request, encode_response, Json, Request, Response,
-    SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireNamespace, WireOutcome,
-    WireReplay, WireSessionStats, WireStats,
+    SessionSpec, WireCacheMap, WireJobStatus, WireMapGroup, WireMapSet, WireMetric, WireNamespace,
+    WireOutcome, WirePhase, WireReplay, WireSessionStats, WireStats,
 };
 
 /// A string strategy that loves JSON metacharacters: quotes, backslashes,
@@ -123,6 +123,7 @@ fn request() -> impl Strategy<Value = Request> {
         (0u64..100).prop_map(|id| Request::Job { id }),
         (0u64..100).prop_map(|id| Request::Wait { id }),
         Just(Request::Stats),
+        Just(Request::Metrics),
         Just(Request::Quit),
     ]
 }
@@ -138,6 +139,25 @@ fn wire_outcome() -> impl Strategy<Value = WireOutcome> {
     )
 }
 
+fn phase() -> impl Strategy<Value = WirePhase> {
+    (
+        prop_oneof![
+            Just("table_fill".to_string()),
+            Just("closure".to_string()),
+            Just("equivalence".to_string()),
+            Just("identification".to_string()),
+            wire_string(),
+        ],
+        0u64..5_000_000,
+        0u64..100_000,
+    )
+        .prop_map(|(name, queries, millis)| WirePhase {
+            name,
+            queries,
+            millis,
+        })
+}
+
 fn job_status() -> impl Strategy<Value = WireJobStatus> {
     (
         0u64..100,
@@ -149,26 +169,68 @@ fn job_status() -> impl Strategy<Value = WireJobStatus> {
         wire_string(),
         0u64..2,
         (0u64..1000, 0u64..5_000_000, 0u64..100_000),
-        // Arbitrary finite f64 values round-trip (Rust renders the shortest
-        // representation), but keep the strategy on human-shaped rates.
-        (0u64..=1000u64).prop_map(|thousandths| thousandths as f64 / 1000.0),
+        (
+            // Arbitrary finite f64 values round-trip (Rust renders the
+            // shortest representation), but keep the strategy on
+            // human-shaped rates.
+            (0u64..=1000u64).prop_map(|thousandths| thousandths as f64 / 1000.0),
+            proptest::collection::vec(phase(), 0..5),
+        ),
     )
         .prop_map(
-            |(id, state, detail, finished, (states, queries, millis), hit_rate)| WireJobStatus {
-                id,
-                state,
-                detail,
-                finished: finished == 1,
-                states,
-                queries,
-                hit_rate,
-                millis,
+            |(id, state, detail, finished, (states, queries, millis), (hit_rate, phases))| {
+                WireJobStatus {
+                    id,
+                    state,
+                    detail,
+                    finished: finished == 1,
+                    states,
+                    queries,
+                    hit_rate,
+                    millis,
+                    phases,
+                }
             },
         )
 }
 
 fn namespace() -> impl Strategy<Value = WireNamespace> {
-    (wire_string(), 0u64..100_000).prop_map(|(name, entries)| WireNamespace { name, entries })
+    (wire_string(), 0u64..100_000, 0u64..10_000_000).prop_map(|(name, entries, bytes)| {
+        WireNamespace {
+            name,
+            entries,
+            bytes,
+        }
+    })
+}
+
+fn metric() -> impl Strategy<Value = WireMetric> {
+    (
+        (
+            wire_string(),
+            prop_oneof![
+                Just("counter".to_string()),
+                Just("gauge".to_string()),
+                Just("histogram".to_string()),
+            ],
+        ),
+        (0u64..1_000_000, 0u64..1_000_000_000),
+        (0u64..1_000_000, 0u64..1_000_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+    )
+        .prop_map(
+            |((name, kind), (value, sum), (min, max), (p50, p90, p99))| WireMetric {
+                name,
+                kind,
+                value,
+                sum,
+                min,
+                max,
+                p50,
+                p90,
+                p99,
+            },
+        )
 }
 
 fn wire_replay() -> impl Strategy<Value = WireReplay> {
@@ -304,6 +366,14 @@ fn response() -> impl Strategy<Value = Response> {
         (0u64..100_000, 0u64..10, 0u64..10),
         (0u64..8, 1u64..9, 0u64..50),
         (
+            0u64..100_000_000,
+            (
+                0u64..1_000_000_000,
+                0u64..1_000_000_000,
+                0u64..1_000_000_000,
+            ),
+        ),
+        (
             (0u64..100_000, 0u64..1_000_000),
             0u64..1000,
             0u64..100,
@@ -316,6 +386,7 @@ fn response() -> impl Strategy<Value = Response> {
                 (queries, store_hits),
                 (backend_queries, jobs_spawned, jobs_finished),
                 (busy_workers, workers, store_conflicts),
+                (uptime_ms, (request_p50_ns, request_p99_ns, request_max_ns)),
                 (
                     (votes, vote_executions),
                     vote_escalations,
@@ -328,6 +399,10 @@ fn response() -> impl Strategy<Value = Response> {
                 queries,
                 store_hits,
                 backend_queries,
+                uptime_ms,
+                request_p50_ns,
+                request_p99_ns,
+                request_max_ns,
                 jobs_spawned,
                 jobs_finished,
                 busy_workers,
@@ -370,6 +445,8 @@ fn response() -> impl Strategy<Value = Response> {
                     namespaces,
                 }
             }),
+        (wire_string(), proptest::collection::vec(metric(), 0..4))
+            .prop_map(|(text, metrics)| Response::Metrics { text, metrics }),
         wire_string().prop_map(|message| Response::Error { message }),
         Just(Response::Bye),
     ]

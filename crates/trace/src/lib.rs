@@ -47,7 +47,7 @@ pub mod replay;
 pub use format::{Trace, TraceError, TraceReader, TraceWriter, TRACE_MAGIC, TRACE_VERSION};
 pub use generate::{generate, GeneratorKind, TraceSpec, UnknownGenerator};
 pub use replay::{
-    differential_replay, replay, replay_hierarchy, replay_policy, set_and_tag, DifferentialReport,
-    HierarchyReport, LevelCounts, MachineReplayer, ReplayCounts, ReplayDivergence, ReplayError,
-    ReplayEvent, Replayer, SimReplayer, PRIME_BASE,
+    differential_replay, replay, replay_hierarchy, replay_policy, replay_traced, set_and_tag,
+    DifferentialReport, HierarchyReport, LevelCounts, MachineReplayer, ReplayCounts,
+    ReplayDivergence, ReplayError, ReplayEvent, Replayer, SimReplayer, PRIME_BASE,
 };

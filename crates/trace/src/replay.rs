@@ -104,9 +104,25 @@ pub trait Replayer {
 
 /// Replays a whole trace through `replayer`.
 pub fn replay(trace: &Trace, replayer: &mut impl Replayer) -> ReplayCounts {
+    replay_traced(trace, replayer, None)
+}
+
+/// [`replay`], wrapped in a `trace.replay` span when a recorder is given:
+/// the span carries the access count and the resulting hit/miss totals.
+pub fn replay_traced(
+    trace: &Trace,
+    replayer: &mut impl Replayer,
+    recorder: Option<&obs::Recorder>,
+) -> ReplayCounts {
+    let mut span = obs::maybe_span(recorder, "trace.replay");
     let mut counts = ReplayCounts::default();
     for &addr in trace.accesses() {
         counts.record(replayer.access(addr));
+    }
+    if let Some(span) = span.as_mut() {
+        span.set("accesses", counts.accesses);
+        span.set("hits", counts.hits);
+        span.set("misses", counts.misses);
     }
     counts
 }

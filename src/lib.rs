@@ -11,6 +11,7 @@ pub use cachequery;
 pub use hardware;
 pub use learning;
 pub use mbl;
+pub use obs;
 pub use polca;
 pub use policies;
 pub use server;
