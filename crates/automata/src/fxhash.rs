@@ -1,0 +1,141 @@
+//! A fast, non-cryptographic hasher for the learning hot path.
+//!
+//! The learner hashes millions of short input words per campaign — test-suite
+//! deduplication, observation-table rows, batch-level duplicate suppression —
+//! and the standard library's DoS-resistant SipHash dominates those loops.
+//! None of the containers involved are exposed to untrusted keys (every key is
+//! derived from the machine's own alphabet), so the multiply-rotate scheme
+//! used by the Rust compiler itself (the "Fx" hash) is a safe drop-in that is
+//! an order of magnitude cheaper per word.
+//!
+//! Correctness note: swapping the hasher may change *iteration order* of a
+//! hash container.  Every container the learner builds on this hasher is
+//! either never iterated (membership sets, dedup maps) or iterated only for
+//! order-independent folds, so query counts and learned machines are
+//! byte-identical to the SipHash build.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme (the golden-ratio based constant used by
+/// rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher: fast, deterministic, not DoS-resistant.
+///
+/// Use only for containers whose keys the program itself constructs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, so the default works).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"Ln(0) Evct"), hash(b"Ln(0) Evct"));
+        assert_ne!(hash(b"Ln(0)"), hash(b"Ln(1)"));
+        // Tail bytes are length-tagged, so a short key is not a truncated
+        // alias of a longer zero-padded one.
+        assert_ne!(hash(&[0, 0, 0]), hash(&[0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn containers_behave_like_std() {
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(set.insert(vec![1, 2, 3]));
+        assert!(!set.insert(vec![1, 2, 3]));
+        assert!(set.contains(&vec![1, 2, 3]));
+
+        let mut map: FxHashMap<&str, usize> = FxHashMap::default();
+        map.insert("Evct", 4);
+        assert_eq!(map.get("Evct"), Some(&4));
+    }
+
+    #[test]
+    fn mixed_width_writes_do_not_collide_trivially() {
+        let mut a = FxHasher::default();
+        a.write_u64(7);
+        let mut b = FxHasher::default();
+        b.write_u32(7);
+        b.write_u32(0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -49,6 +49,7 @@
 mod dot;
 mod equivalence;
 mod explore;
+pub mod fxhash;
 mod mealy;
 mod minimize;
 mod text;

@@ -1,8 +1,15 @@
 //! Table-based deterministic Mealy machines.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
+
+use crate::fxhash::FxHashMap;
+
+/// Alphabets at or below this size resolve input positions by scanning the
+/// input vector instead of hashing.  Policy alphabets are tiny (`assoc + 1`
+/// symbols), and a handful of equality checks beats a hash computation for
+/// every symbol of every membership query.
+const SCAN_ALPHABET_MAX: usize = 16;
 
 /// Identifier of a control state inside a [`Mealy`] machine.
 ///
@@ -85,7 +92,7 @@ impl std::error::Error for MealyBuildError {}
 #[derive(Debug, Clone)]
 pub struct MealyBuilder<I, O> {
     inputs: Vec<I>,
-    input_index: HashMap<I, usize>,
+    input_index: FxHashMap<I, usize>,
     /// transitions[state][input] = (successor, output)
     transitions: Vec<Vec<Option<(StateId, O)>>>,
 }
@@ -195,7 +202,7 @@ where
 #[derive(Debug, Clone)]
 pub struct Mealy<I, O> {
     inputs: Vec<I>,
-    input_index: HashMap<I, usize>,
+    input_index: FxHashMap<I, usize>,
     /// `transitions[state][input] = (successor, output)`.
     transitions: Vec<Vec<(StateId, O)>>,
     initial: StateId,
@@ -228,6 +235,9 @@ where
 
     /// Index of `input` in the canonical alphabet ordering, if present.
     pub fn input_position(&self, input: &I) -> Option<usize> {
+        if self.inputs.len() <= SCAN_ALPHABET_MAX {
+            return self.inputs.iter().position(|i| i == input);
+        }
         self.input_index.get(input).copied()
     }
 
@@ -255,14 +265,37 @@ where
     where
         I: 'a,
     {
-        let mut state = self.initial;
         let mut out = Vec::new();
-        for i in word {
-            let (next, o) = self.step(state, i);
-            out.push(o);
-            state = next;
-        }
+        let state = self.run_into(word, &mut out);
         (state, out)
+    }
+
+    /// Runs the machine on `word` from the initial state, writing the output
+    /// word into `out` (cleared first) and returning the final state.
+    ///
+    /// This is the allocation-reusing form of [`Mealy::run`]: conformance
+    /// testing predicts an output word for millions of test words per
+    /// campaign, and reusing one scratch buffer keeps that loop off the
+    /// allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` contains a symbol outside the alphabet.
+    pub fn run_into<'a>(&self, word: impl IntoIterator<Item = &'a I>, out: &mut Vec<O>) -> StateId
+    where
+        I: 'a,
+    {
+        out.clear();
+        let mut state = self.initial;
+        for i in word {
+            let ii = self
+                .input_position(i)
+                .unwrap_or_else(|| panic!("input {i:?} is not in the alphabet"));
+            let (next, o) = &self.transitions[state.0][ii];
+            out.push(o.clone());
+            state = *next;
+        }
+        state
     }
 
     /// Output word produced by running `word` from the initial state.

@@ -1,0 +1,331 @@
+//! The CI perf-regression gate: re-runs the pinned learning workloads and
+//! fails when performance or — worse — exactness drifts.
+//!
+//! Four workloads cover the learning hot path end to end: the two
+//! previously-undocumented Intel policies (`New1/4`, `New2/4`), the
+//! worst-case Table 2 row at the default associativity cap (`SRRIP-FP/4`),
+//! and the whole `table2 --max-assoc 4` sweep.  For every learned unit the
+//! gate records the state count, the membership-query count, and the wall
+//! time, writes the report under the `learn` key of `BENCH_learn.json`, and
+//! compares against the committed baseline:
+//!
+//! * a **membership-query or state count drifting by even one** fails the
+//!   gate unconditionally — those numbers are byte-pinned reproduction
+//!   artifacts, and "faster but different" means the optimization changed
+//!   the algorithm;
+//! * a workload **slower than baseline by more than `--time-tolerance`**
+//!   (default 40%) fails the gate as a performance regression.  Timing
+//!   compares workload totals, not per-unit times, so sub-millisecond units
+//!   do not produce noise failures.  The default tolerance is wide because
+//!   per-workload wall time on a busy single-core box swings ±25% run to
+//!   run; the regressions the gate exists to catch were 2–3×.
+//!
+//! Usage:
+//!   perfgate [--baseline PATH] [--json PATH] [--time-tolerance PCT]
+//!            [--write-baseline]
+//!
+//! `--write-baseline` re-measures and overwrites the baseline file instead of
+//! gating — run it (on the reference machine) whenever a deliberate
+//! performance or pinned-count change lands.
+
+use std::time::Instant;
+
+use bench::{merge_report, Args, TextTable};
+use polca::{learn_simulated_policy, LearnSetup};
+use policies::PolicyKind;
+use server::Json;
+
+/// Default location of the committed baseline, relative to the repo root
+/// (where CI and the documented invocations run).
+const DEFAULT_BASELINE: &str = "crates/bench/baselines/BENCH_learn.json";
+
+/// One learning workload: a named set of `(policy, associativity)` units
+/// whose aggregate wall time is gated.
+struct Workload {
+    name: &'static str,
+    units: Vec<(PolicyKind, usize)>,
+}
+
+/// The pinned workloads.  `table2_max_assoc_4` mirrors the default rows of
+/// the `table2` binary clamped to associativity 4; the three headline units
+/// are also gated on their own so a regression there is named directly.
+fn workloads() -> Vec<Workload> {
+    let table2: Vec<(PolicyKind, usize)> = [
+        (PolicyKind::Fifo, vec![2, 4]),
+        (PolicyKind::Lru, vec![2, 4]),
+        (PolicyKind::Plru, vec![2, 4]),
+        (PolicyKind::Mru, vec![2, 4]),
+        (PolicyKind::Lip, vec![2, 4]),
+        (PolicyKind::SrripHp, vec![2, 4]),
+        (PolicyKind::SrripFp, vec![2, 4]),
+    ]
+    .into_iter()
+    .flat_map(|(kind, assocs)| assocs.into_iter().map(move |a| (kind, a)))
+    .collect();
+    vec![
+        Workload {
+            name: "new1_4",
+            units: vec![(PolicyKind::New1, 4)],
+        },
+        Workload {
+            name: "new2_4",
+            units: vec![(PolicyKind::New2, 4)],
+        },
+        Workload {
+            name: "srrip_fp_4",
+            units: vec![(PolicyKind::SrripFp, 4)],
+        },
+        Workload {
+            name: "table2_max_assoc_4",
+            units: table2,
+        },
+    ]
+}
+
+/// Measured result of one learned unit.
+struct Unit {
+    policy: String,
+    assoc: usize,
+    states: u64,
+    queries: u64,
+    time_ms: f64,
+}
+
+/// Measured result of one workload.
+struct Measured {
+    name: &'static str,
+    time_ms: f64,
+    units: Vec<Unit>,
+}
+
+fn measure(workload: &Workload) -> Measured {
+    // One worker pins the membership-query count (parallel workers split
+    // conformance chunks non-deterministically); everything else is the
+    // default learning configuration the pinned numbers were taken with.
+    let setup = LearnSetup {
+        workers: 1,
+        ..LearnSetup::default()
+    };
+    let mut units = Vec::new();
+    let started = Instant::now();
+    for &(kind, assoc) in &workload.units {
+        let unit_start = Instant::now();
+        let outcome = learn_simulated_policy(kind, assoc, &setup)
+            .unwrap_or_else(|e| panic!("learning {kind}@{assoc} failed: {e}"));
+        units.push(Unit {
+            policy: kind.to_string(),
+            assoc,
+            states: outcome.machine.num_states() as u64,
+            queries: outcome.stats.membership_queries,
+            time_ms: unit_start.elapsed().as_secs_f64() * 1000.0,
+        });
+    }
+    Measured {
+        name: workload.name,
+        time_ms: started.elapsed().as_secs_f64() * 1000.0,
+        units,
+    }
+}
+
+fn report_json(measured: &[Measured]) -> Json {
+    Json::obj(vec![(
+        "workloads",
+        Json::Arr(
+            measured
+                .iter()
+                .map(|w| {
+                    Json::obj(vec![
+                        ("name", Json::str(w.name)),
+                        ("time_ms", Json::Num(w.time_ms)),
+                        (
+                            "units",
+                            Json::Arr(
+                                w.units
+                                    .iter()
+                                    .map(|u| {
+                                        Json::obj(vec![
+                                            ("policy", Json::str(u.policy.clone())),
+                                            ("assoc", Json::num(u.assoc as u64)),
+                                            ("states", Json::num(u.states)),
+                                            ("queries", Json::num(u.queries)),
+                                            ("time_ms", Json::Num(u.time_ms)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// A baseline workload entry, as parsed back from the committed JSON.
+struct BaselineWorkload {
+    time_ms: f64,
+    /// `(policy, assoc) -> (states, queries)`.
+    units: Vec<(String, u64, u64, u64)>,
+}
+
+fn parse_baseline(text: &str) -> Result<Vec<(String, BaselineWorkload)>, String> {
+    let root = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let workloads = root
+        .get("learn")
+        .and_then(|l| l.get("workloads"))
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no learn.workloads array")?;
+    let mut out = Vec::new();
+    for w in workloads {
+        let name = w
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload without a name")?
+            .to_string();
+        let time_ms = w
+            .get("time_ms")
+            .and_then(Json::as_f64)
+            .ok_or("workload without time_ms")?;
+        let mut units = Vec::new();
+        for u in w.get("units").and_then(Json::as_arr).unwrap_or(&[]) {
+            units.push((
+                u.get("policy")
+                    .and_then(Json::as_str)
+                    .ok_or("unit without a policy")?
+                    .to_string(),
+                u.get("assoc").and_then(Json::as_u64).ok_or("unit assoc")?,
+                u.get("states")
+                    .and_then(Json::as_u64)
+                    .ok_or("unit states")?,
+                u.get("queries")
+                    .and_then(Json::as_u64)
+                    .ok_or("unit queries")?,
+            ));
+        }
+        out.push((name, BaselineWorkload { time_ms, units }));
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let baseline_path = args.value_of("baseline").unwrap_or(DEFAULT_BASELINE);
+    let json_path = args.value_of("json").unwrap_or("BENCH_learn.json");
+    let tolerance_pct = args.value_or("time-tolerance", 40.0f64);
+    let write_baseline = args.has_flag("write-baseline");
+
+    println!("perfgate: pinned learning workloads (tolerance {tolerance_pct}%)");
+    println!();
+
+    let measured: Vec<Measured> = workloads().iter().map(measure).collect();
+
+    let mut table = TextTable::new(&[
+        "Workload", "Policy", "Assoc.", "# States", "Queries", "Time",
+    ]);
+    for w in &measured {
+        for u in &w.units {
+            table.add_row(&[
+                w.name.to_string(),
+                u.policy.clone(),
+                u.assoc.to_string(),
+                u.states.to_string(),
+                u.queries.to_string(),
+                format!("{:.1} ms", u.time_ms),
+            ]);
+        }
+        table.add_row(&[
+            w.name.to_string(),
+            "(total)".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.1} ms", w.time_ms),
+        ]);
+    }
+    print!("{}", table.render());
+    println!();
+
+    let report = report_json(&measured);
+    if write_baseline {
+        if let Some(dir) = std::path::Path::new(baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("baseline directory is creatable");
+        }
+        merge_report(baseline_path, "learn", report);
+        println!("baseline rewritten: {baseline_path}");
+        return;
+    }
+    merge_report(json_path, "learn", report);
+
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("perfgate: cannot read baseline {baseline_path}: {e}");
+            eprintln!("perfgate: run with --write-baseline to create it");
+            std::process::exit(1);
+        }
+    };
+    let baseline = match parse_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("perfgate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    for w in &measured {
+        let Some((_, base)) = baseline.iter().find(|(name, _)| name == w.name) else {
+            violations.push(format!("workload {} has no baseline entry", w.name));
+            continue;
+        };
+        // Exactness first: every learned unit must match the baseline counts
+        // bit for bit.
+        for u in &w.units {
+            let Some((_, _, base_states, base_queries)) = base
+                .units
+                .iter()
+                .find(|(p, a, _, _)| *p == u.policy && *a == u.assoc as u64)
+            else {
+                violations.push(format!(
+                    "{}: {}@{} is not in the baseline",
+                    w.name, u.policy, u.assoc
+                ));
+                continue;
+            };
+            if u.states != *base_states {
+                violations.push(format!(
+                    "{}: {}@{} learned {} states (baseline {})",
+                    w.name, u.policy, u.assoc, u.states, base_states
+                ));
+            }
+            if u.queries != *base_queries {
+                violations.push(format!(
+                    "{}: {}@{} issued {} membership queries (baseline {})",
+                    w.name, u.policy, u.assoc, u.queries, base_queries
+                ));
+            }
+        }
+        let limit = base.time_ms * (1.0 + tolerance_pct / 100.0);
+        if w.time_ms > limit {
+            violations.push(format!(
+                "{}: {:.1} ms exceeds baseline {:.1} ms by more than {}%",
+                w.name, w.time_ms, base.time_ms, tolerance_pct
+            ));
+        } else {
+            println!(
+                "ok: {} {:.1} ms (baseline {:.1} ms, limit {:.1} ms)",
+                w.name, w.time_ms, base.time_ms, limit
+            );
+        }
+    }
+
+    if !violations.is_empty() {
+        println!();
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!();
+    println!("perfgate: all workloads within bounds, all counts pinned");
+}

@@ -87,13 +87,16 @@ pub trait QueryBackend: Send {
 
     /// Executes a batch of concrete queries, in order.  The default
     /// implementation loops over [`QueryBackend::execute`]; backends with a
-    /// cheaper bulk path (one network round trip for a remote backend)
-    /// override it.
+    /// cheaper bulk path override it — one monomorphized simulation loop for
+    /// the software backends, a single network round trip for a remote one.
+    /// Native implementations must be observationally identical to the
+    /// default loop: same answers, same per-query ordering of any internal
+    /// state (e.g. a noisy backend's per-query fault indices).
     ///
     /// # Errors
     ///
     /// Stops at the first failing query and returns its error.
-    fn execute_many(
+    fn execute_batch(
         &mut self,
         queries: &[Query],
     ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
@@ -134,11 +137,11 @@ impl<B: QueryBackend + ?Sized> QueryBackend for Box<B> {
         (**self).execute(query)
     }
 
-    fn execute_many(
+    fn execute_batch(
         &mut self,
         queries: &[Query],
     ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
-        (**self).execute_many(queries)
+        (**self).execute_batch(queries)
     }
 
     fn config(&self) -> Result<QueryConfig, BackendError> {
@@ -390,10 +393,10 @@ impl<B: QueryBackend> QueryEngine<B> {
 
     /// Attaches (or detaches, with `None`) a span recorder.  While attached,
     /// every batch through [`QueryEngine::run_many`] emits an
-    /// `engine.run_many` span carrying its store-hit / backend-execution
-    /// split, and every voting round that escalates emits an
-    /// `engine.vote_escalation` event under that span — the query-path side
-    /// of the workspace-wide tracing story.
+    /// `engine.run_batch` span carrying its `batch_len` and its store-hit /
+    /// backend-execution split — so batch amortization shows up on the trace
+    /// timeline — and every voting round that escalates emits an
+    /// `engine.vote_escalation` event under that span.
     pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
         self.recorder = recorder;
     }
@@ -439,23 +442,31 @@ impl<B: QueryBackend> QueryEngine<B> {
 
     /// Runs a batch of concrete queries: everything the store knows is served
     /// from memory, the rest goes to the backend in batched
-    /// [`QueryBackend::execute_many`] calls (one per voting repetition — a
+    /// [`QueryBackend::execute_batch`] calls (one per voting repetition — a
     /// single round trip for remote backends, which vote server-side).
+    ///
+    /// The batch is the amortization unit of the query path: the backend's
+    /// configuration is fetched (and the store namespace rendered) once per
+    /// batch, not once per query, and the repetition count rides along to the
+    /// voting layer instead of being re-queried there.
     ///
     /// # Errors
     ///
     /// Propagates backend errors; no partial results are returned.
     pub fn run_many(&mut self, queries: &[Query]) -> Result<Vec<QueryOutcome>, BackendError> {
         let memoize = self.memoize;
-        let space = if memoize {
-            Some(self.refresh_space()?.1.clone())
+        // One `backend.config()` per batch: the voting layer reuses the
+        // repetition count fetched here rather than re-rendering the config.
+        let (batch_reps, space) = if memoize {
+            let (config, space) = self.refresh_space()?;
+            (Some(config.reps), Some(space.clone()))
         } else {
-            None
+            (None, None)
         };
         // The Arc is cloned so the span borrows a local recorder, leaving
         // `self` free for the mutable backend call below.
         let recorder = self.recorder.clone();
-        let mut span = obs::maybe_span(recorder.as_deref(), "engine.run_many");
+        let mut span = obs::maybe_span(recorder.as_deref(), "engine.run_batch");
         let parent = span.as_ref().map(obs::Span::id);
         self.stats.queries += queries.len() as u64;
 
@@ -481,14 +492,19 @@ impl<B: QueryBackend> QueryEngine<B> {
         }
 
         if let Some(span) = span.as_mut() {
-            span.set("queries", queries.len() as u64);
+            span.set("batch_len", queries.len() as u64);
             span.set("store_hits", (queries.len() - missing.len()) as u64);
             span.set("backend", missing.len() as u64);
         }
 
         if !missing.is_empty() {
+            let reps = match batch_reps {
+                Some(reps) => reps,
+                // Memoization off: the config was not fetched above.
+                None => self.backend.config()?.reps,
+            };
             let to_run: Vec<Query> = missing.iter().map(|&i| queries[i].clone()).collect();
-            let executed = self.execute_voted(&to_run, parent)?;
+            let executed = self.execute_voted(&to_run, reps, parent)?;
             self.stats.backend_queries += executed.len() as u64;
             for (&index, (outcomes, consistent)) in missing.iter().zip(executed) {
                 if let Some(space) = &space {
@@ -514,19 +530,20 @@ impl<B: QueryBackend> QueryEngine<B> {
     ///
     /// The repetition count comes from the backend's own
     /// [`QueryConfig::reps`] — the knob is honored here, in the one place
-    /// every backend shares, instead of inside each backend.  Backends that
+    /// every backend shares, instead of inside each backend; `run_many`
+    /// fetches it once per batch and passes it down.  Backends that
     /// [handle repetitions themselves](QueryBackend::handles_repetitions)
     /// (remote engines) and `reps == 1` configurations are executed once,
     /// with the backend's consistency flag passed through.
     fn execute_voted(
         &mut self,
         queries: &[Query],
+        reps: usize,
         parent: Option<u64>,
     ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
         let voting = self.voting;
-        let reps = self.backend.config()?.reps;
         if !voting.enabled || reps <= 1 || self.backend.handles_repetitions() {
-            let executed = self.backend.execute_many(queries)?;
+            let executed = self.backend.execute_batch(queries)?;
             self.stats.backend_executions += executed.len() as u64;
             return Ok(executed);
         }
@@ -604,7 +621,7 @@ impl<B: QueryBackend> QueryEngine<B> {
         for round in 1..=max_rounds {
             let subset: Vec<Query> = pending.iter().map(|&i| queries[i].clone()).collect();
             for _ in 0..round_reps {
-                let executed = self.backend.execute_many(&subset)?;
+                let executed = self.backend.execute_batch(&subset)?;
                 self.stats.backend_executions += executed.len() as u64;
                 for (&index, (outcomes, rep_consistent)) in pending.iter().zip(executed) {
                     tallies[index].add(&outcomes, rep_consistent);
@@ -809,7 +826,8 @@ mod tests {
         engine.run(&q).unwrap();
         let lines = sink.drain();
         assert_eq!(lines.len(), 2, "one span per batch");
-        assert!(lines[0].contains("\"name\":\"engine.run_many\""));
+        assert!(lines[0].contains("\"name\":\"engine.run_batch\""));
+        assert!(lines[0].contains("\"batch_len\":1"));
         assert!(lines[0].contains("\"store_hits\":0"));
         assert!(lines[0].contains("\"backend\":1"));
         assert!(lines[1].contains("\"store_hits\":1"));
@@ -897,5 +915,45 @@ mod tests {
         engine.backend_mut().1 = 1;
         assert!(!engine.run(&q).unwrap().from_cache, "new namespace, no hit");
         assert_eq!(engine.store().namespaces(), 2);
+    }
+
+    #[test]
+    fn a_batch_fetches_the_config_exactly_once() {
+        // Regression guard for the batch amortization contract: however many
+        // queries a batch carries, the engine fetches (and renders) the
+        // backend configuration once — the voting layer reuses it instead of
+        // asking again — and the store ends up with exactly one namespace.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        #[derive(Debug, Clone)]
+        struct ConfigCounter(ParityBackend, Arc<AtomicU64>);
+        impl QueryBackend for ConfigCounter {
+            fn execute(&mut self, q: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+                self.0.execute(q)
+            }
+            fn config(&self) -> Result<QueryConfig, BackendError> {
+                self.1.fetch_add(1, Ordering::Relaxed);
+                self.0.config()
+            }
+            fn associativity(&self) -> Result<usize, BackendError> {
+                self.0.associativity()
+            }
+        }
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut engine = QueryEngine::new(ConfigCounter(ParityBackend::new(), calls.clone()));
+        let queries = expand_query("@ X _?", 4).unwrap();
+        assert!(queries.len() > 1, "the batch must be non-trivial");
+        engine.run_many(&queries).unwrap();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "a batch of {} queries must render the namespace once",
+            queries.len()
+        );
+        assert_eq!(engine.store().namespaces(), 1, "one store key per config");
+        // A second, fully store-served batch still revalidates the namespace
+        // (that is how reconfiguration is detected) — once, not per query.
+        engine.run_many(&queries).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
     }
 }

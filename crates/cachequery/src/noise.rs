@@ -201,16 +201,18 @@ fn roll(rng: &mut StdRng, permille: u32) -> bool {
     permille > 0 && rng.next_u64() % 1000 < u64::from(permille)
 }
 
-impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
-    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
-        let (mut outcomes, consistent) = self.inner.execute(query)?;
+impl<B> NoisyBackend<B> {
+    /// Applies one execution's worth of faults to `outcomes`, advancing the
+    /// query's per-execution fault index.  Shared by the single-query and
+    /// batch paths, so batching never changes which faults a query sees.
+    fn inject_faults(&mut self, query: &Query, outcomes: &mut [HitMiss]) {
         self.counters.executions.fetch_add(1, Ordering::Relaxed);
         let mut rng = self.fault_rng(query);
 
         if roll(&mut rng, self.spec.drop_permille) {
             // The whole measurement was disturbed: every profiled outcome is
             // replaced by a coin flip.
-            for outcome in &mut outcomes {
+            for outcome in outcomes.iter_mut() {
                 *outcome = if rng.next_u64().is_multiple_of(2) {
                     HitMiss::Hit
                 } else {
@@ -218,7 +220,7 @@ impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
                 };
             }
             self.counters.drops.fetch_add(1, Ordering::Relaxed);
-            return Ok((outcomes, consistent));
+            return;
         }
         if roll(&mut rng, self.spec.evict_permille) {
             // Spurious eviction: an interfering access pushed a block out, so
@@ -235,7 +237,7 @@ impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        for outcome in &mut outcomes {
+        for outcome in outcomes.iter_mut() {
             if roll(&mut rng, self.spec.flip_permille) {
                 *outcome = match *outcome {
                     HitMiss::Hit => HitMiss::Miss,
@@ -244,7 +246,30 @@ impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
                 self.counters.flips.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+impl<B: QueryBackend> QueryBackend for NoisyBackend<B> {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        let (mut outcomes, consistent) = self.inner.execute(query)?;
+        self.inject_faults(query, &mut outcomes);
         Ok((outcomes, consistent))
+    }
+
+    fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        // One bulk call into the inner backend, then faults applied per query
+        // in batch order.  The fault stream is a pure function of
+        // `(seed, query content, per-query execution index)`, so the answers
+        // are byte-identical to looping [`QueryBackend::execute`] — a query
+        // appearing twice in one batch draws its 1st and 2nd fault sets.
+        let mut results = self.inner.execute_batch(queries)?;
+        for (query, (outcomes, _)) in queries.iter().zip(&mut results) {
+            self.inject_faults(query, outcomes);
+        }
+        Ok(results)
     }
 
     fn config(&self) -> Result<QueryConfig, BackendError> {

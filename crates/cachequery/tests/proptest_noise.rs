@@ -137,7 +137,7 @@ proptest! {
         let mut voted_queries = 0u64;
         for expr in &exprs {
             let expanded = expand_query(expr, assoc).expect("generated MBL is well-formed");
-            let reference = clean.execute_many(&expanded).expect("exact simulation");
+            let reference = clean.execute_batch(&expanded).expect("exact simulation");
             let answers = engine.query_mbl(expr).expect("noisy engine answers");
             prop_assert_eq!(answers.len(), reference.len());
             for (answer, (expected, _)) in answers.iter().zip(&reference) {

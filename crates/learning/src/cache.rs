@@ -51,6 +51,29 @@ impl<I: Eq, O> Trie<I, O> {
     }
 }
 
+/// Resumable trie position for runs of lookups over prefix-sharing words.
+///
+/// Conformance suites enumerate `prefix · middle · suffix` products, so
+/// consecutive test words share long prefixes; a cursor lets
+/// [`QueryCache::check_against_resumed`] skip re-walking the shared part.
+/// The cursor stores the arena path of the last verified-agreeing prefix —
+/// valid across calls because the arena is append-only (nodes are never
+/// moved or mutated once recorded).
+#[derive(Debug, Default)]
+pub struct TrieCursor {
+    /// `path[d]` is the arena index of the node matching symbol `d` of the
+    /// last checked word, for every position that was walked *and* agreed
+    /// with the prediction.
+    path: Vec<u32>,
+}
+
+impl TrieCursor {
+    /// Creates an empty cursor (next check walks from the root).
+    pub fn new() -> Self {
+        TrieCursor::default()
+    }
+}
+
 /// Verdict of [`QueryCache::check_against`]: what the cache knows about a
 /// word compared to a predicted output word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +179,48 @@ where
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return CacheVerdict::Mismatch(position);
             }
+            children = &node.children;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        CacheVerdict::Match
+    }
+
+    /// [`check_against`](Self::check_against) resuming from a cursor: the
+    /// first `lcp` entries of `cursor` must come from a previous call whose
+    /// word shared `lcp` symbols with `word` *and* whose predicted outputs
+    /// agreed on that prefix (true for conformance testing, where a
+    /// disagreeing prefix ends the suite run).  The walk then starts at
+    /// position `min(lcp, cursor depth)` instead of the root.
+    ///
+    /// Counting is identical to `check_against` — exactly one hit
+    /// (`Match`/`Mismatch`) or miss (`Unknown`) per call — so resuming never
+    /// changes a run's membership-query statistics, only its wall time.
+    pub fn check_against_resumed(
+        &self,
+        word: &[I],
+        predicted: &[O],
+        lcp: usize,
+        cursor: &mut TrieCursor,
+    ) -> CacheVerdict {
+        debug_assert_eq!(word.len(), predicted.len());
+        debug_assert!(lcp <= word.len());
+        let trie = self.trie.read().expect("query cache lock poisoned");
+        cursor.path.truncate(lcp.min(cursor.path.len()));
+        let mut children = match cursor.path.last() {
+            None => &trie.roots,
+            Some(&index) => &trie.nodes[index as usize].children,
+        };
+        for position in cursor.path.len()..word.len() {
+            let Some(index) = trie.child(children, &word[position]) else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheVerdict::Unknown;
+            };
+            let node = &trie.nodes[index as usize];
+            if node.output != predicted[position] {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return CacheVerdict::Mismatch(position);
+            }
+            cursor.path.push(index);
             children = &node.children;
         }
         self.hits.fetch_add(1, Ordering::Relaxed);

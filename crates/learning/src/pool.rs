@@ -25,7 +25,7 @@ use std::sync::{Arc, Mutex};
 
 use automata::Mealy;
 
-use crate::cache::{CacheVerdict, QueryCache};
+use crate::cache::{CacheVerdict, QueryCache, TrieCursor};
 use crate::oracle::{MembershipOracle, OracleError};
 
 /// Environment variable overriding the default worker count of a
@@ -240,32 +240,97 @@ where
     None
 }
 
+/// Per-walker resume state for a run of conformance tests against one fixed
+/// hypothesis.
+///
+/// Suite words arrive in `prefix · middle · suffix` product order, so
+/// consecutive tests share long prefixes.  The cursor keeps the previous
+/// word, the hypothesis states and predicted outputs along it, and the trie
+/// path of its verified prefix — each new test then re-walks only the part
+/// *after* the longest common prefix, in both the hypothesis and the cache.
+///
+/// Soundness of resuming: every retained prefix was checked to *agree* with
+/// the hypothesis prediction (a disagreeing position would have produced a
+/// counterexample and ended the walker's run), predictions on a shared
+/// prefix are identical because the hypothesis is deterministic, and trie
+/// nodes are append-only.  Cache hit/miss counting is per test, exactly as
+/// before, so resuming never changes membership-query statistics.
+struct TestCursor<I, O> {
+    /// The previous test word.
+    word: Vec<I>,
+    /// `states[d]` is the hypothesis state after consuming `word[..d]`
+    /// (`states[0]` is the initial state, so the vector is never empty).
+    states: Vec<automata::StateId>,
+    /// Predicted outputs for `word`.
+    predicted: Vec<O>,
+    /// Trie path of the verified-agreeing prefix of `word`.
+    trie: TrieCursor,
+}
+
+impl<I, O> TestCursor<I, O> {
+    fn new(initial: automata::StateId) -> Self {
+        TestCursor {
+            word: Vec::new(),
+            states: vec![initial],
+            predicted: Vec::new(),
+            trie: TrieCursor::new(),
+        }
+    }
+}
+
+/// Length of the longest common prefix of two words.
+fn common_prefix_len<I: Eq>(a: &[I], b: &[I]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
 /// Executes one conformance test: decides it from the cache where possible
 /// (without cloning outputs), otherwise queries the oracle and records the
 /// answer.  Returns the shortest failing prefix, if any.
+///
+/// `cursor` carries the walker's resume state (see [`TestCursor`]); the
+/// hypothesis prediction and the trie check both restart from the longest
+/// prefix shared with the previous test word.
 fn run_one_test<I, O>(
     cache: Option<&QueryCache<I, O>>,
     oracle: &mut dyn MembershipOracle<I, O>,
     hypothesis: &Mealy<I, O>,
     word: &[I],
+    cursor: &mut TestCursor<I, O>,
 ) -> Result<Option<Vec<I>>, OracleError>
 where
     I: Clone + Eq + Hash + fmt::Debug,
     O: Clone + Eq + fmt::Debug,
 {
-    let predicted = hypothesis.output_word(word.iter());
+    let lcp = common_prefix_len(&cursor.word, word);
+    cursor.states.truncate(lcp + 1);
+    cursor.predicted.truncate(lcp);
+    let mut state = *cursor
+        .states
+        .last()
+        .expect("cursor keeps the initial state");
+    for input in &word[lcp..] {
+        let ii = hypothesis
+            .input_position(input)
+            .unwrap_or_else(|| panic!("input {input:?} is not in the alphabet"));
+        let (next, output) = hypothesis.step_by_index(state, ii);
+        cursor.predicted.push(output.clone());
+        cursor.states.push(next);
+        state = next;
+    }
+    cursor.word.clear();
+    cursor.word.extend_from_slice(word);
     if let Some(cache) = cache {
-        match cache.check_against(word, &predicted) {
+        match cache.check_against_resumed(word, &cursor.predicted, lcp, &mut cursor.trie) {
             CacheVerdict::Match => return Ok(None),
             CacheVerdict::Mismatch(i) => return Ok(Some(word[..=i].to_vec())),
             CacheVerdict::Unknown => {}
         }
         let actual = query_validated(oracle, word)?;
         cache.record(word, &actual)?;
-        return Ok(shortest_failing_prefix(word, &actual, &predicted));
+        return Ok(shortest_failing_prefix(word, &actual, &cursor.predicted));
     }
     let actual = query_validated(oracle, word)?;
-    Ok(shortest_failing_prefix(word, &actual, &predicted))
+    Ok(shortest_failing_prefix(word, &actual, &cursor.predicted))
 }
 
 impl<'f, I, O> QueryPool<'f, I, O>
@@ -384,8 +449,8 @@ where
         // table cells with `p1·e1 == p2·e2`), and each oracle execution can
         // be an expensive hardware probe.  `missing` keeps one representative
         // index per distinct word; `duplicates` maps the rest back to it.
-        let mut representative: std::collections::HashMap<&[I], usize> =
-            std::collections::HashMap::new();
+        let mut representative: automata::fxhash::FxHashMap<&[I], usize> =
+            automata::fxhash::FxHashMap::default();
         let mut missing: Vec<usize> = Vec::new();
         let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (index, representative)
         for index in 0..words.len() {
@@ -498,13 +563,16 @@ where
         let mut executed = 0u64;
         let mut shards = 0u64;
         let mut counterexample = None;
+        // The sequential walker's resume state survives chunk boundaries —
+        // the suite order (and hence the prefix sharing) is continuous.
+        let mut cursor = TestCursor::new(hypothesis.initial());
         loop {
             let chunk: Vec<Vec<I>> = suite.by_ref().take(chunk_size).collect();
             if chunk.is_empty() {
                 break;
             }
             let outcome = if self.worker_target <= 1 || chunk.len() < MIN_PARALLEL_ITEMS {
-                self.run_chunk_sequential(hypothesis, &chunk)?
+                self.run_chunk_sequential(hypothesis, &chunk, &mut cursor)?
             } else {
                 self.run_chunk_parallel(hypothesis, &chunk)?
             };
@@ -532,14 +600,19 @@ where
         &mut self,
         hypothesis: &Mealy<I, O>,
         chunk: &[Vec<I>],
+        cursor: &mut TestCursor<I, O>,
     ) -> Result<SuiteOutcome<I>, OracleError> {
         let mut executed = 0;
         for word in chunk {
             executed += 1;
             // Query counting happens in `run_tests` from `tests_executed`.
-            if let Some(cex) =
-                run_one_test(self.cache.as_deref(), &mut self.local, hypothesis, word)?
-            {
+            if let Some(cex) = run_one_test(
+                self.cache.as_deref(),
+                &mut self.local,
+                hypothesis,
+                word,
+                cursor,
+            )? {
                 return Ok(SuiteOutcome {
                     counterexample: Some(cex),
                     tests_executed: executed,
@@ -579,6 +652,11 @@ where
                     let (best, abort, found) = (&best, &abort, &found);
                     scope.spawn(move || {
                         let mut executed = 0u64;
+                        // Strided shards still share prefixes between their
+                        // consecutive words (the suite's prefix blocks are
+                        // much longer than the stride), so each worker gets
+                        // its own resume cursor.
+                        let mut cursor = TestCursor::new(hypothesis.initial());
                         for index in (worker..chunk.len()).step_by(shards) {
                             if abort.load(Ordering::Relaxed)
                                 || index >= best.load(Ordering::Relaxed)
@@ -587,7 +665,13 @@ where
                             }
                             let word = &chunk[index];
                             executed += 1;
-                            match run_one_test(cache.as_deref(), oracle, hypothesis, word) {
+                            match run_one_test(
+                                cache.as_deref(),
+                                oracle,
+                                hypothesis,
+                                word,
+                                &mut cursor,
+                            ) {
                                 Ok(None) => {}
                                 Ok(Some(cex)) => {
                                     best.fetch_min(index, Ordering::Relaxed);

@@ -1,9 +1,9 @@
 //! The observation table of L* for Mealy machines.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 
+use automata::fxhash::{FxHashMap, FxHashSet};
 use automata::{Mealy, MealyBuilder, StateId};
 
 use crate::oracle::OracleError;
@@ -20,7 +20,7 @@ pub struct ObservationTable<I, O> {
     /// Distinguishing suffixes (all non-empty).
     suffixes: Vec<Vec<I>>,
     /// Table contents: prefix → per-suffix output words.
-    rows: HashMap<Vec<I>, Vec<Vec<O>>>,
+    rows: FxHashMap<Vec<I>, Vec<Vec<O>>>,
 }
 
 impl<I, O> ObservationTable<I, O>
@@ -37,7 +37,7 @@ where
             inputs,
             short: vec![Vec::new()],
             suffixes,
-            rows: HashMap::new(),
+            rows: FxHashMap::default(),
         }
     }
 
@@ -74,7 +74,7 @@ where
             }
         }
         let mut pending: Vec<(Vec<I>, usize)> = Vec::new(); // (prefix, first missing column)
-        let mut queued: std::collections::HashSet<Vec<I>> = std::collections::HashSet::new();
+        let mut queued: FxHashSet<Vec<I>> = FxHashSet::default();
         let mut words: Vec<Vec<I>> = Vec::new();
         for prefix in row_prefixes {
             let filled = self.rows.get(&prefix).map(|r| r.len()).unwrap_or(0);
@@ -130,8 +130,7 @@ where
     /// Returns an unclosedness witness: a one-letter extension of a short
     /// prefix whose row matches no short row, if any.
     pub fn find_unclosed(&self) -> Option<Vec<I>> {
-        let short_rows: std::collections::HashSet<&[Vec<O>]> =
-            self.short.iter().map(|s| self.row(s)).collect();
+        let short_rows: FxHashSet<&[Vec<O>]> = self.short.iter().map(|s| self.row(s)).collect();
         for s in &self.short {
             for a in &self.inputs {
                 let mut extended = s.clone();
@@ -171,7 +170,7 @@ where
     pub fn hypothesis(&self) -> (Mealy<I, O>, Vec<Vec<I>>) {
         // Assign a state to each distinct short row, keeping the first
         // occurrence as the access string.
-        let mut state_of_row: HashMap<Vec<Vec<O>>, StateId> = HashMap::new();
+        let mut state_of_row: FxHashMap<Vec<Vec<O>>, StateId> = FxHashMap::default();
         let mut access: Vec<Vec<I>> = Vec::new();
         for s in &self.short {
             let row = self.row(s).to_vec();

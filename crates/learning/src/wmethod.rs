@@ -13,10 +13,10 @@
 //! eager [`w_method_suite`] / [`wp_method_suite`] functions collect the same
 //! words for callers that want the whole suite.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
+use automata::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use automata::{Mealy, StateId};
 
 /// Breadth-first state cover: for every state, a shortest input word reaching
@@ -149,7 +149,7 @@ where
     }
 
     // Deduplicate words while remapping indices.
-    let mut dedup: HashMap<Vec<I>, usize> = HashMap::new();
+    let mut dedup: FxHashMap<Vec<I>, usize> = FxHashMap::default();
     let mut compact: Vec<Vec<I>> = Vec::new();
     let mut remap = vec![0usize; w.len()];
     for (i, word) in w.iter().enumerate() {
@@ -211,13 +211,123 @@ fn words_up_to<I: Clone>(inputs: &[I], k: usize) -> Vec<Vec<I>> {
     result
 }
 
-/// Concatenates `prefix · middle · suffix` into one test word.
-fn concat3<I: Clone>(prefix: &[I], middle: &[I], suffix: &[I]) -> Vec<I> {
-    let mut word = Vec::with_capacity(prefix.len() + middle.len() + suffix.len());
-    word.extend(prefix.iter().cloned());
-    word.extend(middle.iter().cloned());
-    word.extend(suffix.iter().cloned());
-    word
+/// Deduplication set for suite words, tuned for the iterators' access
+/// pattern: millions of candidate words, most of them new, each built from a
+/// shared `prefix · middle` base plus a short suffix.
+///
+/// Words live back to back in one element arena and the open-addressing
+/// table stores `(hash, offset, length)` triples, so a candidate costs one
+/// hash and one probe, and a *duplicate* candidate allocates nothing.  A
+/// `HashSet<Vec<I>>` here would clone every inserted word into its own heap
+/// allocation and chase a pointer per equality check — on the multi-million
+/// word suites of the larger policies that overhead rivals the actual test
+/// execution time.
+#[derive(Debug)]
+struct WordSet<I> {
+    arena: Vec<I>,
+    /// `(hash, arena offset, length)`; empty slots have `len == EMPTY_SLOT`.
+    slots: Vec<(u64, u32, u32)>,
+    len: usize,
+}
+
+/// Length marker for an unoccupied [`WordSet`] slot (no real suite word gets
+/// anywhere near `u32::MAX` symbols).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Feeds `elems` into `hasher` element by element (no length prefix — the
+/// full word is always hashed, so the element sequence is the identity).
+fn hash_elems<I: Hash>(hasher: &mut FxHasher, elems: &[I]) {
+    for e in elems {
+        e.hash(hasher);
+    }
+}
+
+impl<I: Clone + Eq + Hash> WordSet<I> {
+    fn new() -> Self {
+        WordSet {
+            arena: Vec::new(),
+            slots: vec![(0, 0, EMPTY_SLOT); 1024],
+            len: 0,
+        }
+    }
+
+    /// Inserts `word` (whose element hash is `hash`) if it is not already
+    /// present; returns `true` when the word was new.
+    fn insert_slice(&mut self, word: &[I], hash: u64) -> bool {
+        // Grow at 3/4 load so probe chains stay short.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, off, len) = self.slots[i];
+            if len == EMPTY_SLOT {
+                let off = u32::try_from(self.arena.len()).expect("suite arena exceeds u32 range");
+                self.arena.extend_from_slice(word);
+                self.slots[i] = (hash, off, word.len() as u32);
+                self.len += 1;
+                return true;
+            }
+            if h == hash
+                && len as usize == word.len()
+                && self.arena[off as usize..off as usize + len as usize] == *word
+            {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the table, re-slotting every entry by its stored hash (the
+    /// arena is untouched).
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![(0, 0, EMPTY_SLOT); new_len];
+        for &(h, off, len) in self.slots.iter().filter(|&&(_, _, len)| len != EMPTY_SLOT) {
+            let mut i = (h as usize) & mask;
+            while slots[i].2 != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            slots[i] = (h, off, len);
+        }
+        self.slots = slots;
+    }
+}
+
+/// Odometer over the `prefixes × middles × w` product of a test suite,
+/// advanced by repeated increments instead of the three divisions per word
+/// the linear-cursor form costs on a multi-million-word suite.
+#[derive(Debug, Clone, Copy)]
+struct ProductCursor {
+    prefix: usize,
+    middle: usize,
+    word: usize,
+}
+
+impl ProductCursor {
+    fn start() -> Self {
+        ProductCursor {
+            prefix: 0,
+            middle: 0,
+            word: 0,
+        }
+    }
+
+    /// Advances to the next (prefix, middle, word) triple, rolling the
+    /// rightmost position fastest — the same order as the linear cursor.
+    fn advance(&mut self, middles: usize, words: usize) {
+        self.word += 1;
+        if self.word == words {
+            self.word = 0;
+            self.middle += 1;
+            if self.middle == middles {
+                self.middle = 0;
+                self.prefix += 1;
+            }
+        }
+    }
 }
 
 /// Lazy W-method suite: `P · I^{≤k} · W` with `P` the transition cover and
@@ -229,9 +339,55 @@ pub struct WMethodSuite<I> {
     prefixes: Vec<Vec<I>>,
     middles: Vec<Vec<I>>,
     w: Vec<Vec<I>>,
-    /// Linear index into the `prefixes × middles × w` product.
-    cursor: usize,
-    seen: HashSet<Vec<I>>,
+    /// Odometer over the `prefixes × middles × w` product.
+    cursor: ProductCursor,
+    seen: WordSet<I>,
+    /// Reusable candidate buffer; the first `base.1` elements hold the
+    /// `prefix · middle` base for the `(prefix, middle)` indices in `base.0`,
+    /// whose element-hash state is cached in `base.2` (the suffix `w` rolls
+    /// fastest, so the base survives `|W|` consecutive candidates).
+    base: SuiteBase<I>,
+}
+
+/// Shared `prefix · middle` state of a suite iterator: the candidate scratch
+/// buffer, the `(prefix, middle)` indices it was built from, the base length
+/// within the scratch, and the hasher state after feeding the base elements.
+#[derive(Debug)]
+struct SuiteBase<I> {
+    scratch: Vec<I>,
+    key: (usize, usize),
+    len: usize,
+    hasher: FxHasher,
+}
+
+impl<I: Clone + Hash> SuiteBase<I> {
+    fn new() -> Self {
+        SuiteBase {
+            scratch: Vec::new(),
+            key: (usize::MAX, usize::MAX),
+            len: 0,
+            hasher: FxHasher::default(),
+        }
+    }
+
+    /// Rebuilds the base from `prefix · middle` unless it is already current,
+    /// then appends `suffix` and returns the full word's element hash.
+    fn compose(&mut self, key: (usize, usize), prefix: &[I], middle: &[I], suffix: &[I]) -> u64 {
+        if self.key != key {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(prefix);
+            self.scratch.extend_from_slice(middle);
+            self.key = key;
+            self.len = self.scratch.len();
+            self.hasher = FxHasher::default();
+            hash_elems(&mut self.hasher, &self.scratch);
+        }
+        self.scratch.truncate(self.len);
+        self.scratch.extend_from_slice(suffix);
+        let mut hasher = self.hasher;
+        hash_elems(&mut hasher, suffix);
+        hasher.finish()
+    }
 }
 
 impl<I> Iterator for WMethodSuite<I>
@@ -241,23 +397,27 @@ where
     type Item = Vec<I>;
 
     fn next(&mut self) -> Option<Vec<I>> {
-        let per_prefix = self.middles.len() * self.w.len();
-        if per_prefix == 0 {
+        if self.middles.is_empty() || self.w.is_empty() {
             // Degenerate machines over an empty input alphabet have an empty
             // characterization set and therefore an empty suite.
             return None;
         }
         loop {
-            let pi = self.cursor / per_prefix;
+            let ProductCursor {
+                prefix: pi,
+                middle: mi,
+                word: wi,
+            } = self.cursor;
             if pi >= self.prefixes.len() {
                 return None;
             }
-            let mi = (self.cursor / self.w.len()) % self.middles.len();
-            let wi = self.cursor % self.w.len();
-            self.cursor += 1;
-            let word = concat3(&self.prefixes[pi], &self.middles[mi], &self.w[wi]);
-            if !word.is_empty() && self.seen.insert(word.clone()) {
-                return Some(word);
+            self.cursor.advance(self.middles.len(), self.w.len());
+            let hash =
+                self.base
+                    .compose((pi, mi), &self.prefixes[pi], &self.middles[mi], &self.w[wi]);
+            let word = &self.base.scratch;
+            if !word.is_empty() && self.seen.insert_slice(word, hash) {
+                return Some(word.clone());
             }
         }
     }
@@ -275,8 +435,9 @@ where
         prefixes: transition_cover(machine),
         middles: words_up_to(machine.inputs(), k),
         w,
-        cursor: 0,
-        seen: HashSet::new(),
+        cursor: ProductCursor::start(),
+        seen: WordSet::new(),
+        base: SuiteBase::new(),
     }
 }
 
@@ -298,18 +459,22 @@ where
 pub struct WpMethodSuite<'m, I, O> {
     machine: &'m Mealy<I, O>,
     cover: Vec<Vec<I>>,
-    cover_set: HashSet<Vec<I>>,
+    cover_set: FxHashSet<Vec<I>>,
     middles: Vec<Vec<I>>,
     w: Vec<Vec<I>>,
     identification: Vec<Vec<usize>>,
-    /// Linear index into the phase-1 `cover × middles × w` product, or past
-    /// its end once phase 2 begins.
-    phase1_cursor: usize,
+    /// Odometer over the phase-1 `cover × middles × w` product, or past its
+    /// end once phase 2 begins.
+    phase1_cursor: ProductCursor,
     /// Phase-2 position: (cover index, input index, middle index).
     transition: (usize, usize, usize),
     /// The current phase-2 base word and its identification set.
     base: Option<(Vec<I>, usize, usize)>, // (base word, reached state, next ident position)
-    seen: HashSet<Vec<I>>,
+    seen: WordSet<I>,
+    /// Shared `cover × middle` base of the phase-1 product.
+    phase1_base: SuiteBase<I>,
+    /// Reusable phase-2 candidate buffer (`base · w`).
+    phase2_scratch: Vec<I>,
 }
 
 impl<I, O> WpMethodSuite<'_, I, O>
@@ -365,15 +530,27 @@ where
 
     fn next(&mut self) -> Option<Vec<I>> {
         // Phase 1: state cover × I^{≤k} × W.
-        let per_prefix = self.middles.len() * self.w.len();
-        while self.phase1_cursor < self.cover.len() * per_prefix {
-            let ci = self.phase1_cursor / per_prefix;
-            let mi = (self.phase1_cursor / self.w.len()) % self.middles.len();
-            let wi = self.phase1_cursor % self.w.len();
-            self.phase1_cursor += 1;
-            let word = concat3(&self.cover[ci], &self.middles[mi], &self.w[wi]);
-            if !word.is_empty() && self.seen.insert(word.clone()) {
-                return Some(word);
+        if !self.middles.is_empty() && !self.w.is_empty() {
+            loop {
+                let ProductCursor {
+                    prefix: ci,
+                    middle: mi,
+                    word: wi,
+                } = self.phase1_cursor;
+                if ci >= self.cover.len() {
+                    break;
+                }
+                self.phase1_cursor.advance(self.middles.len(), self.w.len());
+                let hash = self.phase1_base.compose(
+                    (ci, mi),
+                    &self.cover[ci],
+                    &self.middles[mi],
+                    &self.w[wi],
+                );
+                let word = &self.phase1_base.scratch;
+                if !word.is_empty() && self.seen.insert_slice(word, hash) {
+                    return Some(word.clone());
+                }
             }
         }
 
@@ -385,9 +562,14 @@ where
                 while *ident_pos < ident.len() {
                     let wi = ident[*ident_pos];
                     *ident_pos += 1;
-                    let word = concat3(base, &[], &self.w[wi]);
-                    if self.seen.insert(word.clone()) {
-                        return Some(word);
+                    self.phase2_scratch.clear();
+                    self.phase2_scratch.extend_from_slice(base);
+                    self.phase2_scratch.extend_from_slice(&self.w[wi]);
+                    let mut hasher = FxHasher::default();
+                    hash_elems(&mut hasher, &self.phase2_scratch);
+                    let word = &self.phase2_scratch;
+                    if self.seen.insert_slice(word, hasher.finish()) {
+                        return Some(word.clone());
                     }
                 }
                 self.base = None;
@@ -415,10 +597,12 @@ where
         middles: words_up_to(machine.inputs(), k),
         w,
         identification,
-        phase1_cursor: 0,
+        phase1_cursor: ProductCursor::start(),
         transition: (0, 0, 0),
         base: None,
-        seen: HashSet::new(),
+        seen: WordSet::new(),
+        phase1_base: SuiteBase::new(),
+        phase2_scratch: Vec::new(),
     }
 }
 

@@ -178,8 +178,14 @@ impl CacheSession for SimulatedSession {
     fn speculate(&mut self, block: BlockId) -> Result<HitMiss, OracleError> {
         self.probes.fetch_add(1, Ordering::Relaxed);
         self.accesses.fetch_add(1, Ordering::Relaxed);
-        let mut copy = self.set.clone();
-        Ok(copy.access(Block::new(block.0 as u64)).outcome())
+        // A speculative access hits exactly when the block is currently
+        // cached; checking containment avoids cloning the whole set (policy
+        // state included) for an answer the lookup alone determines.
+        if self.set.contains(Block::new(block.0 as u64)) {
+            Ok(HitMiss::Hit)
+        } else {
+            Ok(HitMiss::Miss)
+        }
     }
 }
 

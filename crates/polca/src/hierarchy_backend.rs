@@ -144,8 +144,10 @@ impl HierarchyBackend {
     }
 }
 
-impl cachequery::QueryBackend for HierarchyBackend {
-    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+impl HierarchyBackend {
+    /// Simulates one query through the full hierarchy from `cc0`; shared by
+    /// the single-query and batch paths.
+    fn simulate(&self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
         self.check_filtered(query)?;
         let mut hierarchy = self.template.clone();
         let mut outcomes = Vec::new();
@@ -168,6 +170,25 @@ impl cachequery::QueryBackend for HierarchyBackend {
             }
         }
         Ok((outcomes, true))
+    }
+}
+
+impl cachequery::QueryBackend for HierarchyBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        self.simulate(query)
+    }
+
+    fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        // Exact simulation from cc0 per query: the batch is one tight loop
+        // over the shared simulation core, pre-sized like the bare backend's.
+        let mut results = Vec::with_capacity(queries.len());
+        for query in queries {
+            results.push(self.simulate(query)?);
+        }
+        Ok(results)
     }
 
     fn config(&self) -> Result<QueryConfig, BackendError> {

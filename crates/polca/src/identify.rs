@@ -21,7 +21,7 @@ impl LinePermutation {
     /// Applies the permutation to a policy input.
     pub fn apply_input(&self, input: PolicyInput) -> PolicyInput {
         match input {
-            PolicyInput::Line(i) => PolicyInput::Line(self.0[i]),
+            PolicyInput::Line(i) => PolicyInput::line(self.0[usize::from(i)]),
             PolicyInput::Evct => PolicyInput::Evct,
         }
     }
@@ -29,7 +29,7 @@ impl LinePermutation {
     /// Applies the permutation to a policy output.
     pub fn apply_output(&self, output: PolicyOutput) -> PolicyOutput {
         match output {
-            PolicyOutput::Evicted(i) => PolicyOutput::Evicted(self.0[i]),
+            PolicyOutput::Evicted(i) => PolicyOutput::evicted(self.0[usize::from(i)]),
             PolicyOutput::None => PolicyOutput::None,
         }
     }
@@ -61,7 +61,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 /// before running a full equivalence check.
 fn probe_words(assoc: usize) -> Vec<Vec<PolicyInput>> {
     let singles: Vec<PolicyInput> = (0..assoc)
-        .map(PolicyInput::Line)
+        .map(PolicyInput::line)
         .chain(std::iter::once(PolicyInput::Evct))
         .collect();
     let mut words: Vec<Vec<PolicyInput>> = Vec::new();

@@ -79,12 +79,13 @@ impl<C: CacheOracle> MembershipOracle<PolicyInput, PolicyOutput> for PolcaOracle
         for input in word {
             let block = match input {
                 PolicyInput::Line(i) => {
-                    if *i >= n {
+                    let i = usize::from(*i);
+                    if i >= n {
                         return Err(OracleError::new(format!(
                             "input Ln({i}) is out of range for associativity {n}"
                         )));
                     }
-                    content[*i]
+                    content[i]
                 }
                 PolicyInput::Evct => {
                     let b = BlockId(next_fresh);
@@ -98,7 +99,7 @@ impl<C: CacheOracle> MembershipOracle<PolicyInput, PolicyOutput> for PolcaOracle
                 (PolicyInput::Evct, HitMiss::Miss) => {
                     let line = find_evicted(session.as_mut(), &content)?;
                     content[line] = block;
-                    PolicyOutput::Evicted(line)
+                    PolicyOutput::evicted(line)
                 }
                 (PolicyInput::Line(i), HitMiss::Miss) => {
                     return Err(OracleError::new(format!(

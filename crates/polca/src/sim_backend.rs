@@ -100,8 +100,10 @@ impl PolicySimBackend {
     }
 }
 
-impl cachequery::QueryBackend for PolicySimBackend {
-    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+impl PolicySimBackend {
+    /// Simulates one query from `cc0`; the exact-simulation core shared by
+    /// the single-query and batch paths.
+    fn simulate(&self, query: &Query) -> (Vec<HitMiss>, bool) {
         let mut set = self.template.clone();
         let mut outcomes = Vec::new();
         for op in query {
@@ -118,7 +120,27 @@ impl cachequery::QueryBackend for PolicySimBackend {
                 }
             }
         }
-        Ok((outcomes, true))
+        (outcomes, true)
+    }
+}
+
+impl cachequery::QueryBackend for PolicySimBackend {
+    fn execute(&mut self, query: &Query) -> Result<(Vec<HitMiss>, bool), BackendError> {
+        Ok(self.simulate(query))
+    }
+
+    fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {
+        // Simulation is exact and each query restarts from cc0, so the batch
+        // is one tight monomorphized loop — no per-query trait dispatch, one
+        // pre-sized result vector.
+        let mut results = Vec::with_capacity(queries.len());
+        for query in queries {
+            results.push(self.simulate(query));
+        }
+        Ok(results)
     }
 
     fn config(&self) -> Result<QueryConfig, BackendError> {

@@ -14,7 +14,7 @@ fn word_strategy(assoc: usize) -> impl Strategy<Value = Vec<PolicyInput>> {
                 if i == assoc {
                     PolicyInput::Evct
                 } else {
-                    PolicyInput::Line(i)
+                    PolicyInput::line(i)
                 }
             })
             .collect()
@@ -59,7 +59,7 @@ proptest! {
         let first = polca.query(&word).unwrap();
         let interleaved: Vec<PolicyInput> = other
             .into_iter()
-            .map(|i| if i == 0 { PolicyInput::Evct } else { PolicyInput::Line(i % assoc) })
+            .map(|i| if i == 0 { PolicyInput::Evct } else { PolicyInput::line(i % assoc) })
             .collect();
         if !interleaved.is_empty() {
             polca.query(&interleaved).unwrap();
@@ -88,7 +88,7 @@ proptest! {
                     .map(|i| if i % (assoc + 1) == assoc {
                         PolicyInput::Evct
                     } else {
-                        PolicyInput::Line(i % (assoc + 1))
+                        PolicyInput::line(i % (assoc + 1))
                     })
                     .collect(),
             );

@@ -5,12 +5,38 @@ use std::str::FromStr;
 
 /// Input symbol of a replacement policy (Table 1): an access to a cache line
 /// or an eviction request.
+///
+/// The line index is a `u8` on purpose: the learner stores millions of input
+/// words (test-suite dedup sets, the prefix-trie cache, observation-table
+/// rows), and a byte-sized payload keeps a whole word in one or two cache
+/// lines.  Real associativities are tiny, so nothing is lost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PolicyInput {
     /// `Ln(i)`: the block stored in line `i` was accessed (a cache hit).
-    Line(usize),
+    Line(u8),
     /// `Evct`: a line must be freed to make room for a new block (a miss).
     Evct,
+}
+
+impl PolicyInput {
+    /// The `Ln(i)` symbol for a line index given as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` exceeds `u8::MAX` (no supported cache comes close).
+    #[inline]
+    pub fn line(line: usize) -> Self {
+        PolicyInput::Line(u8::try_from(line).expect("line index exceeds u8::MAX"))
+    }
+
+    /// The line index of a `Ln(i)` symbol, widened back to `usize`.
+    #[inline]
+    pub fn line_index(self) -> Option<usize> {
+        match self {
+            PolicyInput::Line(i) => Some(usize::from(i)),
+            PolicyInput::Evct => None,
+        }
+    }
 }
 
 impl fmt::Display for PolicyInput {
@@ -52,12 +78,36 @@ impl FromStr for PolicyInput {
 
 /// Output symbol of a replacement policy (Table 1): either nothing (`⊥`, for
 /// line accesses) or the index of the evicted line (for `Evct`).
+///
+/// Byte-sized for the same reason as [`PolicyInput`]: output words are stored
+/// per trie node and per observation-table cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PolicyOutput {
     /// `⊥`: no line was freed.
     None,
     /// The index of the line that was freed.
-    Evicted(usize),
+    Evicted(u8),
+}
+
+impl PolicyOutput {
+    /// The `Evicted(i)` symbol for a victim index given as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` exceeds `u8::MAX`.
+    #[inline]
+    pub fn evicted(line: usize) -> Self {
+        PolicyOutput::Evicted(u8::try_from(line).expect("victim index exceeds u8::MAX"))
+    }
+
+    /// The victim index of an `Evicted(i)` symbol, widened back to `usize`.
+    #[inline]
+    pub fn victim_index(self) -> Option<usize> {
+        match self {
+            PolicyOutput::Evicted(i) => Some(usize::from(i)),
+            PolicyOutput::None => None,
+        }
+    }
 }
 
 impl fmt::Display for PolicyOutput {

@@ -14,6 +14,11 @@
 //!   cache), and the two previously undocumented Intel policies [`New1`]
 //!   (Skylake / Kaby Lake L2) and [`New2`] (Skylake / Kaby Lake L3 leader
 //!   sets) as synthesized in Appendix C;
+//! * [`PackedPolicy`] — bit-packed fast-path twins of every deterministic
+//!   policy (the whole control state in one `u64` of 4-bit lanes at
+//!   associativity ≤ 8), returned transparently by [`PolicyKind::build`],
+//!   with the `Vec<u8>`-based implementations above retained as the
+//!   reference oracle;
 //! * [`policy_to_mealy`] — the reachability construction that produces the
 //!   ground-truth automaton of a policy (the state counts of Table 2);
 //! * [`PolicyKind`] — a registry for constructing policies by name, used by
@@ -40,6 +45,7 @@ mod lru;
 mod mealy_view;
 mod mru;
 mod new_intel;
+mod packed;
 mod plru;
 mod registry;
 mod srrip;
@@ -51,6 +57,7 @@ pub use lru::Lru;
 pub use mealy_view::{policy_alphabet, policy_to_mealy, PolicyMealy};
 pub use mru::Mru;
 pub use new_intel::{New1, New2};
+pub use packed::{PackedPolicy, PACKED_MAX_ASSOC};
 pub use plru::{Plru, PlruAssocError};
 pub use registry::{PolicyError, PolicyKind};
 pub use srrip::{Brrip, Srrip, SrripVariant};
@@ -135,10 +142,10 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
     fn apply(&mut self, input: PolicyInput) -> PolicyOutput {
         match input {
             PolicyInput::Line(i) => {
-                self.on_hit(i);
+                self.on_hit(usize::from(i));
                 PolicyOutput::None
             }
-            PolicyInput::Evct => PolicyOutput::Evicted(self.on_miss()),
+            PolicyInput::Evct => PolicyOutput::evicted(self.on_miss()),
         }
     }
 }

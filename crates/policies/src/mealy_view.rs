@@ -13,7 +13,7 @@ pub type PolicyMealy = Mealy<PolicyInput, PolicyOutput>;
 /// Returns the policy input alphabet `Ln(0), …, Ln(n−1), Evct` for
 /// associativity `assoc`.
 pub fn policy_alphabet(assoc: usize) -> Vec<PolicyInput> {
-    let mut inputs: Vec<PolicyInput> = (0..assoc).map(PolicyInput::Line).collect();
+    let mut inputs: Vec<PolicyInput> = (0..assoc).map(PolicyInput::line).collect();
     inputs.push(PolicyInput::Evct);
     inputs
 }

@@ -131,6 +131,40 @@ impl PolicyKind {
         assoc: usize,
         seed: u64,
     ) -> Result<Box<dyn ReplacementPolicy>, PolicyError> {
+        if crate::PackedPolicy::supports(self, assoc) {
+            let packed = crate::PackedPolicy::new(self, assoc).expect("support was checked above");
+            return Ok(Box::new(packed));
+        }
+        self.build_reference_seeded(assoc, seed)
+    }
+
+    /// Builds the `Vec<u8>`-based reference implementation of this kind,
+    /// bypassing the packed fast path.
+    ///
+    /// The reference implementations are the oracle the packed simulators are
+    /// differentially tested against; they also cover associativities beyond
+    /// [`crate::PACKED_MAX_ASSOC`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnsupportedAssociativity`] if `assoc` is not
+    /// supported.
+    pub fn build_reference(self, assoc: usize) -> Result<Box<dyn ReplacementPolicy>, PolicyError> {
+        self.build_reference_seeded(assoc, 0)
+    }
+
+    /// Builds the reference implementation, seeding probabilistic policies
+    /// with `seed` (see [`PolicyKind::build_reference`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::UnsupportedAssociativity`] if `assoc` is not
+    /// supported.
+    pub fn build_reference_seeded(
+        self,
+        assoc: usize,
+        seed: u64,
+    ) -> Result<Box<dyn ReplacementPolicy>, PolicyError> {
         if !self.supports_associativity(assoc) {
             return Err(PolicyError::UnsupportedAssociativity { kind: self, assoc });
         }
@@ -206,6 +240,26 @@ mod tests {
         }
         assert_eq!("brrip".parse::<PolicyKind>().unwrap(), PolicyKind::Brrip);
         assert!("clairvoyant".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn build_prefers_the_packed_fast_path() {
+        for kind in PolicyKind::ALL_DETERMINISTIC {
+            let packed = kind.build(4).unwrap();
+            let reference = kind.build_reference(4).unwrap();
+            assert!(
+                format!("{packed:?}").starts_with("PackedPolicy"),
+                "{kind} did not build packed"
+            );
+            assert!(!format!("{reference:?}").starts_with("PackedPolicy"));
+            assert_eq!(packed.state_key(), reference.state_key());
+        }
+        // Beyond the packed lane budget the reference form is used.
+        let wide = PolicyKind::Lru.build(12).unwrap();
+        assert!(!format!("{wide:?}").starts_with("PackedPolicy"));
+        // BRRIP is probabilistic and never packed.
+        let brrip = PolicyKind::Brrip.build(4).unwrap();
+        assert!(!format!("{brrip:?}").starts_with("PackedPolicy"));
     }
 
     #[test]

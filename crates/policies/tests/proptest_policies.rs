@@ -30,7 +30,7 @@ fn policy_and_word() -> impl Strategy<Value = (PolicyKind, usize, Vec<PolicyInpu
                     if i == assoc {
                         PolicyInput::Evct
                     } else {
-                        PolicyInput::Line(i)
+                        PolicyInput::line(i)
                     }
                 })
                 .collect();
@@ -45,7 +45,7 @@ proptest! {
         let mut policy = kind.build(assoc).unwrap();
         for input in &word {
             match input {
-                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Line(i) => policy.on_hit(usize::from(*i)),
                 PolicyInput::Evct => {
                     let victim = policy.on_miss();
                     prop_assert!(victim < assoc, "victim {victim} out of range");
@@ -63,7 +63,7 @@ proptest! {
             let mut victims = Vec::new();
             for input in &word {
                 match input {
-                    PolicyInput::Line(i) => policy.on_hit(*i),
+                    PolicyInput::Line(i) => policy.on_hit(usize::from(*i)),
                     PolicyInput::Evct => victims.push(policy.on_miss()),
                 }
             }
@@ -79,7 +79,7 @@ proptest! {
         let initial = policy.state_key();
         for input in &word {
             match input {
-                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Line(i) => policy.on_hit(usize::from(*i)),
                 PolicyInput::Evct => {
                     policy.on_miss();
                 }
@@ -96,7 +96,7 @@ proptest! {
         let mut policy = kind.build(assoc).unwrap();
         for input in word.iter().take(10) {
             match input {
-                PolicyInput::Line(i) => policy.on_hit(*i),
+                PolicyInput::Line(i) => policy.on_hit(usize::from(*i)),
                 PolicyInput::Evct => {
                     policy.on_miss();
                 }

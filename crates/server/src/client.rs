@@ -490,7 +490,7 @@ impl QueryBackend for RemoteBackend {
         }
     }
 
-    fn execute_many(
+    fn execute_batch(
         &mut self,
         queries: &[Query],
     ) -> Result<Vec<(Vec<HitMiss>, bool)>, BackendError> {

@@ -389,6 +389,19 @@ impl QueryBackend for AnyBackend {
         }
     }
 
+    fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(Vec<HitMiss>, bool)>, cachequery::BackendError> {
+        // Forwarded so a daemon batch reaches each pooled backend's native
+        // bulk path instead of the default per-query loop.
+        match self {
+            AnyBackend::Hardware(backend) => backend.execute_batch(queries),
+            AnyBackend::Policy(backend) => backend.execute_batch(queries),
+            AnyBackend::Noisy(backend) => backend.execute_batch(queries),
+        }
+    }
+
     fn config(&self) -> Result<QueryConfig, cachequery::BackendError> {
         match self {
             AnyBackend::Hardware(backend) => backend.config(),

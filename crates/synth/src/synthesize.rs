@@ -88,11 +88,11 @@ fn mixed_words(assoc: usize) -> Vec<Vec<PolicyInput>> {
         for i in 0..assoc {
             for j in 0..assoc {
                 let mut word = prefix.clone();
-                word.push(PolicyInput::Line(i));
+                word.push(PolicyInput::line(i));
                 if i != j {
-                    word.push(PolicyInput::Line(j));
+                    word.push(PolicyInput::line(j));
                 }
-                word.push(PolicyInput::Line(i));
+                word.push(PolicyInput::line(i));
                 word.extend(vec![PolicyInput::Evct; assoc + 1]);
                 words.push(word);
             }
@@ -102,7 +102,7 @@ fn mixed_words(assoc: usize) -> Vec<Vec<PolicyInput>> {
     for i in 0..assoc {
         let mut word = Vec::new();
         for _ in 0..assoc + 2 {
-            word.push(PolicyInput::Line(i));
+            word.push(PolicyInput::line(i));
             word.push(PolicyInput::Evct);
         }
         words.push(word);

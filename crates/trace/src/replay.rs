@@ -278,7 +278,7 @@ impl<'m> MachineReplayer<'m> {
         let line_inputs = (0..assoc)
             .map(|i| {
                 machine
-                    .input_position(&PolicyInput::Line(i))
+                    .input_position(&PolicyInput::line(i))
                     .ok_or_else(mismatch)
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -333,9 +333,9 @@ impl Replayer for MachineReplayer<'_> {
                 let (next, output) = self.machine.step_by_index(set.state, self.evct_input);
                 set.state = next;
                 let evicted_line = match *output {
-                    PolicyOutput::Evicted(v) if v < set.content.len() => {
-                        set.content[v] = block;
-                        Some(v)
+                    PolicyOutput::Evicted(v) if usize::from(v) < set.content.len() => {
+                        set.content[usize::from(v)] = block;
+                        Some(usize::from(v))
                     }
                     _ => None,
                 };

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Profile-guided-optimization build of the learning stack.
+#
+# Three steps:
+#   1. build the bench binaries with `-Cprofile-generate`,
+#   2. run the representative workloads (the full `table2 --max-assoc 4`
+#      sweep plus the differential conformance harness) to collect profiles,
+#   3. merge the profiles with llvm-profdata and rebuild with
+#      `-Cprofile-use`.
+#
+# The instrumented and optimized artifacts live under their own target
+# directories (`target/pgo-instrumented`, `target/pgo`) so a PGO build never
+# dirties the normal `target/release` cache.  The final binaries land in
+# target/pgo/release/.
+#
+# PGO changes *codegen only*: the optimized binaries must still reproduce
+# every pinned state/query count bit for bit, which the perfgate run at the
+# end enforces.  Typical gain on the table2 sweep is in the 5-15% range —
+# worth taking on a dedicated measurement box, not worth gating CI on.
+#
+# Usage: scripts/pgo.sh [--skip-gate]
+#   --skip-gate   skip the final perfgate verification run
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_GATE=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-gate) SKIP_GATE=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+# llvm-profdata: prefer the rustup llvm-tools component (guaranteed to match
+# rustc's LLVM), fall back to the system binary.  A system binary from an
+# older LLVM than rustc's cannot read the emitted .profraw files — the merge
+# step below diagnoses that case.
+sysroot="$(rustc --print sysroot)"
+PROFDATA="$(find "$sysroot" -name llvm-profdata -type f 2>/dev/null | head -n1 || true)"
+if [ -z "$PROFDATA" ]; then
+    PROFDATA="$(command -v llvm-profdata || true)"
+fi
+if [ -z "$PROFDATA" ]; then
+    echo "llvm-profdata not found." >&2
+    echo "Install it with: rustup component add llvm-tools" >&2
+    exit 1
+fi
+echo "using profdata: $PROFDATA"
+echo "rustc $(rustc -vV | sed -n 's/^LLVM version: /uses LLVM /p')"
+
+PROFILE_DIR="$PWD/target/pgo-profiles"
+rm -rf "$PROFILE_DIR"
+mkdir -p "$PROFILE_DIR"
+
+echo "== step 1/3: instrumented build =="
+RUSTFLAGS="-Cprofile-generate=$PROFILE_DIR" \
+    cargo build --release -p bench \
+    --target-dir target/pgo-instrumented
+
+echo "== step 2/3: profile workloads =="
+# The table2 sweep is the hot path the optimization targets; the conformance
+# harness additionally exercises every packed simulator and the Mealy
+# product walk.
+./target/pgo-instrumented/release/table2 --max-assoc 4 > /dev/null
+./target/pgo-instrumented/release/conformance --steps 1000 --max-assoc 4 > /dev/null
+
+if ! "$PROFDATA" merge -o "$PROFILE_DIR/merged.profdata" "$PROFILE_DIR"/*.profraw; then
+    echo >&2
+    echo "profile merge failed — llvm-profdata is probably older than the LLVM" >&2
+    echo "inside rustc (see the versions above).  Install the matching tool:" >&2
+    echo "    rustup component add llvm-tools" >&2
+    exit 1
+fi
+echo "profiles merged: $PROFILE_DIR/merged.profdata"
+
+echo "== step 3/3: optimized rebuild =="
+RUSTFLAGS="-Cprofile-use=$PROFILE_DIR/merged.profdata" \
+    cargo build --release -p bench \
+    --target-dir target/pgo
+
+echo
+echo "PGO binaries: target/pgo/release/{table2,perfgate,conformance,...}"
+
+if [ "$SKIP_GATE" = 1 ]; then
+    exit 0
+fi
+
+echo "== verification: pinned counts through the PGO binary =="
+# A generous time tolerance: this compares the PGO build against a baseline
+# recorded by a plain release build, possibly on another machine.  The count
+# comparison stays exact — that is the part PGO must not disturb.
+./target/pgo/release/perfgate --time-tolerance 100 --json target/pgo/BENCH_learn.json

@@ -16,7 +16,12 @@ use server::{spawn, CqdConfig, RemoteBackend, SessionSpec};
 
 /// Runs the same learning campaign locally and over loopback and checks
 /// byte-identity; returns the daemon-reported store hit rate for sanity.
-fn assert_remote_matches_in_process(kind: PolicyKind, assoc: usize, expected_states: usize) {
+fn assert_remote_matches_in_process(
+    kind: PolicyKind,
+    assoc: usize,
+    expected_states: usize,
+    expected_queries: u64,
+) {
     // Determinism of the membership-query count needs a fixed worker count;
     // 1 is also what a real remote campaign against scarce hardware uses.
     let setup = LearnSetup {
@@ -52,6 +57,10 @@ fn assert_remote_matches_in_process(kind: PolicyKind, assoc: usize, expected_sta
         remote.stats.membership_queries, local.stats.membership_queries,
         "{kind}/{assoc}: the remote run issued a different number of membership queries"
     );
+    assert_eq!(
+        remote.stats.membership_queries, expected_queries,
+        "{kind}/{assoc}: the batched wire path drifted from the pinned query count"
+    );
 
     // The client-side engine store absorbs the replay-session blowup before
     // anything reaches the network: most probes are answered from the local
@@ -72,10 +81,40 @@ fn assert_remote_matches_in_process(kind: PolicyKind, assoc: usize, expected_sta
 
 #[test]
 fn lru_4_learns_identically_over_the_network() {
-    assert_remote_matches_in_process(PolicyKind::Lru, 4, 24);
+    assert_remote_matches_in_process(PolicyKind::Lru, 4, 24, 7_569);
 }
 
 #[test]
 fn srrip_fp_2_learns_identically_over_the_network() {
-    assert_remote_matches_in_process(PolicyKind::SrripFp, 2, 16);
+    assert_remote_matches_in_process(PolicyKind::SrripFp, 2, 16, 2_966);
+}
+
+#[test]
+fn remote_batches_answer_like_per_query_round_trips() {
+    // `RemoteBackend::execute_batch` maps an engine batch onto one wire
+    // `batch` request; its answers must be byte-identical to issuing the same
+    // concrete queries as individual `query` round trips.
+    use cachequery::QueryBackend;
+
+    let daemon = spawn(CqdConfig::default()).expect("ephemeral port is bindable");
+    let spec = SessionSpec {
+        policy: Some("LRU@4".to_string()),
+        ..SessionSpec::default()
+    };
+    let mut backend =
+        RemoteBackend::connect(daemon.addr(), &spec).expect("daemon accepts the session spec");
+
+    let mut queries = Vec::new();
+    for expr in ["@ X _?", "C B? A?", "A B X Y A? B? C?"] {
+        queries.extend(mbl::expand_query(expr, 4).expect("well-formed MBL"));
+    }
+    let batched = backend
+        .execute_batch(&queries)
+        .expect("one wire batch answers the lot");
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|q| backend.execute(q).expect("per-query round trip"))
+        .collect();
+    assert_eq!(batched, sequential, "the wire batch path diverged");
+    daemon.shutdown();
 }
