@@ -1,4 +1,5 @@
-//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! Ablation benches for the design choices called out in ARCHITECTURE.md's
+//! query-efficiency section:
 //! Wp-method vs W-method conformance suites, conformance depth, the
 //! membership-query cache, and the conformance worker count.
 

@@ -22,16 +22,29 @@
 //!
 //! Usage:
 //!   perfgate [--baseline PATH] [--json PATH] [--time-tolerance PCT]
-//!            [--write-baseline]
+//!            [--store-dir DIR] [--workloads LIST] [--write-baseline]
 //!
 //! `--write-baseline` re-measures and overwrites the baseline file instead of
 //! gating — run it (on the reference machine) whenever a deliberate
 //! performance or pinned-count change lands.
+//!
+//! `--store-dir DIR` routes every campaign through a durable [`QueryStore`]
+//! rooted at `DIR` instead of the memory-only simulated oracle.  The counts
+//! are gated against the same baseline — persistence must be invisible to
+//! the learner, byte for byte — but the *time* gate is skipped: the engine
+//! path trades the packed-simulator fast path for memoization and disk, so
+//! the baseline times do not apply to it.
+//!
+//! `--workloads LIST` (comma-separated names) restricts the run to a subset
+//! of the pinned workloads — CI uses it to keep the store-mode count pin
+//! fast.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::{merge_report, Args, TextTable};
-use polca::{learn_simulated_policy, LearnSetup};
+use cachequery::{QueryEngine, QueryStore};
+use polca::{learn_policy, learn_simulated_policy, CacheQueryOracle, LearnSetup, PolicySimBackend};
 use policies::PolicyKind;
 use server::Json;
 
@@ -98,7 +111,7 @@ struct Measured {
     units: Vec<Unit>,
 }
 
-fn measure(workload: &Workload) -> Measured {
+fn measure(workload: &Workload, store: Option<&Arc<QueryStore>>) -> Measured {
     // One worker pins the membership-query count (parallel workers split
     // conformance chunks non-deterministically); everything else is the
     // default learning configuration the pinned numbers were taken with.
@@ -110,8 +123,20 @@ fn measure(workload: &Workload) -> Measured {
     let started = Instant::now();
     for &(kind, assoc) in &workload.units {
         let unit_start = Instant::now();
-        let outcome = learn_simulated_policy(kind, assoc, &setup)
-            .unwrap_or_else(|e| panic!("learning {kind}@{assoc} failed: {e}"));
+        let outcome = match store {
+            None => learn_simulated_policy(kind, assoc, &setup),
+            // The durable path: the same campaign through a persisting,
+            // memoizing engine.  The query counts must not notice.
+            Some(store) => {
+                let backend = PolicySimBackend::new(kind, assoc)
+                    .unwrap_or_else(|e| panic!("building {kind}@{assoc} failed: {e}"));
+                let engine = QueryEngine::with_store(backend, Arc::clone(store));
+                let oracle =
+                    CacheQueryOracle::from_engine(engine).expect("simulated backend is configured");
+                learn_policy(oracle, &setup)
+            }
+        };
+        let outcome = outcome.unwrap_or_else(|e| panic!("learning {kind}@{assoc} failed: {e}"));
         units.push(Unit {
             policy: kind.to_string(),
             assoc,
@@ -213,11 +238,40 @@ fn main() {
     let json_path = args.value_of("json").unwrap_or("BENCH_learn.json");
     let tolerance_pct = args.value_or("time-tolerance", 40.0f64);
     let write_baseline = args.has_flag("write-baseline");
+    let store = args.value_of("store-dir").map(|dir| {
+        let store = QueryStore::open(dir).unwrap_or_else(|e| panic!("opening store {dir}: {e}"));
+        println!("perfgate: campaigns run through a durable store at {dir}");
+        Arc::new(store)
+    });
+
+    let selected: Vec<Workload> = match args.value_of("workloads") {
+        None => workloads(),
+        Some(list) => {
+            let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
+            let selected: Vec<Workload> = workloads()
+                .into_iter()
+                .filter(|w| wanted.contains(&w.name))
+                .collect();
+            for name in &wanted {
+                assert!(
+                    selected.iter().any(|w| w.name == *name),
+                    "unknown workload '{name}' (known: new1_4, new2_4, srrip_fp_4, table2_max_assoc_4)"
+                );
+            }
+            selected
+        }
+    };
 
     println!("perfgate: pinned learning workloads (tolerance {tolerance_pct}%)");
     println!();
 
-    let measured: Vec<Measured> = workloads().iter().map(measure).collect();
+    let measured: Vec<Measured> = selected
+        .iter()
+        .map(|w| measure(w, store.as_ref()))
+        .collect();
+    if let Some(store) = &store {
+        store.flush();
+    }
 
     let mut table = TextTable::new(&[
         "Workload", "Policy", "Assoc.", "# States", "Queries", "Time",
@@ -304,6 +358,15 @@ fn main() {
                     w.name, u.policy, u.assoc, u.queries, base_queries
                 ));
             }
+        }
+        if store.is_some() {
+            // The store-backed engine path is a different machine than the
+            // memory-only oracle the baseline timed; only counts are gated.
+            println!(
+                "ok: {} counts pinned ({:.1} ms through the store, untimed)",
+                w.name, w.time_ms
+            );
+            continue;
         }
         let limit = base.time_ms * (1.0 + tolerance_pct / 100.0);
         if w.time_ms > limit {

@@ -50,6 +50,7 @@ mod engine;
 mod frontend;
 mod leader;
 mod noise;
+pub mod persist;
 mod repl;
 mod reset;
 mod store;
@@ -66,4 +67,7 @@ pub use leader::{
 pub use noise::{NoiseSpec, NoiseStats, NoisyBackend, DEFAULT_NOISY_REPS};
 pub use repl::{execute_command, parse_command, process_command, Command, ReplSession, HELP_TEXT};
 pub use reset::ResetSequence;
-pub use store::{QueryStore, StoreSpace, VoteStats};
+pub use store::{
+    EvictionPolicy, ImportReport, NamespaceUsage, PersistStats, PolicyEvictor, QueryStore,
+    StoreOptions, StoreSpace, StoreTap, VoteStats, DEFAULT_EVICTOR_WAYS,
+};

@@ -19,7 +19,7 @@
 //! itself.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 use crate::oracle::OracleError;
 
@@ -107,7 +107,8 @@ pub enum CacheVerdict {
 ///
 /// let cache: QueryCache<char, bool> = QueryCache::new();
 /// assert_eq!(cache.lookup(&['a', 'b']), None);
-/// cache.record(&['a', 'b'], &[true, false]).unwrap();
+/// // `record` returns how many fresh trie nodes the word contributed.
+/// assert_eq!(cache.record(&['a', 'b'], &[true, false]).unwrap(), 2);
 /// // The word itself and all its prefixes are now cached.
 /// assert_eq!(cache.lookup(&['a', 'b']), Some(vec![true, false]));
 /// assert_eq!(cache.lookup(&['a']), Some(vec![true]));
@@ -142,7 +143,7 @@ where
     ///
     /// The empty word always hits (its output word is empty).
     pub fn lookup(&self, word: &[I]) -> Option<Vec<O>> {
-        let trie = self.trie.read().expect("query cache lock poisoned");
+        let trie = self.trie.read().unwrap_or_else(PoisonError::into_inner);
         let mut children = &trie.roots;
         let mut outputs = Vec::with_capacity(word.len());
         for symbol in word {
@@ -167,7 +168,7 @@ where
     /// `Match`/`Mismatch` count as cache hits, `Unknown` as a miss.
     pub fn check_against(&self, word: &[I], predicted: &[O]) -> CacheVerdict {
         debug_assert_eq!(word.len(), predicted.len());
-        let trie = self.trie.read().expect("query cache lock poisoned");
+        let trie = self.trie.read().unwrap_or_else(PoisonError::into_inner);
         let mut children = &trie.roots;
         for (position, (symbol, predicted_output)) in word.iter().zip(predicted).enumerate() {
             let Some(index) = trie.child(children, symbol) else {
@@ -204,7 +205,7 @@ where
     ) -> CacheVerdict {
         debug_assert_eq!(word.len(), predicted.len());
         debug_assert!(lcp <= word.len());
-        let trie = self.trie.read().expect("query cache lock poisoned");
+        let trie = self.trie.read().unwrap_or_else(PoisonError::into_inner);
         cursor.path.truncate(lcp.min(cursor.path.len()));
         let mut children = match cursor.path.last() {
             None => &trie.roots,
@@ -228,14 +229,19 @@ where
     }
 
     /// Records the output word of `word` (and, implicitly, of all its
-    /// prefixes).
+    /// prefixes), returning how many *fresh* trie nodes the word contributed
+    /// (zero when the whole word was already cached).
+    ///
+    /// The count is exact even on failure: a contradiction is only detectable
+    /// on the already-recorded part of the walk, which precedes the first
+    /// fresh insertion — so an `Err` means the trie was left untouched.
     ///
     /// # Errors
     ///
     /// Fails if `outputs` has the wrong length or contradicts a previously
     /// recorded answer — the deterministic-system invariant every learner in
     /// this crate relies on.
-    pub fn record(&self, word: &[I], outputs: &[O]) -> Result<(), OracleError> {
+    pub fn record(&self, word: &[I], outputs: &[O]) -> Result<usize, OracleError> {
         if word.len() != outputs.len() {
             return Err(OracleError::new(format!(
                 "cannot cache {} outputs for a word of length {}",
@@ -243,10 +249,11 @@ where
                 word.len()
             )));
         }
-        let mut trie = self.trie.write().expect("query cache lock poisoned");
+        let mut trie = self.trie.write().unwrap_or_else(PoisonError::into_inner);
         // Walk with explicit "root or node index" positions: arena nodes are
         // appended while walking, so child lists are re-borrowed per step.
         let mut position: Option<u32> = None;
+        let mut inserted = 0usize;
         for (offset, (symbol, output)) in word.iter().zip(outputs).enumerate() {
             let children = match position {
                 None => &trie.roots,
@@ -275,8 +282,24 @@ where
                     .push((symbol.clone(), fresh)),
             }
             position = Some(fresh);
+            inserted += 1;
         }
-        Ok(())
+        Ok(inserted)
+    }
+
+    /// Drops every recorded word, returning how many trie nodes were
+    /// discarded.  The hit/miss counters are deliberately *not* reset: they
+    /// are lifetime lookup statistics, and eviction must not erase the
+    /// history a hit-rate dashboard is built on.
+    ///
+    /// Existing handles to this cache stay valid — subsequent lookups simply
+    /// miss, exactly as if the entries had never been recorded.
+    pub fn clear(&self) -> u64 {
+        let mut trie = self.trie.write().unwrap_or_else(PoisonError::into_inner);
+        let dropped = trie.nodes.len() as u64;
+        trie.nodes = Vec::new();
+        trie.roots = Vec::new();
+        dropped
     }
 
     /// Number of lookups answered from the trie.
@@ -287,6 +310,22 @@ where
     /// Number of lookups that could not be answered.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// One *consistent* `(hits, misses)` snapshot.
+    ///
+    /// Every lookup path bumps its counter while still holding the trie's
+    /// read lock, so taking the write lock here excludes in-flight lookups:
+    /// the two loads can never straddle another thread's increment the way
+    /// two separate [`hits`](Self::hits)/[`misses`](Self::misses) calls can.
+    /// Use this wherever both numbers are rendered together (hit rates,
+    /// stats responses); use the individual getters for single counters.
+    pub fn counts(&self) -> (u64, u64) {
+        let _guard = self.trie.write().unwrap_or_else(PoisonError::into_inner);
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Total number of lookups (hits + misses): the central membership-query
@@ -322,7 +361,7 @@ where
                 outputs.pop();
             }
         }
-        let trie = self.trie.read().expect("query cache lock poisoned");
+        let trie = self.trie.read().unwrap_or_else(PoisonError::into_inner);
         let mut result = Vec::new();
         walk(
             &trie,
@@ -341,7 +380,7 @@ where
     /// (the `cqd` per-namespace store report) needs.
     pub fn approx_bytes(&self) -> u64 {
         use std::mem::size_of;
-        let trie = self.trie.read().expect("query cache lock poisoned");
+        let trie = self.trie.read().unwrap_or_else(PoisonError::into_inner);
         let edge = size_of::<(I, u32)>();
         let mut bytes = trie.nodes.capacity() * size_of::<Node<I, O>>();
         bytes += trie.roots.capacity() * edge;
@@ -355,19 +394,21 @@ where
     pub fn entries(&self) -> u64 {
         self.trie
             .read()
-            .expect("query cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .nodes
             .len() as u64
     }
 
     /// Fraction of lookups served from the trie (`0.0` when nothing was
-    /// looked up yet).
+    /// looked up yet), computed from one consistent [`counts`](Self::counts)
+    /// snapshot.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.total_lookups();
+        let (hits, misses) = self.counts();
+        let total = hits + misses;
         if total == 0 {
             0.0
         } else {
-            self.hits() as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
 }
@@ -397,10 +438,48 @@ mod tests {
     #[test]
     fn overlapping_words_share_nodes() {
         let cache: QueryCache<u8, u8> = QueryCache::new();
-        cache.record(&[1, 2], &[10, 20]).unwrap();
-        cache.record(&[1, 3], &[10, 30]).unwrap();
-        // Four symbols recorded, but the shared prefix `1` is stored once.
+        assert_eq!(cache.record(&[1, 2], &[10, 20]).unwrap(), 2);
+        // The shared prefix `1` is stored once, so only `3` is fresh here.
+        assert_eq!(cache.record(&[1, 3], &[10, 30]).unwrap(), 1);
         assert_eq!(cache.entries(), 3);
+        // Re-recording a fully cached word contributes nothing.
+        assert_eq!(cache.record(&[1, 2], &[10, 20]).unwrap(), 0);
+    }
+
+    #[test]
+    fn contradictions_leave_the_trie_untouched() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2], &[10, 20]).unwrap();
+        let before = cache.entries();
+        // The contradiction is on the recorded part of the walk, so no fresh
+        // node can have been inserted — the exactness `record`'s return value
+        // (and the store's entry accounting) relies on.
+        assert!(cache.record(&[1, 2, 3], &[10, 99, 30]).is_err());
+        assert_eq!(cache.entries(), before);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_lookup_history() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.record(&[1, 2, 3], &[10, 20, 30]).unwrap();
+        cache.lookup(&[1, 2]);
+        assert_eq!(cache.clear(), 3);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(cache.lookup(&[1, 2]), None);
+        // Lifetime lookup statistics survive the eviction.
+        assert_eq!(cache.counts(), (1, 1));
+        // The cache is reusable after a clear.
+        assert_eq!(cache.record(&[4], &[40]).unwrap(), 1);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn counts_matches_the_individual_getters_when_quiescent() {
+        let cache: QueryCache<u8, u8> = QueryCache::new();
+        cache.lookup(&[9]);
+        cache.record(&[9], &[90]).unwrap();
+        cache.lookup(&[9]);
+        assert_eq!(cache.counts(), (cache.hits(), cache.misses()));
     }
 
     #[test]

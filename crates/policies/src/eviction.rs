@@ -1,0 +1,240 @@
+//! Driving a replacement-policy simulator with *named* keys instead of line
+//! indices.
+//!
+//! Every [`ReplacementPolicy`](crate::ReplacementPolicy) in this crate speaks
+//! the paper's Mealy alphabet: lines are anonymous way indices `0..assoc`.
+//! That is the right interface for learning and simulation, but a software
+//! cache that wants to reuse these policies for its *own* eviction decisions
+//! (the query store's bounded namespace set, for instance) thinks in keys —
+//! namespace strings, file paths, whatever it caches.  [`KeyedPolicy`] is the
+//! adapter: a fixed-associativity "set" whose ways hold keys, with hits,
+//! insertions and victim selection translated onto the underlying policy
+//! simulator.  The store's memory cap thereby becomes self-referential in the
+//! CacheQuery sense: the same LRU/SRRIP/LIP machines the system learns and
+//! simulates also decide what the system itself forgets.
+
+use crate::ReplacementPolicy;
+
+/// A fixed-associativity, key-addressed view of one [`ReplacementPolicy`].
+///
+/// The adapter owns `assoc` ways; each way optionally holds a key.  A
+/// [`touch`](KeyedPolicy::touch) on a resident key is a policy hit; a touch
+/// on an absent key fills an invalid way if one exists, otherwise asks the
+/// policy for a victim and returns the displaced key.
+/// [`evict`](KeyedPolicy::evict) displaces a key without inserting a new
+/// one — the shape a capacity cap needs.
+///
+/// # Example
+///
+/// ```
+/// use policies::{KeyedPolicy, PolicyKind};
+///
+/// let mut tracked = KeyedPolicy::new(PolicyKind::Lru.build(2).unwrap());
+/// assert_eq!(tracked.touch("a"), None);
+/// assert_eq!(tracked.touch("b"), None);
+/// tracked.touch("a"); // promote "a"
+/// // The set is full, so inserting "c" displaces the LRU key "b".
+/// assert_eq!(tracked.touch("c"), Some("b"));
+/// ```
+#[derive(Debug)]
+pub struct KeyedPolicy<K> {
+    policy: Box<dyn ReplacementPolicy>,
+    /// `slots[way]` is the key resident in that way, if any.
+    slots: Vec<Option<K>>,
+}
+
+impl<K: Clone + Eq> KeyedPolicy<K> {
+    /// Wraps `policy`; capacity is the policy's associativity.
+    pub fn new(policy: Box<dyn ReplacementPolicy>) -> Self {
+        let assoc = policy.associativity();
+        KeyedPolicy {
+            policy,
+            slots: (0..assoc).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of ways (the maximum number of keys tracked at once).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no key is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// The resident keys, in way order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.slots.iter().flatten()
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: &K) -> bool {
+        self.way_of(key).is_some()
+    }
+
+    fn way_of(&self, key: &K) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|slot| slot.as_ref() == Some(key))
+    }
+
+    /// Records an access to `key`.
+    ///
+    /// * resident key → policy hit, returns `None`;
+    /// * absent key, free way → fill (policy insert), returns `None`;
+    /// * absent key, full set → policy victim selection; the displaced key is
+    ///   returned so the caller can act on the eviction.
+    pub fn touch(&mut self, key: K) -> Option<K> {
+        if let Some(way) = self.way_of(&key) {
+            self.policy.on_hit(way);
+            return None;
+        }
+        if let Some(free) = self.slots.iter().position(Option::is_none) {
+            self.slots[free] = Some(key);
+            self.policy.on_insert(free);
+            return None;
+        }
+        let way = self.policy.victim();
+        let displaced = self.slots[way].replace(key);
+        self.policy.on_insert(way);
+        displaced
+    }
+
+    /// Displaces one resident key chosen by the policy *without* inserting a
+    /// replacement — the capacity-cap shape of eviction.  Returns `None` when
+    /// nothing is resident.
+    ///
+    /// The freed way is invalidated on the policy (the default for most
+    /// modelled policies keeps their metadata untouched, mirroring real
+    /// hardware).
+    pub fn evict(&mut self) -> Option<K> {
+        if self.is_empty() {
+            return None;
+        }
+        // `victim` may point at an empty way when keys were removed out of
+        // band; scan from the policy's choice to the nearest resident way.
+        let way = self.policy.victim();
+        let assoc = self.capacity();
+        let way = (0..assoc)
+            .map(|offset| (way + offset) % assoc)
+            .find(|&w| self.slots[w].is_some())?;
+        let displaced = self.slots[way].take();
+        self.policy.on_invalidate(way);
+        displaced
+    }
+
+    /// Removes `key` from tracking (e.g. the caller dropped it out of band).
+    /// Returns whether it was resident.
+    pub fn forget(&mut self, key: &K) -> bool {
+        match self.way_of(key) {
+            Some(way) => {
+                self.slots[way] = None;
+                self.policy.on_invalidate(way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The underlying policy's display name (e.g. `LRU`).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+
+    fn lru(assoc: usize) -> KeyedPolicy<String> {
+        KeyedPolicy::new(PolicyKind::Lru.build(assoc).unwrap())
+    }
+
+    #[test]
+    fn fills_free_ways_before_evicting() {
+        let mut tracked = lru(3);
+        assert_eq!(tracked.touch("a".into()), None);
+        assert_eq!(tracked.touch("b".into()), None);
+        assert_eq!(tracked.touch("c".into()), None);
+        assert_eq!(tracked.len(), 3);
+        assert!(tracked.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn lru_touch_displaces_the_least_recent_key() {
+        let mut tracked = lru(2);
+        tracked.touch("a".to_string());
+        tracked.touch("b".to_string());
+        tracked.touch("a".to_string()); // "b" is now least recent
+        assert_eq!(tracked.touch("c".to_string()), Some("b".to_string()));
+        assert!(tracked.contains(&"a".to_string()));
+        assert!(tracked.contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn evict_removes_without_inserting() {
+        let mut tracked = lru(2);
+        tracked.touch("a".to_string());
+        tracked.touch("b".to_string());
+        tracked.touch("a".to_string());
+        assert_eq!(tracked.evict(), Some("b".to_string()));
+        assert_eq!(tracked.len(), 1);
+        assert_eq!(tracked.evict(), Some("a".to_string()));
+        assert_eq!(tracked.evict(), None);
+    }
+
+    #[test]
+    fn forget_frees_the_way_for_the_next_fill() {
+        let mut tracked = lru(2);
+        tracked.touch("a".to_string());
+        tracked.touch("b".to_string());
+        assert!(tracked.forget(&"a".to_string()));
+        assert!(!tracked.forget(&"a".to_string()));
+        assert_eq!(tracked.len(), 1);
+        // The freed way is refilled without displacing "b".
+        assert_eq!(tracked.touch("c".to_string()), None);
+        assert_eq!(tracked.len(), 2);
+    }
+
+    #[test]
+    fn evict_skips_ways_emptied_out_of_band() {
+        let mut tracked = lru(4);
+        for key in ["a", "b", "c", "d"] {
+            tracked.touch(key.to_string());
+        }
+        // Empty some ways behind the policy's back; evict must still only
+        // ever return resident keys, policy victim choice notwithstanding.
+        tracked.forget(&"a".to_string());
+        tracked.forget(&"b".to_string());
+        let mut displaced = Vec::new();
+        while let Some(key) = tracked.evict() {
+            displaced.push(key);
+        }
+        displaced.sort();
+        assert_eq!(displaced, vec!["c".to_string(), "d".to_string()]);
+    }
+
+    #[test]
+    fn every_deterministic_policy_drives_the_adapter() {
+        for kind in PolicyKind::ALL_DETERMINISTIC {
+            if !kind.supports_associativity(4) {
+                continue;
+            }
+            let mut tracked: KeyedPolicy<u32> = KeyedPolicy::new(kind.build(4).unwrap());
+            for key in 0..16 {
+                tracked.touch(key);
+                tracked.touch(key % 3);
+            }
+            assert_eq!(tracked.capacity(), 4);
+            assert_eq!(tracked.len(), 4, "{kind} should keep the set full");
+            assert_eq!(tracked.policy_name(), kind.name());
+        }
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod alphabet;
+mod eviction;
 mod fifo;
 mod lip;
 mod lru;
@@ -51,6 +52,7 @@ mod registry;
 mod srrip;
 
 pub use alphabet::{PolicyInput, PolicyOutput};
+pub use eviction::KeyedPolicy;
 pub use fifo::Fifo;
 pub use lip::Lip;
 pub use lru::Lru;

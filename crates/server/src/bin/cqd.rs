@@ -1,7 +1,15 @@
 //! Standalone `cqd` daemon.
 //!
 //! Usage: `cqd [--addr HOST:PORT] [--workers N] [--queue-depth N]
-//! [--trace-log PATH]`
+//! [--trace-log PATH] [--store-dir DIR] [--store-max-entries N]
+//! [--store-evict POLICY[@WAYS]]`
+//!
+//! With `--store-dir`, the shared query store is durable: answers append to
+//! a record log in DIR, are compacted into snapshots, and replay on the next
+//! start — a restarted daemon serves yesterday's campaign from memory, and a
+//! `kill -9` loses at most the unsynced log tail.  `--store-max-entries`
+//! bounds the store, evicting whole namespaces chosen by `--store-evict`
+//! (default `lru@16`).
 //!
 //! Runs until killed (or until stdin reaches EOF when `--until-eof` is
 //! given, which is how the smoke tests drive a bounded run).
@@ -29,6 +37,15 @@ fn main() {
     }
     if let Some(path) = value_of(&args, "--trace-log") {
         config.trace_log = Some(path.into());
+    }
+    if let Some(dir) = value_of(&args, "--store-dir") {
+        config.store_dir = Some(dir.into());
+    }
+    if let Some(max) = value_of(&args, "--store-max-entries").and_then(|v| v.parse().ok()) {
+        config.store_max_entries = Some(max);
+    }
+    if let Some(spec) = value_of(&args, "--store-evict") {
+        config.store_evict = Some(spec);
     }
     let until_eof = args.iter().any(|a| a == "--until-eof");
 

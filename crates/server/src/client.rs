@@ -354,6 +354,21 @@ impl Client {
         }
     }
 
+    /// Asks the daemon to flush its durable store's record log and write a
+    /// compacted snapshot, blocking until both are on disk.  Returns the
+    /// daemon's confirmation message (a no-op notice on a memory-only
+    /// daemon).
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection or protocol errors.
+    pub fn persist(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Persist)? {
+            Response::Done { message } => Ok(message),
+            other => Self::unexpected(other),
+        }
+    }
+
     /// Closes the session politely.
     ///
     /// # Errors

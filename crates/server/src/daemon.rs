@@ -30,18 +30,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use cache::{HitMiss, LevelId};
 use cachequery::{
-    parse_command, Backend, Command, NoiseSpec, QueryBackend, QueryConfig, QueryEngine, QueryStore,
-    ResetSequence, StoreSpace, Target, DEFAULT_NOISY_REPS, HELP_TEXT,
+    parse_command, Backend, Command, NoiseSpec, PolicyEvictor, QueryBackend, QueryConfig,
+    QueryEngine, QueryStore, ResetSequence, StoreOptions, StoreSpace, Target, DEFAULT_NOISY_REPS,
+    HELP_TEXT,
 };
 use hardware::{CpuModel, SimulatedCpu};
 use mbl::{expand_query, render_query, Query};
-use obs::{MetricKind, Recorder, WriterSink};
+use obs::{Counter, MetricKind, Recorder, WriterSink};
 use polca::{
     map_cache, noisy_sim_backend, noisy_sim_config_for, CacheMap, CacheQueryOracle, GroupOutcome,
     JobStatus, LearnJob, LearnSetup, MapConfig, NoisySimBackend, PolicySimBackend, SetVerdict,
@@ -79,6 +80,17 @@ pub struct CqdConfig {
     /// per line) covering request handling, engine batches and learning
     /// campaigns to this file.
     pub trace_log: Option<PathBuf>,
+    /// When set, the shared query store is durable: answers are appended to
+    /// a record log in this directory, compacted into snapshots, and
+    /// replayed on the next start — so a restarted daemon serves yesterday's
+    /// campaign from memory instead of re-executing it.
+    pub store_dir: Option<PathBuf>,
+    /// When set, the shared store holds at most this many entries, evicting
+    /// whole namespaces chosen by [`CqdConfig::store_evict`].
+    pub store_max_entries: Option<u64>,
+    /// Eviction policy spec for a bounded store (`POLICY` or `POLICY@WAYS`,
+    /// e.g. `lru`, `srrip-fp@8`); defaults to `lru@16`.
+    pub store_evict: Option<String>,
 }
 
 impl Default for CqdConfig {
@@ -91,8 +103,23 @@ impl Default for CqdConfig {
             max_learn_assoc: 4,
             max_expansions: 4096,
             trace_log: None,
+            store_dir: None,
+            store_max_entries: None,
+            store_evict: None,
         }
     }
+}
+
+/// Locks a daemon mutex, recovering from poison instead of propagating it:
+/// the panicking holder has already unwound and the guarded data (maps,
+/// lists, counters) is still structurally valid, so degrading one request to
+/// an error beats turning a single thread's panic into a daemon-wide outage.
+/// Every recovery bumps `cqd_lock_poisoned_total`.
+fn lock_unpoisoned<'a, T>(mutex: &'a Mutex<T>, poisoned: &Counter) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|e| {
+        poisoned.inc();
+        e.into_inner()
+    })
 }
 
 /// How often blocked reads wake up to check for shutdown.
@@ -466,9 +493,10 @@ impl BackendPool {
         spec: &ResolvedSpec,
         store: &Arc<QueryStore>,
         recorder: &Option<Arc<Recorder>>,
+        poisoned: &Counter,
     ) -> Result<Arc<Mutex<PooledBackend>>, String> {
         let key = spec.backend.clone();
-        let mut instances = self.instances.lock().expect("pool lock poisoned");
+        let mut instances = lock_unpoisoned(&self.instances, poisoned);
         if let Some(instance) = instances.get(&key) {
             return Ok(Arc::clone(instance));
         }
@@ -505,8 +533,8 @@ impl BackendPool {
         Ok(instance)
     }
 
-    fn len(&self) -> usize {
-        self.instances.lock().expect("pool lock poisoned").len()
+    fn len(&self, poisoned: &Counter) -> usize {
+        lock_unpoisoned(&self.instances, poisoned).len()
     }
 }
 
@@ -538,9 +566,10 @@ struct Shared {
 
 impl Shared {
     fn global_stats(&self) -> WireStats {
-        let jobs = self.jobs.lock().expect("job table lock poisoned");
+        let jobs = lock_unpoisoned(&self.jobs, &self.metrics.lock_poisoned);
         let jobs_finished = jobs.values().filter(|j| j.status().is_terminal()).count() as u64;
         let votes = self.store.vote_stats();
+        let persist = self.store.persist_stats();
         let latency = self.metrics.request_ns.snapshot();
         WireStats {
             sessions_active: self.metrics.sessions_active.get(),
@@ -557,6 +586,13 @@ impl Shared {
             busy_workers: self.metrics.busy_workers.get(),
             workers: self.config.workers as u64,
             store_conflicts: self.store.conflicts(),
+            store_entries: self.store.entries(),
+            store_evictions: self.store.evictions(),
+            persist_appended: persist.appended,
+            persist_dropped: persist.dropped,
+            persist_snapshots: persist.snapshots,
+            persist_replayed: persist.replayed,
+            lock_poisoned: self.metrics.lock_poisoned.get(),
             votes: votes.voted,
             vote_executions: votes.executions,
             vote_escalations: votes.escalated,
@@ -569,10 +605,12 @@ impl Shared {
         self.store
             .namespace_usage()
             .into_iter()
-            .map(|(name, entries, bytes)| WireNamespace {
-                name,
-                entries,
-                bytes,
+            .map(|usage| WireNamespace {
+                name: usage.name,
+                entries: usage.entries,
+                bytes: usage.bytes,
+                hits: usage.hits,
+                misses: usage.misses,
             })
             .collect()
     }
@@ -647,7 +685,7 @@ impl CqdHandle {
 
     /// Number of backend instances created so far.
     pub fn backend_instances(&self) -> usize {
-        self.shared.pool.len()
+        self.shared.pool.len(&self.shared.metrics.lock_poisoned)
     }
 
     /// Stops accepting connections, drains sessions, joins the worker pool
@@ -676,7 +714,8 @@ impl CqdHandle {
         }
         // Sessions poll the shutdown flag on their read timeout.
         let sessions: Vec<_> = {
-            let mut guard = self.shared.sessions.lock().expect("session list poisoned");
+            let mut guard =
+                lock_unpoisoned(&self.shared.sessions, &self.shared.metrics.lock_poisoned);
             guard.drain(..).collect()
         };
         for handle in sessions {
@@ -689,12 +728,17 @@ impl CqdHandle {
         }
         // Join outstanding learning jobs so no thread outlives the daemon.
         let jobs: Vec<_> = {
-            let mut guard = self.shared.jobs.lock().expect("job table lock poisoned");
+            let mut guard = lock_unpoisoned(&self.shared.jobs, &self.shared.metrics.lock_poisoned);
             guard.drain().map(|(_, job)| job).collect()
         };
         for job in jobs {
             let _ = job.join();
         }
+        // Every producer of store answers has stopped: flush the record log
+        // and compact a final snapshot so the next start replays warm (both
+        // are no-ops without --store-dir).
+        self.shared.store.flush();
+        self.shared.store.snapshot();
         // Everything that could emit has joined; push buffered span events
         // out to the trace log.
         if let Some(recorder) = &self.shared.recorder {
@@ -713,7 +757,9 @@ impl Drop for CqdHandle {
 ///
 /// # Errors
 ///
-/// Propagates the bind error if the configured address is unavailable.
+/// Propagates the bind error if the configured address is unavailable, an
+/// I/O error from opening/replaying the durable store, and an invalid
+/// `store_evict` spec.
 pub fn spawn(config: CqdConfig) -> std::io::Result<CqdHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -727,9 +773,19 @@ pub fn spawn(config: CqdConfig) -> std::io::Result<CqdHandle> {
             Some(Arc::new(Recorder::new(sink)))
         }
     };
+    let mut store_options = StoreOptions {
+        dir: config.store_dir.clone(),
+        max_entries: config.store_max_entries,
+        ..StoreOptions::default()
+    };
+    if let Some(spec) = &config.store_evict {
+        let evictor = PolicyEvictor::from_spec(spec)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        store_options.evictor = Some(Box::new(evictor));
+    }
     let shared = Arc::new(Shared {
         config: config.clone(),
-        store: Arc::new(QueryStore::new()),
+        store: Arc::new(QueryStore::with_options(store_options)?),
         metrics: ServerMetrics::default(),
         recorder,
         started: Instant::now(),
@@ -785,7 +841,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, work_tx: &SyncSender
                 session_shared.metrics.sessions_active.dec();
             })
             .expect("spawning a session thread cannot fail");
-        let mut sessions = shared.sessions.lock().expect("session list poisoned");
+        let mut sessions = lock_unpoisoned(&shared.sessions, &shared.metrics.lock_poisoned);
         // Reap finished sessions so a long-running daemon does not accumulate
         // one JoinHandle per connection it ever served.
         sessions.retain(|h| !h.is_finished());
@@ -796,7 +852,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, work_tx: &SyncSender
 fn worker_loop(shared: &Arc<Shared>, work_rx: &Arc<Mutex<Receiver<WorkItem>>>) {
     loop {
         let item = {
-            let receiver = work_rx.lock().expect("work queue lock poisoned");
+            let receiver = lock_unpoisoned(work_rx, &shared.metrics.lock_poisoned);
             receiver.recv()
         };
         let Ok(item) = item else { break };
@@ -843,14 +899,20 @@ fn execute_item(
     if missing.is_empty() {
         return Ok(results);
     }
-    let instance = shared
-        .pool
-        .instance(&item.spec, &shared.store, &shared.recorder)?;
+    let instance = shared.pool.instance(
+        &item.spec,
+        &shared.store,
+        &shared.recorder,
+        &shared.metrics.lock_poisoned,
+    )?;
     let mut backend = match instance.lock() {
         Ok(guard) => guard,
         // A poisoned backend is safe to reuse: every query starts with the
         // reset sequence, so no partial state leaks between queries.
-        Err(poisoned) => poisoned.into_inner(),
+        Err(poisoned) => {
+            shared.metrics.lock_poisoned.inc();
+            poisoned.into_inner()
+        }
     };
     backend.configure(&item.spec)?;
     // The engine re-checks the store before executing (a query may have been
@@ -1002,6 +1064,7 @@ fn request_name(request: &Request) -> &'static str {
         Request::Wait { .. } => "wait",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
+        Request::Persist => "persist",
         Request::Quit => "quit",
     }
 }
@@ -1146,6 +1209,17 @@ fn handle_request(
             namespaces: shared.namespace_stats(),
         },
         Request::Metrics => shared.metrics_response(),
+        Request::Persist => {
+            // Both calls block until the writer acknowledges, so a client
+            // that sees `done` knows its answers are on disk.
+            shared.store.flush();
+            shared.store.snapshot();
+            let message = match shared.store.store_dir() {
+                Some(dir) => format!("store persisted to {}", dir.display()),
+                None => "store is memory-only (started without --store-dir)".to_string(),
+            };
+            Response::Done { message }
+        }
         Request::Quit => Response::Bye,
     };
     write_response(writer, &response).is_ok()
@@ -1343,11 +1417,7 @@ fn handle_learn(shared: &Arc<Shared>, spec: &str) -> Response {
                 Err(message) => return Response::Error { message },
             };
             let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-            shared
-                .jobs
-                .lock()
-                .expect("job table lock poisoned")
-                .insert(id, job);
+            lock_unpoisoned(&shared.jobs, &shared.metrics.lock_poisoned).insert(id, job);
             shared.metrics.jobs_spawned.inc();
             Response::JobStarted { id }
         }
@@ -1404,7 +1474,7 @@ fn handle_replay(
     let machine = match job {
         None => None,
         Some(id) => {
-            let jobs = shared.jobs.lock().expect("job table lock poisoned");
+            let jobs = lock_unpoisoned(&shared.jobs, &shared.metrics.lock_poisoned);
             let Some(job) = jobs.get(&id) else {
                 return Response::Error {
                     message: format!("no such job: {id}"),
@@ -1669,7 +1739,7 @@ fn handle_map(
 }
 
 fn job_status(shared: &Arc<Shared>, id: u64) -> Option<WireJobStatus> {
-    let jobs = shared.jobs.lock().expect("job table lock poisoned");
+    let jobs = lock_unpoisoned(&shared.jobs, &shared.metrics.lock_poisoned);
     let status = jobs.get(&id)?.status();
     Some(wire_status(id, &status))
 }

@@ -30,6 +30,10 @@ pub struct ServerMetrics {
     pub jobs_spawned: Arc<Counter>,
     /// Workers currently executing backend work.
     pub busy_workers: Arc<Gauge>,
+    /// Poisoned locks recovered on the request path: a session or worker
+    /// panicked mid-operation and the daemon degraded to an error response
+    /// instead of letting the poison cascade.
+    pub lock_poisoned: Arc<Counter>,
     /// Wall-clock nanoseconds spent handling each protocol request.
     pub request_ns: Arc<Histogram>,
 }
@@ -52,6 +56,7 @@ impl ServerMetrics {
             backend_queries: registry.counter("cqd_backend_queries_total"),
             jobs_spawned: registry.counter("cqd_jobs_spawned_total"),
             busy_workers: registry.gauge("cqd_busy_workers"),
+            lock_poisoned: registry.counter("cqd_lock_poisoned_total"),
             request_ns: registry.histogram("cqd_request_ns"),
             registry,
         }
@@ -92,6 +97,7 @@ mod tests {
             "cqd_backend_queries_total",
             "cqd_jobs_spawned_total",
             "cqd_busy_workers",
+            "cqd_lock_poisoned_total",
             "cqd_request_ns",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");

@@ -22,6 +22,7 @@
 //! | `wait` | `id` | `status`* … `status` (`final: true`) |
 //! | `stats` | — | `stats` (global + session + store namespaces) |
 //! | `metrics` | — | `metrics` (Prometheus text + typed snapshots) |
+//! | `persist` | — | `done` (store flushed and snapshotted) |
 //! | `quit` | — | `bye` |
 //!
 //! Any request can instead produce an `error` response.
@@ -48,8 +49,13 @@ use crate::json::Json;
 /// daemon's metrics registry (Prometheus-style text plus typed snapshots),
 /// `stats` gains `uptime_ms`, request-latency quantiles and per-namespace
 /// store byte estimates, and job status lines carry the campaign's
-/// per-phase query/duration profile.
-pub const PROTOCOL_VERSION: u64 = 6;
+/// per-phase query/duration profile; 7 = durability — the `persist` command
+/// flushes and snapshots the daemon's durable store on demand, `stats`
+/// gains store size/eviction and persistence counters (`store_entries`,
+/// `store_evictions`, `persist_appended`, `persist_dropped`,
+/// `persist_snapshots`, `persist_replayed`, `lock_poisoned`), and
+/// per-namespace rows gain lifetime `hits`/`misses`.
+pub const PROTOCOL_VERSION: u64 = 7;
 
 /// A malformed protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -202,6 +208,9 @@ pub enum Request {
     /// The daemon's metrics registry: Prometheus-style text plus typed
     /// snapshots of every counter, gauge and latency histogram.
     Metrics,
+    /// Flush the durable store's record log and write a compacted snapshot.
+    /// A no-op (still `done`) on a daemon running without `--store-dir`.
+    Persist,
     /// Close the session.
     Quit,
 }
@@ -334,6 +343,24 @@ pub struct WireStats {
     pub request_p99_ns: u64,
     /// Worst request-handling latency observed, in nanoseconds.
     pub request_max_ns: u64,
+    /// Entries (trie nodes) currently held by the shared store.
+    pub store_entries: u64,
+    /// Namespaces cleared by the store's entry cap since startup (0 when
+    /// the store is unbounded).
+    pub store_evictions: u64,
+    /// Records handed to the store's persistence writer (0 when the daemon
+    /// runs without `--store-dir`).
+    pub persist_appended: u64,
+    /// Appends lost to a full writer queue or write errors — durability
+    /// gaps healed by the next snapshot, never in-memory data loss.
+    pub persist_dropped: u64,
+    /// Compacted snapshots written since startup.
+    pub persist_snapshots: u64,
+    /// Records replayed from disk when the store opened.
+    pub persist_replayed: u64,
+    /// Poisoned locks recovered on the request path (a worker or session
+    /// panicked mid-operation; the daemon degrades instead of dying).
+    pub lock_poisoned: u64,
 }
 
 /// One query-store namespace (a distinct backend configuration) and its
@@ -346,6 +373,10 @@ pub struct WireNamespace {
     pub entries: u64,
     /// Estimated heap footprint of the namespace's trie, in bytes.
     pub bytes: u64,
+    /// Lifetime lookups served from this namespace (survives eviction).
+    pub hits: u64,
+    /// Lifetime lookups that missed in this namespace.
+    pub misses: u64,
 }
 
 impl WireStats {
@@ -782,6 +813,13 @@ fn stats_to_json(stats: &WireStats) -> Json {
         ("busy_workers", Json::num(stats.busy_workers)),
         ("workers", Json::num(stats.workers)),
         ("store_conflicts", Json::num(stats.store_conflicts)),
+        ("store_entries", Json::num(stats.store_entries)),
+        ("store_evictions", Json::num(stats.store_evictions)),
+        ("persist_appended", Json::num(stats.persist_appended)),
+        ("persist_dropped", Json::num(stats.persist_dropped)),
+        ("persist_snapshots", Json::num(stats.persist_snapshots)),
+        ("persist_replayed", Json::num(stats.persist_replayed)),
+        ("lock_poisoned", Json::num(stats.lock_poisoned)),
         ("votes", Json::num(stats.votes)),
         ("vote_executions", Json::num(stats.vote_executions)),
         ("vote_escalations", Json::num(stats.vote_escalations)),
@@ -809,6 +847,13 @@ fn stats_from_json(value: &Json) -> Result<WireStats, ProtoError> {
         busy_workers: get_u64(value, "busy_workers")?,
         workers: get_u64(value, "workers")?,
         store_conflicts: get_u64(value, "store_conflicts")?,
+        store_entries: get_u64(value, "store_entries")?,
+        store_evictions: get_u64(value, "store_evictions")?,
+        persist_appended: get_u64(value, "persist_appended")?,
+        persist_dropped: get_u64(value, "persist_dropped")?,
+        persist_snapshots: get_u64(value, "persist_snapshots")?,
+        persist_replayed: get_u64(value, "persist_replayed")?,
+        lock_poisoned: get_u64(value, "lock_poisoned")?,
         votes: get_u64(value, "votes")?,
         vote_executions: get_u64(value, "vote_executions")?,
         vote_escalations: get_u64(value, "vote_escalations")?,
@@ -873,6 +918,7 @@ pub fn encode_request(request: &Request) -> String {
         Request::Wait { id } => Json::obj(vec![("cmd", Json::str("wait")), ("id", Json::num(*id))]),
         Request::Stats => Json::obj(vec![("cmd", Json::str("stats"))]),
         Request::Metrics => Json::obj(vec![("cmd", Json::str("metrics"))]),
+        Request::Persist => Json::obj(vec![("cmd", Json::str("persist"))]),
         Request::Quit => Json::obj(vec![("cmd", Json::str("quit"))]),
     };
     json.render()
@@ -949,6 +995,7 @@ pub fn decode_request(line: &str) -> Result<Request, ProtoError> {
         }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "persist" => Ok(Request::Persist),
         "quit" => Ok(Request::Quit),
         other => Err(err(format!("unknown command '{other}'"))),
     }
@@ -1050,6 +1097,8 @@ pub fn encode_response(response: &Response) -> String {
                                 ("name", Json::str(&ns.name)),
                                 ("entries", Json::num(ns.entries)),
                                 ("bytes", Json::num(ns.bytes)),
+                                ("hits", Json::num(ns.hits)),
+                                ("misses", Json::num(ns.misses)),
                             ])
                         })
                         .collect(),
@@ -1181,6 +1230,8 @@ pub fn decode_response(line: &str) -> Result<Response, ProtoError> {
                         name: get_str(ns, "name")?,
                         entries: get_u64(ns, "entries")?,
                         bytes: get_u64(ns, "bytes")?,
+                        hits: get_u64(ns, "hits")?,
+                        misses: get_u64(ns, "misses")?,
                     })
                 })
                 .collect::<Result<Vec<_>, ProtoError>>()?;
@@ -1279,6 +1330,7 @@ mod tests {
             Request::Wait { id: 9 },
             Request::Stats,
             Request::Metrics,
+            Request::Persist,
             Request::Quit,
         ];
         for request in requests {
@@ -1441,6 +1493,13 @@ mod tests {
                     busy_workers: 0,
                     workers: 4,
                     store_conflicts: 2,
+                    store_entries: 47,
+                    store_evictions: 1,
+                    persist_appended: 88,
+                    persist_dropped: 2,
+                    persist_snapshots: 3,
+                    persist_replayed: 41,
+                    lock_poisoned: 0,
                     votes: 40,
                     vote_executions: 302,
                     vote_escalations: 3,
@@ -1456,11 +1515,15 @@ mod tests {
                         name: "skylake seed=7 cat=- reset=F+R reps=3 L1 set=0 slice=0".into(),
                         entries: 40,
                         bytes: 2048,
+                        hits: 61,
+                        misses: 40,
                     },
                     WireNamespace {
                         name: "policy:LRU@4 reset=cc0 reps=1 L1 set=0 slice=0".into(),
                         entries: 7,
                         bytes: 384,
+                        hits: 0,
+                        misses: 7,
                     },
                 ],
             },

@@ -1,0 +1,136 @@
+//! Crash-recovery integration test: a real `cqd` process with a durable
+//! store is killed with SIGKILL mid-campaign, restarted over the same
+//! directory, and must serve the previously persisted campaign entirely
+//! from memory — zero re-executed backend queries.
+//!
+//! The re-execution pin uses the store's own namespace counters: in the
+//! unified query path a store *miss* is exactly what triggers a backend
+//! execution, so a warm re-run of a fully persisted campaign must leave
+//! the campaign namespace at zero misses.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use server::Client;
+
+/// Spawns a durable `cqd` on an ephemeral port and parses its bound
+/// address from stdout.
+fn spawn_daemon(store_dir: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cqd"))
+        .args(["--addr", "127.0.0.1:0", "--store-dir"])
+        .arg(store_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null())
+        .spawn()
+        .expect("spawn cqd");
+    let stdout = child.stdout.take().expect("cqd stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("cqd printed a banner")
+        .expect("read cqd banner");
+    let addr = banner
+        .strip_prefix("cqd listening on ")
+        .unwrap_or_else(|| panic!("unexpected cqd banner: {banner}"))
+        .parse()
+        .expect("parse cqd address");
+    (child, addr)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cq_persist_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn a_killed_daemon_restarts_warm_and_reexecutes_nothing() {
+    let dir = temp_dir("warm");
+
+    // First life: learn LRU@4 to completion, make it durable, then die
+    // abruptly in the middle of a second campaign.
+    let (mut child, addr) = spawn_daemon(&dir);
+    let (cold_states, cold_queries, namespace) = {
+        let mut client = Client::connect(addr).expect("connect");
+        let id = client.learn("lru@4").expect("start lru@4 campaign");
+        let status = client.wait(id).expect("finish lru@4 campaign");
+        assert_eq!(
+            status.state, "done",
+            "cold campaign failed: {}",
+            status.detail
+        );
+        assert!(status.states > 0 && status.queries > 0);
+
+        // Fsync the log and write a compacted snapshot; everything the
+        // campaign recorded is now on disk.
+        client.persist().expect("persist the store");
+        let stats = client.stats().expect("stats");
+        assert!(
+            stats.global.persist_appended > 0,
+            "campaign appended nothing"
+        );
+        assert!(
+            stats.global.persist_snapshots > 0,
+            "persist wrote no snapshot"
+        );
+        let namespace = stats
+            .namespaces
+            .iter()
+            .find(|ns| ns.name.starts_with("policy:LRU@4"))
+            .expect("campaign namespace in stats")
+            .name
+            .clone();
+
+        // Kill -9 mid-campaign: the second job's unsynced tail may be
+        // lost, the persisted first campaign must not be.
+        let _ = client.learn("plru@4").expect("start doomed campaign");
+        (status.states, status.queries, namespace)
+    };
+    child.kill().expect("SIGKILL cqd");
+    child.wait().expect("reap cqd");
+
+    // Second life over the same directory: replay must restore the store,
+    // and re-running the same campaign must touch the backend zero times.
+    let (mut child, addr) = spawn_daemon(&dir);
+    let mut client = Client::connect(addr).expect("reconnect");
+    let stats = client.stats().expect("stats after restart");
+    assert!(
+        stats.global.persist_replayed > 0,
+        "restart replayed no records"
+    );
+
+    let id = client.learn("lru@4").expect("re-run lru@4 campaign");
+    let status = client.wait(id).expect("finish warm campaign");
+    assert_eq!(
+        status.state, "done",
+        "warm campaign failed: {}",
+        status.detail
+    );
+    // Same machine, same membership-query count: recovery is exact.
+    assert_eq!(status.states, cold_states);
+    assert_eq!(status.queries, cold_queries);
+
+    let stats = client.stats().expect("stats after warm campaign");
+    let ns = stats
+        .namespaces
+        .iter()
+        .find(|ns| ns.name == namespace)
+        .expect("campaign namespace survived the crash");
+    // The pin: every store lookup of the warm campaign hit. A miss is the
+    // only thing that sends a query to the backend, so zero misses means
+    // zero re-executed backend queries.
+    assert_eq!(
+        ns.misses, 0,
+        "warm campaign fell through to the backend {} times",
+        ns.misses
+    );
+    assert!(ns.hits > 0, "warm campaign never touched the store");
+
+    drop(client);
+    child.kill().expect("SIGKILL cqd");
+    child.wait().expect("reap cqd");
+    let _ = std::fs::remove_dir_all(&dir);
+}

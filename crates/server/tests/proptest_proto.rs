@@ -124,6 +124,7 @@ fn request() -> impl Strategy<Value = Request> {
         (0u64..100).prop_map(|id| Request::Wait { id }),
         Just(Request::Stats),
         Just(Request::Metrics),
+        Just(Request::Persist),
         Just(Request::Quit),
     ]
 }
@@ -195,13 +196,20 @@ fn job_status() -> impl Strategy<Value = WireJobStatus> {
 }
 
 fn namespace() -> impl Strategy<Value = WireNamespace> {
-    (wire_string(), 0u64..100_000, 0u64..10_000_000).prop_map(|(name, entries, bytes)| {
-        WireNamespace {
+    (
+        wire_string(),
+        0u64..100_000,
+        0u64..10_000_000,
+        0u64..100_000,
+        0u64..100_000,
+    )
+        .prop_map(|(name, entries, bytes, hits, misses)| WireNamespace {
             name,
             entries,
             bytes,
-        }
-    })
+            hits,
+            misses,
+        })
 }
 
 fn metric() -> impl Strategy<Value = WireMetric> {
@@ -374,10 +382,18 @@ fn response() -> impl Strategy<Value = Response> {
             ),
         ),
         (
-            (0u64..100_000, 0u64..1_000_000),
-            0u64..1000,
-            0u64..100,
-            0u64..=1000,
+            (
+                (0u64..100_000, 0u64..1_000_000),
+                0u64..1000,
+                0u64..100,
+                0u64..=1000,
+            ),
+            (
+                (0u64..1_000_000, 0u64..1000),
+                (0u64..1_000_000, 0u64..1000),
+                (0u64..100, 0u64..1_000_000),
+                0u64..100,
+            ),
         ),
     )
         .prop_map(
@@ -388,10 +404,18 @@ fn response() -> impl Strategy<Value = Response> {
                 (busy_workers, workers, store_conflicts),
                 (uptime_ms, (request_p50_ns, request_p99_ns, request_max_ns)),
                 (
-                    (votes, vote_executions),
-                    vote_escalations,
-                    vote_unsettled,
-                    vote_min_margin_permille,
+                    (
+                        (votes, vote_executions),
+                        vote_escalations,
+                        vote_unsettled,
+                        vote_min_margin_permille,
+                    ),
+                    (
+                        (store_entries, store_evictions),
+                        (persist_appended, persist_dropped),
+                        (persist_snapshots, persist_replayed),
+                        lock_poisoned,
+                    ),
                 ),
             )| WireStats {
                 sessions_active,
@@ -408,6 +432,13 @@ fn response() -> impl Strategy<Value = Response> {
                 busy_workers,
                 workers,
                 store_conflicts,
+                store_entries,
+                store_evictions,
+                persist_appended,
+                persist_dropped,
+                persist_snapshots,
+                persist_replayed,
+                lock_poisoned,
                 votes,
                 vote_executions,
                 vote_escalations,
